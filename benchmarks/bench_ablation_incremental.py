@@ -1,0 +1,56 @@
+"""Ablation A3 — incremental F_d construction vs per-depth rebuild.
+
+Section 5 notes that "the incremental nature of F_d is exploited during
+the construction": F_d = U_G(F_{d-1}, Y_d) reuses the previous cascade
+BDD instead of rebuilding d stages from scratch at every iteration of
+the Figure-1 loop.  This bench runs the full iterative synthesis both
+ways.  Expected shape: the monolithic variant pays Theta(d) stage builds
+per iteration (Theta(D^2) total) and loses, increasingly so with depth.
+
+Run:  pytest benchmarks/bench_ablation_incremental.py --benchmark-only -s
+"""
+
+import pytest
+
+from _tables import print_table
+from repro.functions import get_spec
+from repro.synth import synthesize
+
+CASES = ["graycode4", "3_17", "mod5mils", "mod5d1_s"]
+
+_results = {}
+
+
+def _run(name, incremental):
+    result = synthesize(get_spec(name), engine="bdd",
+                        incremental=incremental, time_limit=300)
+    _results[(name, incremental)] = result
+    return result
+
+
+@pytest.mark.parametrize("incremental", [True, False],
+                         ids=["incremental", "monolithic"])
+@pytest.mark.parametrize("name", CASES)
+def test_incremental(benchmark, name, incremental):
+    result = benchmark.pedantic(_run, args=(name, incremental),
+                                rounds=1, iterations=1)
+    assert result.realized
+
+
+def teardown_module(module):
+    header = (f"{'BENCH':12s} {'D':>3s} {'incremental':>12s} "
+              f"{'monolithic':>12s} {'speedup':>8s}")
+    rows = []
+    for name in CASES:
+        inc = _results.get((name, True))
+        mono = _results.get((name, False))
+        if inc is None or mono is None:
+            continue
+        speedup = mono.runtime / inc.runtime if inc.runtime else float("inf")
+        rows.append(f"{name:12s} {inc.depth:3d} {inc.runtime:11.2f}s "
+                    f"{mono.runtime:11.2f}s {speedup:7.2f}x")
+        assert inc.depth == mono.depth
+        assert inc.num_solutions == mono.num_solutions
+    print_table("ABLATION A3 — incremental vs monolithic F_d construction",
+                header, rows,
+                "Both variants must agree on D and #SOL.")

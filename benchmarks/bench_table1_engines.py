@@ -1,0 +1,94 @@
+"""Table 1 — runtime comparison of all four synthesis engines.
+
+Reproduces the paper's central experiment: for every benchmark, the
+minimal MCT depth and the runtime of
+
+* SAT SOLVER  — per-truth-table-row encoding + CDCL (MiniSat stand-in),
+* SWORD       — specialized word-level search (SWORD stand-in),
+* QBF SOLVER  — polynomial QCNF + expansion solving (skizzo stand-in),
+* BDDs        — BDD-based quantified synthesis (the contribution),
+
+plus the improvement factors IMPR_SAT and IMPR_SW of the two QBF-based
+engines, exactly as in the paper's columns.  Expected shape: every
+engine agrees on D; SAT is slowest and times out first; SWORD beats the
+QBF-solver engine; the BDD engine wins on every non-trivial function.
+
+Run:  pytest benchmarks/bench_table1_engines.py --benchmark-only -s
+      REPRO_FULL=1 REPRO_TIMEOUT=600 pytest ... (full tier)
+"""
+
+import pytest
+
+from _tables import (
+    PAPER_NOTES,
+    PAPER_TABLE1,
+    engine_timeout,
+    format_time,
+    print_table,
+    tier,
+)
+from repro.functions import table1_entries
+from repro.synth import synthesize
+
+ENGINES = ("sat", "sword", "qbf", "bdd")
+
+_results = {}
+
+
+def _run_benchmark(entry, engine):
+    spec = entry.spec()
+    result = synthesize(spec, kinds=("mct",), engine=engine,
+                        time_limit=engine_timeout())
+    _results[(entry.name, engine)] = result
+    return result
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("entry", table1_entries(tier()), ids=lambda e: e.name)
+def test_table1_engine_runtime(benchmark, entry, engine):
+    result = benchmark.pedantic(_run_benchmark, args=(entry, engine),
+                                rounds=1, iterations=1)
+    if result.realized:
+        assert all(entry.spec().matches_circuit(c) for c in result.circuits)
+
+
+def teardown_module(module):
+    """Print the assembled Table 1 after all cells have run."""
+    names = [e.name for e in table1_entries(tier())]
+    header = (f"{'BENCH':12s} {'D':>3s} {'paperD':>6s} "
+              f"{'SAT':>10s} {'SWORD':>10s} {'QBF':>10s} {'BDD':>10s} "
+              f"{'IMPR_SAT':>9s} {'IMPR_SW':>8s}")
+    rows = []
+    for name in names:
+        cells = {}
+        depth = None
+        for engine in ENGINES:
+            result = _results.get((name, engine))
+            if result is None:
+                cells[engine] = "   (skip)"
+                continue
+            cells[engine] = format_time(result.runtime,
+                                        timed_out=not result.realized)
+            if result.realized:
+                depth = result.depth
+        paper_depth = PAPER_TABLE1.get(name, (None, None))[0]
+        bdd = _results.get((name, "bdd"))
+        sat = _results.get((name, "sat"))
+        sword = _results.get((name, "sword"))
+
+        def ratio(base, target):
+            if (base is None or target is None or not target.realized
+                    or target.runtime == 0):
+                return "-"
+            top = base.runtime if base.realized else engine_timeout()
+            prefix = "" if base.realized else ">"
+            return f"{prefix}{top / target.runtime:.1f}x"
+
+        rows.append(f"{name:12s} {depth if depth is not None else '?':>3} "
+                    f"{paper_depth if paper_depth is not None else '-':>6} "
+                    f"{cells.get('sat', ''):>10s} {cells.get('sword', ''):>10s} "
+                    f"{cells.get('qbf', ''):>10s} {cells.get('bdd', ''):>10s} "
+                    f"{ratio(sat, bdd):>9s} {ratio(sword, bdd):>8s}")
+    print_table(f"TABLE 1 — engine comparison ({tier()} tier, "
+                f"timeout {engine_timeout():.0f}s)",
+                header, rows, PAPER_NOTES["table1"])

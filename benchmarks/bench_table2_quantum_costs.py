@@ -1,0 +1,58 @@
+"""Table 2 — solution counts and quantum costs of all minimal networks.
+
+Reproduces the paper's second experiment: the BDD engine finds *all*
+minimal Toffoli networks in one step, so for each benchmark the table
+reports the number of solutions (#SOL) and the minimal and maximal
+quantum costs over them.  Expected shape: many benchmarks admit multiple
+minimal networks with a substantial quantum-cost spread (the paper's
+4_49 spans 32 to >70), so picking the cheapest is a real win.
+
+Run:  pytest benchmarks/bench_table2_quantum_costs.py --benchmark-only -s
+"""
+
+import pytest
+
+from _tables import PAPER_NOTES, engine_timeout, print_table, tier
+from repro.functions import table2_entries
+from repro.synth import synthesize
+
+_results = {}
+
+
+def _run_benchmark(entry):
+    result = synthesize(entry.spec(), kinds=("mct",), engine="bdd",
+                        time_limit=engine_timeout())
+    _results[entry.name] = result
+    return result
+
+
+@pytest.mark.parametrize("entry", table2_entries(tier()), ids=lambda e: e.name)
+def test_table2_all_solutions(benchmark, entry):
+    result = benchmark.pedantic(_run_benchmark, args=(entry,),
+                                rounds=1, iterations=1)
+    if result.realized:
+        assert result.num_solutions >= 1
+        assert result.quantum_cost_min <= result.quantum_cost_max
+        spec = entry.spec()
+        for circuit in result.circuits[:100]:
+            assert spec.matches_circuit(circuit)
+
+
+def teardown_module(module):
+    header = (f"{'BENCH':12s} {'D':>3s} {'TIME':>10s} {'#SOL':>8s} "
+              f"{'QC min':>7s} {'QC max':>7s}")
+    rows = []
+    for entry in table2_entries(tier()):
+        result = _results.get(entry.name)
+        if result is None:
+            continue
+        if not result.realized:
+            rows.append(f"{entry.name:12s}   -  >{engine_timeout():.0f}s")
+            continue
+        truncated = "+" if result.solutions_truncated else ""
+        rows.append(f"{entry.name:12s} {result.depth:3d} "
+                    f"{result.runtime:9.2f}s {result.num_solutions:8d} "
+                    f"{result.quantum_cost_min:7d} "
+                    f"{result.quantum_cost_max:6d}{truncated}")
+    print_table(f"TABLE 2 — all minimal networks, quantum costs "
+                f"({tier()} tier)", header, rows, PAPER_NOTES["table2"])

@@ -1,0 +1,70 @@
+"""Table 3 — synthesis with extended gate libraries.
+
+Reproduces the paper's third experiment: the universal-gate formulation
+supports richer libraries by construction, so each benchmark is
+synthesized under MCT+MCF, MCT+P and MCT+MCF+P and the table reports
+depth, runtime, #SOL and the quantum-cost range per library.  Expected
+shape: extended libraries never increase the depth and often shrink it
+(the paper's hwb4: 11 -> 8 with Peres); runtimes grow with the library
+size except where a smaller depth saves whole iterations.
+
+Run:  pytest benchmarks/bench_table3_libraries.py --benchmark-only -s
+"""
+
+import pytest
+
+from _tables import PAPER_NOTES, engine_timeout, print_table, tier
+from repro.functions import table3_entries
+from repro.synth import synthesize
+
+LIBRARIES = [
+    ("MCT+MCF", ("mct", "mcf")),
+    ("MCT+P", ("mct", "peres")),
+    ("MCT+MCF+P", ("mct", "mcf", "peres")),
+]
+
+_results = {}
+
+
+def _run_benchmark(entry, kinds):
+    result = synthesize(entry.spec(), kinds=kinds, engine="bdd",
+                        time_limit=engine_timeout())
+    _results[(entry.name, kinds)] = result
+    return result
+
+
+@pytest.mark.parametrize("label,kinds", LIBRARIES, ids=[l for l, _ in LIBRARIES])
+@pytest.mark.parametrize("entry", table3_entries(tier()), ids=lambda e: e.name)
+def test_table3_extended_library(benchmark, entry, label, kinds):
+    result = benchmark.pedantic(_run_benchmark, args=(entry, kinds),
+                                rounds=1, iterations=1)
+    if result.realized:
+        spec = entry.spec()
+        for circuit in result.circuits[:100]:
+            assert spec.matches_circuit(circuit)
+
+
+def teardown_module(module):
+    segments = "".join(f" | {label:>26s}" for label, _ in LIBRARIES)
+    header = f"{'BENCH':12s}{segments}"
+    sub = f"{'':12s}" + " | ".join(f"{'D':>3s} {'TIME':>8s} {'#SOL':>6s} {'QC':>6s}"
+                                   for _ in LIBRARIES)
+    rows = []
+    for entry in table3_entries(tier()):
+        cells = []
+        for label, kinds in LIBRARIES:
+            result = _results.get((entry.name, kinds))
+            if result is None:
+                cells.append(f"{'(skip)':>26s}")
+            elif not result.realized:
+                cells.append(f"{'-':>3s} >{engine_timeout():6.0f}s "
+                             f"{'-':>6s} {'-':>6s}")
+            else:
+                qc = (f"{result.quantum_cost_min}"
+                      if result.quantum_cost_min == result.quantum_cost_max
+                      else f"{result.quantum_cost_min}-{result.quantum_cost_max}")
+                cells.append(f"{result.depth:3d} {result.runtime:7.2f}s "
+                             f"{result.num_solutions:6d} {qc:>6s}")
+        rows.append(f"{entry.name:12s} | " + " | ".join(cells))
+    print_table(f"TABLE 3 — extended gate libraries ({tier()} tier)",
+                header + "\n" + sub, rows, PAPER_NOTES["table3"])

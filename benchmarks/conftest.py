@@ -1,0 +1,7 @@
+"""Benchmark-harness configuration."""
+
+import sys
+from pathlib import Path
+
+# Make `benchmarks/_tables.py` importable regardless of invocation dir.
+sys.path.insert(0, str(Path(__file__).parent))

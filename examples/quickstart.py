@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: exact synthesis of the 3_17 benchmark.
+
+Synthesizes the classic 3_17 function (a 3-line reversible permutation)
+with multiple-control Toffoli gates, using the paper's BDD-based
+quantified-synthesis engine.  The engine proves depths 0..5 unrealizable
+and returns *all* minimal 6-gate networks at depth 6, ranked by quantum
+cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Specification, synthesize
+
+# The 3_17 truth table as a permutation of 0..7 (bit i = line i).
+PERM_3_17 = [7, 1, 4, 3, 0, 2, 6, 5]
+
+
+def main() -> None:
+    spec = Specification.from_permutation(PERM_3_17, name="3_17")
+    print("Specification:")
+    for x, y in enumerate(PERM_3_17):
+        print(f"  {x:03b} -> {y:03b}")
+
+    result = synthesize(spec, kinds=("mct",), engine="bdd")
+
+    print(f"\nMinimal gate count : {result.depth}")
+    print(f"Minimal networks   : {result.num_solutions}")
+    print(f"Quantum costs      : {result.quantum_cost_min}"
+          f"..{result.quantum_cost_max}")
+    print(f"Synthesis time     : {result.runtime:.3f}s")
+    print("\nIterative deepening trace (Figure 1 of the paper):")
+    for step in result.per_depth:
+        print(f"  depth {step.depth}: {step.decision:6s}"
+              f" ({step.runtime:.3f}s)")
+
+    best = result.circuit
+    print(f"\nCheapest realization (quantum cost {best.quantum_cost()}):")
+    print(best.to_string())
+
+    # Every returned network really computes 3_17 — verify by simulation.
+    for circuit in result.circuits:
+        assert spec.matches_circuit(circuit)
+    print(f"\nVerified: all {len(result.circuits)} networks realize 3_17.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Quantified Synthesis of Reversible Logic" (DATE'08).
+
+Exact synthesis of reversible logic via quantified Boolean formulas,
+solved either on BDDs (the paper's fast engine, yielding *all* minimal
+networks) or by a QBF solver, compared against SAT-based and specialized
+search baselines.  Everything — the ROBDD package, the CDCL SAT solver,
+the QBF solvers and the reversible-logic core — is implemented here from
+scratch in pure Python.
+
+Quick start::
+
+    from repro import Specification, synthesize
+
+    spec = Specification.from_permutation([7, 1, 4, 3, 0, 2, 6, 5],
+                                          name="3_17")
+    result = synthesize(spec, kinds=("mct",), engine="bdd")
+    print(result.summary())          # D=6, all 7 minimal networks
+    print(result.circuit.to_string())  # the cheapest one (quantum cost)
+"""
+
+from repro.core import (
+    Circuit,
+    Fredkin,
+    Gate,
+    GateLibrary,
+    InversePeres,
+    Peres,
+    Specification,
+    Toffoli,
+    embed_function,
+    embed_truth_table,
+)
+from repro.functions import get_spec
+from repro.synth import SynthesisResult, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Fredkin",
+    "Gate",
+    "GateLibrary",
+    "InversePeres",
+    "Peres",
+    "Specification",
+    "SynthesisResult",
+    "Toffoli",
+    "__version__",
+    "embed_function",
+    "embed_truth_table",
+    "get_spec",
+    "synthesize",
+]

@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``synth``     exact synthesis of a named benchmark or an explicit
+              permutation; prints the minimal network(s) and can export
+              the cheapest one as RevLib ``.real``.
+``bench``     list the benchmark suite with tiers and provenance.
+``show``      print a benchmark's (possibly incomplete) truth table.
+``qdimacs``   export the QBF synthesis instance for an external solver.
+``check``     equivalence-check two ``.real`` circuit files.
+``heuristic`` transformation-based (MMD) synthesis, for comparison;
+              ``--simplify`` applies the peephole optimizer to its output.
+``opsynth``   exact synthesis with output permutation (the follow-up
+              extension): the synthesizer may relabel output lines.
+``decompose`` map a ``.real`` circuit to elementary NCV quantum gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.library import GateLibrary
+from repro.core.realfmt import parse_real, write_real
+from repro.core.spec import Specification
+from repro.functions import SUITE, get_spec
+from repro.synth import synthesize
+from repro.synth.qbf_engine import QbfSolverEngine
+from repro.synth.transformation import transformation_synthesize
+from repro.verify import circuits_equivalent, counterexample
+
+__all__ = ["main"]
+
+
+def _load_spec(args) -> Specification:
+    if args.perm:
+        perm = [int(v) for v in args.perm.split(",")]
+        return Specification.from_permutation(perm, name="cli")
+    return get_spec(args.benchmark)
+
+
+def _cmd_synth(args) -> int:
+    spec = _load_spec(args)
+    kinds = tuple(args.kinds.split("+"))
+    result = synthesize(spec, kinds=kinds, engine=args.engine,
+                        time_limit=args.time_limit)
+    print(result.summary())
+    if not result.realized:
+        return 1
+    for step in result.per_depth:
+        print(f"  depth {step.depth}: {step.decision} ({step.runtime:.3f}s)")
+    best = result.circuit
+    print(f"\ncheapest network (quantum cost {best.quantum_cost()}):")
+    print(best.to_string())
+    if args.all and len(result.circuits) > 1:
+        print(f"\nall {len(result.circuits)} minimal networks:")
+        for index, circuit in enumerate(result.circuits):
+            print(f"-- #{index} (QC {circuit.quantum_cost()})")
+            print(circuit.to_string())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(write_real(best, name=spec.name))
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    print(f"{'name':14s} {'lines':>5s} {'tier':>8s} {'paperD':>6s} "
+          f"{'provenance':16s} note")
+    for name in sorted(SUITE):
+        entry = SUITE[name]
+        spec = entry.spec()
+        depth = entry.paper_depth_mct if entry.paper_depth_mct is not None else "-"
+        print(f"{name:14s} {spec.n_lines:5d} {entry.tier:>8s} {depth:>6} "
+              f"{entry.provenance:16s} {entry.note}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    spec = _load_spec(args)
+    print(repr(spec))
+    for i, row in enumerate(spec.rows):
+        rendered = "".join("-" if v is None else str(v) for v in reversed(row))
+        print(f"  {i:0{spec.n_lines}b} -> {rendered}")
+    return 0
+
+
+def _cmd_qdimacs(args) -> int:
+    spec = _load_spec(args)
+    kinds = tuple(args.kinds.split("+"))
+    library = GateLibrary.from_kinds(spec.n_lines, kinds)
+    engine = QbfSolverEngine(spec, library)
+    text = engine.export_qdimacs(args.depth)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_check(args) -> int:
+    with open(args.first) as handle:
+        first, _ = parse_real(handle.read())
+    with open(args.second) as handle:
+        second, _ = parse_real(handle.read())
+    if circuits_equivalent(first, second):
+        print("EQUIVALENT")
+        return 0
+    witness = counterexample(first, second)
+    assert witness is not None
+    packed, out_a, out_b = witness
+    n = first.n_lines
+    print(f"NOT EQUIVALENT: input {packed:0{n}b} -> "
+          f"{out_a:0{n}b} vs {out_b:0{n}b}")
+    return 1
+
+
+def _cmd_heuristic(args) -> int:
+    spec = _load_spec(args)
+    circuit = transformation_synthesize(spec)
+    print(f"{spec.name}: MMD heuristic uses {len(circuit)} gates "
+          f"(quantum cost {circuit.quantum_cost()})")
+    if args.simplify:
+        from repro.synth.optimize import simplify
+        optimized = simplify(circuit)
+        print(f"after peephole optimization: {len(optimized)} gates "
+              f"(quantum cost {optimized.quantum_cost()})")
+        circuit = optimized
+    print(circuit.to_string())
+    return 0
+
+
+def _cmd_opsynth(args) -> int:
+    from repro.synth.output_permutation import (
+        synthesize_with_output_permutation,
+    )
+    spec = _load_spec(args)
+    kinds = tuple(args.kinds.split("+"))
+    result = synthesize_with_output_permutation(
+        spec, kinds=kinds, time_limit=args.time_limit)
+    if not result.realized:
+        print(f"{spec.name}: {result.status}")
+        return 1
+    print(f"{spec.name}: D={result.depth} with output permutation "
+          f"({result.num_solutions} networks over "
+          f"{len(result.realizations)} permutations, "
+          f"QCmin={result.quantum_cost_min}, {result.runtime:.2f}s)")
+    if result.fixed_depth is not None:
+        print(f"fixed-output minimal depth: {result.fixed_depth}")
+    best_pi = result.best_permutation
+    best = min(result.realizations[best_pi],
+               key=lambda c: c.quantum_cost())
+    print(f"\nbest permutation {best_pi} "
+          f"(line l carries output pi[l]):")
+    print(best.to_string())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.core.export import to_json, to_latex
+    from repro.core.statistics import analyze
+    with open(args.circuit) as handle:
+        circuit, _ = parse_real(handle.read())
+    print(analyze(circuit).format())
+    if args.latex:
+        print()
+        print(to_latex(circuit))
+    if args.json:
+        print()
+        print(to_json(circuit, name=args.circuit))
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    from repro.quantum import decompose_circuit
+    with open(args.circuit) as handle:
+        circuit, _ = parse_real(handle.read())
+    sequence = decompose_circuit(circuit)
+    print(f"{args.circuit}: {len(circuit)} reversible gates -> "
+          f"{len(sequence)} elementary quantum gates "
+          f"(quantum cost model: {circuit.quantum_cost()})")
+    for gate in sequence:
+        if gate.control is not None:
+            print(f"  {gate.label():6s} control=x{gate.control} "
+                  f"target=x{gate.target}")
+        else:
+            print(f"  {gate.label():6s} target=x{gate.target}")
+    return 0
+
+
+def _add_spec_arguments(parser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--benchmark", "-b", choices=sorted(SUITE),
+                       help="benchmark name from the suite")
+    group.add_argument("--perm", "-p",
+                       help="explicit permutation, e.g. 7,1,4,3,0,2,6,5")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Quantified synthesis of reversible logic")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="exact synthesis")
+    _add_spec_arguments(synth)
+    synth.add_argument("--kinds", default="mct",
+                       help="gate library, e.g. mct, mct+mcf, mct+peres")
+    synth.add_argument("--engine", default="bdd",
+                       choices=("bdd", "qbf", "sat", "sword"))
+    synth.add_argument("--time-limit", type=float, default=None)
+    synth.add_argument("--all", action="store_true",
+                       help="print every minimal network (BDD engine)")
+    synth.add_argument("--output", "-o", help="write cheapest network as .real")
+    synth.set_defaults(func=_cmd_synth)
+
+    bench = sub.add_parser("bench", help="list the benchmark suite")
+    bench.set_defaults(func=_cmd_bench)
+
+    show = sub.add_parser("show", help="print a specification's truth table")
+    _add_spec_arguments(show)
+    show.set_defaults(func=_cmd_show)
+
+    qdimacs = sub.add_parser("qdimacs", help="export a QBF instance")
+    _add_spec_arguments(qdimacs)
+    qdimacs.add_argument("--depth", type=int, required=True)
+    qdimacs.add_argument("--kinds", default="mct")
+    qdimacs.add_argument("--output", "-o")
+    qdimacs.set_defaults(func=_cmd_qdimacs)
+
+    check = sub.add_parser("check", help="equivalence-check two .real files")
+    check.add_argument("first")
+    check.add_argument("second")
+    check.set_defaults(func=_cmd_check)
+
+    heuristic = sub.add_parser("heuristic",
+                               help="transformation-based (MMD) synthesis")
+    _add_spec_arguments(heuristic)
+    heuristic.add_argument("--simplify", action="store_true",
+                           help="apply the peephole optimizer afterwards")
+    heuristic.set_defaults(func=_cmd_heuristic)
+
+    opsynth = sub.add_parser("opsynth",
+                             help="exact synthesis with output permutation")
+    _add_spec_arguments(opsynth)
+    opsynth.add_argument("--kinds", default="mct")
+    opsynth.add_argument("--time-limit", type=float, default=None)
+    opsynth.set_defaults(func=_cmd_opsynth)
+
+    decompose = sub.add_parser("decompose",
+                               help="map a .real circuit to NCV gates")
+    decompose.add_argument("circuit", help="path to a .real file")
+    decompose.set_defaults(func=_cmd_decompose)
+
+    stats = sub.add_parser("stats", help="metrics of a .real circuit")
+    stats.add_argument("circuit", help="path to a .real file")
+    stats.add_argument("--latex", action="store_true",
+                       help="also print a qcircuit LaTeX rendering")
+    stats.add_argument("--json", action="store_true",
+                       help="also print the JSON serialization")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

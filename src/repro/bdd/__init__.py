@@ -1,0 +1,6 @@
+"""ROBDD package (Bryant-style shared BDDs with quantification)."""
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.reorder import best_of_orders, rebuild_with_order
+
+__all__ = ["BddManager", "FALSE", "TRUE", "rebuild_with_order", "best_of_orders"]

@@ -1,0 +1,487 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+Implements the Bryant-style shared-BDD manager the paper relies on
+(it used CUDD): hash-consed nodes, an ITE-based apply with a computed
+cache, Boolean connectives, cofactors, existential/universal
+quantification, support computation, model enumeration/counting and a
+mark-and-sweep compaction pass.
+
+Nodes are plain integers into the manager's arrays: ``0`` is the FALSE
+terminal, ``1`` the TRUE terminal, internal nodes are >= 2.  Variables
+are identified by their *order position* (``0`` is the topmost variable);
+variables are appended with :meth:`BddManager.add_var`, so the variable
+order equals creation order.  This matches the paper's usage: the circuit
+inputs ``X`` are created first, the gate-select inputs ``Y`` are appended
+per depth iteration, yielding the fixed order "X before Y" that
+Section 5.2 identifies as essential.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["BddManager", "FALSE", "TRUE"]
+
+FALSE = 0
+TRUE = 1
+
+# ITE recursions are bounded by the variable count but Python's default
+# limit leaves little headroom once pytest frames are on the stack.
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 100_000))
+
+
+class BddManager:
+    """Shared ROBDD store with a unique table and computed caches."""
+
+    def __init__(self, num_vars: int = 0, var_names: Optional[Sequence[str]] = None):
+        # Parallel arrays indexed by node id; entries for the two terminals
+        # are placeholders (terminals carry a pseudo-level of +inf).
+        self._var: List[int] = [-1, -1]
+        self._lo: List[int] = [FALSE, FALSE]
+        self._hi: List[int] = [FALSE, FALSE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._quant_cache: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
+        self._names: List[str] = []
+        self.num_vars = 0
+        for i in range(num_vars):
+            name = var_names[i] if var_names else None
+            self.add_var(name)
+
+    # -- variables ---------------------------------------------------------------
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Append a new variable at the bottom of the order; returns its index."""
+        index = self.num_vars
+        self.num_vars += 1
+        self._names.append(name if name is not None else f"v{index}")
+        return index
+
+    def var_name(self, index: int) -> str:
+        return self._names[index]
+
+    def var(self, index: int) -> int:
+        """The BDD of the single variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"unknown variable {index}")
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD of the negated variable."""
+        return self._mk(index, TRUE, FALSE)
+
+    def literal(self, index: int, positive: bool) -> int:
+        return self.var(index) if positive else self.nvar(index)
+
+    # -- node structure ------------------------------------------------------------
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= 1
+
+    def top_var(self, node: int) -> int:
+        """Order position of the node's variable (terminals raise)."""
+        if node <= 1:
+            raise ValueError("terminals have no variable")
+        return self._var[node]
+
+    def low(self, node: int) -> int:
+        return self._lo[node]
+
+    def high(self, node: int) -> int:
+        return self._hi[node]
+
+    def _level(self, node: int) -> int:
+        """Level used for ordering; terminals sink below every variable."""
+        return self._var[node] if node > 1 else self.num_vars
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Hash-consed node constructor enforcing both reduction rules."""
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = node
+        return node
+
+    def node_count(self) -> int:
+        """Number of live entries in the node store (including terminals)."""
+        return len(self._var)
+
+    def size(self, node: int) -> int:
+        """Number of nodes reachable from ``node`` (including terminals)."""
+        seen: Set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen or current <= 1:
+                seen.add(current)
+                continue
+            seen.add(current)
+            stack.append(self._lo[current])
+            stack.append(self._hi[current])
+        return len(seen)
+
+    # -- core ITE -------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
+        # Terminal short cuts.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(f), self._level(g), self._level(h))
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._mk(level,
+                          self.ite(f0, g0, h0),
+                          self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if node > 1 and self._var[node] == level:
+            return self._lo[node], self._hi[node]
+        return node, node
+
+    # -- connectives ------------------------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor(self, f: int, g: int) -> int:
+        """Boolean equality — the paper's ``F_d = f`` comparator."""
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def conj(self, nodes: Iterable[int]) -> int:
+        result = TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def disj(self, nodes: Iterable[int]) -> int:
+        result = FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    # -- restriction / composition -------------------------------------------------------
+
+    def restrict(self, f: int, var: int, value: bool) -> int:
+        """Cofactor of ``f`` with variable ``var`` fixed to ``value``."""
+        key = (-2 if value else -3, f, (var,))
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._restrict_rec(f, var, value)
+        self._quant_cache[key] = result
+        return result
+
+    def _restrict_rec(self, f: int, var: int, value: bool) -> int:
+        if f <= 1 or self._var[f] > var:
+            return f
+        if self._var[f] == var:
+            return self._hi[f] if value else self._lo[f]
+        key = (-2 if value else -3, f, (var,))
+        cached = self._quant_cache.get(key)
+        if cached is None:
+            cached = self._mk(self._var[f],
+                              self._restrict_rec(self._lo[f], var, value),
+                              self._restrict_rec(self._hi[f], var, value))
+            self._quant_cache[key] = cached
+        return cached
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute BDD ``g`` for variable ``var`` in ``f``."""
+        f0 = self.restrict(f, var, False)
+        f1 = self.restrict(f, var, True)
+        return self.ite(g, f1, f0)
+
+    # -- quantification --------------------------------------------------------------------
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        return self._quantify(f, tuple(sorted(set(variables))), forall=False)
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universal quantification — ``forall x . f = f|x=0 AND f|x=1``.
+
+        This is the operation Section 5.2 applies to the equality BDD
+        over all circuit-input variables.
+        """
+        return self._quantify(f, tuple(sorted(set(variables))), forall=True)
+
+    def _quantify(self, f: int, variables: Tuple[int, ...], forall: bool) -> int:
+        if not variables or f <= 1:
+            return f
+        key = (-1 if forall else -4, f, variables)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._var[f]
+        # Drop quantified variables above the node's top variable: they do
+        # not occur in f.
+        remaining = tuple(v for v in variables if v >= level)
+        if not remaining:
+            result = f
+        else:
+            lo = self._quantify(self._lo[f], remaining, forall)
+            hi = self._quantify(self._hi[f], remaining, forall)
+            if level in remaining:
+                result = self.and_(lo, hi) if forall else self.or_(lo, hi)
+            else:
+                result = self._mk(level, lo, hi)
+        self._quant_cache[key] = result
+        return result
+
+    # -- evaluation / models -----------------------------------------------------------------
+
+    def evaluate(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a total assignment of the support variables."""
+        node = f
+        while node > 1:
+            var = self._var[node]
+            if var not in assignment:
+                raise ValueError(f"assignment misses variable {var}")
+            node = self._hi[node] if assignment[var] else self._lo[node]
+        return node == TRUE
+
+    def support(self, f: int) -> Set[int]:
+        """The set of variables ``f`` depends on."""
+        seen: Set[int] = set()
+        result: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            result.add(self._var[node])
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return result
+
+    def count_models(self, f: int, variables: Sequence[int]) -> int:
+        """Number of satisfying assignments over exactly ``variables``.
+
+        ``variables`` must be a superset of ``support(f)``; variables
+        outside the support double the count.  This computes the paper's
+        ``#SOL`` column (models over all gate-select inputs).
+        """
+        var_list = sorted(set(variables))
+        missing = self.support(f) - set(var_list)
+        if missing:
+            raise ValueError(f"variables {sorted(missing)} in support but not counted")
+        position = {v: i for i, v in enumerate(var_list)}
+        total = len(var_list)
+
+        memo: Dict[int, int] = {}
+
+        def level_of(node: int) -> int:
+            return position[self._var[node]] if node > 1 else total
+
+        def rec(node: int) -> int:
+            # models over variables at positions level_of(node)..total-1
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            here = level_of(node)
+            result = 0
+            for child in (self._lo[node], self._hi[node]):
+                result += rec(child) << (level_of(child) - here - 1)
+            memo[node] = result
+            return result
+
+        return rec(f) << level_of(f)
+
+    def iter_models(self, f: int, variables: Sequence[int]) -> Iterator[Dict[int, bool]]:
+        """Yield every satisfying assignment over exactly ``variables``.
+
+        Path don't-cares are expanded, so the number of yielded models
+        equals :meth:`count_models`.  Models come out in lexicographic
+        order of the variable list.
+        """
+        var_list = sorted(set(variables))
+        missing = self.support(f) - set(var_list)
+        if missing:
+            raise ValueError(f"variables {sorted(missing)} in support but not enumerated")
+
+        def rec(node: int, depth: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if node == FALSE:
+                return
+            if depth == len(var_list):
+                yield dict(partial)
+                return
+            var = var_list[depth]
+            if node > 1 and self._var[node] == var:
+                branches = ((False, self._lo[node]), (True, self._hi[node]))
+            else:
+                branches = ((False, node), (True, node))
+            for value, child in branches:
+                partial[var] = value
+                yield from rec(child, depth + 1, partial)
+            del partial[var]
+
+        yield from rec(f, 0, {})
+
+    def sat_one(self, f: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment over ``support(f)``; None if UNSAT."""
+        if f == FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = f
+        while node > 1:
+            if self._lo[node] != FALSE:
+                assignment[self._var[node]] = False
+                node = self._lo[node]
+            else:
+                assignment[self._var[node]] = True
+                node = self._hi[node]
+        return assignment
+
+    # -- building from sets ---------------------------------------------------------------------
+
+    def from_minterms(self, variables: Sequence[int], minterms: Iterable[int]) -> int:
+        """The function that is 1 exactly on the given packed minterms.
+
+        Bit ``j`` of a minterm corresponds to ``variables[j]``.  Built
+        bottom-up over the sorted variable order for linear-time
+        construction per minterm set.
+        """
+        var_list = list(variables)
+        minterm_set = set(minterms)
+        if not minterm_set:
+            return FALSE
+        if any(not 0 <= m < (1 << len(var_list)) for m in minterm_set):
+            raise ValueError("minterm out of range")
+        # Order positions of variables, topmost first.
+        order = sorted(range(len(var_list)), key=lambda j: var_list[j])
+
+        def rec(depth: int, terms: frozenset) -> int:
+            if not terms:
+                return FALSE
+            if depth == len(order):
+                return TRUE
+            j = order[depth]
+            lo_terms = frozenset(t for t in terms if not (t >> j) & 1)
+            hi_terms = frozenset(t for t in terms if (t >> j) & 1)
+            return self._mk(var_list[j],
+                            rec(depth + 1, lo_terms),
+                            rec(depth + 1, hi_terms))
+
+        return rec(0, frozenset(minterm_set))
+
+    def minterm(self, assignment: Dict[int, bool]) -> int:
+        """Conjunction of literals given by a variable assignment."""
+        result = TRUE
+        for var in sorted(assignment, reverse=True):
+            result = self._mk(var,
+                              FALSE if assignment[var] else result,
+                              result if assignment[var] else FALSE)
+        return result
+
+    # -- maintenance -------------------------------------------------------------------------------
+
+    def cache_size(self) -> int:
+        """Total entries across the operation caches."""
+        return len(self._ite_cache) + len(self._quant_cache)
+
+    def clear_caches(self) -> None:
+        """Drop the operation caches (unique table is kept)."""
+        self._ite_cache.clear()
+        self._quant_cache.clear()
+
+    def compact(self, roots: Sequence[int]) -> List[int]:
+        """Mark-and-sweep compaction keeping only nodes reachable from roots.
+
+        Returns the remapped root ids.  All previously handed-out node ids
+        other than the returned ones become invalid; callers (the BDD
+        synthesis engine between depth iterations) must re-root.
+        """
+        reachable: Set[int] = {FALSE, TRUE}
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        # Preserve id order so children keep lower ids than parents.
+        old_ids = sorted(reachable)
+        remap: Dict[int, int] = {}
+        new_var: List[int] = []
+        new_lo: List[int] = []
+        new_hi: List[int] = []
+        for new_id, old_id in enumerate(old_ids):
+            remap[old_id] = new_id
+            new_var.append(self._var[old_id])
+            if old_id <= 1:
+                new_lo.append(FALSE)
+                new_hi.append(FALSE)
+            else:
+                new_lo.append(remap[self._lo[old_id]])
+                new_hi.append(remap[self._hi[old_id]])
+        self._var, self._lo, self._hi = new_var, new_lo, new_hi
+        self._unique = {
+            (self._var[i], self._lo[i], self._hi[i]): i
+            for i in range(2, len(self._var))
+        }
+        self._ite_cache.clear()
+        self._quant_cache.clear()
+        return [remap[r] for r in roots]
+
+    # -- export --------------------------------------------------------------------------------------
+
+    def to_dot(self, f: int, name: str = "bdd") -> str:
+        """Graphviz DOT rendering (solid = high edge, dashed = low edge)."""
+        lines = [f"digraph {name} {{", '  node [shape=circle];',
+                 '  n0 [shape=box,label="0"];', '  n1 [shape=box,label="1"];']
+        seen: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            lines.append(f'  n{node} [label="{self._names[self._var[node]]}"];')
+            lines.append(f"  n{node} -> n{self._lo[node]} [style=dashed];")
+            lines.append(f"  n{node} -> n{self._hi[node]};")
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        lines.append("}")
+        return "\n".join(lines)

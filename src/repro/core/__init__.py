@@ -1,0 +1,70 @@
+"""Reversible-logic core: gates, circuits, specifications, costs, libraries."""
+
+from repro.core.circuit import Circuit
+from repro.core.cost import PERES_COST, SWAP_COST, fredkin_cost, mct_cost
+from repro.core.embedding import embed_function, embed_truth_table, minimum_lines
+from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
+from repro.core.library import (
+    GateLibrary,
+    inverse_peres_gates,
+    mcf_gates,
+    mct_gates,
+    peres_gates,
+    theorem1_count,
+)
+from repro.core.export import from_json, to_json, to_latex
+from repro.core.pla import parse_pla, pla_to_specification, write_pla
+from repro.core.realfmt import parse_real, write_real
+from repro.core.spec import Specification
+from repro.core.statistics import CircuitStatistics, analyze
+from repro.core.truth_table import (
+    compose_permutations,
+    format_truth_table,
+    hamming_output_distance,
+    identity_permutation,
+    invert_permutation,
+    is_permutation,
+    popcount,
+    random_permutation,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitStatistics",
+    "analyze",
+    "Fredkin",
+    "Gate",
+    "GateLibrary",
+    "InversePeres",
+    "PERES_COST",
+    "Peres",
+    "SWAP_COST",
+    "Specification",
+    "Toffoli",
+    "compose_permutations",
+    "embed_function",
+    "embed_truth_table",
+    "format_truth_table",
+    "from_json",
+    "fredkin_cost",
+    "hamming_output_distance",
+    "identity_permutation",
+    "inverse_peres_gates",
+    "invert_permutation",
+    "is_permutation",
+    "mcf_gates",
+    "mct_cost",
+    "mct_gates",
+    "minimum_lines",
+    "parse_pla",
+    "parse_real",
+    "pla_to_specification",
+    "peres_gates",
+    "popcount",
+    "random_permutation",
+    "theorem1_count",
+    "to_json",
+    "to_latex",
+    "write_pla",
+    "write_real",
+]

@@ -1,0 +1,80 @@
+"""Embedding irreversible functions into reversible specifications.
+
+A non-reversible ``k``-input/``m``-output function must be embedded into a
+reversible one before synthesis, by adding constant inputs and garbage
+outputs (Maslov/Dueck, "Reversible cascades with minimal garbage").  The
+minimum width is
+
+    ``n = max(k, m + ceil(log2 mu))``
+
+where ``mu`` is the maximum multiplicity of any output pattern: the
+garbage outputs must disambiguate the ``mu`` input patterns that map to
+the same required output.  This module computes that bound and produces
+an incompletely specified :class:`~repro.core.spec.Specification`; the
+don't cares (garbage columns, out-of-domain rows from constant inputs)
+are left to the synthesis engines, exactly as in Section 4.2 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.spec import Specification
+
+__all__ = ["minimum_lines", "embed_function", "embed_truth_table"]
+
+
+def minimum_lines(n_inputs: int, n_outputs: int,
+                  output_multiplicity: int) -> int:
+    """Minimum reversible width for the given irreversible shape."""
+    if n_inputs < 1 or n_outputs < 1:
+        raise ValueError("need at least one input and one output")
+    if output_multiplicity < 1:
+        raise ValueError("multiplicity must be positive")
+    garbage = (output_multiplicity - 1).bit_length()
+    return max(n_inputs, n_outputs + garbage)
+
+
+def embed_truth_table(outputs: Sequence[int], n_inputs: int, n_outputs: int,
+                      n_lines: Optional[int] = None,
+                      name: str = "") -> Specification:
+    """Embed an irreversible function given as an output table.
+
+    ``outputs[i]`` is the packed ``n_outputs``-bit result for input ``i``.
+    Data inputs occupy the low lines ``0..n_inputs-1``; extra lines (if
+    any) carry constant 0.  Required outputs occupy lines
+    ``0..n_outputs-1``; the rest are garbage.
+    """
+    if len(outputs) != (1 << n_inputs):
+        raise ValueError("output table length must be 2**n_inputs")
+    if any(not 0 <= o < (1 << n_outputs) for o in outputs):
+        raise ValueError("output value out of range")
+    multiplicity = max(Counter(outputs).values())
+    needed = minimum_lines(n_inputs, n_outputs, multiplicity)
+    if n_lines is None:
+        n_lines = needed
+    elif n_lines < needed:
+        raise ValueError(
+            f"{n_lines} lines insufficient: embedding needs {needed} "
+            f"(max output multiplicity {multiplicity})"
+        )
+    constants: Dict[int, int] = {line: 0 for line in range(n_inputs, n_lines)}
+    return Specification.from_io_function(
+        n_lines,
+        lambda x: outputs[x],
+        input_lines=list(range(n_inputs)),
+        output_lines=list(range(n_outputs)),
+        constants=constants,
+        name=name,
+    )
+
+
+def embed_function(function: Callable[[int], int], n_inputs: int,
+                   n_outputs: int, n_lines: Optional[int] = None,
+                   name: str = "") -> Specification:
+    """Embed an irreversible function given as a callable."""
+    table: List[int] = [function(x) for x in range(1 << n_inputs)]
+    return embed_truth_table(table, n_inputs, n_outputs,
+                             n_lines=n_lines, name=name)

@@ -1,0 +1,117 @@
+"""Circuit export: LaTeX (qcircuit-style) and JSON.
+
+Complements :mod:`repro.core.realfmt` with presentation formats: a
+``\\Qcircuit`` TikZ/LaTeX rendering for papers (the notation the
+reversible-logic literature uses: ``\\ctrl`` for controls, ``\\ctrlo``
+for negative controls, ``\\targ`` for Toffoli targets, ``\\qswap`` for
+Fredkin targets) and a JSON structure for tooling interchange.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
+
+__all__ = ["to_latex", "to_json", "from_json"]
+
+
+def to_latex(circuit: Circuit,
+             variable_names: Optional[Sequence[str]] = None) -> str:
+    """Render as a ``\\Qcircuit`` environment (qcircuit package)."""
+    names = (list(variable_names) if variable_names
+             else [f"x_{i}" for i in range(circuit.n_lines)])
+    if len(names) != circuit.n_lines:
+        raise ValueError("one variable name per line required")
+    columns: List[List[str]] = [[f"\\lstick{{{names[l]}}}"]
+                                for l in range(circuit.n_lines)]
+    for gate in circuit:
+        negative = getattr(gate, "negative_controls", frozenset())
+        cells = ["\\qw"] * circuit.n_lines
+        anchor = min(gate.lines())
+        for line in sorted(gate.lines()):
+            if line in gate.controls:
+                mark = "\\ctrlo" if line in negative else "\\ctrl"
+            elif isinstance(gate, Fredkin):
+                mark = "\\qswap"
+            else:
+                mark = "\\targ"
+            # qcircuit wires point to the next involved line below.
+            involved = sorted(gate.lines())
+            index = involved.index(line)
+            if index + 1 < len(involved):
+                offset = involved[index + 1] - line
+            else:
+                offset = 0
+            if mark in ("\\ctrl", "\\ctrlo"):
+                cells[line] = f"{mark}{{{offset}}}" if offset else f"{mark}{{0}}"
+            elif mark == "\\qswap":
+                suffix = f" \\qwx[{offset}]" if offset else ""
+                cells[line] = "\\qswap" + suffix
+            else:
+                cells[line] = "\\targ"
+        for line in range(circuit.n_lines):
+            columns[line].append(cells[line])
+    rows = []
+    for line in range(circuit.n_lines):
+        rows.append(" & ".join(columns[line] + ["\\qw"]))
+    body = " \\\\\n  ".join(rows)
+    return "\\Qcircuit @C=1em @R=.7em {\n  " + body + "\n}"
+
+
+_GATE_TAGS = {"toffoli": Toffoli, "fredkin": Fredkin,
+              "peres": Peres, "inverse_peres": InversePeres}
+
+
+def _gate_to_dict(gate: Gate) -> Dict:
+    if isinstance(gate, Toffoli):
+        return {"kind": "toffoli",
+                "controls": sorted(gate.controls),
+                "negative_controls": sorted(gate.negative_controls),
+                "target": gate.target}
+    if isinstance(gate, Fredkin):
+        return {"kind": "fredkin", "controls": sorted(gate.controls),
+                "targets": list(gate.targets)}
+    if isinstance(gate, Peres):
+        return {"kind": "peres", "control": gate.control,
+                "targets": list(gate.targets)}
+    if isinstance(gate, InversePeres):
+        return {"kind": "inverse_peres", "control": gate.control,
+                "targets": list(gate.targets)}
+    raise ValueError(f"cannot serialize gate type {type(gate).__name__}")
+
+
+def _gate_from_dict(data: Dict) -> Gate:
+    kind = data.get("kind")
+    if kind == "toffoli":
+        return Toffoli(data["controls"], data["target"],
+                       negative_controls=data.get("negative_controls", ()))
+    if kind == "fredkin":
+        return Fredkin(data["controls"], *data["targets"])
+    if kind == "peres":
+        return Peres(data["control"], *data["targets"])
+    if kind == "inverse_peres":
+        return InversePeres(data["control"], *data["targets"])
+    raise ValueError(f"unknown gate kind {kind!r}")
+
+
+def to_json(circuit: Circuit, name: str = "") -> str:
+    """Serialize to a stable JSON structure."""
+    payload = {
+        "format": "repro-circuit-v1",
+        "name": name,
+        "n_lines": circuit.n_lines,
+        "gates": [_gate_to_dict(g) for g in circuit],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def from_json(text: str) -> Circuit:
+    """Parse a circuit serialized by :func:`to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-circuit-v1":
+        raise ValueError("not a repro-circuit-v1 document")
+    return Circuit(payload["n_lines"],
+                   [_gate_from_dict(g) for g in payload["gates"]])

@@ -1,0 +1,332 @@
+"""Reversible gates: multiple-control Toffoli, Fredkin, Peres.
+
+The gate classes in this module are the ground truth for every other part
+of the library: the synthesis engines, the encoders (CNF / QBF / BDD) and
+the simulator all derive gate behaviour from the two methods every gate
+implements:
+
+``apply(state)``
+    concrete semantics on a single assignment of the circuit lines,
+    packed into an integer (bit ``i`` of ``state`` is the value of
+    line ``i``),
+
+``symbolic_deltas(lines, ops)``
+    symbolic semantics: every gate supported here flips a subset of its
+    target lines depending on the *old* line values, i.e. the new value of
+    line ``l`` is ``old_l XOR delta_l(old values)``.  ``symbolic_deltas``
+    returns the ``delta_l`` terms built with caller-supplied Boolean
+    operations, so the same definition drives plain simulation, Tseitin
+    encoding and BDD construction.  Lines not mentioned pass through
+    unchanged.
+
+Line indices are 0-based.  In the paper's notation line ``i`` corresponds
+to variable ``x_{i+1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+from repro.core import cost as _cost
+
+__all__ = [
+    "Gate",
+    "Toffoli",
+    "Fredkin",
+    "Peres",
+    "InversePeres",
+    "SymbolicOps",
+]
+
+
+class SymbolicOps:
+    """Interface expected by :meth:`Gate.symbolic_deltas`.
+
+    Any algebra of Boolean signals works: BDD nodes, expression-AST nodes,
+    plain Python bools.  Implementations must provide:
+
+    * ``true`` — the constant-1 signal,
+    * ``conj(signals)`` — AND of an iterable (empty iterable => ``true``),
+    * ``xor(a, b)`` — exclusive or of two signals.
+    """
+
+    true = True
+
+    def conj(self, signals: Iterable) -> object:
+        result = self.true
+        for s in signals:
+            result = result and s
+        return result
+
+    def xor(self, a, b):
+        return bool(a) != bool(b)
+
+
+#: Default concrete-Boolean algebra used by ``apply`` fall-backs and tests.
+BOOL_OPS = SymbolicOps()
+
+
+class Gate:
+    """Base class for reversible gates.
+
+    Subclasses must populate ``controls`` (frozenset of line indices) and
+    ``targets`` (tuple of line indices, order significant for Peres) and
+    implement ``apply``/``symbolic_deltas``/``quantum_cost``/``inverse``.
+    """
+
+    __slots__ = ("controls", "targets")
+
+    #: short mnemonic used in circuit string representations
+    kind = "?"
+
+    def __init__(self, controls: Iterable[int], targets: Iterable[int]):
+        self.controls: FrozenSet[int] = frozenset(controls)
+        self.targets: Tuple[int, ...] = tuple(targets)
+        if self.controls & set(self.targets):
+            raise ValueError(
+                f"control and target lines must be disjoint: "
+                f"controls={sorted(self.controls)} targets={list(self.targets)}"
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError(f"duplicate target lines: {list(self.targets)}")
+        if any(line < 0 for line in self.lines()):
+            raise ValueError("line indices must be non-negative")
+
+    # -- structural helpers -------------------------------------------------
+
+    def lines(self) -> FrozenSet[int]:
+        """All lines touched by the gate (controls and targets)."""
+        return self.controls | set(self.targets)
+
+    def max_line(self) -> int:
+        return max(self.lines())
+
+    def commutes_trivially_with(self, other: "Gate") -> bool:
+        """True when the two gates act on disjoint line sets.
+
+        Disjoint support is a *sufficient* condition for commutation and is
+        what the search engines use for symmetry breaking.
+        """
+        return not (self.lines() & other.lines())
+
+    # -- semantics -----------------------------------------------------------
+
+    def apply(self, state: int) -> int:
+        """Map one input assignment (packed int) to the output assignment."""
+        raise NotImplementedError
+
+    def symbolic_deltas(self, lines: Sequence, ops: SymbolicOps) -> Dict[int, object]:
+        """Return ``{target_line: delta}`` with new_l = old_l XOR delta."""
+        raise NotImplementedError
+
+    def inverse(self) -> "Gate":
+        raise NotImplementedError
+
+    def quantum_cost(self, n_lines: int, free_line_reduction: bool = False) -> int:
+        raise NotImplementedError
+
+    # -- dunder --------------------------------------------------------------
+
+    def _key(self):
+        return (self.kind, self.controls, self.targets)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Gate) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        ctrl = ",".join(f"x{c}" for c in sorted(self.controls))
+        tgt = ",".join(f"x{t}" for t in self.targets)
+        return f"{self.kind}([{ctrl}];[{tgt}])"
+
+    def _controls_active(self, state: int) -> bool:
+        return all((state >> c) & 1 for c in self.controls)
+
+
+class Toffoli(Gate):
+    """Multiple-control Toffoli gate ``T(C; t)``, with optional polarities.
+
+    Inverts the single target line iff every control line matches its
+    polarity: positive controls (the default) must carry 1, lines listed
+    in ``negative_controls`` must carry 0.  With zero controls this is
+    NOT, with one positive control CNOT.  Mixed polarity is an extension
+    over the paper's library (RevKit-era MPMCT gates); the quantum-cost
+    model treats both polarities alike, as RevLib does.
+    """
+
+    __slots__ = ("negative_controls",)
+    kind = "t"
+
+    def __init__(self, controls: Iterable[int], target: int,
+                 negative_controls: Iterable[int] = ()):
+        super().__init__(controls, (target,))
+        self.negative_controls: FrozenSet[int] = frozenset(negative_controls)
+        if not self.negative_controls <= self.controls:
+            raise ValueError("negative controls must be a subset of controls")
+
+    @property
+    def target(self) -> int:
+        return self.targets[0]
+
+    def _key(self):
+        return (self.kind, self.controls, self.targets, self.negative_controls)
+
+    def __repr__(self) -> str:
+        ctrl = ",".join(
+            ("!" if c in self.negative_controls else "") + f"x{c}"
+            for c in sorted(self.controls))
+        return f"t([{ctrl}];[x{self.target}])"
+
+    def apply(self, state: int) -> int:
+        for c in self.controls:
+            bit = (state >> c) & 1
+            if bit == (1 if c in self.negative_controls else 0):
+                return state
+        return state ^ (1 << self.target)
+
+    def symbolic_deltas(self, lines: Sequence, ops: SymbolicOps) -> Dict[int, object]:
+        signals = []
+        for c in sorted(self.controls):
+            if c in self.negative_controls:
+                signals.append(ops.xor(ops.true, lines[c]))
+            else:
+                signals.append(lines[c])
+        return {self.target: ops.conj(signals)}
+
+    def inverse(self) -> "Toffoli":
+        return self  # self-inverse
+
+    def quantum_cost(self, n_lines: int, free_line_reduction: bool = False) -> int:
+        free = n_lines - len(self.lines())
+        return _cost.mct_cost(len(self.controls), free_lines=free,
+                              free_line_reduction=free_line_reduction)
+
+
+class Fredkin(Gate):
+    """Multiple-control Fredkin gate ``F(C; a, b)``.
+
+    Swaps the two target lines iff every control line carries 1.  The
+    target pair is unordered; the constructor normalizes it so that
+    ``F(C; a, b) == F(C; b, a)``.
+    """
+
+    __slots__ = ()
+    kind = "f"
+
+    def __init__(self, controls: Iterable[int], target_a: int, target_b: int):
+        if target_a == target_b:
+            raise ValueError("Fredkin targets must differ")
+        lo, hi = sorted((target_a, target_b))
+        super().__init__(controls, (lo, hi))
+
+    def apply(self, state: int) -> int:
+        if self._controls_active(state):
+            a, b = self.targets
+            bit_a = (state >> a) & 1
+            bit_b = (state >> b) & 1
+            if bit_a != bit_b:
+                state ^= (1 << a) | (1 << b)
+        return state
+
+    def symbolic_deltas(self, lines: Sequence, ops: SymbolicOps) -> Dict[int, object]:
+        a, b = self.targets
+        cond = ops.conj(lines[c] for c in sorted(self.controls))
+        delta = ops.conj([cond, ops.xor(lines[a], lines[b])])
+        return {a: delta, b: delta}
+
+    def inverse(self) -> "Fredkin":
+        return self  # self-inverse
+
+    def quantum_cost(self, n_lines: int, free_line_reduction: bool = False) -> int:
+        free = n_lines - len(self.lines())
+        return _cost.fredkin_cost(len(self.controls), free_lines=free,
+                                  free_line_reduction=free_line_reduction)
+
+
+class Peres(Gate):
+    """Peres gate ``P(c; a, b)``.
+
+    Maps ``(c, a, b)`` to ``(c, c XOR a, (c AND a) XOR b)`` — a Toffoli
+    ``T({c, a}; b)`` followed by a CNOT ``T({c}; a)`` — at quantum cost 4
+    instead of the 6 the two-gate realization would incur.  The target
+    order matters: ``a`` receives the CNOT, ``b`` the Toffoli part.
+    """
+
+    __slots__ = ()
+    kind = "p"
+
+    def __init__(self, control: int, target_a: int, target_b: int):
+        if target_a == target_b:
+            raise ValueError("Peres targets must differ")
+        super().__init__((control,), (target_a, target_b))
+
+    @property
+    def control(self) -> int:
+        return next(iter(self.controls))
+
+    def apply(self, state: int) -> int:
+        a, b = self.targets
+        c = self.control
+        bit_c = (state >> c) & 1
+        bit_a = (state >> a) & 1
+        if bit_c:
+            state ^= 1 << a
+        if bit_c and bit_a:
+            state ^= 1 << b
+        return state
+
+    def symbolic_deltas(self, lines: Sequence, ops: SymbolicOps) -> Dict[int, object]:
+        a, b = self.targets
+        c = self.control
+        return {a: lines[c], b: ops.conj([lines[c], lines[a]])}
+
+    def inverse(self) -> "InversePeres":
+        return InversePeres(self.control, self.targets[0], self.targets[1])
+
+    def quantum_cost(self, n_lines: int, free_line_reduction: bool = False) -> int:
+        return _cost.PERES_COST
+
+
+class InversePeres(Gate):
+    """Inverse of the Peres gate: CNOT ``T({c}; a)`` then ``T({c, a}; b)``.
+
+    Maps ``(c, a, b)`` to ``(c, c XOR a, (c AND NOT a) XOR b)``.  Included
+    as an extension; the paper's libraries use the forward Peres gate only.
+    """
+
+    __slots__ = ()
+    kind = "ip"
+
+    def __init__(self, control: int, target_a: int, target_b: int):
+        if target_a == target_b:
+            raise ValueError("Peres targets must differ")
+        super().__init__((control,), (target_a, target_b))
+
+    @property
+    def control(self) -> int:
+        return next(iter(self.controls))
+
+    def apply(self, state: int) -> int:
+        a, b = self.targets
+        c = self.control
+        bit_c = (state >> c) & 1
+        bit_a = (state >> a) & 1
+        if bit_c and not bit_a:
+            state ^= 1 << b
+        if bit_c:
+            state ^= 1 << a
+        return state
+
+    def symbolic_deltas(self, lines: Sequence, ops: SymbolicOps) -> Dict[int, object]:
+        a, b = self.targets
+        c = self.control
+        not_a = ops.xor(ops.true, lines[a])
+        return {a: lines[c], b: ops.conj([lines[c], not_a])}
+
+    def inverse(self) -> "Peres":
+        return Peres(self.control, self.targets[0], self.targets[1])
+
+    def quantum_cost(self, n_lines: int, free_line_reduction: bool = False) -> int:
+        return _cost.PERES_COST

@@ -1,0 +1,211 @@
+"""Gate libraries: enumeration of all gates over ``n`` lines (Theorem 1).
+
+The synthesis engines treat the gate library as an explicitly enumerated,
+deterministically ordered sequence ``G = (g_0, ..., g_{q-1})``; the
+universal gate of Definition 2 selects ``g_k`` by the binary encoding of
+``k`` on the select inputs.
+
+Theorem 1 of the paper gives the library sizes
+
+* ``n * 2^(n-1)``                 multiple-control Toffoli gates,
+* ``n * (n-1) * 2^(n-2)``          multiple-control Fredkin gates,
+* ``n * (n-1) * (n-2)``            Peres gates.
+
+The Fredkin count treats the two targets as an *ordered* pair and hence
+counts every gate twice (``F(C; a, b) = F(C; b, a)``).  We enumerate
+distinct gates — ``n * (n-1) * 2^(n-3)`` ... i.e. half the paper's number
+— which shrinks the encoding without changing the set of synthesizable
+networks.  :func:`theorem1_count` returns the paper's formula values,
+:func:`GateLibrary.size` the number of distinct gates actually encoded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
+
+__all__ = [
+    "mct_gates",
+    "mpmct_gates",
+    "mcf_gates",
+    "peres_gates",
+    "inverse_peres_gates",
+    "GateLibrary",
+    "theorem1_count",
+]
+
+
+def _control_subsets(lines: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    for size in range(len(lines) + 1):
+        yield from itertools.combinations(lines, size)
+
+
+def mct_gates(n_lines: int) -> List[Toffoli]:
+    """All multiple-control Toffoli gates over ``n_lines`` lines."""
+    gates: List[Toffoli] = []
+    for target in range(n_lines):
+        others = [l for l in range(n_lines) if l != target]
+        for controls in _control_subsets(others):
+            gates.append(Toffoli(controls, target))
+    return gates
+
+
+def mpmct_gates(n_lines: int) -> List[Toffoli]:
+    """All mixed-polarity multiple-control Toffoli gates (extension).
+
+    Every non-target line is absent, a positive control or a negative
+    control: ``n * 3^(n-1)`` gates.  The plain MCT gates are the subset
+    with no negative controls.
+    """
+    gates: List[Toffoli] = []
+    for target in range(n_lines):
+        others = [l for l in range(n_lines) if l != target]
+        for pattern in itertools.product((0, 1, 2), repeat=len(others)):
+            controls = [l for l, p in zip(others, pattern) if p != 0]
+            negative = [l for l, p in zip(others, pattern) if p == 2]
+            gates.append(Toffoli(controls, target, negative_controls=negative))
+    return gates
+
+
+def mcf_gates(n_lines: int) -> List[Fredkin]:
+    """All distinct multiple-control Fredkin gates over ``n_lines`` lines."""
+    if n_lines < 2:
+        return []
+    gates: List[Fredkin] = []
+    for t_a, t_b in itertools.combinations(range(n_lines), 2):
+        others = [l for l in range(n_lines) if l not in (t_a, t_b)]
+        for controls in _control_subsets(others):
+            gates.append(Fredkin(controls, t_a, t_b))
+    return gates
+
+
+def peres_gates(n_lines: int) -> List[Peres]:
+    """All Peres gates over ``n_lines`` lines (ordered target pair)."""
+    gates: List[Peres] = []
+    for control, t_a, t_b in itertools.permutations(range(n_lines), 3):
+        gates.append(Peres(control, t_a, t_b))
+    return gates
+
+
+def inverse_peres_gates(n_lines: int) -> List[InversePeres]:
+    """All inverse-Peres gates (extension; not in the paper's libraries)."""
+    gates: List[InversePeres] = []
+    for control, t_a, t_b in itertools.permutations(range(n_lines), 3):
+        gates.append(InversePeres(control, t_a, t_b))
+    return gates
+
+
+def theorem1_count(n_lines: int, kind: str) -> int:
+    """Library sizes exactly as stated in Theorem 1 of the paper.
+
+    Note the Fredkin formula double-counts (see module docstring).
+    """
+    n = n_lines
+    if kind == "mct":
+        return n * (1 << (n - 1))
+    if kind == "mcf":
+        return n * (n - 1) * (1 << (n - 2)) if n >= 2 else 0
+    if kind == "peres":
+        return n * (n - 1) * (n - 2) if n >= 3 else 0
+    raise ValueError(f"unknown gate kind {kind!r}")
+
+
+class GateLibrary:
+    """A named, deterministically ordered gate set for one circuit width."""
+
+    __slots__ = ("name", "n_lines", "gates")
+
+    #: mnemonic -> enumeration function, in canonical concatenation order
+    _KINDS = {
+        "mct": mct_gates,
+        "mpmct": mpmct_gates,
+        "mcf": mcf_gates,
+        "peres": peres_gates,
+        "inverse_peres": inverse_peres_gates,
+    }
+
+    def __init__(self, name: str, n_lines: int, gates: Iterable[Gate]):
+        self.name = name
+        self.n_lines = n_lines
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        if not self.gates:
+            raise ValueError("empty gate library")
+        for gate in self.gates:
+            if gate.max_line() >= n_lines:
+                raise ValueError(f"gate {gate!r} exceeds {n_lines} lines")
+        if len(set(self.gates)) != len(self.gates):
+            raise ValueError("duplicate gates in library")
+
+    @classmethod
+    def from_kinds(cls, n_lines: int, kinds: Sequence[str]) -> "GateLibrary":
+        """Build a library from kind mnemonics, e.g. ``("mct", "peres")``.
+
+        The paper's library mixes map to ``("mct",)``, ``("mct", "mcf")``,
+        ``("mct", "peres")`` and ``("mct", "mcf", "peres")``.
+        """
+        unknown = [k for k in kinds if k not in cls._KINDS]
+        if unknown:
+            raise ValueError(f"unknown gate kinds: {unknown}")
+        gates: List[Gate] = []
+        for kind in kinds:
+            gates.extend(cls._KINDS[kind](n_lines))
+        name = "+".join(kinds)
+        return cls(name, n_lines, gates)
+
+    # convenience constructors matching the paper's table headers -------------
+
+    @classmethod
+    def mct(cls, n_lines: int) -> "GateLibrary":
+        return cls.from_kinds(n_lines, ("mct",))
+
+    @classmethod
+    def mpmct(cls, n_lines: int) -> "GateLibrary":
+        """Mixed-polarity MCT library (extension over the paper)."""
+        return cls.from_kinds(n_lines, ("mpmct",))
+
+    @classmethod
+    def mct_mcf(cls, n_lines: int) -> "GateLibrary":
+        return cls.from_kinds(n_lines, ("mct", "mcf"))
+
+    @classmethod
+    def mct_peres(cls, n_lines: int) -> "GateLibrary":
+        return cls.from_kinds(n_lines, ("mct", "peres"))
+
+    @classmethod
+    def mct_mcf_peres(cls, n_lines: int) -> "GateLibrary":
+        return cls.from_kinds(n_lines, ("mct", "mcf", "peres"))
+
+    # -- queries -----------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of distinct gates ``q``."""
+        return len(self.gates)
+
+    def select_bits(self) -> int:
+        """Width of the universal gate's select input, ``ceil(log2 q)``.
+
+        A one-gate library still needs one select bit so that the
+        identity-padding code exists and depth-d cascades can represent
+        shallower networks during construction.
+        """
+        q = self.size()
+        return max(1, (q - 1).bit_length())
+
+    def padded_size(self) -> int:
+        """``2**select_bits()`` — codes >= ``size()`` act as the identity."""
+        return 1 << self.select_bits()
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self.gates[index]
+
+    def __repr__(self) -> str:
+        return (f"GateLibrary({self.name}, n={self.n_lines}, "
+                f"q={self.size()}, select_bits={self.select_bits()})")

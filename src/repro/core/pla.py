@@ -1,0 +1,156 @@
+"""PLA format for irreversible functions (the RevLib embedding workflow).
+
+RevLib distributes the irreversible originals of its benchmarks as
+Berkeley PLA files; the reversible specifications are produced by
+embedding them.  This module parses the common PLA subset and feeds
+:mod:`repro.core.embedding`, so a user can go straight from a ``.pla``
+file to exact synthesis.
+
+Supported subset: ``.i``/``.o``/``.p`` (``.p`` optional), ``.ilb``/
+``.ob`` (names, informational), ``.type fr`` or none (1 = ON-set, 0/~
+= OFF/unspecified), product terms with ``0``, ``1``, ``-`` inputs and
+``0``, ``1``, ``-`` outputs, ``.e`` terminator.
+
+Multiple cubes may overlap; a conflicting ON/OFF requirement for the
+same minterm is an error.  Minterms covered by no cube default to 0 for
+every output (the usual PLA reading); pass ``unspecified_as_dont_care``
+to leave them open instead — embedding then forwards the freedom to the
+synthesizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.embedding import minimum_lines
+from repro.core.spec import Specification
+
+__all__ = ["parse_pla", "pla_to_specification", "write_pla"]
+
+
+def _expand_cube(cube: str) -> List[int]:
+    """All minterms matched by an input cube (LSB = first column)."""
+    positions = [i for i, ch in enumerate(cube) if ch == "-"]
+    base = sum(1 << i for i, ch in enumerate(cube) if ch == "1")
+    minterms = []
+    for bits in itertools.product((0, 1), repeat=len(positions)):
+        value = base
+        for position, bit in zip(positions, bits):
+            value |= bit << position
+        minterms.append(value)
+    return minterms
+
+
+def parse_pla(text: str) -> Tuple[int, int, List[Tuple[str, str]]]:
+    """Parse PLA text; returns (n_inputs, n_outputs, cubes)."""
+    n_inputs: Optional[int] = None
+    n_outputs: Optional[int] = None
+    cubes: List[Tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            key, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if key == ".i":
+                n_inputs = int(rest)
+            elif key == ".o":
+                n_outputs = int(rest)
+            elif key in (".p", ".ilb", ".ob", ".type"):
+                continue  # informational
+            elif key == ".e":
+                break
+            else:
+                raise ValueError(f"unsupported PLA directive {key!r}")
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"malformed PLA cube line: {line!r}")
+        in_part, out_part = parts
+        if n_inputs is None or n_outputs is None:
+            raise ValueError("cube before .i/.o header")
+        if len(in_part) != n_inputs or len(out_part) != n_outputs:
+            raise ValueError(f"cube width mismatch: {line!r}")
+        if set(in_part) - set("01-") or set(out_part) - set("01-~"):
+            raise ValueError(f"bad cube characters: {line!r}")
+        cubes.append((in_part, out_part))
+    if n_inputs is None or n_outputs is None:
+        raise ValueError("missing .i/.o header")
+    return n_inputs, n_outputs, cubes
+
+
+def pla_to_specification(text: str, n_lines: Optional[int] = None,
+                         unspecified_as_dont_care: bool = False,
+                         name: str = "") -> Specification:
+    """Parse a PLA and embed it into a reversible specification."""
+    n_inputs, n_outputs, cubes = parse_pla(text)
+    # Explicit requirements from the cubes; conflicts are an error.
+    explicit: List[List[Optional[int]]] = [
+        [None] * n_outputs for _ in range(1 << n_inputs)
+    ]
+    for in_cube, out_cube in cubes:
+        for minterm in _expand_cube(in_cube):
+            for j, ch in enumerate(out_cube):
+                if ch in ("-", "~"):
+                    continue
+                required = int(ch)
+                current = explicit[minterm][j]
+                if current is not None and current != required:
+                    raise ValueError(
+                        f"conflicting requirements for minterm {minterm}, "
+                        f"output {j}")
+                explicit[minterm][j] = required
+    default: Optional[int] = None if unspecified_as_dont_care else 0
+    values: List[List[Optional[int]]] = [
+        [default if v is None else v for v in row] for row in explicit
+    ]
+
+    # Width: max output multiplicity over *fully specified* patterns; a
+    # conservative bound treats don't cares as distinct.
+    from collections import Counter
+    counter = Counter()
+    for row in values:
+        if all(v is not None for v in row):
+            counter[tuple(row)] += 1
+    multiplicity = max(counter.values()) if counter else 1
+    needed = minimum_lines(n_inputs, n_outputs, multiplicity)
+    if n_lines is None:
+        n_lines = needed
+    elif n_lines < needed:
+        raise ValueError(f"{n_lines} lines insufficient, need {needed}")
+
+    constants: Dict[int, int] = {line: 0 for line in range(n_inputs, n_lines)}
+    rows: List[Tuple[Optional[int], ...]] = []
+    for assignment in range(1 << n_lines):
+        in_domain = all(((assignment >> line) & 1) == value
+                        for line, value in constants.items())
+        if not in_domain:
+            rows.append(tuple([None] * n_lines))
+            continue
+        minterm = assignment & ((1 << n_inputs) - 1)
+        row: List[Optional[int]] = [None] * n_lines
+        for j in range(n_outputs):
+            row[j] = values[minterm][j]
+        rows.append(tuple(row))
+    return Specification(n_lines, rows, name=name)
+
+
+def write_pla(n_inputs: int, n_outputs: int, outputs: List[int],
+              name: str = "") -> str:
+    """Serialize a complete output table as a minterm-per-line PLA."""
+    if len(outputs) != (1 << n_inputs):
+        raise ValueError("output table length must be 2**n_inputs")
+    lines = []
+    if name:
+        lines.append(f"# {name}")
+    lines.append(f".i {n_inputs}")
+    lines.append(f".o {n_outputs}")
+    lines.append(f".p {len(outputs)}")
+    for minterm, value in enumerate(outputs):
+        in_part = "".join(str((minterm >> i) & 1) for i in range(n_inputs))
+        out_part = "".join(str((value >> j) & 1) for j in range(n_outputs))
+        lines.append(f"{in_part} {out_part}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

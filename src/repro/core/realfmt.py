@@ -1,0 +1,196 @@
+"""RevLib ``.real`` circuit format: writer and parser.
+
+The paper's benchmarks come from RevLib [23], whose interchange format
+for reversible circuits is ``.real``.  Supporting it makes circuits
+synthesized here usable by RevKit-era tooling and vice versa.
+
+Supported subset (RevLib version 2.0):
+
+* header keys ``.version``, ``.numvars``, ``.variables``, ``.inputs``,
+  ``.outputs``, ``.constants``, ``.garbage``;
+* gate types ``t<k>`` (multiple-control Toffoli: controls then target),
+  ``f<k>`` (multiple-control Fredkin: controls then the two targets) and
+  ``p3`` (Peres: control, CNOT target, Toffoli target); the non-standard
+  ``ip3`` encodes the inverse Peres gate;
+* negative (mixed-polarity) controls on Toffoli gates, written with a
+  leading ``-`` on the control name (``t3 a -b c``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
+
+__all__ = ["write_real", "parse_real"]
+
+
+def _default_names(n_lines: int) -> List[str]:
+    return [f"x{i}" for i in range(n_lines)]
+
+
+def write_real(circuit: Circuit, name: str = "",
+               variable_names: Optional[Sequence[str]] = None,
+               constants: Optional[Dict[int, int]] = None,
+               garbage: Optional[Sequence[int]] = None) -> str:
+    """Serialize a circuit to RevLib ``.real`` text.
+
+    ``constants`` maps line index to its constant input value; ``garbage``
+    lists the lines whose outputs are garbage.  Both render as the
+    RevLib ``.constants`` / ``.garbage`` strings (``-`` = none).
+    """
+    names = list(variable_names) if variable_names else _default_names(circuit.n_lines)
+    if len(names) != circuit.n_lines:
+        raise ValueError("one variable name per line required")
+    if len(set(names)) != len(names):
+        raise ValueError("variable names must be unique")
+    constants = constants or {}
+    garbage_set = set(garbage or ())
+
+    lines = []
+    if name:
+        lines.append(f"# {name}")
+    lines.append(".version 2.0")
+    lines.append(f".numvars {circuit.n_lines}")
+    lines.append(".variables " + " ".join(names))
+    lines.append(".inputs " + " ".join(names))
+    lines.append(".outputs " + " ".join(names))
+    lines.append(".constants " + "".join(
+        str(constants[i]) if i in constants else "-"
+        for i in range(circuit.n_lines)))
+    lines.append(".garbage " + "".join(
+        "1" if i in garbage_set else "-" for i in range(circuit.n_lines)))
+    lines.append(".begin")
+    for gate in circuit:
+        lines.append(_gate_line(gate, names))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _gate_line(gate: Gate, names: Sequence[str]) -> str:
+    if isinstance(gate, Toffoli):
+        operands = sorted(gate.controls) + [gate.target]
+        rendered = []
+        for i in operands:
+            prefix = "-" if i in gate.negative_controls else ""
+            rendered.append(prefix + names[i])
+        return f"t{len(operands)} " + " ".join(rendered)
+    if isinstance(gate, Fredkin):
+        operands = sorted(gate.controls) + list(gate.targets)
+        return f"f{len(operands)} " + " ".join(names[i] for i in operands)
+    if isinstance(gate, Peres):
+        a, b = gate.targets
+        return f"p3 {names[gate.control]} {names[a]} {names[b]}"
+    if isinstance(gate, InversePeres):
+        a, b = gate.targets
+        return f"ip3 {names[gate.control]} {names[a]} {names[b]}"
+    raise ValueError(f"cannot serialize gate type {type(gate).__name__}")
+
+
+def parse_real(text: str) -> Tuple[Circuit, Dict[str, object]]:
+    """Parse ``.real`` text; returns (circuit, metadata).
+
+    Metadata keys: ``variables`` (names in line order), ``constants``
+    (line -> value), ``garbage`` (set of lines), ``version``.
+    """
+    names: List[str] = []
+    index_of: Dict[str, int] = {}
+    constants: Dict[int, int] = {}
+    garbage: set = set()
+    version = ""
+    numvars: Optional[int] = None
+    gates: List[Gate] = []
+    in_body = False
+    ended = False
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            key, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if key == ".version":
+                version = rest
+            elif key == ".numvars":
+                numvars = int(rest)
+            elif key == ".variables":
+                names = rest.split()
+                index_of = {nm: i for i, nm in enumerate(names)}
+                if len(index_of) != len(names):
+                    raise ValueError("duplicate variable names")
+            elif key in (".inputs", ".outputs", ".inputbus", ".outputbus"):
+                continue  # informational
+            elif key == ".constants":
+                for i, ch in enumerate(rest):
+                    if ch in "01":
+                        constants[i] = int(ch)
+            elif key == ".garbage":
+                garbage = {i for i, ch in enumerate(rest) if ch == "1"}
+            elif key == ".begin":
+                in_body = True
+            elif key == ".end":
+                ended = True
+                in_body = False
+            else:
+                raise ValueError(f"unsupported directive {key!r}")
+            continue
+        if not in_body:
+            raise ValueError(f"gate line outside .begin/.end: {line!r}")
+        gates.append(_parse_gate(line, index_of))
+
+    if numvars is None:
+        raise ValueError("missing .numvars")
+    if names and len(names) != numvars:
+        raise ValueError(".variables count disagrees with .numvars")
+    if not ended:
+        raise ValueError("missing .end")
+    circuit = Circuit(numvars, gates)
+    return circuit, {"variables": names or _default_names(numvars),
+                     "constants": constants, "garbage": garbage,
+                     "version": version}
+
+
+def _parse_gate(line: str, index_of: Dict[str, int]) -> Gate:
+    tokens = line.split()
+    mnemonic, operand_names = tokens[0], tokens[1:]
+    kind = mnemonic.rstrip("0123456789")
+    operands: List[int] = []
+    negatives: List[int] = []
+    for operand in operand_names:
+        negative = operand.startswith("-")
+        name = operand[1:] if negative else operand
+        if negative and kind != "t":
+            raise ValueError(
+                f"negative controls only supported on Toffoli gates: {line!r}")
+        if name not in index_of:
+            raise ValueError(f"unknown variable {name!r}")
+        operands.append(index_of[name])
+        if negative:
+            negatives.append(index_of[name])
+
+    declared = mnemonic[len(kind):]
+    if declared and int(declared) != len(operands):
+        raise ValueError(f"gate {mnemonic!r} expects {declared} operands, "
+                         f"got {len(operands)}")
+    if kind == "t":
+        if not operands:
+            raise ValueError("Toffoli gate needs a target")
+        if operands[-1] in negatives:
+            raise ValueError("the Toffoli target cannot be negated")
+        return Toffoli(operands[:-1], operands[-1],
+                       negative_controls=negatives)
+    if kind == "f":
+        if len(operands) < 2:
+            raise ValueError("Fredkin gate needs two targets")
+        return Fredkin(operands[:-2], operands[-2], operands[-1])
+    if kind == "p":
+        if len(operands) != 3:
+            raise ValueError("Peres gate needs exactly three operands")
+        return Peres(operands[0], operands[1], operands[2])
+    if kind == "ip":
+        if len(operands) != 3:
+            raise ValueError("inverse Peres gate needs exactly three operands")
+        return InversePeres(operands[0], operands[1], operands[2])
+    raise ValueError(f"unsupported gate type {mnemonic!r}")

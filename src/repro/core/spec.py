@@ -1,0 +1,222 @@
+"""Synthesis specifications, including incompletely specified functions.
+
+The paper synthesizes two flavours of function (Section 4):
+
+* **completely specified** reversible functions — permutations of
+  ``range(2**n)``;
+* **incompletely specified** functions — the usual result of embedding an
+  irreversible function into a reversible one: some circuit lines carry
+  constant inputs (so only part of the input space is constrained) and
+  some outputs are garbage (don't care for every input).
+
+A :class:`Specification` captures both: for every input assignment
+``i`` (packed integer) and output line ``l`` the requirement is
+``0``, ``1`` or ``None`` (don't care).  Inputs outside the care domain
+(e.g. assignments that contradict a constant input) are entirely
+unconstrained.
+
+Definition 4 of the paper describes each output ``l`` by its ON-set and
+don't-care set; :meth:`Specification.on_set` / :meth:`Specification.dc_set`
+expose exactly those.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.truth_table import is_permutation
+
+__all__ = ["Specification"]
+
+Row = Tuple[Optional[int], ...]
+
+
+class Specification:
+    """A (possibly incompletely specified) reversible synthesis target.
+
+    Parameters
+    ----------
+    n_lines:
+        Circuit width ``n``.
+    rows:
+        ``rows[i][l]`` is the required value of output line ``l`` for the
+        input assignment ``i`` — ``0``, ``1`` or ``None`` (don't care).
+        ``len(rows)`` must be ``2**n_lines``.
+    name:
+        Optional benchmark name used in reports.
+    """
+
+    __slots__ = ("n_lines", "rows", "name")
+
+    def __init__(self, n_lines: int, rows: Sequence[Sequence[Optional[int]]],
+                 name: str = ""):
+        if n_lines < 1:
+            raise ValueError("specification needs at least one line")
+        if len(rows) != (1 << n_lines):
+            raise ValueError(
+                f"expected {1 << n_lines} rows for {n_lines} lines, "
+                f"got {len(rows)}"
+            )
+        normalized: List[Row] = []
+        for i, row in enumerate(rows):
+            if len(row) != n_lines:
+                raise ValueError(f"row {i} has {len(row)} entries, expected {n_lines}")
+            entries = []
+            for value in row:
+                if value is None:
+                    entries.append(None)
+                elif value in (0, 1):
+                    entries.append(int(value))
+                else:
+                    raise ValueError(f"row {i}: entries must be 0, 1 or None")
+            normalized.append(tuple(entries))
+        self.n_lines = n_lines
+        self.rows: Tuple[Row, ...] = tuple(normalized)
+        self.name = name
+        self._validate_realizable_shape()
+
+    def _validate_realizable_shape(self) -> None:
+        """Reject specs that no bijection can satisfy for a cheap reason.
+
+        Full realizability is decided by synthesis itself; here we only
+        check the obvious necessary condition that fully specified rows
+        must not demand identical outputs for two different inputs.
+        """
+        seen: Dict[int, int] = {}
+        for i, row in enumerate(self.rows):
+            if any(v is None for v in row):
+                continue
+            packed = sum(v << l for l, v in enumerate(row))
+            if packed in seen:
+                raise ValueError(
+                    f"rows {seen[packed]} and {i} both require output "
+                    f"{packed:0{self.n_lines}b}; no bijection can realize this"
+                )
+            seen[packed] = i
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_permutation(cls, perm: Sequence[int], name: str = "") -> "Specification":
+        """Completely specified function from a permutation table."""
+        if not is_permutation(perm):
+            raise ValueError("completely specified functions must be bijections")
+        n_lines = (len(perm) - 1).bit_length()
+        if len(perm) != (1 << n_lines):
+            raise ValueError("table length must be a power of two")
+        rows = [tuple((perm[i] >> l) & 1 for l in range(n_lines))
+                for i in range(len(perm))]
+        return cls(n_lines, rows, name=name)
+
+    @classmethod
+    def from_io_function(
+        cls,
+        n_lines: int,
+        function: Callable[[int], int],
+        input_lines: Sequence[int],
+        output_lines: Sequence[int],
+        constants: Optional[Dict[int, int]] = None,
+        name: str = "",
+    ) -> "Specification":
+        """Embed an irreversible ``k``-input/``m``-output function.
+
+        ``function`` maps a packed ``k``-bit input (bit ``j`` = value of
+        ``input_lines[j]``) to a packed ``m``-bit output (bit ``j`` =
+        required value of ``output_lines[j]``).  Lines listed in
+        ``constants`` must carry the given constant value; input
+        assignments violating a constant are entirely don't care, as are
+        all output lines not in ``output_lines`` (garbage).
+        """
+        constants = dict(constants or {})
+        if set(input_lines) & set(constants):
+            raise ValueError("a line cannot be both data input and constant")
+        if len(set(output_lines)) != len(output_lines):
+            raise ValueError("duplicate output lines")
+        rows: List[Row] = []
+        for assignment in range(1 << n_lines):
+            in_domain = all(((assignment >> line) & 1) == value
+                            for line, value in constants.items())
+            if not in_domain:
+                rows.append(tuple([None] * n_lines))
+                continue
+            packed_in = sum(((assignment >> line) & 1) << j
+                            for j, line in enumerate(input_lines))
+            packed_out = function(packed_in)
+            row: List[Optional[int]] = [None] * n_lines
+            for j, line in enumerate(output_lines):
+                row[line] = (packed_out >> j) & 1
+            rows.append(tuple(row))
+        return cls(n_lines, rows, name=name)
+
+    # -- queries ------------------------------------------------------------------
+
+    def is_completely_specified(self) -> bool:
+        return all(v is not None for row in self.rows for v in row)
+
+    def permutation(self) -> Tuple[int, ...]:
+        """The truth table of a completely specified function."""
+        if not self.is_completely_specified():
+            raise ValueError("specification has don't cares")
+        return tuple(sum(v << l for l, v in enumerate(row)) for row in self.rows)
+
+    def care_inputs(self) -> Tuple[int, ...]:
+        """Inputs for which at least one output is specified."""
+        return tuple(i for i, row in enumerate(self.rows)
+                     if any(v is not None for v in row))
+
+    def on_set(self, line: int) -> Tuple[int, ...]:
+        """Inputs for which output ``line`` must be 1 (Definition 4)."""
+        return tuple(i for i, row in enumerate(self.rows) if row[line] == 1)
+
+    def off_set(self, line: int) -> Tuple[int, ...]:
+        return tuple(i for i, row in enumerate(self.rows) if row[line] == 0)
+
+    def dc_set(self, line: int) -> Tuple[int, ...]:
+        """Inputs for which output ``line`` is unconstrained (Definition 4)."""
+        return tuple(i for i, row in enumerate(self.rows) if row[line] is None)
+
+    def specified_bit_count(self) -> int:
+        """Number of (input, line) pairs carrying a 0/1 requirement."""
+        return sum(1 for row in self.rows for v in row if v is not None)
+
+    # -- checking -------------------------------------------------------------------
+
+    def matches_permutation(self, perm: Sequence[int]) -> bool:
+        """Does a concrete truth table satisfy every specified entry?"""
+        if len(perm) != len(self.rows):
+            raise ValueError("table size mismatch")
+        for i, row in enumerate(self.rows):
+            out = perm[i]
+            for line, value in enumerate(row):
+                if value is not None and ((out >> line) & 1) != value:
+                    return False
+        return True
+
+    def matches_circuit(self, circuit) -> bool:
+        """Does a circuit realize the specification (by simulation)?"""
+        if circuit.n_lines != self.n_lines:
+            return False
+        for i, row in enumerate(self.rows):
+            if all(v is None for v in row):
+                continue
+            out = circuit.simulate(i)
+            for line, value in enumerate(row):
+                if value is not None and ((out >> line) & 1) != value:
+                    return False
+        return True
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Specification)
+                and self.n_lines == other.n_lines
+                and self.rows == other.rows)
+
+    def __hash__(self) -> int:
+        return hash((self.n_lines, self.rows))
+
+    def __repr__(self) -> str:
+        label = self.name or "anonymous"
+        kind = ("complete" if self.is_completely_specified()
+                else "incompletely specified")
+        return f"Specification({label}, n={self.n_lines}, {kind})"

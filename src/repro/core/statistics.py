@@ -1,0 +1,102 @@
+"""Circuit metrics and report helpers.
+
+RevKit-style statistics for synthesized networks: gate-type breakdown,
+control-count histogram, per-line activity and the standard cost
+figures.  Used by the CLI's ``stats`` output and handy when comparing
+realizations beyond the paper's D / QC columns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, InversePeres, Peres, Toffoli
+
+__all__ = ["CircuitStatistics", "analyze"]
+
+_KIND_NAMES = {
+    Toffoli: "toffoli",
+    Fredkin: "fredkin",
+    Peres: "peres",
+    InversePeres: "inverse-peres",
+}
+
+
+@dataclass
+class CircuitStatistics:
+    """Aggregated metrics of one reversible circuit."""
+
+    n_lines: int
+    gate_count: int
+    quantum_cost: int
+    gates_by_kind: Dict[str, int] = field(default_factory=dict)
+    controls_histogram: Dict[int, int] = field(default_factory=dict)
+    negative_control_count: int = 0
+    line_activity: List[int] = field(default_factory=list)  # touches per line
+
+    @property
+    def max_controls(self) -> int:
+        return max(self.controls_histogram, default=0)
+
+    @property
+    def busiest_line(self) -> int:
+        if not self.line_activity:
+            return 0
+        return max(range(self.n_lines), key=lambda l: self.line_activity[l])
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (CLI / tooling interchange)."""
+        return {
+            "n_lines": self.n_lines,
+            "gate_count": self.gate_count,
+            "quantum_cost": self.quantum_cost,
+            "gates_by_kind": dict(self.gates_by_kind),
+            "controls_histogram": {str(k): v for k, v
+                                   in sorted(self.controls_histogram.items())},
+            "negative_control_count": self.negative_control_count,
+            "line_activity": list(self.line_activity),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"lines          : {self.n_lines}",
+            f"gates          : {self.gate_count}",
+            f"quantum cost   : {self.quantum_cost}",
+            "by kind        : " + (", ".join(
+                f"{kind}={count}" for kind, count
+                in sorted(self.gates_by_kind.items())) or "-"),
+            "controls       : " + (", ".join(
+                f"{k}ctl={v}" for k, v
+                in sorted(self.controls_histogram.items())) or "-"),
+        ]
+        if self.negative_control_count:
+            lines.append(f"negative ctls  : {self.negative_control_count}")
+        lines.append("line activity  : " + " ".join(
+            f"x{l}:{self.line_activity[l]}" for l in range(self.n_lines)))
+        return "\n".join(lines)
+
+
+def analyze(circuit: Circuit) -> CircuitStatistics:
+    """Compute all metrics in one pass over the cascade."""
+    kinds: Counter = Counter()
+    controls: Counter = Counter()
+    activity = [0] * circuit.n_lines
+    negative = 0
+    for gate in circuit:
+        kinds[_KIND_NAMES.get(type(gate), type(gate).__name__.lower())] += 1
+        controls[len(gate.controls)] += 1
+        negative += len(getattr(gate, "negative_controls", ()))
+        for line in gate.lines():
+            activity[line] += 1
+    return CircuitStatistics(
+        n_lines=circuit.n_lines,
+        gate_count=len(circuit),
+        quantum_cost=circuit.quantum_cost(),
+        gates_by_kind=dict(kinds),
+        controls_histogram=dict(controls),
+        negative_control_count=negative,
+        line_activity=activity,
+    )

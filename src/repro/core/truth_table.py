@@ -1,0 +1,84 @@
+"""Truth-table and permutation utilities for reversible functions.
+
+A completely specified reversible function over ``n`` lines is a
+permutation of ``range(2**n)``; this module provides the permutation
+algebra the rest of the library builds on (validation, composition,
+inversion, distance measures and deterministic random permutations for
+the synthetic benchmark stand-ins).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+__all__ = [
+    "is_permutation",
+    "identity_permutation",
+    "invert_permutation",
+    "compose_permutations",
+    "random_permutation",
+    "hamming_output_distance",
+    "popcount",
+    "format_truth_table",
+]
+
+
+def popcount(value: int) -> int:
+    """Number of set bits."""
+    return bin(value).count("1")
+
+
+def is_permutation(table: Sequence[int]) -> bool:
+    """True iff ``table`` is a bijection on ``range(len(table))``."""
+    n = len(table)
+    return sorted(table) == list(range(n))
+
+
+def identity_permutation(n_lines: int) -> Tuple[int, ...]:
+    return tuple(range(1 << n_lines))
+
+
+def invert_permutation(perm: Sequence[int]) -> Tuple[int, ...]:
+    if not is_permutation(perm):
+        raise ValueError("not a permutation")
+    inverse = [0] * len(perm)
+    for src, dst in enumerate(perm):
+        inverse[dst] = src
+    return tuple(inverse)
+
+
+def compose_permutations(first: Sequence[int], second: Sequence[int]) -> Tuple[int, ...]:
+    """Permutation of applying ``first`` then ``second``."""
+    if len(first) != len(second):
+        raise ValueError("permutation sizes differ")
+    return tuple(second[first[i]] for i in range(len(first)))
+
+
+def random_permutation(n_lines: int, seed: int) -> Tuple[int, ...]:
+    """Deterministic pseudo-random permutation of ``range(2**n_lines)``."""
+    rng = random.Random(seed)
+    table = list(range(1 << n_lines))
+    rng.shuffle(table)
+    return tuple(table)
+
+
+def hamming_output_distance(perm_a: Sequence[int], perm_b: Sequence[int]) -> int:
+    """Total number of differing output bits between two tables.
+
+    Used as the basis of admissible lower bounds in the specialized
+    search engine: one MCT gate on ``n`` lines changes at most ``2**(n-1)``
+    output bits.
+    """
+    if len(perm_a) != len(perm_b):
+        raise ValueError("table sizes differ")
+    return sum(popcount(a ^ b) for a, b in zip(perm_a, perm_b))
+
+
+def format_truth_table(perm: Sequence[int], n_lines: int) -> str:
+    """Readable two-column binary rendering of a permutation."""
+    if len(perm) != (1 << n_lines):
+        raise ValueError("table length does not match line count")
+    rows = [f"{i:0{n_lines}b} -> {perm[i]:0{n_lines}b}"
+            for i in range(len(perm))]
+    return "\n".join(rows)

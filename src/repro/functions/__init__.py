@@ -1,0 +1,38 @@
+"""Benchmark functions: the paper's suite and parametric families."""
+
+from repro.functions.parametric import (
+    decod24,
+    graycode,
+    hwb,
+    mod_indicator,
+    one_bit_alu,
+    rd32,
+)
+from repro.functions.standins import seeded_mct_permutation, standin
+from repro.functions.suite import (
+    SUITE,
+    BenchmarkEntry,
+    entries,
+    get_spec,
+    table1_entries,
+    table2_entries,
+    table3_entries,
+)
+
+__all__ = [
+    "SUITE",
+    "BenchmarkEntry",
+    "decod24",
+    "entries",
+    "get_spec",
+    "graycode",
+    "hwb",
+    "mod_indicator",
+    "one_bit_alu",
+    "rd32",
+    "seeded_mct_permutation",
+    "standin",
+    "table1_entries",
+    "table2_entries",
+    "table3_entries",
+]

@@ -1,0 +1,158 @@
+"""Parametric benchmark families reconstructed from their definitions.
+
+Everything in this module is built from the published *semantics* of the
+benchmark (Gray code, hidden weighted bit, popcount, decoder, modulo
+indicator, 1-bit ALU); see DESIGN.md section 3 for how these map onto the
+paper's RevLib instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.spec import Specification
+from repro.core.truth_table import popcount
+
+__all__ = [
+    "graycode",
+    "hwb",
+    "rd32",
+    "decod24",
+    "mod_indicator",
+    "one_bit_alu",
+]
+
+
+def graycode(n_lines: int) -> Specification:
+    """Binary-to-Gray converter: ``out = x XOR (x >> 1)``.
+
+    Linear (CNOT-realizable); the minimal MCT network is ``n - 1`` CNOTs,
+    so ``graycode6`` has the paper's depth 5.
+    """
+    if n_lines < 2:
+        raise ValueError("graycode needs at least 2 lines")
+    perm = [x ^ (x >> 1) for x in range(1 << n_lines)]
+    return Specification.from_permutation(perm, name=f"graycode{n_lines}")
+
+
+def hwb(n_lines: int) -> Specification:
+    """Hidden-weighted-bit function: rotate the input by its popcount.
+
+    The rotation amount (the Hamming weight) is rotation-invariant, so
+    the mapping is a bijection.  ``hwb4`` is the paper's hardest
+    completely specified 4-line benchmark (minimal MCT depth 11).
+    """
+    if n_lines < 1:
+        raise ValueError("hwb needs at least one line")
+    size = 1 << n_lines
+    perm = []
+    for x in range(size):
+        k = popcount(x) % n_lines
+        rotated = ((x >> k) | (x << (n_lines - k))) & (size - 1)
+        perm.append(rotated)
+    return Specification.from_permutation(perm, name=f"hwb{n_lines}")
+
+
+def rd32(sum_line: int = 0, carry_line: int = 3, name: str = "rd32") -> Specification:
+    """The rd32 weight function: 3 inputs, outputs their popcount in binary.
+
+    Embedded on 4 lines: data on lines 0..2, constant 0 on line 3; the
+    sum bit (XOR of the inputs) and carry bit (majority) land on the
+    given lines, the rest is garbage.
+    """
+    if sum_line == carry_line:
+        raise ValueError("sum and carry must use different lines")
+
+    def fn(x: int) -> int:
+        # output bit 0 = sum (parity), bit 1 = carry (weight >= 2)
+        return popcount(x & 0b111)
+
+    return Specification.from_io_function(
+        4, fn,
+        input_lines=[0, 1, 2],
+        output_lines=[sum_line, carry_line],
+        constants={3: 0},
+        name=name,
+    )
+
+
+def decod24(constants: Tuple[int, int], name: str = "decod24") -> Specification:
+    """2-to-4 decoder on 4 lines: output line j carries ``[input == j]``.
+
+    Two data inputs on lines 0 and 1, two constant lines (2 and 3) whose
+    values distinguish the paper's v0..v3 variants.  All four outputs are
+    specified on the care domain — the only don't cares come from the
+    constant-input restriction.
+    """
+
+    def fn(x: int) -> int:
+        return 1 << (x & 0b11)
+
+    return Specification.from_io_function(
+        4, fn,
+        input_lines=[0, 1],
+        output_lines=[0, 1, 2, 3],
+        constants={2: constants[0], 3: constants[1]},
+        name=name,
+    )
+
+
+def mod_indicator(n_data: int, modulus: int, residue: int,
+                  output_line: int, name: str) -> Specification:
+    """Indicator of ``x mod modulus == residue`` over ``n_data`` input bits.
+
+    Embedded on ``n_data + 1`` lines: data on the low lines, constant 0 on
+    the top line, the single specified output on ``output_line``; every
+    other output is garbage.  With ``n_data = 4`` and ``modulus = 5`` this
+    is the semantic reconstruction of the RevLib mod5 family.
+    """
+    n_lines = n_data + 1
+    if not 0 <= output_line < n_lines:
+        raise ValueError("output line out of range")
+
+    def fn(x: int) -> int:
+        return 1 if x % modulus == residue else 0
+
+    return Specification.from_io_function(
+        n_lines, fn,
+        input_lines=list(range(n_data)),
+        output_lines=[output_line],
+        constants={n_data: 0},
+        name=name,
+    )
+
+
+#: op-code -> semantics of the reconstructed 1-bit ALU
+_ALU_OPS = {
+    0: lambda a, b: a & b,
+    1: lambda a, b: a | b,
+    2: lambda a, b: a ^ b,
+    3: lambda a, b: (~a) & 1,
+}
+
+
+def one_bit_alu(output_line: int, op_order: Sequence[int] = (0, 1, 2, 3),
+                name: str = "alu") -> Specification:
+    """A reconstructed 1-bit ALU on 5 lines.
+
+    Lines 0 and 1 select the operation (AND / OR / XOR / NOT, permuted by
+    ``op_order`` to create the v0..v3 variants), lines 2 and 3 carry the
+    operands, line 4 is a constant 0.  The single specified output (the
+    ALU result) lands on ``output_line``; the rest is garbage.
+    """
+    if sorted(op_order) != [0, 1, 2, 3]:
+        raise ValueError("op_order must permute (0, 1, 2, 3)")
+
+    def fn(x: int) -> int:
+        op = op_order[x & 0b11]
+        a = (x >> 2) & 1
+        b = (x >> 3) & 1
+        return _ALU_OPS[op](a, b) & 1
+
+    return Specification.from_io_function(
+        5, fn,
+        input_lines=[0, 1, 2, 3],
+        output_lines=[output_line],
+        constants={4: 0},
+        name=name,
+    )

@@ -1,0 +1,229 @@
+"""The benchmark suite of the paper's experimental evaluation.
+
+Each entry names one row of Tables 1-3 and records how it is realized in
+this reproduction (exact / semantic reconstruction / synthetic stand-in)
+plus the paper-reported minimal MCT depth where the paper states one.
+``tier`` controls which benchmarks the default bench run includes:
+``"default"`` instances finish in seconds-to-minutes in pure Python,
+``"full"`` instances (hwb4, 4_49, graycode6, the 5-line functions) are
+enabled with ``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.spec import Specification
+from repro.functions.parametric import (
+    decod24,
+    graycode,
+    hwb,
+    mod_indicator,
+    one_bit_alu,
+    rd32,
+)
+from repro.functions.standins import standin
+
+__all__ = ["BenchmarkEntry", "SUITE", "get_spec", "entries",
+           "table1_entries", "table2_entries", "table3_entries"]
+
+#: The standard 3_17 permutation (3 lines, minimal MCT depth 6).
+PERM_3_17 = (7, 1, 4, 3, 0, 2, 6, 5)
+
+#: The standard 4_49 permutation (4 lines, minimal MCT depth 12).
+PERM_4_49 = (15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11)
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One benchmark of the paper plus its realization in this repo."""
+
+    name: str
+    factory: Callable[[], Specification]
+    completely_specified: bool
+    tier: str  # "default" or "full"
+    paper_depth_mct: Optional[int]  # D column of Table 1, when stated
+    provenance: str  # "exact", "semantic", "stand-in" or "scaled stand-in"
+    note: str = ""
+
+    def spec(self) -> Specification:
+        built = self.factory()
+        return built
+
+
+def _spec_from_perm(perm, name: str) -> Callable[[], Specification]:
+    return lambda: Specification.from_permutation(perm, name=name)
+
+
+_ENTRIES: List[BenchmarkEntry] = [
+    # -- completely specified (Table 1, upper half) ---------------------------
+    BenchmarkEntry(
+        "mod5mils", lambda: standin("mod5mils", 4, 5, seed=518),
+        True, "default", 5, "stand-in",
+        "RevLib netlist unavailable offline; seeded 4-line cascade of 5 MCT gates"),
+    BenchmarkEntry(
+        "graycode6", lambda: graycode(6),
+        True, "full", 5, "exact", "binary-to-Gray, linear"),
+    BenchmarkEntry(
+        "graycode4", lambda: graycode(4),
+        True, "default", None, "exact",
+        "scaled default-tier companion of graycode6"),
+    BenchmarkEntry(
+        "3_17", _spec_from_perm(PERM_3_17, "3_17"),
+        True, "default", 6, "exact", "standard 3_17 permutation"),
+    BenchmarkEntry(
+        "mod5d1", lambda: standin("mod5d1", 5, 7, seed=5071),
+        True, "full", 7, "stand-in",
+        "RevLib netlist unavailable offline; seeded 5-line cascade of 7 MCT gates"),
+    BenchmarkEntry(
+        "mod5d1_s", lambda: standin("mod5d1_s", 4, 6, seed=471),
+        True, "default", None, "scaled stand-in",
+        "4-line scaled companion of the mod5d1 stand-in"),
+    BenchmarkEntry(
+        "mod5d2", lambda: standin("mod5d2", 5, 8, seed=5082),
+        True, "full", 8, "stand-in",
+        "RevLib netlist unavailable offline; seeded 5-line cascade of 8 MCT gates"),
+    BenchmarkEntry(
+        "mod5d2_s", lambda: standin("mod5d2_s", 4, 7, seed=482),
+        True, "default", None, "scaled stand-in",
+        "4-line scaled companion of the mod5d2 stand-in"),
+    BenchmarkEntry(
+        "hwb4", lambda: hwb(4),
+        True, "full", 11, "exact", "hidden weighted bit"),
+    BenchmarkEntry(
+        "4_49", _spec_from_perm(PERM_4_49, "4_49"),
+        True, "full", 12, "exact", "standard 4_49 permutation"),
+    # -- incompletely specified (Table 1, lower half) ---------------------------
+    BenchmarkEntry(
+        "rd32-v0", lambda: rd32(sum_line=2, carry_line=3, name="rd32-v0"),
+        False, "default", 4, "semantic", "3-bit popcount, variant placements"),
+    BenchmarkEntry(
+        "rd32-v1", lambda: rd32(sum_line=0, carry_line=3, name="rd32-v1"),
+        False, "default", 5, "semantic", "3-bit popcount, variant placements"),
+    BenchmarkEntry(
+        "mod5-v0", lambda: mod_indicator(4, 5, 0, 4, "mod5-v0"),
+        False, "default", None, "semantic", "indicator of x = 0 (mod 5), 5 lines"),
+    BenchmarkEntry(
+        "mod5-v1", lambda: mod_indicator(4, 5, 4, 4, "mod5-v1"),
+        False, "default", None, "semantic", "indicator of x = 4 (mod 5), 5 lines"),
+    BenchmarkEntry(
+        "mod5-v0_s", lambda: mod_indicator(3, 5, 0, 3, "mod5-v0_s"),
+        False, "default", None, "scaled stand-in",
+        "3-data-bit scaled companion of mod5-v0"),
+    BenchmarkEntry(
+        "mod5-v1_s", lambda: mod_indicator(3, 5, 4, 3, "mod5-v1_s"),
+        False, "default", None, "scaled stand-in",
+        "3-data-bit scaled companion of mod5-v1"),
+    BenchmarkEntry(
+        "decod24-v0", lambda: decod24((0, 0), "decod24-v0"),
+        False, "default", None, "semantic", "2-to-4 decoder, constants 00"),
+    BenchmarkEntry(
+        "decod24-v1", lambda: decod24((1, 0), "decod24-v1"),
+        False, "default", None, "semantic", "2-to-4 decoder, constants 10"),
+    BenchmarkEntry(
+        "decod24-v2", lambda: decod24((0, 1), "decod24-v2"),
+        False, "default", None, "semantic", "2-to-4 decoder, constants 01"),
+    BenchmarkEntry(
+        "decod24-v3", lambda: decod24((1, 1), "decod24-v3"),
+        False, "default", None, "semantic", "2-to-4 decoder, constants 11"),
+    BenchmarkEntry(
+        "ALU-v0", lambda: one_bit_alu(4, (0, 1, 2, 3), "ALU-v0"),
+        False, "full", 6, "semantic", "1-bit ALU, op order AND/OR/XOR/NOT"),
+    BenchmarkEntry(
+        "ALU-v1", lambda: one_bit_alu(4, (2, 0, 1, 3), "ALU-v1"),
+        False, "full", 7, "semantic", "1-bit ALU, op order XOR/AND/OR/NOT"),
+    BenchmarkEntry(
+        "ALU-v2", lambda: one_bit_alu(4, (1, 2, 0, 3), "ALU-v2"),
+        False, "full", 7, "semantic", "1-bit ALU, op order OR/XOR/AND/NOT"),
+    BenchmarkEntry(
+        "ALU-v3", lambda: one_bit_alu(4, (3, 2, 1, 0), "ALU-v3"),
+        False, "full", 7, "semantic", "1-bit ALU, op order NOT/XOR/OR/AND"),
+    BenchmarkEntry(
+        "alu_small", lambda: _alu_small(),
+        False, "default", None, "scaled stand-in",
+        "4-line scaled ALU: 1 op-select bit choosing AND/XOR"),
+    # -- Table 3 extra ------------------------------------------------------------
+    BenchmarkEntry(
+        "4mod5", lambda: mod_indicator(4, 5, 0, 0, "4mod5"),
+        False, "full", None, "semantic",
+        "as mod5-v0 with the output on line 0"),
+    # -- the "trivial functions" the paper's footnote 3 omits -----------------------
+    BenchmarkEntry(
+        "toffoli", lambda: _gate_benchmark("toffoli"),
+        True, "default", None, "exact", "single Toffoli gate (D = 1)"),
+    BenchmarkEntry(
+        "fredkin", lambda: _gate_benchmark("fredkin"),
+        True, "default", None, "exact",
+        "single controlled-swap (D = 1 with MCF, 3 with MCT)"),
+    BenchmarkEntry(
+        "peres", lambda: _gate_benchmark("peres"),
+        True, "default", None, "exact",
+        "single Peres gate (D = 1 with Peres gates, 2 with MCT)"),
+]
+
+
+def _gate_benchmark(which: str) -> Specification:
+    """Truth table of a single named gate on 3 lines."""
+    from repro.core.gates import Fredkin, Peres, Toffoli
+
+    gate = {
+        "toffoli": Toffoli((0, 1), 2),
+        "fredkin": Fredkin((2,), 0, 1),
+        "peres": Peres(0, 1, 2),
+    }[which]
+    perm = tuple(gate.apply(x) for x in range(8))
+    return Specification.from_permutation(perm, name=which)
+
+
+def _alu_small() -> Specification:
+    """4-line scaled ALU: op bit selects AND or XOR of two operands."""
+    from repro.core.spec import Specification as _Spec
+
+    def fn(x: int) -> int:
+        op = x & 1
+        a = (x >> 1) & 1
+        b = (x >> 2) & 1
+        return (a & b) if op == 0 else (a ^ b)
+
+    return _Spec.from_io_function(
+        4, fn,
+        input_lines=[0, 1, 2],
+        output_lines=[3],
+        constants={3: 0},
+        name="alu_small",
+    )
+
+
+SUITE: Dict[str, BenchmarkEntry] = {entry.name: entry for entry in _ENTRIES}
+
+
+def get_spec(name: str) -> Specification:
+    """Look up a benchmark specification by its paper name."""
+    try:
+        return SUITE[name].spec()
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; "
+                         f"available: {sorted(SUITE)}") from None
+
+
+def entries(tier: str = "default") -> List[BenchmarkEntry]:
+    """Benchmarks of the given tier ("default") or all of them ("full")."""
+    if tier == "full":
+        return list(_ENTRIES)
+    return [e for e in _ENTRIES if e.tier == "default"]
+
+
+def table1_entries(tier: str = "default") -> List[BenchmarkEntry]:
+    """Rows of Table 1 (every benchmark except the Table-3-only 4mod5)."""
+    return [e for e in entries(tier) if e.name != "4mod5"]
+
+
+def table2_entries(tier: str = "default") -> List[BenchmarkEntry]:
+    """Rows of Table 2 (same set as Table 1)."""
+    return table1_entries(tier)
+
+
+def table3_entries(tier: str = "default") -> List[BenchmarkEntry]:
+    """Rows of Table 3 (Table 1's set plus 4mod5)."""
+    return list(entries(tier))

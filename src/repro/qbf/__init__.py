@@ -1,0 +1,23 @@
+"""QBF substrate: prenex QCNF, QDPLL and expansion solvers, oracle."""
+
+from repro.qbf.bruteforce import brute_force_qbf
+from repro.qbf.expansion import (
+    ExpansionBudgetExceeded,
+    expand_to_cnf,
+    solve_qbf_by_expansion,
+)
+from repro.qbf.qcnf import EXISTS, FORALL, QuantifiedCnf
+from repro.qbf.qdpll import QbfResult, QdpllSolver, solve_qbf
+
+__all__ = [
+    "EXISTS",
+    "ExpansionBudgetExceeded",
+    "FORALL",
+    "QbfResult",
+    "QdpllSolver",
+    "QuantifiedCnf",
+    "brute_force_qbf",
+    "expand_to_cnf",
+    "solve_qbf",
+    "solve_qbf_by_expansion",
+]

@@ -1,0 +1,95 @@
+"""Brute-force QBF evaluation — the correctness oracle for the solvers.
+
+Walks the quantifier prefix recursively, trying both values of every
+variable: OR semantics for existential variables, AND semantics for
+universal ones.  Exponential, only for tests and tiny instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.qbf.qcnf import QuantifiedCnf
+
+__all__ = ["brute_force_qbf"]
+
+
+def brute_force_qbf(formula: QuantifiedCnf) -> Tuple[bool, Optional[Dict[int, bool]]]:
+    """Evaluate the QBF; returns (truth, outer-existential model or None).
+
+    The model covers the leading existential block only — the part that
+    is meaningful as a certificate (for the synthesis encoding: the gate
+    selections).  When the matrix becomes satisfied before every outer
+    variable is branched on, unassigned outer variables default to
+    False (any completion works).
+    """
+    order = formula.variables_in_order()
+    clauses = formula.cnf.clauses
+    outer_block = formula.outer_existential_block()
+    assignment: Dict[int, bool] = {}
+    witness: Dict[int, bool] = {}
+
+    def clauses_status() -> Optional[bool]:
+        """True = all satisfied, False = some clause falsified, None = open."""
+        all_satisfied = True
+        for clause in clauses:
+            satisfied = False
+            undecided = False
+            for lit in clause:
+                var = abs(lit)
+                value = assignment.get(var)
+                if value is None:
+                    undecided = True
+                elif (lit > 0) == value:
+                    satisfied = True
+                    break
+            if not satisfied:
+                if not undecided:
+                    return False
+                all_satisfied = False
+        return True if all_satisfied else None
+
+    def rec(depth: int) -> bool:
+        status = clauses_status()
+        if status is not None:
+            return status
+        if depth == len(order):
+            return True
+        var = order[depth]
+        if formula.is_existential(var):
+            for value in (False, True):
+                assignment[var] = value
+                result = rec(depth + 1)
+                del assignment[var]
+                if result:
+                    return True
+            return False
+        for value in (False, True):
+            assignment[var] = value
+            result = rec(depth + 1)
+            del assignment[var]
+            if not result:
+                return False
+        return True
+
+    def solve_outer(depth: int) -> bool:
+        """Branch the leading existential block, recording the witness.
+
+        ``outer_block`` is always a prefix of ``order``, so depth indexes
+        line up with :func:`rec`.
+        """
+        if depth == len(outer_block):
+            return rec(depth)
+        var = order[depth]
+        for value in (False, True):
+            assignment[var] = value
+            success = solve_outer(depth + 1)
+            del assignment[var]
+            if success:
+                witness[var] = value
+                return True
+        return False
+
+    if solve_outer(0):
+        return True, {v: witness.get(v, False) for v in outer_block}
+    return False, None

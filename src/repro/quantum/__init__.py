@@ -1,0 +1,29 @@
+"""Elementary quantum-gate level: NCV gates, unitaries, decompositions."""
+
+from repro.quantum.decompose import decompose_circuit, decompose_gate, ncv_cost
+from repro.quantum.elementary import (
+    ElementaryGate,
+    circuit_unitary,
+    cnot,
+    controlled_root,
+    cv,
+    cv_dagger,
+    permutation_unitary,
+    unitaries_equal,
+    x_gate,
+)
+
+__all__ = [
+    "ElementaryGate",
+    "circuit_unitary",
+    "cnot",
+    "controlled_root",
+    "cv",
+    "cv_dagger",
+    "decompose_circuit",
+    "decompose_gate",
+    "ncv_cost",
+    "permutation_unitary",
+    "unitaries_equal",
+    "x_gate",
+]

@@ -1,0 +1,133 @@
+"""Decomposition of reversible gates into elementary quantum gates.
+
+Implements the Barenco et al. [1] constructions the paper's cost table is
+based on (Section 2.1: Toffoli-2 costs 5, Fredkin-1 costs 7, Peres costs
+4).  The number of elementary gates produced for positive-polarity gates
+equals ``Gate.quantum_cost`` exactly, and the unitary of every
+decomposition equals the permutation matrix of the source gate — both
+facts are asserted by the test suite, closing the loop between the cost
+model and real circuits.
+
+Constructions:
+
+* ``T(; t)``        -> X                                   (1 gate)
+* ``T(a; t)``       -> CX                                  (1 gate)
+* ``T(a,b; t)``     -> CV(b,t) CX(a,b) CV+(b,t) CX(a,b) CV(a,t)   (5)
+* ``T(c_1..c_k; t)`` (ancilla-free, k >= 2) -> recursive
+  ``C(X^s)`` ladder: cost(k) = 2 cost(k-1) + 3 = 2^(k+1) - 3
+* ``F(C; a, b)``    -> CX(b,a) T(C+{a}; b) CX(b,a)         (2 + mct(k+1))
+* ``P(c; a, b)``    -> CV(a,b') ... 4 gates (Toffoli+CNOT fused)
+* mixed-polarity controls -> X-conjugation of the control line
+  (2 extra gates per negative control; the RevLib cost model charges the
+  positive-polarity price, so lengths exceed ``quantum_cost`` there).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
+from repro.quantum.elementary import (
+    ElementaryGate,
+    cnot,
+    controlled_root,
+    cv,
+    cv_dagger,
+    x_gate,
+)
+
+__all__ = ["decompose_gate", "decompose_circuit", "ncv_cost"]
+
+
+def _mct_positive(controls: Sequence[int], target: int,
+                  exponent: Fraction) -> List[ElementaryGate]:
+    """Controlled ``X^exponent`` with the given positive controls.
+
+    Gray-code ladder (Barenco et al., Lemma 7.1): every non-empty subset
+    ``S`` of the controls, visited in Gray-code order, contributes one
+    controlled root ``X^(±exponent / 2^(k-1))`` whose control line
+    carries the parity of ``S`` (accumulated by CNOTs between control
+    lines); the sign alternates with ``|S|``.  Gate count:
+    ``2^k - 1`` roots + ``2^k - 2`` CNOTs = ``2^(k+1) - 3``, the
+    paper's cost-table value (5, 13, 29, 61, ...).
+    """
+    controls = sorted(controls)
+    k = len(controls)
+    if k == 0:
+        if exponent == 1:
+            return [x_gate(target)]
+        return [ElementaryGate(target, None, exponent)]
+    if k == 1:
+        return [controlled_root(controls[0], target, exponent)]
+
+    root = exponent / (1 << (k - 1))
+    sequence: List[ElementaryGate] = []
+    last_pattern = 0
+    for i in range(1, 1 << k):
+        pattern = i ^ (i >> 1)  # Gray code: one bit flips per step
+        leader = pattern.bit_length() - 1
+        if last_pattern:
+            changed = (pattern ^ last_pattern).bit_length() - 1
+            if changed != leader:
+                # fold the flipped control's parity into the leader line
+                sequence.append(cnot(controls[changed], controls[leader]))
+            else:
+                # new leader: rebuild its parity from the other set bits
+                for bit in range(leader):
+                    if (pattern >> bit) & 1:
+                        sequence.append(cnot(controls[bit], controls[leader]))
+        sign = 1 if bin(pattern).count("1") % 2 == 1 else -1
+        sequence.append(controlled_root(controls[leader], target, sign * root))
+        last_pattern = pattern
+    # No restoration needed: each leader block of the Gray sequence ends
+    # on the singleton pattern, leaving every control line clean.
+    return sequence
+
+
+def _with_polarity(core: List[ElementaryGate],
+                   negative_controls: Sequence[int]) -> List[ElementaryGate]:
+    """Conjugate negative control lines with X gates."""
+    if not negative_controls:
+        return core
+    flips = [x_gate(line) for line in sorted(negative_controls)]
+    return flips + core + list(reversed(flips))
+
+
+def decompose_gate(gate: Gate) -> List[ElementaryGate]:
+    """Elementary (NCV-family) realization of one reversible gate."""
+    if isinstance(gate, Toffoli):
+        core = _mct_positive(sorted(gate.controls), gate.target, Fraction(1))
+        return _with_polarity(core, sorted(gate.negative_controls))
+    if isinstance(gate, Fredkin):
+        a, b = gate.targets
+        inner = _mct_positive(sorted(gate.controls | {a}), b, Fraction(1))
+        return [cnot(b, a)] + inner + [cnot(b, a)]
+    if isinstance(gate, Peres):
+        a, b = gate.targets  # a: CNOT target, b: Toffoli target
+        c = gate.control
+        return [cv(a, b), cnot(c, a), cv_dagger(a, b), cv(c, b)]
+    if isinstance(gate, InversePeres):
+        forward = decompose_gate(gate.inverse())
+        return [ElementaryGate(g.target, g.control, -g.exponent)
+                if abs(g.exponent) != 1 else g
+                for g in reversed(forward)]
+    raise TypeError(f"no decomposition for gate type {type(gate).__name__}")
+
+
+def decompose_circuit(circuit: Circuit) -> List[ElementaryGate]:
+    """Elementary realization of a whole cascade (gate order preserved)."""
+    sequence: List[ElementaryGate] = []
+    for gate in circuit:
+        sequence.extend(decompose_gate(gate))
+    return sequence
+
+
+def ncv_cost(circuit: Circuit) -> int:
+    """Number of elementary gates after decomposition.
+
+    Matches ``circuit.quantum_cost()`` for positive-polarity circuits —
+    the invariant the test suite checks.
+    """
+    return len(decompose_circuit(circuit))

@@ -1,0 +1,127 @@
+"""Elementary quantum gates (the NCV library of Barenco et al. [1]).
+
+The paper's quantum-cost metric counts *elementary* gates: NOT, CNOT and
+controlled square-roots of NOT (V = X^(1/2), V+ = its inverse) — each of
+cost one.  This module models such gates and their unitaries so the
+decompositions in :mod:`repro.quantum.decompose` can be *verified*
+against the Boolean semantics of the reversible gates they implement,
+grounding the cost table of :mod:`repro.core.cost` in actual circuits.
+
+Generalized controlled roots ``X^(1/2^k)`` appear in the ancilla-free
+Barenco decomposition of multiple-control Toffoli gates; they are
+represented exactly by the ``exponent`` field (a signed power of two:
+``1`` = X, ``1/2`` = V, ``-1/2`` = V+, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ElementaryGate", "x_gate", "cnot", "cv", "cv_dagger",
+           "controlled_root", "circuit_unitary", "permutation_unitary",
+           "unitaries_equal"]
+
+
+@dataclass(frozen=True)
+class ElementaryGate:
+    """A (possibly controlled) X-root gate.
+
+    ``exponent`` is the signed root: the gate applies ``X^exponent`` to
+    the target when the control (if any) is 1.  ``exponent`` must be
+    ``±1/2^k``; magnitude 1 with no control is plain NOT.
+    """
+
+    target: int
+    control: Optional[int] = None
+    exponent: Fraction = Fraction(1)
+
+    def __post_init__(self):
+        if self.control == self.target:
+            raise ValueError("control and target must differ")
+        magnitude = abs(self.exponent)
+        denominator = magnitude.denominator
+        if magnitude.numerator != 1 or denominator & (denominator - 1):
+            raise ValueError("exponent must be a signed power-of-two "
+                             f"fraction (1, 1/2, 1/4, ...), got {self.exponent}")
+
+    def label(self) -> str:
+        if self.exponent == 1:
+            return "X" if self.control is None else "CX"
+        name = {Fraction(1, 2): "V", Fraction(-1, 2): "V+"}.get(
+            self.exponent, f"X^{self.exponent}")
+        return name if self.control is None else f"C{name}"
+
+    def x_power_matrix(self) -> np.ndarray:
+        """The 2x2 matrix of ``X^exponent``."""
+        phase = np.exp(1j * np.pi * float(self.exponent))
+        return 0.5 * np.array([[1 + phase, 1 - phase],
+                               [1 - phase, 1 + phase]], dtype=complex)
+
+
+def x_gate(target: int) -> ElementaryGate:
+    return ElementaryGate(target)
+
+
+def cnot(control: int, target: int) -> ElementaryGate:
+    return ElementaryGate(target, control)
+
+
+def cv(control: int, target: int) -> ElementaryGate:
+    return ElementaryGate(target, control, Fraction(1, 2))
+
+
+def cv_dagger(control: int, target: int) -> ElementaryGate:
+    return ElementaryGate(target, control, Fraction(-1, 2))
+
+
+def controlled_root(control: int, target: int,
+                    exponent: Fraction) -> ElementaryGate:
+    return ElementaryGate(target, control, exponent)
+
+
+def _gate_unitary(gate: ElementaryGate, n_lines: int) -> np.ndarray:
+    """Full 2^n x 2^n unitary (basis ordered by packed line values)."""
+    dim = 1 << n_lines
+    unitary = np.zeros((dim, dim), dtype=complex)
+    block = gate.x_power_matrix()
+    for state in range(dim):
+        if gate.control is not None and not (state >> gate.control) & 1:
+            unitary[state, state] = 1.0
+            continue
+        bit = (state >> gate.target) & 1
+        flipped = state ^ (1 << gate.target)
+        # column `state` receives amplitude from block column `bit`
+        unitary[state, state] += block[bit, bit]
+        unitary[flipped, state] += block[1 - bit, bit]
+    return unitary
+
+
+def circuit_unitary(gates: Sequence[ElementaryGate], n_lines: int) -> np.ndarray:
+    """Unitary of a left-to-right elementary cascade."""
+    dim = 1 << n_lines
+    unitary = np.eye(dim, dtype=complex)
+    for gate in gates:
+        if gate.target >= n_lines or (gate.control is not None
+                                      and gate.control >= n_lines):
+            raise ValueError(f"gate {gate.label()} exceeds {n_lines} lines")
+        unitary = _gate_unitary(gate, n_lines) @ unitary
+    return unitary
+
+
+def permutation_unitary(perm: Sequence[int]) -> np.ndarray:
+    """The permutation matrix of a reversible Boolean function."""
+    dim = len(perm)
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for source, destination in enumerate(perm):
+        unitary[destination, source] = 1.0
+    return unitary
+
+
+def unitaries_equal(a: np.ndarray, b: np.ndarray, tol: float = 1e-9) -> bool:
+    """Equality up to numerical noise (no global phase allowance needed —
+    the constructions here are phase-exact)."""
+    return bool(np.allclose(a, b, atol=tol))

@@ -1,0 +1,25 @@
+"""SAT substrate: CNF model, Tseitin transformation, CDCL and DPLL solvers."""
+
+from repro.sat.cdcl import CdclSolver, SatResult, luby, solve_cnf
+from repro.sat.cnf import Cnf, clause_satisfied, evaluate_cnf
+from repro.sat.dimacs import from_dimacs, from_qdimacs, to_dimacs, to_qdimacs
+from repro.sat.dpll import dpll_solve
+from repro.sat.expr import Expr, ExprBuilder, expr_from_bdd
+
+__all__ = [
+    "CdclSolver",
+    "Cnf",
+    "Expr",
+    "ExprBuilder",
+    "SatResult",
+    "clause_satisfied",
+    "dpll_solve",
+    "evaluate_cnf",
+    "expr_from_bdd",
+    "from_dimacs",
+    "from_qdimacs",
+    "luby",
+    "solve_cnf",
+    "to_dimacs",
+    "to_qdimacs",
+]

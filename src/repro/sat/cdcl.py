@@ -1,0 +1,418 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+Plays the role MiniSat [7] plays in the paper: the generic proof engine
+behind the SAT-based synthesis baseline [9] and the target of the
+expansion-based QBF solver.  The implementation follows the standard
+MiniSat architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with recursive clause minimization,
+* VSIDS decision heuristic with phase saving,
+* Luby-sequence restarts,
+* activity/LBD-guided learnt-clause database reduction.
+
+Literals use the DIMACS convention throughout (``v`` / ``-v``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import Cnf
+
+__all__ = ["SatResult", "CdclSolver", "solve_cnf", "luby"]
+
+_UNDEF = 0
+_TRUE = 1
+_FALSE = -1
+
+
+def luby(index: int) -> int:
+    """The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 ... (1-based index)."""
+    if index < 1:
+        raise ValueError("Luby index is 1-based")
+    while True:
+        k = index.bit_length()
+        if (1 << k) - 1 == index:
+            return 1 << (k - 1)
+        index -= (1 << (k - 1)) - 1
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call."""
+
+    status: str  # "sat", "unsat" or "unknown"
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learnt_clauses: int = 0
+    runtime: float = 0.0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class _Clause:
+    """Clause container; the first two literals are the watched ones."""
+
+    __slots__ = ("literals", "learnt", "activity", "lbd")
+
+    def __init__(self, literals: List[int], learnt: bool):
+        self.literals = literals
+        self.learnt = learnt
+        self.activity = 0.0
+        self.lbd = 0
+
+
+class CdclSolver:
+    """One-shot CDCL solver over a :class:`~repro.sat.cnf.Cnf`."""
+
+    def __init__(self, cnf: Cnf):
+        self.nv = cnf.num_vars
+        self.assign: List[int] = [_UNDEF] * (self.nv + 1)
+        self.level: List[int] = [0] * (self.nv + 1)
+        self.reason: List[Optional[_Clause]] = [None] * (self.nv + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.watches: Dict[int, List[_Clause]] = {}
+        self.clauses: List[_Clause] = []
+        self.learnts: List[_Clause] = []
+        self.activity: List[float] = [0.0] * (self.nv + 1)
+        self.saved_phase: List[bool] = [False] * (self.nv + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self._order: List[Tuple[float, int]] = []
+        self._contradiction = False
+        self.stats = SatResult(status="unknown")
+        for clause in cnf.clauses:
+            self._add_input_clause(clause)
+        for v in range(1, self.nv + 1):
+            heappush(self._order, (0.0, v))
+
+    # -- clause management -------------------------------------------------------
+
+    def _add_input_clause(self, literals: Sequence[int]) -> None:
+        if self._contradiction:
+            return
+        seen = set()
+        cleaned: List[int] = []
+        for lit in literals:
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                cleaned.append(lit)
+        if not cleaned:
+            self._contradiction = True
+            return
+        if len(cleaned) == 1:
+            if not self._enqueue(cleaned[0], None):
+                self._contradiction = True
+            return
+        clause = _Clause(cleaned, learnt=False)
+        self.clauses.append(clause)
+        self._watch(clause)
+
+    def _watch(self, clause: _Clause) -> None:
+        self.watches.setdefault(clause.literals[0], []).append(clause)
+        self.watches.setdefault(clause.literals[1], []).append(clause)
+
+    # -- assignment --------------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        value = self.assign[abs(lit)]
+        if value == _UNDEF:
+            return _UNDEF
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        current = self._lit_value(lit)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        var = abs(lit)
+        self.assign[var] = _TRUE if lit > 0 else _FALSE
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.saved_phase[var] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for lit in reversed(self.trail[boundary:]):
+            var = abs(lit)
+            self.assign[var] = _UNDEF
+            self.reason[var] = None
+            heappush(self._order, (-self.activity[var], var))
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # -- propagation -----------------------------------------------------------------
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            falsified = -lit
+            watchers = self.watches.get(falsified)
+            if not watchers:
+                continue
+            kept: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            index = 0
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                lits = clause.literals
+                # Normalize so the falsified literal sits at position 1.
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == _TRUE:
+                    kept.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches.setdefault(lits[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+                    kept.extend(watchers[index:])
+                    break
+            self.watches[falsified] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis ----------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.nv + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self.cla_inc
+        if clause.activity > 1e20:
+            for c in self.learnts:
+                c.activity *= 1e-20
+            self.cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        """First-UIP learning; returns (learnt clause, backjump level)."""
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.nv + 1)
+        counter = 0
+        lit = 0
+        reason: Optional[_Clause] = conflict
+        trail_index = len(self.trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            for q in reason.literals:
+                # Skip the literal this clause asserted (the trail literal
+                # itself); ``lit`` holds its negation, 0 on the first pass.
+                if q == -lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick next literal on the trail at the current level
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            lit = -self.trail[trail_index]
+            trail_index -= 1
+            seen[abs(lit)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reason[abs(lit)]
+        learnt[0] = lit
+
+        # Conflict-clause minimization: drop literals implied by the rest.
+        marked = {abs(q) for q in learnt}
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if not self._redundant(q, marked, seen_depth=0):
+                minimized.append(q)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            # Second-highest decision level in the clause.
+            max_index = 1
+            for k in range(2, len(learnt)):
+                if self.level[abs(learnt[k])] > self.level[abs(learnt[max_index])]:
+                    max_index = k
+            learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+            backjump = self.level[abs(learnt[1])]
+        return learnt, backjump
+
+    def _redundant(self, lit: int, marked: set, seen_depth: int) -> bool:
+        """Is ``lit`` implied by the other marked literals (local check)?"""
+        if seen_depth > 16:
+            return False
+        reason = self.reason[abs(lit)]
+        if reason is None:
+            return False
+        for q in reason.literals:
+            if abs(q) == abs(lit):
+                continue
+            if self.level[abs(q)] == 0 or abs(q) in marked:
+                continue
+            return False
+        return True
+
+    def _compute_lbd(self, literals: Sequence[int]) -> int:
+        return len({self.level[abs(lit)] for lit in literals})
+
+    # -- decisions --------------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        while self._order:
+            _, var = heappop(self._order)
+            if self.assign[var] == _UNDEF:
+                return var
+        return 0
+
+    # -- learnt DB reduction ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        self.learnts.sort(key=lambda c: (c.lbd, -c.activity))
+        keep = len(self.learnts) // 2
+        locked = {id(self.reason[abs(lit)]) for lit in self.trail
+                  if self.reason[abs(lit)] is not None}
+        retained: List[_Clause] = []
+        for index, clause in enumerate(self.learnts):
+            if index < keep or len(clause.literals) <= 2 or id(clause) in locked:
+                retained.append(clause)
+            else:
+                for watch_lit in clause.literals[:2]:
+                    bucket = self.watches.get(watch_lit)
+                    if bucket is not None and clause in bucket:
+                        bucket.remove(clause)
+        self.learnts = retained
+
+    # -- main loop ---------------------------------------------------------------------------------
+
+    def solve(self, conflict_limit: Optional[int] = None,
+              time_limit: Optional[float] = None) -> SatResult:
+        start = time.perf_counter()
+        stats = self.stats
+        if self._contradiction:
+            stats.status = "unsat"
+            stats.runtime = time.perf_counter() - start
+            return stats
+        if self._propagate() is not None:
+            stats.status = "unsat"
+            stats.runtime = time.perf_counter() - start
+            return stats
+
+        restart_index = 1
+        restart_base = 100
+        conflicts_until_restart = restart_base * luby(restart_index)
+        max_learnts = max(1000, len(self.clauses) // 3)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    stats.status = "unsat"
+                    break
+                learnt, backjump = self._analyze(conflict)
+                self._cancel_until(backjump)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    clause.lbd = self._compute_lbd(learnt)
+                    self.learnts.append(clause)
+                    stats.learnt_clauses += 1
+                    self._watch(clause)
+                    self._enqueue(learnt[0], clause)
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                if conflict_limit is not None and stats.conflicts >= conflict_limit:
+                    stats.status = "unknown"
+                    break
+                if (stats.conflicts & 255) == 0 and time_limit is not None:
+                    if time.perf_counter() - start > time_limit:
+                        stats.status = "unknown"
+                        break
+            else:
+                if conflicts_since_restart >= conflicts_until_restart:
+                    stats.restarts += 1
+                    restart_index += 1
+                    conflicts_until_restart = restart_base * luby(restart_index)
+                    conflicts_since_restart = 0
+                    self._cancel_until(0)
+                    continue
+                if len(self.learnts) > max_learnts + len(self.trail):
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.1)
+                var = self._pick_branch_var()
+                if var == 0:
+                    stats.status = "sat"
+                    stats.model = {
+                        v: self.assign[v] == _TRUE if self.assign[v] != _UNDEF
+                        else self.saved_phase[v]
+                        for v in range(1, self.nv + 1)
+                    }
+                    break
+                stats.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                phase = self.saved_phase[var]
+                self._enqueue(var if phase else -var, None)
+
+        stats.runtime = time.perf_counter() - start
+        return stats
+
+
+def solve_cnf(cnf: Cnf, conflict_limit: Optional[int] = None,
+              time_limit: Optional[float] = None) -> SatResult:
+    """Convenience wrapper: solve a CNF with a fresh CDCL instance."""
+    return CdclSolver(cnf).solve(conflict_limit=conflict_limit,
+                                 time_limit=time_limit)

@@ -1,0 +1,76 @@
+"""CNF formulas in DIMACS literal convention.
+
+A literal is a non-zero integer: ``v`` is the positive literal of
+variable ``v >= 1``, ``-v`` its negation.  A clause is a tuple of
+literals; a :class:`Cnf` is a conjunction of clauses plus a variable
+counter used to mint fresh (Tseitin) variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Cnf", "clause_satisfied", "evaluate_cnf"]
+
+Clause = Tuple[int, ...]
+
+
+class Cnf:
+    """A growable conjunctive normal form."""
+
+    __slots__ = ("num_vars", "clauses")
+
+    def __init__(self, num_vars: int = 0):
+        if num_vars < 0:
+            raise ValueError("variable count must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: List[Clause] = []
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            if abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} references an unallocated variable")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause((literal,))
+
+    def copy(self) -> "Cnf":
+        duplicate = Cnf(self.num_vars)
+        duplicate.clauses = list(self.clauses)
+        return duplicate
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"Cnf(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def clause_satisfied(clause: Sequence[int], model: Dict[int, bool]) -> bool:
+    """Clause truth value under a total model (missing vars raise)."""
+    for lit in clause:
+        value = model[abs(lit)]
+        if (lit > 0) == value:
+            return True
+    return False
+
+
+def evaluate_cnf(cnf: Cnf, model: Dict[int, bool]) -> bool:
+    """Evaluate the whole formula under a total model."""
+    return all(clause_satisfied(clause, model) for clause in cnf.clauses)

@@ -1,0 +1,101 @@
+"""DIMACS CNF and QDIMACS serialization.
+
+Lets instances produced by the encoders be exported for external solvers
+and re-imported, mirroring how the paper fed its encodings to MiniSat and
+skizzo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.sat.cnf import Cnf
+
+__all__ = ["to_dimacs", "from_dimacs", "to_qdimacs", "from_qdimacs"]
+
+
+def to_dimacs(cnf: Cnf, comments: Sequence[str] = ()) -> str:
+    lines: List[str] = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> Cnf:
+    cnf: Cnf = None  # type: ignore[assignment]
+    pending: List[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            cnf = Cnf(int(parts[2]))
+            continue
+        if cnf is None:
+            raise ValueError("clause before problem line")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if cnf is None:
+        raise ValueError("missing problem line")
+    if pending:
+        raise ValueError("unterminated clause")
+    return cnf
+
+
+def to_qdimacs(prefix: Sequence[Tuple[str, Sequence[int]]], cnf: Cnf,
+               comments: Sequence[str] = ()) -> str:
+    """Serialize a prenex QCNF; prefix blocks are ('e'|'a', variables)."""
+    lines: List[str] = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for quantifier, variables in prefix:
+        if quantifier not in ("e", "a"):
+            raise ValueError(f"unknown quantifier {quantifier!r}")
+        if variables:
+            lines.append(f"{quantifier} " + " ".join(map(str, variables)) + " 0")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_qdimacs(text: str) -> Tuple[List[Tuple[str, List[int]]], Cnf]:
+    cnf: Cnf = None  # type: ignore[assignment]
+    prefix: List[Tuple[str, List[int]]] = []
+    pending: List[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            cnf = Cnf(int(parts[2]))
+            continue
+        if line[0] in ("e", "a"):
+            tokens = line.split()
+            variables = [int(t) for t in tokens[1:]]
+            if variables and variables[-1] == 0:
+                variables.pop()
+            prefix.append((tokens[0], variables))
+            continue
+        if cnf is None:
+            raise ValueError("clause before problem line")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if cnf is None:
+        raise ValueError("missing problem line")
+    if pending:
+        raise ValueError("unterminated clause")
+    return prefix, cnf

@@ -1,0 +1,234 @@
+"""Boolean expression DAGs with a Tseitin transformation to CNF.
+
+The paper's QBF engine (Section 5.1) transforms the universal-gate
+cascade formula ``F_d = f`` into CNF "in time and space linear in the
+size of the original Boolean formula" via Tseitin's construction [20].
+This module provides that construction, shared by the SAT baseline
+encoder and the QBF encoder: an :class:`ExprBuilder` hash-conses
+expression nodes so repeated subterms (e.g. the control conjunction of a
+gate reused across truth-table rows) are encoded once.
+
+The builder implements the :class:`~repro.core.gates.SymbolicOps`
+protocol (``true``, ``conj``, ``xor``), so gate deltas can be built
+symbolically straight from the gate definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import Cnf
+
+__all__ = ["Expr", "ExprBuilder", "expr_from_bdd"]
+
+
+class Expr:
+    """An immutable expression node; create through :class:`ExprBuilder`."""
+
+    __slots__ = ("op", "args")
+
+    # ops: "const" (args=(bool,)), "var" (args=(cnf_var,)),
+    #      "not" (args=(child,)), "and"/"or"/"xor" (args=children)
+    def __init__(self, op: str, args: Tuple):
+        self.op = op
+        self.args = args
+
+    def __repr__(self) -> str:
+        if self.op == "const":
+            return "1" if self.args[0] else "0"
+        if self.op == "var":
+            return f"x{self.args[0]}"
+        if self.op == "not":
+            return f"~{self.args[0]!r}"
+        inner = f" {self.op} ".join(repr(a) for a in self.args)
+        return f"({inner})"
+
+
+class ExprBuilder:
+    """Hash-consing factory plus Tseitin encoder over a target CNF."""
+
+    def __init__(self, cnf: Cnf):
+        self.cnf = cnf
+        self._pool: Dict[Tuple, Expr] = {}
+        self._encoded: Dict[Expr, int] = {}
+        self.true = self._intern("const", (True,))
+        self.false = self._intern("const", (False,))
+
+    # -- node construction (with light simplification) -------------------------
+
+    def _intern(self, op: str, args: Tuple) -> Expr:
+        key = (op, args)
+        node = self._pool.get(key)
+        if node is None:
+            node = Expr(op, args)
+            self._pool[key] = node
+        return node
+
+    def var(self, cnf_var: int) -> Expr:
+        if not 1 <= cnf_var <= self.cnf.num_vars:
+            raise ValueError(f"variable {cnf_var} not allocated in the CNF")
+        return self._intern("var", (cnf_var,))
+
+    def const(self, value: bool) -> Expr:
+        return self.true if value else self.false
+
+    def not_(self, child: Expr) -> Expr:
+        if child is self.true:
+            return self.false
+        if child is self.false:
+            return self.true
+        if child.op == "not":
+            return child.args[0]
+        return self._intern("not", (child,))
+
+    def _nary(self, op: str, children: Iterable[Expr],
+              unit: Expr, absorbing: Expr) -> Expr:
+        flat: List[Expr] = []
+        for child in children:
+            if child is absorbing:
+                return absorbing
+            if child is unit:
+                continue
+            flat.append(child)
+        if not flat:
+            return unit
+        if len(flat) == 1:
+            return flat[0]
+        return self._intern(op, tuple(flat))
+
+    def and_(self, children: Iterable[Expr]) -> Expr:
+        return self._nary("and", children, unit=self.true, absorbing=self.false)
+
+    def or_(self, children: Iterable[Expr]) -> Expr:
+        return self._nary("or", children, unit=self.false, absorbing=self.true)
+
+    def xor(self, a: Expr, b: Expr) -> Expr:
+        if a is self.false:
+            return b
+        if b is self.false:
+            return a
+        if a is self.true:
+            return self.not_(b)
+        if b is self.true:
+            return self.not_(a)
+        if a is b:
+            return self.false
+        return self._intern("xor", (a, b))
+
+    def xnor(self, a: Expr, b: Expr) -> Expr:
+        return self.not_(self.xor(a, b))
+
+    def implies(self, a: Expr, b: Expr) -> Expr:
+        return self.or_([self.not_(a), b])
+
+    # SymbolicOps protocol used by Gate.symbolic_deltas ------------------------
+
+    def conj(self, signals: Iterable[Expr]) -> Expr:
+        return self.and_(list(signals))
+
+    # -- Tseitin encoding ---------------------------------------------------------
+
+    def tseitin(self, node: Expr) -> int:
+        """Encode the node into the CNF; returns its defining literal.
+
+        Clauses enforcing ``literal <-> node`` are appended to the CNF.
+        Constants are materialized as a frozen fresh variable so callers
+        can always assert the returned literal.
+        """
+        cached = self._encoded.get(node)
+        if cached is not None:
+            return cached
+        literal = self._tseitin_new(node)
+        self._encoded[node] = literal
+        return literal
+
+    def _tseitin_new(self, node: Expr) -> int:
+        if node.op == "const":
+            # Materialize the constant as a frozen variable; the returned
+            # literal must carry the constant's truth value, so it is the
+            # positive literal of a variable pinned to that value.
+            var = self.cnf.new_var()
+            self.cnf.add_unit(var if node.args[0] else -var)
+            return var
+        if node.op == "var":
+            return node.args[0]
+        if node.op == "not":
+            return -self.tseitin(node.args[0])
+        child_lits = [self.tseitin(child) for child in node.args]
+        out = self.cnf.new_var()
+        if node.op == "and":
+            # out -> every child; all children -> out
+            for lit in child_lits:
+                self.cnf.add_clause((-out, lit))
+            self.cnf.add_clause(tuple(-lit for lit in child_lits) + (out,))
+        elif node.op == "or":
+            for lit in child_lits:
+                self.cnf.add_clause((out, -lit))
+            self.cnf.add_clause(tuple(child_lits) + (-out,))
+        elif node.op == "xor":
+            a, b = child_lits
+            self.cnf.add_clauses([(-out, a, b), (-out, -a, -b),
+                                  (out, -a, b), (out, a, -b)])
+        else:
+            raise ValueError(f"unknown op {node.op!r}")
+        return out
+
+    def assert_true(self, node: Expr) -> None:
+        """Append clauses forcing the expression to hold."""
+        self.cnf.add_unit(self.tseitin(node))
+
+    def auxiliary_vars(self) -> List[int]:
+        """All CNF variables minted by this builder's Tseitin encoding."""
+        return [abs(lit) for node, lit in self._encoded.items()
+                if node.op not in ("var", "not")]
+
+    # -- evaluation (for tests) ------------------------------------------------------
+
+    def evaluate(self, node: Expr, model: Dict[int, bool]) -> bool:
+        if node.op == "const":
+            return node.args[0]
+        if node.op == "var":
+            return model[node.args[0]]
+        if node.op == "not":
+            return not self.evaluate(node.args[0], model)
+        values = [self.evaluate(child, model) for child in node.args]
+        if node.op == "and":
+            return all(values)
+        if node.op == "or":
+            return any(values)
+        if node.op == "xor":
+            return values[0] != values[1]
+        raise ValueError(f"unknown op {node.op!r}")
+
+
+def expr_from_bdd(manager, node: int, var_to_expr: Dict[int, Expr],
+                  builder: ExprBuilder) -> Expr:
+    """Convert a BDD into an expression DAG (Shannon/ITE expansion).
+
+    ``var_to_expr`` maps BDD variable indices to expression nodes
+    (usually CNF variables).  Sharing in the BDD is preserved, so the
+    resulting CNF stays linear in the BDD size — this is how the QBF
+    engine encodes the specification ``f`` without enumerating all
+    ``2^n`` truth-table rows.
+    """
+    cache: Dict[int, Expr] = {}
+
+    def rec(current: int) -> Expr:
+        if current == 0:
+            return builder.false
+        if current == 1:
+            return builder.true
+        cached = cache.get(current)
+        if cached is not None:
+            return cached
+        var_expr = var_to_expr[manager.top_var(current)]
+        hi = rec(manager.high(current))
+        lo = rec(manager.low(current))
+        result = builder.or_([
+            builder.and_([var_expr, hi]),
+            builder.and_([builder.not_(var_expr), lo]),
+        ])
+        cache[current] = result
+        return result
+
+    return rec(node)

@@ -1,0 +1,47 @@
+"""Synthesis engines and the iterative exact-synthesis driver."""
+
+from repro.synth.bdd_engine import BddSynthesisEngine, DepthOutcome
+from repro.synth.driver import ENGINES, default_gate_limit, synthesize
+from repro.synth.qbf_engine import QbfSolverEngine
+from repro.synth.result import DepthStat, SynthesisResult
+from repro.synth.sat_engine import SatBaselineEngine
+from repro.synth.bounds import lower_bound, upper_bound
+from repro.synth.optimize import absorb_nots, cancel_pairs, fuse_peres, simplify
+from repro.synth.sword_engine import SwordEngine
+from repro.synth.transformation import (
+    mmd_gate_count_upper_bound,
+    transformation_synthesize,
+)
+from repro.synth.universal import (
+    Algebra,
+    BddAlgebra,
+    BoolAlgebra,
+    ExprAlgebra,
+    universal_gate_stage,
+)
+
+__all__ = [
+    "Algebra",
+    "BddAlgebra",
+    "BddSynthesisEngine",
+    "BoolAlgebra",
+    "DepthOutcome",
+    "DepthStat",
+    "ENGINES",
+    "ExprAlgebra",
+    "QbfSolverEngine",
+    "SatBaselineEngine",
+    "SwordEngine",
+    "SynthesisResult",
+    "absorb_nots",
+    "cancel_pairs",
+    "default_gate_limit",
+    "fuse_peres",
+    "lower_bound",
+    "mmd_gate_count_upper_bound",
+    "simplify",
+    "synthesize",
+    "transformation_synthesize",
+    "upper_bound",
+    "universal_gate_stage",
+]

@@ -1,0 +1,53 @@
+"""Depth bounds for the iterative-deepening driver.
+
+The Figure-1 loop starts at depth 0; for functions whose minimal depth
+is provably larger, the early iterations are wasted work.  Two bounds
+tighten the loop:
+
+* :func:`lower_bound` — admissible lower bound on the minimal gate
+  count: every circuit line whose specified outputs differ from the
+  identity needs at least one gate targeting it, and a library gate
+  targets at most ``max(len(g.targets))`` lines.  (The same reasoning
+  prunes the SWORD-style search.)
+* :func:`upper_bound` — the gate count of the transformation-based (MMD)
+  heuristic realization, valid for completely specified functions; the
+  driver can use it as a tight ``max_gates`` instead of the generic
+  ``n * 2^n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+
+__all__ = ["lower_bound", "upper_bound"]
+
+
+def lower_bound(spec: Specification, library: GateLibrary) -> int:
+    """Admissible lower bound on the minimal gate count."""
+    if library.n_lines != spec.n_lines:
+        raise ValueError("library and specification widths differ")
+    mismatched_lines = 0
+    for line in range(spec.n_lines):
+        identity_ok = True
+        for i, row in enumerate(spec.rows):
+            value = row[line]
+            if value is not None and value != ((i >> line) & 1):
+                identity_ok = False
+                break
+        if not identity_ok:
+            mismatched_lines += 1
+    if mismatched_lines == 0:
+        return 0
+    max_targets = max(len(gate.targets) for gate in library)
+    return -(-mismatched_lines // max_targets)  # ceil
+
+
+def upper_bound(spec: Specification) -> Optional[int]:
+    """MMD-heuristic gate count, or None for incompletely specified specs."""
+    if not spec.is_completely_specified():
+        return None
+    from repro.synth.transformation import transformation_synthesize
+    return len(transformation_synthesize(spec))

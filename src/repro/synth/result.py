@@ -1,0 +1,75 @@
+"""Result types for the synthesis engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.circuit import Circuit
+
+__all__ = ["DepthStat", "SynthesisResult"]
+
+
+@dataclass
+class DepthStat:
+    """Statistics of one iteration of the Figure-1 loop."""
+
+    depth: int
+    decision: str  # "sat", "unsat" or "unknown"
+    runtime: float
+    detail: str = ""  # engine-specific, e.g. BDD sizes or clause counts
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of exact synthesis.
+
+    ``status``:
+
+    * ``"realized"`` — minimal circuits found; ``depth`` is minimal.
+    * ``"timeout"`` — the time budget ran out before a decision.
+    * ``"gate_limit"`` — every depth up to the limit is unrealizable.
+
+    ``circuits`` holds every found realization (all of them for the BDD
+    engine, a single one for the SAT/SWORD/QBF engines).  ``num_solutions``
+    is the exact count of minimal networks when the engine knows it (BDD
+    model counting), else the number of circuits returned.
+    """
+
+    engine: str
+    spec_name: str
+    status: str
+    depth: Optional[int] = None
+    circuits: List[Circuit] = field(default_factory=list)
+    num_solutions: Optional[int] = None
+    quantum_cost_min: Optional[int] = None
+    quantum_cost_max: Optional[int] = None
+    runtime: float = 0.0
+    per_depth: List[DepthStat] = field(default_factory=list)
+    solutions_truncated: bool = False
+
+    @property
+    def realized(self) -> bool:
+        return self.status == "realized"
+
+    @property
+    def circuit(self) -> Optional[Circuit]:
+        """The cheapest found realization (by quantum cost, then order)."""
+        if not self.circuits:
+            return None
+        return min(self.circuits, key=lambda c: c.quantum_cost())
+
+    def summary(self) -> str:
+        if not self.realized:
+            return (f"{self.spec_name} [{self.engine}]: {self.status} "
+                    f"after {self.runtime:.2f}s")
+        parts = [f"{self.spec_name} [{self.engine}]: D={self.depth}",
+                 f"time={self.runtime:.2f}s"]
+        if self.num_solutions is not None:
+            parts.append(f"#SOL={self.num_solutions}")
+        if self.quantum_cost_min is not None:
+            if self.quantum_cost_min == self.quantum_cost_max:
+                parts.append(f"QC={self.quantum_cost_min}")
+            else:
+                parts.append(f"QC={self.quantum_cost_min}..{self.quantum_cost_max}")
+        return " ".join(parts)

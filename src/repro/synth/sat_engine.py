@@ -1,0 +1,148 @@
+"""SAT-based exact synthesis — the baseline of [9] (GLSVLSI'06) / [22].
+
+The depth-``d`` question is encoded as plain Boolean satisfiability:
+the gate-select variables are shared, but the cascade constraints are
+**duplicated for every truth-table row** — each care row gets its own
+copy of the ``d`` universal-gate stages with the row's constant inputs
+folded in.  The encoding therefore grows as ``Theta(2^n * d * q)``,
+which is exactly the weakness (Section 3 of the paper) the QBF
+formulation removes.  Instances are decided by the CDCL solver
+(:mod:`repro.sat.cdcl`), the stand-in for MiniSat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.circuit import Circuit
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.sat.cdcl import CdclSolver
+from repro.sat.cnf import Cnf
+from repro.sat.expr import ExprBuilder
+from repro.synth.bdd_engine import DepthOutcome
+from repro.synth.universal import ExprAlgebra, universal_gate_stage
+
+__all__ = ["SatBaselineEngine"]
+
+
+class SatBaselineEngine:
+    """Per-truth-table-row SAT encoding plus CDCL solving.
+
+    ``select_encoding`` chooses how the gate choice per cascade position
+    is encoded: ``"binary"`` uses ``ceil(log2 q)`` select variables and
+    the universal-gate construction; ``"onehot"`` uses one selector
+    variable per gate with an exactly-one constraint — the encoding
+    style of [9].  Ablation A5 compares the two.
+    """
+
+    name = "sat"
+
+    def __init__(self, spec: Specification, library: GateLibrary,
+                 select_encoding: str = "binary"):
+        if library.n_lines != spec.n_lines:
+            raise ValueError("library and specification widths differ")
+        if select_encoding not in ("binary", "onehot"):
+            raise ValueError("select_encoding must be 'binary' or 'onehot'")
+        self.spec = spec
+        self.library = library
+        self.select_encoding = select_encoding
+        self.n = spec.n_lines
+        self.width = library.select_bits()
+
+    def encode(self, depth: int) -> "tuple[Cnf, List[List[int]]]":
+        """Build the depth-``d`` instance; returns (CNF, select variables).
+
+        Exposed separately so ablation A4 can measure encoding sizes
+        without solving.
+        """
+        if self.select_encoding == "onehot":
+            return self._encode_onehot(depth)
+        cnf = Cnf()
+        select_vars = [[cnf.new_var() for _ in range(self.width)]
+                       for _ in range(depth)]
+        builder = ExprBuilder(cnf)
+        algebra = ExprAlgebra(builder)
+        select_exprs = [[builder.var(v) for v in block] for block in select_vars]
+
+        for row_input, row in enumerate(self.spec.rows):
+            if all(value is None for value in row):
+                continue  # row entirely outside the care domain
+            lines = [builder.const(bool((row_input >> l) & 1))
+                     for l in range(self.n)]
+            for position in range(depth):
+                lines = universal_gate_stage(lines, select_exprs[position],
+                                             self.library, algebra)
+            for l, value in enumerate(row):
+                if value is None:
+                    continue
+                builder.assert_true(
+                    builder.xnor(lines[l], builder.const(bool(value))))
+        return cnf, select_vars
+
+    def _encode_onehot(self, depth: int) -> "tuple[Cnf, List[List[int]]]":
+        """One selector variable per (position, gate), exactly-one each."""
+        cnf = Cnf()
+        q = self.library.size()
+        select_vars = [[cnf.new_var() for _ in range(q)] for _ in range(depth)]
+        for block in select_vars:
+            cnf.add_clause(block)  # at least one gate selected
+            for i in range(q):
+                for j in range(i + 1, q):
+                    cnf.add_clause((-block[i], -block[j]))  # at most one
+        builder = ExprBuilder(cnf)
+        algebra = ExprAlgebra(builder)
+
+        for row_input, row in enumerate(self.spec.rows):
+            if all(value is None for value in row):
+                continue
+            lines = [builder.const(bool((row_input >> l) & 1))
+                     for l in range(self.n)]
+            for position in range(depth):
+                deltas = [builder.false] * self.n
+                for code, gate in enumerate(self.library):
+                    selector = builder.var(select_vars[position][code])
+                    for line, delta in gate.symbolic_deltas(lines, algebra).items():
+                        contribution = builder.and_([selector, delta])
+                        deltas[line] = builder.or_([deltas[line], contribution])
+                lines = [builder.xor(lines[l], deltas[l])
+                         for l in range(self.n)]
+            for l, value in enumerate(row):
+                if value is None:
+                    continue
+                builder.assert_true(
+                    builder.xnor(lines[l], builder.const(bool(value))))
+        return cnf, select_vars
+
+    def decide(self, depth: int,
+               time_limit: Optional[float] = None) -> DepthOutcome:
+        cnf, select_vars = self.encode(depth)
+        detail = f"vars={cnf.num_vars} clauses={len(cnf.clauses)}"
+        result = CdclSolver(cnf).solve(time_limit=time_limit)
+        if result.status == "unknown":
+            return DepthOutcome(status="unknown", detail=detail + " timeout")
+        if result.is_unsat:
+            return DepthOutcome(status="unsat", detail=detail)
+        assert result.model is not None
+        circuit = self._decode(result.model, select_vars)
+        if not self.spec.matches_circuit(circuit):
+            raise AssertionError(
+                "SAT engine produced a circuit violating the specification — "
+                "encoding bug")
+        cost = circuit.quantum_cost()
+        return DepthOutcome(status="sat", circuits=[circuit],
+                            num_solutions=None, quantum_cost_min=cost,
+                            quantum_cost_max=cost, detail=detail)
+
+    def _decode(self, model, select_vars: List[List[int]]) -> Circuit:
+        gates = []
+        for block in select_vars:
+            if self.select_encoding == "onehot":
+                chosen = [k for k, var in enumerate(block) if model[var]]
+                assert len(chosen) == 1, "exactly-one constraint violated"
+                gates.append(self.library[chosen[0]])
+                continue
+            code = sum((1 << j) for j, var in enumerate(block) if model[var])
+            if code < self.library.size():
+                gates.append(self.library[code])
+        return Circuit(self.n, gates)

@@ -1,0 +1,196 @@
+"""Specialized word-level search synthesis — the SWORD stand-in.
+
+The paper's strongest baseline, SWORD [21, 22], is a closed-source SAT
+solver that reasons over word-level structure instead of a bit-blasted
+encoding.  This engine substitutes it with a solver exploiting the same
+kind of problem-specific knowledge directly:
+
+* **word-level state** — the cascade built so far is represented as one
+  bit-vector per circuit line (column of the truth table, ``2^n`` bits
+  packed into a Python integer); applying a gate is a handful of
+  bitwise operations on whole columns;
+* **depth-first iterative deepening** with an admissible lower bound —
+  every line whose column still mismatches the specification needs at
+  least one more gate targeting it, so
+  ``ceil(mismatched_lines / max_targets_per_gate)`` more gates are
+  required;
+* **symmetry breaking** — a self-inverse gate never follows itself, and
+  gates on disjoint line sets are forced into canonical (library) order;
+* **a transposition table** recording, per visited state, the largest
+  remaining budget that already failed.
+
+It finds a single minimal realization per run — like the paper's SAT
+baselines and unlike the all-solutions BDD engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.synth.bdd_engine import DepthOutcome
+
+__all__ = ["SwordEngine"]
+
+Columns = Tuple[int, ...]
+
+
+class _Timeout(Exception):
+    pass
+
+
+class SwordEngine:
+    """Word-level iterative-deepening search with pruning."""
+
+    name = "sword"
+
+    def __init__(self, spec: Specification, library: GateLibrary,
+                 transposition_limit: int = 2_000_000):
+        if library.n_lines != spec.n_lines:
+            raise ValueError("library and specification widths differ")
+        self.spec = spec
+        self.library = library
+        self.n = spec.n_lines
+        rows = 1 << self.n
+        self.full_mask = (1 << rows) - 1
+
+        # Identity columns: bit i of column l = bit l of input i.
+        self.initial: Columns = tuple(
+            sum(((i >> l) & 1) << i for i in range(rows)) for l in range(self.n)
+        )
+        # Specification masks per line: where is the output specified, and
+        # what value must the specified bits take.
+        self.care_masks: List[int] = []
+        self.value_masks: List[int] = []
+        for l in range(self.n):
+            care = 0
+            value = 0
+            for i, row in enumerate(spec.rows):
+                if row[l] is not None:
+                    care |= 1 << i
+                    if row[l]:
+                        value |= 1 << i
+            self.care_masks.append(care)
+            self.value_masks.append(value)
+
+        self.max_targets = max(len(g.targets) for g in library)
+        self._self_inverse = [isinstance(g, (Toffoli, Fredkin)) for g in library]
+        self._gate_lines = [g.lines() for g in library]
+        # Transposition table: state -> largest remaining budget proven hopeless.
+        self._failed: Dict[Columns, int] = {}
+        self._transposition_limit = transposition_limit
+        self._deadline: Optional[float] = None
+        self._node_counter = 0
+
+    # -- word-level gate application ------------------------------------------------
+
+    def _apply(self, gate: Gate, cols: Columns) -> Columns:
+        new_cols = list(cols)
+        if isinstance(gate, Toffoli):
+            active = self.full_mask
+            for c in gate.controls:
+                column = cols[c]
+                if c in gate.negative_controls:
+                    column ^= self.full_mask
+                active &= column
+            new_cols[gate.target] ^= active
+        elif isinstance(gate, Fredkin):
+            a, b = gate.targets
+            active = cols[a] ^ cols[b]
+            for c in gate.controls:
+                active &= cols[c]
+            new_cols[a] ^= active
+            new_cols[b] ^= active
+        elif isinstance(gate, Peres):
+            a, b = gate.targets
+            c = gate.control
+            new_cols[b] ^= cols[c] & cols[a]
+            new_cols[a] ^= cols[c]
+        elif isinstance(gate, InversePeres):
+            a, b = gate.targets
+            c = gate.control
+            new_cols[b] ^= cols[c] & (cols[a] ^ self.full_mask)
+            new_cols[a] ^= cols[c]
+        else:
+            raise TypeError(f"unsupported gate type {type(gate).__name__}")
+        return tuple(new_cols)
+
+    # -- heuristics ---------------------------------------------------------------------
+
+    def _mismatched_lines(self, cols: Columns) -> int:
+        count = 0
+        for l in range(self.n):
+            if (cols[l] ^ self.value_masks[l]) & self.care_masks[l]:
+                count += 1
+        return count
+
+    def _lower_bound(self, cols: Columns) -> int:
+        mismatched = self._mismatched_lines(cols)
+        if mismatched == 0:
+            return 0
+        return -(-mismatched // self.max_targets)  # ceil division
+
+    def _is_goal(self, cols: Columns) -> bool:
+        return all((cols[l] ^ self.value_masks[l]) & self.care_masks[l] == 0
+                   for l in range(self.n))
+
+    # -- search --------------------------------------------------------------------------
+
+    def decide(self, depth: int,
+               time_limit: Optional[float] = None) -> DepthOutcome:
+        """Is there a cascade of at most ``depth`` library gates?"""
+        self._deadline = (None if time_limit is None
+                          else time.perf_counter() + time_limit)
+        path: List[Gate] = []
+        try:
+            found = self._dfs(self.initial, depth, -1, path)
+        except _Timeout:
+            return DepthOutcome(status="unknown", detail="timeout")
+        detail = f"transpositions={len(self._failed)}"
+        if not found:
+            return DepthOutcome(status="unsat", detail=detail)
+        circuit = Circuit(self.n, path)
+        if not self.spec.matches_circuit(circuit):
+            raise AssertionError("SWORD engine produced a circuit violating "
+                                 "the specification — search bug")
+        cost = circuit.quantum_cost()
+        return DepthOutcome(status="sat", circuits=[circuit],
+                            quantum_cost_min=cost, quantum_cost_max=cost,
+                            detail=detail)
+
+    def _dfs(self, cols: Columns, budget: int, previous: int,
+             path: List[Gate]) -> bool:
+        self._node_counter += 1
+        if self._deadline is not None and (self._node_counter & 255) == 0:
+            if time.perf_counter() > self._deadline:
+                raise _Timeout
+        if self._is_goal(cols):
+            return True
+        if budget <= 0 or self._lower_bound(cols) > budget:
+            return False
+        if self._failed.get(cols, -1) >= budget:
+            return False
+        previous_lines = self._gate_lines[previous] if previous >= 0 else None
+        for index, gate in enumerate(self.library.gates):
+            if previous >= 0:
+                # A self-inverse gate immediately undone is never minimal.
+                if index == previous and self._self_inverse[index]:
+                    continue
+                # Canonical order for trivially commuting neighbours.
+                if (index < previous
+                        and not (self._gate_lines[index] & previous_lines)):
+                    continue
+            successor = self._apply(gate, cols)
+            path.append(gate)
+            if self._dfs(successor, budget - 1, index, path):
+                return True
+            path.pop()
+        if len(self._failed) < self._transposition_limit:
+            existing = self._failed.get(cols, -1)
+            if budget > existing:
+                self._failed[cols] = budget
+        return False

@@ -1,0 +1,162 @@
+"""The universal gate ``U_G`` (Definition 2) and cascades of it (Definition 3).
+
+A universal gate takes the ``n`` line signals ``X`` and
+``ceil(log2 q)`` gate-select signals ``Y``; under select code ``k < q``
+it behaves as gate ``g_k`` of the library, under padding codes
+``k >= q`` as the identity.
+
+Every gate type in the library flips its target lines by a Boolean
+*delta* of the old line values (see :mod:`repro.core.gates`), so one
+universal-gate stage is::
+
+    new_l = old_l XOR OR_k ( sel_k AND delta_{k,l}(old) )
+
+where ``sel_k`` is the minterm of the select signals for code ``k`` and
+the OR ranges over the gates targeting line ``l``.  Padding codes
+contribute no delta, giving the identity behaviour for free.
+
+The construction is algebra-generic: the same function builds BDDs
+(Section 5.2), Tseitin-ready expression DAGs (Sections 4/5.1) and plain
+Boolean evaluations for testing, depending on the :class:`Algebra`
+passed in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.core.library import GateLibrary
+
+__all__ = ["Algebra", "BoolAlgebra", "BddAlgebra", "ExprAlgebra",
+           "universal_gate_stage", "select_code_bits"]
+
+
+class Algebra:
+    """Boolean operations over some signal type.
+
+    Also satisfies the :class:`repro.core.gates.SymbolicOps` protocol
+    (``true``, ``conj``, ``xor``), so gate deltas can be built directly.
+    """
+
+    true = None
+    false = None
+
+    def conj(self, signals: Iterable) -> object:
+        raise NotImplementedError
+
+    def disj(self, signals: Iterable) -> object:
+        raise NotImplementedError
+
+    def xor(self, a, b):
+        raise NotImplementedError
+
+    def not_(self, a):
+        raise NotImplementedError
+
+
+class BoolAlgebra(Algebra):
+    """Concrete Booleans; used to simulate the universal gate in tests."""
+
+    true = True
+    false = False
+
+    def conj(self, signals: Iterable) -> bool:
+        return all(signals)
+
+    def disj(self, signals: Iterable) -> bool:
+        return any(signals)
+
+    def xor(self, a: bool, b: bool) -> bool:
+        return bool(a) != bool(b)
+
+    def not_(self, a: bool) -> bool:
+        return not a
+
+
+class BddAlgebra(Algebra):
+    """Signals are node ids of a :class:`~repro.bdd.BddManager`."""
+
+    def __init__(self, manager):
+        self.manager = manager
+        self.true = 1
+        self.false = 0
+
+    def conj(self, signals: Iterable[int]) -> int:
+        return self.manager.conj(signals)
+
+    def disj(self, signals: Iterable[int]) -> int:
+        return self.manager.disj(signals)
+
+    def xor(self, a: int, b: int) -> int:
+        return self.manager.xor(a, b)
+
+    def not_(self, a: int) -> int:
+        return self.manager.not_(a)
+
+
+class ExprAlgebra(Algebra):
+    """Signals are :class:`~repro.sat.expr.Expr` nodes of a builder."""
+
+    def __init__(self, builder):
+        self.builder = builder
+        self.true = builder.true
+        self.false = builder.false
+
+    def conj(self, signals: Iterable) -> object:
+        return self.builder.and_(list(signals))
+
+    def disj(self, signals: Iterable) -> object:
+        return self.builder.or_(list(signals))
+
+    def xor(self, a, b):
+        return self.builder.xor(a, b)
+
+    def not_(self, a):
+        return self.builder.not_(a)
+
+
+def select_code_bits(code: int, width: int) -> List[bool]:
+    """LSB-first bit decomposition of a select code."""
+    return [bool((code >> j) & 1) for j in range(width)]
+
+
+def universal_gate_stage(lines: Sequence, select: Sequence,
+                         library: GateLibrary, algebra: Algebra,
+                         tick: Callable[[], None] = None) -> List:
+    """Apply one universal gate to symbolic line signals.
+
+    ``lines``   — current signals of the ``n`` circuit lines,
+    ``select``  — the ``select_bits()`` gate-select signals (LSB first),
+    ``tick``    — optional callback invoked once per library gate, letting
+                  callers enforce deadlines during long BDD builds;
+    returns the ``n`` output signals.
+    """
+    n = library.n_lines
+    width = library.select_bits()
+    if len(lines) != n:
+        raise ValueError(f"expected {n} line signals, got {len(lines)}")
+    if len(select) != width:
+        raise ValueError(f"expected {width} select signals, got {len(select)}")
+    negated = [algebra.not_(s) for s in select]
+    deltas: List = [algebra.false] * n
+    for code, gate in enumerate(library):
+        if tick is not None:
+            tick()
+        minterm = algebra.conj(
+            select[j] if (code >> j) & 1 else negated[j] for j in range(width)
+        )
+        for line, delta in gate.symbolic_deltas(lines, algebra).items():
+            contribution = algebra.conj([minterm, delta])
+            deltas[line] = algebra.disj([deltas[line], contribution])
+    return [algebra.xor(lines[l], deltas[l]) for l in range(n)]
+
+
+def decode_selection(codes: Sequence[int], library: GateLibrary):
+    """Map per-position select codes to gates; padding codes map to None."""
+    gates = []
+    for code in codes:
+        if code < library.size():
+            gates.append(library[code])
+        else:
+            gates.append(None)  # identity padding
+    return gates

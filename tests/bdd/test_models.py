@@ -1,0 +1,88 @@
+"""Model counting / enumeration tests (the #SOL machinery of Table 2)."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+
+
+class TestCountModels:
+    def test_terminals(self):
+        manager = BddManager(3)
+        assert manager.count_models(FALSE, [0, 1, 2]) == 0
+        assert manager.count_models(TRUE, [0, 1, 2]) == 8
+        assert manager.count_models(TRUE, []) == 1
+
+    def test_single_variable(self):
+        manager = BddManager(3)
+        assert manager.count_models(manager.var(1), [1]) == 1
+        assert manager.count_models(manager.var(1), [0, 1, 2]) == 4
+
+    def test_count_matches_minterm_cardinality(self):
+        manager = BddManager(4)
+        rng = random.Random(3)
+        for _ in range(30):
+            minterms = {m for m in range(16) if rng.random() < 0.4}
+            f = manager.from_minterms([0, 1, 2, 3], minterms)
+            assert manager.count_models(f, [0, 1, 2, 3]) == len(minterms)
+
+    def test_support_outside_variables_rejected(self):
+        manager = BddManager(2)
+        f = manager.var(1)
+        with pytest.raises(ValueError):
+            manager.count_models(f, [0])
+
+
+class TestIterModels:
+    def test_enumeration_matches_count(self):
+        manager = BddManager(4)
+        rng = random.Random(9)
+        for _ in range(20):
+            minterms = {m for m in range(16) if rng.random() < 0.5}
+            f = manager.from_minterms([0, 1, 2, 3], minterms)
+            models = list(manager.iter_models(f, [0, 1, 2, 3]))
+            assert len(models) == len(minterms)
+            packed = {sum(int(m[v]) << v for v in range(4)) for m in models}
+            assert packed == minterms
+
+    def test_dont_care_variables_expanded(self):
+        manager = BddManager(3)
+        f = manager.var(0)  # vars 1, 2 are don't care
+        models = list(manager.iter_models(f, [0, 1, 2]))
+        assert len(models) == 4
+        assert all(m[0] for m in models)
+
+    def test_lexicographic_order(self):
+        manager = BddManager(2)
+        models = list(manager.iter_models(TRUE, [0, 1]))
+        keys = [(m[0], m[1]) for m in models]
+        assert keys == sorted(keys)
+
+    def test_empty_function_yields_nothing(self):
+        manager = BddManager(2)
+        assert list(manager.iter_models(FALSE, [0, 1])) == []
+
+    def test_support_outside_variables_rejected(self):
+        manager = BddManager(2)
+        with pytest.raises(ValueError):
+            list(manager.iter_models(manager.var(1), [0]))
+
+
+class TestSatOne:
+    def test_unsat_returns_none(self):
+        manager = BddManager(2)
+        assert manager.sat_one(FALSE) is None
+
+    def test_model_satisfies_function(self):
+        manager = BddManager(4)
+        rng = random.Random(21)
+        for _ in range(20):
+            minterms = {m for m in range(16) if rng.random() < 0.3}
+            f = manager.from_minterms([0, 1, 2, 3], minterms)
+            model = manager.sat_one(f)
+            if not minterms:
+                assert model is None
+                continue
+            full = {v: model.get(v, False) for v in range(4)}
+            assert manager.evaluate(f, full)

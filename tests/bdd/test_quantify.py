@@ -1,0 +1,101 @@
+"""Quantification tests — the operation at the heart of Section 5.2."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+
+
+def random_function(manager, rng, n_vars):
+    minterms = [m for m in range(1 << n_vars) if rng.random() < 0.5]
+    return manager.from_minterms(list(range(n_vars)), minterms), minterms
+
+
+class TestForall:
+    def test_paper_cofactor_identity(self):
+        # "forall x h = h(x=0) AND h(x=1)" — quoted from Section 5.2.
+        manager = BddManager(3)
+        rng = random.Random(11)
+        for _ in range(20):
+            f, _ = random_function(manager, rng, 3)
+            for var in range(3):
+                expected = manager.and_(manager.restrict(f, var, False),
+                                        manager.restrict(f, var, True))
+                assert manager.forall(f, [var]) == expected
+
+    def test_forall_all_vars_yields_terminal(self):
+        manager = BddManager(2)
+        f = manager.or_(manager.var(0), manager.var(1))
+        assert manager.forall(f, [0, 1]) == FALSE  # not valid
+        assert manager.forall(TRUE, [0, 1]) == TRUE
+
+    def test_forall_tautology(self):
+        manager = BddManager(2)
+        f = manager.or_(manager.var(0), manager.not_(manager.var(0)))
+        assert manager.forall(f, [0, 1]) == TRUE
+
+    def test_order_of_quantification_irrelevant(self):
+        manager = BddManager(4)
+        rng = random.Random(5)
+        f, _ = random_function(manager, rng, 4)
+        a = manager.forall(manager.forall(f, [0]), [2])
+        b = manager.forall(manager.forall(f, [2]), [0])
+        c = manager.forall(f, [0, 2])
+        assert a == b == c
+
+
+class TestExists:
+    def test_exists_cofactor_identity(self):
+        manager = BddManager(3)
+        rng = random.Random(13)
+        for _ in range(20):
+            f, _ = random_function(manager, rng, 3)
+            for var in range(3):
+                expected = manager.or_(manager.restrict(f, var, False),
+                                       manager.restrict(f, var, True))
+                assert manager.exists(f, [var]) == expected
+
+    def test_exists_of_satisfiable_is_true(self):
+        manager = BddManager(3)
+        f = manager.and_(manager.var(0),
+                         manager.and_(manager.var(1), manager.var(2)))
+        assert manager.exists(f, [0, 1, 2]) == TRUE
+
+    def test_duality(self):
+        # forall x f == NOT exists x NOT f
+        manager = BddManager(3)
+        rng = random.Random(17)
+        for _ in range(20):
+            f, _ = random_function(manager, rng, 3)
+            variables = [v for v in range(3) if rng.random() < 0.7]
+            left = manager.forall(f, variables)
+            right = manager.not_(manager.exists(manager.not_(f), variables))
+            assert left == right
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_forall_semantics_exhaustively(self, seed):
+        n_vars = 4
+        manager = BddManager(n_vars)
+        rng = random.Random(seed)
+        f, minterms = random_function(manager, rng, n_vars)
+        quantified_vars = [v for v in range(n_vars) if rng.random() < 0.5]
+        result = manager.forall(f, quantified_vars)
+        free = [v for v in range(n_vars) if v not in quantified_vars]
+        minterm_set = set(minterms)
+        for bits in range(1 << len(free)):
+            assignment = {v: bool((bits >> i) & 1) for i, v in enumerate(free)}
+            expected = True
+            for qbits in range(1 << len(quantified_vars)):
+                full = dict(assignment)
+                for i, v in enumerate(quantified_vars):
+                    full[v] = bool((qbits >> i) & 1)
+                packed = sum(int(full[v]) << v for v in range(n_vars))
+                if packed not in minterm_set:
+                    expected = False
+                    break
+            got = manager.evaluate(result, {**assignment,
+                                            **{v: False for v in quantified_vars}})
+            assert got == expected

@@ -1,0 +1,79 @@
+"""Shared test helpers: brute-force oracles and random generators."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+
+
+def brute_force_minimal_depth(spec: Specification, library: GateLibrary,
+                              max_depth: int) -> Optional[int]:
+    """Oracle: breadth-first search over cascades up to ``max_depth``.
+
+    Returns the minimal gate count, or None if it exceeds ``max_depth``.
+    Exponential in depth — keep instances tiny.
+    """
+    identity = tuple(range(1 << spec.n_lines))
+    frontier = {identity}
+    if spec.matches_permutation(identity):
+        return 0
+    seen = {identity}
+    for depth in range(1, max_depth + 1):
+        next_frontier = set()
+        for perm in frontier:
+            for gate in library:
+                successor = tuple(gate.apply(v) for v in perm)
+                if spec.matches_permutation(successor):
+                    return depth
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.add(successor)
+        frontier = next_frontier
+    return None
+
+
+def brute_force_all_minimal(spec: Specification, library: GateLibrary,
+                            depth: int) -> List[Circuit]:
+    """Oracle: every cascade of exactly ``depth`` gates realizing ``spec``."""
+    circuits = []
+    for combo in itertools.product(range(library.size()), repeat=depth):
+        circuit = Circuit(spec.n_lines, [library[k] for k in combo])
+        if spec.matches_circuit(circuit):
+            circuits.append(circuit)
+    return circuits
+
+
+def random_small_spec(rng: random.Random, n_lines: int,
+                      seed_gates: int) -> Specification:
+    """A completely specified function from a short random cascade."""
+    library = GateLibrary.mct(n_lines)
+    gates = [library[rng.randrange(library.size())] for _ in range(seed_gates)]
+    perm = Circuit(n_lines, gates).permutation()
+    return Specification.from_permutation(perm, name=f"rand{n_lines}")
+
+
+def random_incomplete_spec(rng: random.Random, n_lines: int,
+                           seed_gates: int, dc_fraction: float) -> Specification:
+    """An incompletely specified function derived from a random permutation.
+
+    Don't cares are punched into a realizable permutation, so the spec is
+    guaranteed realizable.
+    """
+    complete = random_small_spec(rng, n_lines, seed_gates)
+    rows = []
+    for row in complete.rows:
+        rows.append(tuple(None if rng.random() < dc_fraction else value
+                          for value in row))
+    return Specification(n_lines, rows, name=f"rand_dc{n_lines}")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

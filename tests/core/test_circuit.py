@@ -1,0 +1,100 @@
+"""Unit tests for circuits (cascades)."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Peres, Toffoli
+from repro.core.truth_table import is_permutation
+
+
+def test_empty_circuit_is_identity():
+    circuit = Circuit(3)
+    assert circuit.permutation() == tuple(range(8))
+    assert circuit.gate_count() == 0
+    assert circuit.quantum_cost() == 0
+
+
+def test_simulation_is_left_to_right():
+    # NOT on line 0, then CNOT 0 -> 1: input 0 becomes 1 then 3.
+    circuit = Circuit(2, [Toffoli((), 0), Toffoli((0,), 1)])
+    assert circuit.simulate(0b00) == 0b11
+    # The reversed order gives a different function.
+    reversed_circuit = Circuit(2, [Toffoli((0,), 1), Toffoli((), 0)])
+    assert reversed_circuit.simulate(0b00) == 0b01
+
+
+def test_simulate_bits_round_trip():
+    circuit = Circuit(3, [Fredkin((2,), 0, 1)])
+    assert circuit.simulate_bits([1, 0, 1]) == [0, 1, 1]
+    assert circuit.simulate_bits([1, 0, 0]) == [1, 0, 0]
+
+
+def test_permutation_always_bijective(rng):
+    from repro.core.library import mct_gates
+    pool = mct_gates(4)
+    for _ in range(25):
+        gates = [pool[rng.randrange(len(pool))] for _ in range(6)]
+        assert is_permutation(Circuit(4, gates).permutation())
+
+
+def test_inverse_composes_to_identity(rng):
+    gates = [Toffoli((0,), 1), Peres(1, 2, 0), Fredkin((0,), 1, 2),
+             Toffoli((), 2), Peres(2, 0, 1)]
+    circuit = Circuit(3, gates)
+    inverse = circuit.inverse()
+    for x in range(8):
+        assert inverse.simulate(circuit.simulate(x)) == x
+        assert circuit.simulate(inverse.simulate(x)) == x
+
+
+def test_appended_and_concatenated():
+    base = Circuit(2, [Toffoli((), 0)])
+    extended = base.appended(Toffoli((0,), 1))
+    assert len(extended) == 2
+    assert len(base) == 1  # immutable
+    joined = base.concatenated(extended)
+    assert len(joined) == 3
+    with pytest.raises(ValueError):
+        base.concatenated(Circuit(3))
+
+
+def test_gate_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        Circuit(2, [Toffoli((0, 1), 2)])
+
+
+def test_state_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        Circuit(2).simulate(4)
+
+
+def test_quantum_cost_sums_gate_costs():
+    # Toffoli-2 (5) + CNOT (1) + Fredkin-1 (7) + Peres (4) = 17
+    circuit = Circuit(3, [Toffoli((0, 1), 2), Toffoli((0,), 1),
+                          Fredkin((2,), 0, 1), Peres(0, 1, 2)])
+    assert circuit.quantum_cost() == 17
+
+
+def test_slicing_returns_circuit():
+    circuit = Circuit(3, [Toffoli((), 0), Toffoli((), 1), Toffoli((), 2)])
+    head = circuit[:2]
+    assert isinstance(head, Circuit)
+    assert len(head) == 2
+    assert circuit[0] == Toffoli((), 0)
+
+
+def test_to_string_rendering():
+    circuit = Circuit(3, [Toffoli((0,), 2), Fredkin((2,), 0, 1)])
+    rendering = circuit.to_string()
+    lines = rendering.splitlines()
+    assert lines[0] == "x0: * x"
+    assert lines[1] == "x1: - x"
+    assert lines[2] == "x2: X *"
+
+
+def test_equality_and_hash():
+    a = Circuit(2, [Toffoli((), 0)])
+    b = Circuit(2, [Toffoli((), 0)])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Circuit(2, [Toffoli((), 1)])

@@ -1,0 +1,68 @@
+"""Quantum-cost model tests — the paper's Section 2.1 figures."""
+
+import pytest
+
+from repro.core.cost import PERES_COST, SWAP_COST, fredkin_cost, mct_cost
+from repro.core.gates import Fredkin, Peres, Toffoli
+
+
+class TestMctCost:
+    def test_paper_values(self):
+        # "a Toffoli gate with two controls has a cost of five"
+        assert mct_cost(0) == 1   # NOT
+        assert mct_cost(1) == 1   # CNOT
+        assert mct_cost(2) == 5   # Toffoli
+
+    def test_exponential_general_case(self):
+        assert mct_cost(3) == 13
+        assert mct_cost(4) == 29
+        assert mct_cost(5) == 61
+        for c in range(2, 10):
+            assert mct_cost(c) == 2 ** (c + 1) - 3
+
+    def test_free_line_reduction(self):
+        assert mct_cost(4, free_lines=1, free_line_reduction=True) == 26
+        assert mct_cost(5, free_lines=1, free_line_reduction=True) == 24 * 5 - 88
+        # No free line: reduction cannot apply.
+        assert mct_cost(4, free_lines=0, free_line_reduction=True) == 29
+
+    def test_reduction_off_by_default(self):
+        assert mct_cost(4, free_lines=3) == 29
+
+    def test_negative_controls_rejected(self):
+        with pytest.raises(ValueError):
+            mct_cost(-1)
+
+
+class TestFredkinCost:
+    def test_paper_values(self):
+        # "a Fredkin gate with one control has a cost of seven"
+        assert fredkin_cost(1) == 7
+        assert fredkin_cost(0) == SWAP_COST == 3
+
+    def test_decomposition_identity(self):
+        for c in range(0, 6):
+            assert fredkin_cost(c) == 2 + mct_cost(c + 1)
+
+
+class TestGateCostMethods:
+    def test_toffoli_gate_cost(self):
+        assert Toffoli((0, 1), 2).quantum_cost(3) == 5
+        assert Toffoli((), 0).quantum_cost(3) == 1
+
+    def test_fredkin_gate_cost(self):
+        assert Fredkin((2,), 0, 1).quantum_cost(3) == 7
+
+    def test_peres_cheaper_than_toffoli_plus_cnot(self):
+        # The paper's motivation for adding Peres to the library.
+        peres = Peres(0, 1, 2).quantum_cost(3)
+        assert peres == PERES_COST == 4
+        two_gates = Toffoli((0, 1), 2).quantum_cost(3) + Toffoli((0,), 1).quantum_cost(3)
+        assert two_gates == 6
+        assert peres < two_gates
+
+    def test_free_line_awareness_uses_untouched_lines(self):
+        gate = Toffoli((0, 1, 2, 3), 4)
+        assert gate.quantum_cost(5) == 29
+        assert gate.quantum_cost(6, free_line_reduction=True) == 26
+        assert gate.quantum_cost(5, free_line_reduction=True) == 29

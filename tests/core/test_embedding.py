@@ -1,0 +1,72 @@
+"""Embedding tests: irreversible functions into reversible specifications."""
+
+import pytest
+
+from repro.core.embedding import embed_function, embed_truth_table, minimum_lines
+from repro.core.spec import Specification
+from repro.synth import synthesize
+
+
+class TestMinimumLines:
+    def test_reversible_shape_needs_no_extras(self):
+        assert minimum_lines(3, 3, output_multiplicity=1) == 3
+
+    def test_multiplicity_drives_garbage(self):
+        # AND: output 0 occurs 3 times -> 2 garbage bits -> 3 lines.
+        assert minimum_lines(2, 1, output_multiplicity=3) == 3
+        # XOR: balanced (multiplicity 2) -> 1 garbage bit -> 2 lines.
+        assert minimum_lines(2, 1, output_multiplicity=2) == 2
+
+    def test_inputs_can_dominate(self):
+        assert minimum_lines(5, 1, output_multiplicity=2) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_lines(0, 1, 1)
+        with pytest.raises(ValueError):
+            minimum_lines(1, 1, 0)
+
+
+class TestEmbedTruthTable:
+    def test_and_gate_embedding_shape(self):
+        spec = embed_truth_table([0, 0, 0, 1], n_inputs=2, n_outputs=1,
+                                 name="and")
+        assert spec.n_lines == 3
+        # Care rows: line 2 constant 0 -> inputs 0..3.
+        for i in range(4):
+            assert spec.rows[i][0] == (1 if i == 3 else 0)
+        for i in range(4, 8):
+            assert all(v is None for v in spec.rows[i])
+
+    def test_explicit_width_must_suffice(self):
+        with pytest.raises(ValueError):
+            embed_truth_table([0, 0, 0, 1], 2, 1, n_lines=2)
+
+    def test_table_length_validated(self):
+        with pytest.raises(ValueError):
+            embed_truth_table([0, 1], 2, 1)
+
+    def test_output_range_validated(self):
+        with pytest.raises(ValueError):
+            embed_truth_table([0, 2, 0, 1], 2, 1)
+
+
+class TestEmbedFunction:
+    def test_half_adder_is_synthesizable(self):
+        # sum = a XOR b, carry = a AND b
+        spec = embed_function(
+            lambda x: ((x & 1) ^ ((x >> 1) & 1)) | ((x & 1) & ((x >> 1) & 1)) << 1,
+            n_inputs=2, n_outputs=2, name="half-adder")
+        assert spec.n_lines == 3
+        result = synthesize(spec, engine="bdd")
+        assert result.realized
+        assert result.depth is not None and result.depth <= 4
+        for circuit in result.circuits:
+            assert spec.matches_circuit(circuit)
+
+    def test_constant_lines_default_zero(self):
+        spec = embed_function(lambda x: x & 1, n_inputs=1, n_outputs=1,
+                              n_lines=2)
+        # Line 1 is constant 0: rows 2 and 3 out of domain.
+        assert all(v is None for v in spec.rows[2])
+        assert all(v is None for v in spec.rows[3])

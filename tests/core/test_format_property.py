@@ -1,0 +1,71 @@
+"""Hypothesis round-trip properties for the interchange formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit
+from repro.core.export import from_json, to_json
+from repro.core.library import (
+    mcf_gates,
+    mct_gates,
+    mpmct_gates,
+    peres_gates,
+)
+from repro.core.pla import parse_pla, pla_to_specification, write_pla
+from repro.core.realfmt import parse_real, write_real
+
+N_LINES = 4
+POOL = (mct_gates(N_LINES) + mcf_gates(N_LINES) + peres_gates(N_LINES)
+        + mpmct_gates(3))
+
+circuits = st.lists(st.sampled_from(POOL), max_size=8).map(
+    lambda gates: Circuit(N_LINES, gates))
+
+
+@given(circuits)
+@settings(max_examples=100, deadline=None)
+def test_real_round_trip_preserves_circuit(circuit):
+    parsed, meta = parse_real(write_real(circuit))
+    assert parsed == circuit
+    assert parsed.permutation() == circuit.permutation()
+    assert len(meta["variables"]) == N_LINES
+
+
+@given(circuits)
+@settings(max_examples=100, deadline=None)
+def test_json_round_trip_preserves_circuit(circuit):
+    assert from_json(to_json(circuit)) == circuit
+
+
+@given(circuits)
+@settings(max_examples=50, deadline=None)
+def test_real_and_json_agree(circuit):
+    via_real, _ = parse_real(write_real(circuit))
+    via_json = from_json(to_json(circuit))
+    assert via_real == via_json
+
+
+@given(st.lists(st.integers(0, 3), min_size=4, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_pla_round_trip_semantics(outputs):
+    """write_pla -> parse -> embed must reproduce the function on the
+    care domain."""
+    text = write_pla(2, 2, outputs)
+    n_in, n_out, _ = parse_pla(text)
+    assert (n_in, n_out) == (2, 2)
+    spec = pla_to_specification(text)
+    for x in range(4):
+        row = spec.rows[x]
+        for j in range(2):
+            assert row[j] == (outputs[x] >> j) & 1
+
+
+@given(circuits)
+@settings(max_examples=50, deadline=None)
+def test_statistics_consistent_with_circuit(circuit):
+    from repro.core.statistics import analyze
+    stats = analyze(circuit)
+    assert stats.gate_count == len(circuit)
+    assert stats.quantum_cost == circuit.quantum_cost()
+    assert sum(stats.gates_by_kind.values()) == len(circuit)
+    assert sum(stats.controls_histogram.values()) == len(circuit)

@@ -1,0 +1,135 @@
+"""Unit tests for the gate definitions."""
+
+import pytest
+
+from repro.core.gates import BOOL_OPS, Fredkin, InversePeres, Peres, Toffoli
+from repro.core.truth_table import is_permutation
+
+
+def apply_table(gate, n_lines):
+    return [gate.apply(x) for x in range(1 << n_lines)]
+
+
+class TestToffoli:
+    def test_not_gate_flips_target_everywhere(self):
+        gate = Toffoli((), 1)
+        assert apply_table(gate, 2) == [2, 3, 0, 1]
+
+    def test_cnot_flips_target_when_control_set(self):
+        gate = Toffoli((0,), 1)
+        assert apply_table(gate, 2) == [0, 3, 2, 1]
+
+    def test_toffoli_two_controls(self):
+        gate = Toffoli((0, 1), 2)
+        table = apply_table(gate, 3)
+        assert table[0b011] == 0b111
+        assert table[0b111] == 0b011
+        assert all(table[x] == x for x in range(8) if x not in (0b011, 0b111))
+
+    def test_is_bijection(self):
+        for gate in (Toffoli((), 0), Toffoli((2,), 0), Toffoli((0, 1, 2), 3)):
+            assert is_permutation(apply_table(gate, 4))
+
+    def test_self_inverse(self):
+        gate = Toffoli((0, 2), 1)
+        assert gate.inverse() is gate
+        for x in range(8):
+            assert gate.apply(gate.apply(x)) == x
+
+    def test_control_target_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Toffoli((1,), 1)
+
+    def test_equality_and_hash(self):
+        assert Toffoli((0, 1), 2) == Toffoli((1, 0), 2)
+        assert hash(Toffoli((0, 1), 2)) == hash(Toffoli((1, 0), 2))
+        assert Toffoli((0,), 2) != Toffoli((1,), 2)
+
+
+class TestFredkin:
+    def test_plain_swap(self):
+        gate = Fredkin((), 0, 1)
+        assert apply_table(gate, 2) == [0, 2, 1, 3]
+
+    def test_controlled_swap_only_when_control_set(self):
+        gate = Fredkin((2,), 0, 1)
+        table = apply_table(gate, 3)
+        assert table[0b101] == 0b110
+        assert table[0b110] == 0b101
+        assert table[0b001] == 0b001  # control low: no swap
+
+    def test_target_order_irrelevant(self):
+        assert Fredkin((2,), 0, 1) == Fredkin((2,), 1, 0)
+
+    def test_self_inverse(self):
+        gate = Fredkin((3,), 0, 2)
+        for x in range(16):
+            assert gate.apply(gate.apply(x)) == x
+
+    def test_equal_targets_rejected(self):
+        with pytest.raises(ValueError):
+            Fredkin((), 1, 1)
+
+    def test_is_bijection(self):
+        assert is_permutation(apply_table(Fredkin((1,), 0, 2), 3))
+
+
+class TestPeres:
+    def test_truth_table_matches_definition(self):
+        # P(c; a, b): a -> c XOR a, b -> (c AND a_old) XOR b
+        gate = Peres(0, 1, 2)
+        for x in range(8):
+            c, a, b = x & 1, (x >> 1) & 1, (x >> 2) & 1
+            out = gate.apply(x)
+            assert out & 1 == c
+            assert (out >> 1) & 1 == c ^ a
+            assert (out >> 2) & 1 == (c & a) ^ b
+
+    def test_equals_toffoli_then_cnot(self):
+        from repro.core.circuit import Circuit
+        peres = Peres(0, 1, 2)
+        two_gate = Circuit(3, [Toffoli((0, 1), 2), Toffoli((0,), 1)])
+        assert apply_table(peres, 3) == list(two_gate.permutation())
+
+    def test_inverse_round_trip(self):
+        gate = Peres(2, 0, 3)
+        inverse = gate.inverse()
+        assert isinstance(inverse, InversePeres)
+        for x in range(16):
+            assert inverse.apply(gate.apply(x)) == x
+            assert gate.apply(inverse.apply(x)) == x
+
+    def test_double_peres_is_cnot_not_identity(self):
+        gate = Peres(0, 1, 2)
+        doubled = [gate.apply(gate.apply(x)) for x in range(8)]
+        cnot = Toffoli((0,), 2)
+        assert doubled == apply_table(cnot, 3)
+
+    def test_is_bijection(self):
+        assert is_permutation(apply_table(Peres(1, 0, 2), 3))
+
+
+class TestSymbolicDeltas:
+    """symbolic_deltas with plain Booleans must reproduce apply()."""
+
+    @pytest.mark.parametrize("gate", [
+        Toffoli((), 0),
+        Toffoli((0,), 2),
+        Toffoli((0, 1, 3), 2),
+        Fredkin((), 0, 1),
+        Fredkin((2, 3), 0, 1),
+        Peres(0, 1, 2),
+        Peres(3, 2, 0),
+        InversePeres(0, 1, 2),
+    ])
+    def test_matches_apply(self, gate):
+        n = 4
+        for x in range(1 << n):
+            lines = [bool((x >> l) & 1) for l in range(n)]
+            deltas = gate.symbolic_deltas(lines, BOOL_OPS)
+            symbolic = list(lines)
+            for line, delta in deltas.items():
+                symbolic[line] = symbolic[line] != bool(delta)
+            expected = gate.apply(x)
+            packed = sum(int(b) << l for l, b in enumerate(symbolic))
+            assert packed == expected, (gate, x)

@@ -1,0 +1,93 @@
+"""Gate-library enumeration tests (Theorem 1)."""
+
+import pytest
+
+from repro.core.gates import Fredkin, Peres, Toffoli
+from repro.core.library import (
+    GateLibrary,
+    mcf_gates,
+    mct_gates,
+    peres_gates,
+    theorem1_count,
+)
+
+
+class TestTheorem1:
+    def test_mct_count_matches_formula(self):
+        for n in range(1, 6):
+            assert len(mct_gates(n)) == theorem1_count(n, "mct") == n * 2 ** (n - 1)
+
+    def test_peres_count_matches_formula(self):
+        for n in range(3, 6):
+            assert len(peres_gates(n)) == theorem1_count(n, "peres")
+
+    def test_fredkin_distinct_is_half_the_paper_formula(self):
+        # Theorem 1 counts ordered target pairs; F(C;a,b) == F(C;b,a), so
+        # the distinct enumeration is exactly half.
+        for n in range(2, 6):
+            assert len(mcf_gates(n)) * 2 == theorem1_count(n, "mcf")
+
+    def test_paper_example_24_gates_at_n3(self):
+        # "G contains (3*4) + (3*2*2) = 12 + 12 = 24 different gates" —
+        # with distinct Fredkin gates the encoded set is 12 + 6 = 18.
+        assert theorem1_count(3, "mct") + theorem1_count(3, "mcf") == 24
+        assert GateLibrary.mct_mcf(3).size() == 18
+
+    def test_no_duplicates_in_enumerations(self):
+        for n in range(1, 5):
+            gates = mct_gates(n)
+            assert len(set(gates)) == len(gates)
+        for n in range(2, 5):
+            gates = mcf_gates(n)
+            assert len(set(gates)) == len(gates)
+        for n in range(3, 5):
+            gates = peres_gates(n)
+            assert len(set(gates)) == len(gates)
+
+
+class TestGateLibrary:
+    def test_from_kinds_concatenates_in_order(self):
+        library = GateLibrary.from_kinds(3, ("mct", "peres"))
+        assert library.size() == 12 + 6
+        assert isinstance(library[0], Toffoli)
+        assert isinstance(library[12], Peres)
+
+    def test_select_bits_is_ceil_log2(self):
+        assert GateLibrary.mct(3).select_bits() == 4           # q = 12
+        assert GateLibrary.mct(4).select_bits() == 5           # q = 32
+        assert GateLibrary.mct_mcf(3).select_bits() == 5       # q = 18
+        assert GateLibrary.mct_mcf_peres(3).select_bits() == 5  # q = 24
+
+    def test_padded_size_covers_all_codes(self):
+        library = GateLibrary.mct_mcf(3)
+        assert library.padded_size() == 32
+        assert library.padded_size() >= library.size()
+
+    def test_single_gate_library_still_has_a_select_bit(self):
+        library = GateLibrary("single", 2, [Toffoli((), 0)])
+        assert library.select_bits() == 1
+        assert library.padded_size() == 2
+
+    def test_all_gates_within_width(self):
+        with pytest.raises(ValueError):
+            GateLibrary("bad", 2, [Toffoli((0, 1), 2)])
+
+    def test_duplicate_gates_rejected(self):
+        with pytest.raises(ValueError):
+            GateLibrary("dup", 2, [Toffoli((), 0), Toffoli((), 0)])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GateLibrary.from_kinds(3, ("mct", "nope"))
+
+    def test_every_library_gate_is_bijective(self):
+        library = GateLibrary.mct_mcf_peres(3)
+        for gate in library:
+            table = [gate.apply(x) for x in range(8)]
+            assert sorted(table) == list(range(8)), gate
+
+    def test_paper_library_mixes(self):
+        assert GateLibrary.mct(3).name == "mct"
+        assert GateLibrary.mct_mcf(3).name == "mct+mcf"
+        assert GateLibrary.mct_peres(3).name == "mct+peres"
+        assert GateLibrary.mct_mcf_peres(3).name == "mct+mcf+peres"

@@ -1,0 +1,119 @@
+"""Mixed-polarity (negative-control) Toffoli extension tests."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import BOOL_OPS, Toffoli
+from repro.core.library import GateLibrary, mct_gates, mpmct_gates
+from repro.core.realfmt import parse_real, write_real
+from repro.core.spec import Specification
+from repro.synth import synthesize
+
+
+class TestGateSemantics:
+    def test_negative_control_fires_on_zero(self):
+        gate = Toffoli((0,), 1, negative_controls=(0,))
+        assert gate.apply(0b00) == 0b10  # control low -> fires
+        assert gate.apply(0b01) == 0b01  # control high -> identity
+
+    def test_mixed_controls(self):
+        gate = Toffoli((0, 1), 2, negative_controls=(1,))
+        for x in range(8):
+            fires = (x & 1) == 1 and ((x >> 1) & 1) == 0
+            expected = x ^ (0b100 if fires else 0)
+            assert gate.apply(x) == expected
+
+    def test_negative_must_be_subset_of_controls(self):
+        with pytest.raises(ValueError):
+            Toffoli((0,), 1, negative_controls=(2,))
+
+    def test_polarity_distinguishes_gates(self):
+        positive = Toffoli((0,), 1)
+        negative = Toffoli((0,), 1, negative_controls=(0,))
+        assert positive != negative
+        assert hash(positive) != hash(negative)
+        assert "!x0" in repr(negative)
+
+    def test_self_inverse(self):
+        gate = Toffoli((0, 2), 1, negative_controls=(2,))
+        for x in range(8):
+            assert gate.apply(gate.apply(x)) == x
+
+    def test_symbolic_deltas_match_apply(self):
+        gate = Toffoli((0, 1, 3), 2, negative_controls=(1, 3))
+        for x in range(16):
+            lines = [bool((x >> l) & 1) for l in range(4)]
+            deltas = gate.symbolic_deltas(lines, BOOL_OPS)
+            out = list(lines)
+            for line, delta in deltas.items():
+                out[line] = out[line] != bool(delta)
+            packed = sum(int(b) << l for l, b in enumerate(out))
+            assert packed == gate.apply(x)
+
+    def test_quantum_cost_ignores_polarity(self):
+        positive = Toffoli((0, 1), 2)
+        negative = Toffoli((0, 1), 2, negative_controls=(0, 1))
+        assert positive.quantum_cost(3) == negative.quantum_cost(3)
+
+
+class TestLibrary:
+    def test_count_is_n_times_3_to_n_minus_1(self):
+        for n in (1, 2, 3, 4):
+            assert len(mpmct_gates(n)) == n * 3 ** (n - 1)
+
+    def test_plain_mct_is_a_subset(self):
+        plain = set(mct_gates(3))
+        mixed = set(mpmct_gates(3))
+        assert plain < mixed
+
+    def test_all_gates_bijective(self):
+        for gate in mpmct_gates(3):
+            table = [gate.apply(x) for x in range(8)]
+            assert sorted(table) == list(range(8)), gate
+
+
+class TestSynthesisWithPolarity:
+    def test_mpmct_never_deeper_than_mct(self):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5),
+                                              name="3_17")
+        plain = synthesize(spec, kinds=("mct",), engine="bdd")
+        mixed = synthesize(spec, kinds=("mpmct",), engine="bdd",
+                           time_limit=300)
+        assert mixed.realized
+        assert mixed.depth <= plain.depth
+        for circuit in mixed.circuits[:10]:
+            assert spec.matches_circuit(circuit)
+
+    def test_negative_polarity_strictly_helps_somewhere(self):
+        # x0' = NOT x0 controlled nothing, x1' = x1 XOR NOT x0: one
+        # negative CNOT, two plain-MCT gates.
+        gate = Toffoli((0,), 1, negative_controls=(0,))
+        perm = tuple(gate.apply(x) for x in range(4))
+        spec = Specification.from_permutation(perm, name="neg-cnot")
+        plain = synthesize(spec, kinds=("mct",), engine="bdd")
+        mixed = synthesize(spec, kinds=("mpmct",), engine="bdd")
+        assert mixed.depth == 1
+        assert plain.depth == 2
+
+    def test_all_engines_support_polarity(self):
+        gate = Toffoli((1,), 0, negative_controls=(1,))
+        perm = tuple(gate.apply(x) for x in range(4))
+        spec = Specification.from_permutation(perm, name="neg")
+        library = GateLibrary.mpmct(2)
+        for engine in ("bdd", "sat", "sword", "qbf"):
+            result = synthesize(spec, library=library, engine=engine,
+                                time_limit=120)
+            assert result.realized and result.depth == 1, engine
+
+
+class TestRealFormat:
+    def test_round_trip_negative_controls(self):
+        circuit = Circuit(3, [Toffoli((0, 1), 2, negative_controls=(1,))])
+        text = write_real(circuit, variable_names=["a", "b", "c"])
+        assert "t3 a -b c" in text
+        parsed, _ = parse_real(text)
+        assert parsed == circuit
+
+    def test_rendering_uses_open_circle(self):
+        circuit = Circuit(2, [Toffoli((0,), 1, negative_controls=(0,))])
+        assert circuit.to_string().splitlines()[0] == "x0: o"

@@ -1,0 +1,120 @@
+"""PLA parsing / embedding tests."""
+
+import pytest
+
+from repro.core.pla import parse_pla, pla_to_specification, write_pla
+from repro.synth import synthesize
+
+AND_PLA = """# 2-input AND
+.i 2
+.o 1
+.p 1
+11 1
+.e
+"""
+
+XOR_PLA = """.i 2
+.o 1
+.type fr
+01 1
+10 1
+00 0
+11 0
+.e
+"""
+
+ADDER_PLA = """.i 2
+.o 2
+.ilb a b
+.ob sum carry
+01 10
+10 10
+11 01
+.e
+"""
+
+
+class TestParse:
+    def test_header_and_cubes(self):
+        n_in, n_out, cubes = parse_pla(AND_PLA)
+        assert (n_in, n_out) == (2, 1)
+        assert cubes == [("11", "1")]
+
+    def test_dash_inputs_expand(self):
+        n_in, n_out, cubes = parse_pla(".i 3\n.o 1\n-1- 1\n.e\n")
+        assert cubes == [("-1-", "1")]
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_pla("11 1\n")
+        with pytest.raises(ValueError, match="missing"):
+            parse_pla("# empty\n")
+        with pytest.raises(ValueError, match="width"):
+            parse_pla(".i 2\n.o 1\n111 1\n.e\n")
+        with pytest.raises(ValueError, match="characters"):
+            parse_pla(".i 2\n.o 1\n1x 1\n.e\n")
+        with pytest.raises(ValueError, match="directive"):
+            parse_pla(".i 2\n.o 1\n.magic\n.e\n")
+        with pytest.raises(ValueError, match="malformed"):
+            parse_pla(".i 2\n.o 1\n11\n.e\n")
+
+
+class TestSpecification:
+    def test_and_gate_embedding(self):
+        spec = pla_to_specification(AND_PLA, name="and")
+        # AND has output-0 multiplicity 3 -> 3 lines.
+        assert spec.n_lines == 3
+        result = synthesize(spec, engine="bdd")
+        assert result.realized
+        best = result.circuit
+        for a in (0, 1):
+            for b in (0, 1):
+                out = best.simulate(a | (b << 1))
+                assert (out & 1) == (a & b)
+
+    def test_xor_fits_two_lines(self):
+        spec = pla_to_specification(XOR_PLA, name="xor")
+        assert spec.n_lines == 2
+        result = synthesize(spec, engine="bdd")
+        assert result.realized and result.depth == 1  # one CNOT
+
+    def test_half_adder(self):
+        spec = pla_to_specification(ADDER_PLA, name="half-adder")
+        assert spec.n_lines == 3
+        result = synthesize(spec, engine="bdd")
+        assert result.realized
+        best = result.circuit
+        for a in (0, 1):
+            for b in (0, 1):
+                out = best.simulate(a | (b << 1))
+                assert (out & 1) == (a ^ b)
+                assert ((out >> 1) & 1) == (a & b)
+
+    def test_unspecified_as_dont_care_loosens(self):
+        strict = pla_to_specification(AND_PLA)
+        loose = pla_to_specification(AND_PLA, unspecified_as_dont_care=True)
+        assert strict.specified_bit_count() > loose.specified_bit_count()
+
+    def test_conflicting_cubes_rejected(self):
+        text = ".i 1\n.o 1\n1 1\n1 0\n.e\n"
+        with pytest.raises(ValueError, match="conflicting"):
+            pla_to_specification(text)
+
+    def test_explicit_width_validated(self):
+        with pytest.raises(ValueError, match="insufficient"):
+            pla_to_specification(AND_PLA, n_lines=2)
+
+
+class TestWrite:
+    def test_round_trip(self):
+        outputs = [0, 1, 1, 0]  # XOR
+        text = write_pla(2, 1, outputs, name="xor")
+        n_in, n_out, cubes = parse_pla(text)
+        assert (n_in, n_out) == (2, 1)
+        spec = pla_to_specification(text)
+        result = synthesize(spec, engine="bdd")
+        assert result.depth == 1
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            write_pla(2, 1, [0, 1])

@@ -1,0 +1,116 @@
+"""RevLib .real format round-trip and parsing tests."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, InversePeres, Peres, Toffoli
+from repro.core.realfmt import parse_real, write_real
+
+
+SAMPLE = Circuit(3, [Toffoli((0, 1), 2), Toffoli((), 0),
+                     Fredkin((2,), 0, 1), Peres(0, 1, 2),
+                     InversePeres(2, 0, 1)])
+
+
+def test_round_trip_preserves_circuit():
+    text = write_real(SAMPLE, name="sample")
+    parsed, meta = parse_real(text)
+    assert parsed == SAMPLE
+    assert meta["variables"] == ["x0", "x1", "x2"]
+    assert meta["version"] == "2.0"
+
+
+def test_round_trip_preserves_semantics(rng):
+    from repro.core.library import mct_gates, mcf_gates, peres_gates
+    pool = mct_gates(4) + mcf_gates(4) + peres_gates(4)
+    for _ in range(15):
+        gates = [pool[rng.randrange(len(pool))] for _ in range(5)]
+        circuit = Circuit(4, gates)
+        parsed, _ = parse_real(write_real(circuit))
+        assert parsed.permutation() == circuit.permutation()
+
+
+def test_header_content():
+    text = write_real(SAMPLE, name="demo", constants={2: 0}, garbage=[1])
+    assert "# demo" in text
+    assert ".numvars 3" in text
+    assert ".constants --0" in text
+    assert ".garbage -1-" in text
+    assert text.rstrip().endswith(".end")
+
+
+def test_custom_variable_names():
+    circuit = Circuit(2, [Toffoli((0,), 1)])
+    text = write_real(circuit, variable_names=["a", "b"])
+    assert "t2 a b" in text
+    parsed, meta = parse_real(text)
+    assert parsed == circuit
+    assert meta["variables"] == ["a", "b"]
+
+
+def test_parse_gate_operand_conventions():
+    text = """.version 2.0
+.numvars 3
+.variables a b c
+.begin
+t1 c
+t3 a b c
+f3 a b c
+p3 a b c
+.end
+"""
+    circuit, _ = parse_real(text)
+    assert circuit.gates == (Toffoli((), 2), Toffoli((0, 1), 2),
+                             Fredkin((0,), 1, 2), Peres(0, 1, 2))
+
+
+def test_parse_metadata():
+    text = """.version 2.0
+.numvars 2
+.variables a b
+.constants 0-
+.garbage -1
+.begin
+t2 a b
+.end
+"""
+    _, meta = parse_real(text)
+    assert meta["constants"] == {0: 0}
+    assert meta["garbage"] == {1}
+
+
+def test_comments_and_blank_lines_skipped():
+    text = """# full line comment
+.version 2.0
+.numvars 2
+.variables a b
+
+.begin
+t2 a b  # trailing comment
+.end
+"""
+    circuit, _ = parse_real(text)
+    assert circuit.gates == (Toffoli((0,), 1),)
+
+
+@pytest.mark.parametrize("bad,message", [
+    (".numvars 2\n.variables a b\n.begin\nt2 a c\n.end\n", "unknown variable"),
+    (".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n", "operands"),
+    (".numvars 2\n.variables a b\n.begin\nf2 -a b\n.end\n", "negative"),
+    (".numvars 2\n.variables a b\n.begin\nt2 a -b\n.end\n", "target"),
+    (".numvars 2\n.variables a b\n.begin\nz2 a b\n.end\n", "unsupported gate"),
+    (".numvars 2\n.variables a b\nt2 a b\n.begin\n.end\n", "outside"),
+    (".variables a b\n.begin\n.end\n", "numvars"),
+    (".numvars 2\n.variables a b\n.begin\nt2 a b\n", "missing .end"),
+    (".numvars 3\n.variables a b\n.begin\n.end\n", "disagrees"),
+])
+def test_parse_errors(bad, message):
+    with pytest.raises(ValueError, match=message):
+        parse_real(bad)
+
+
+def test_writer_validates_names():
+    with pytest.raises(ValueError):
+        write_real(SAMPLE, variable_names=["a", "b"])
+    with pytest.raises(ValueError):
+        write_real(SAMPLE, variable_names=["a", "a", "b"])

@@ -1,0 +1,127 @@
+"""Specification tests, including incompletely specified functions."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Toffoli
+from repro.core.spec import Specification
+
+
+class TestCompletelySpecified:
+    def test_from_permutation_round_trip(self):
+        perm = (7, 1, 4, 3, 0, 2, 6, 5)
+        spec = Specification.from_permutation(perm, name="3_17")
+        assert spec.n_lines == 3
+        assert spec.is_completely_specified()
+        assert spec.permutation() == perm
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(ValueError):
+            Specification.from_permutation([0, 0, 1, 2])
+
+    def test_on_off_sets_partition_inputs(self):
+        spec = Specification.from_permutation((0, 3, 2, 1))
+        for line in range(2):
+            on = set(spec.on_set(line))
+            off = set(spec.off_set(line))
+            assert on | off == set(range(4))
+            assert not on & off
+            assert not spec.dc_set(line)
+
+    def test_matches_permutation(self):
+        perm = (2, 0, 3, 1)
+        spec = Specification.from_permutation(perm)
+        assert spec.matches_permutation(perm)
+        assert not spec.matches_permutation((0, 1, 2, 3))
+
+    def test_matches_circuit_by_simulation(self):
+        circuit = Circuit(2, [Toffoli((0,), 1)])
+        spec = Specification.from_permutation(circuit.permutation())
+        assert spec.matches_circuit(circuit)
+        assert not spec.matches_circuit(Circuit(2))
+        assert not spec.matches_circuit(Circuit(3))  # wrong width
+
+
+class TestIncompletelySpecified:
+    def test_dont_cares_accept_any_value(self):
+        rows = [(0, None), (1, None), (None, None), (None, None)]
+        spec = Specification(2, rows)
+        assert not spec.is_completely_specified()
+        # Output line 0 must be 0 for input 0 and 1 for input 1; anything
+        # else is free.
+        assert spec.matches_permutation((0, 1, 2, 3))
+        assert spec.matches_permutation((2, 3, 0, 1))
+        assert not spec.matches_permutation((1, 0, 2, 3))
+
+    def test_dc_set_reports_unspecified_inputs(self):
+        rows = [(0, None), (1, None), (None, None), (None, None)]
+        spec = Specification(2, rows)
+        assert spec.dc_set(0) == (2, 3)
+        assert spec.dc_set(1) == (0, 1, 2, 3)
+        assert spec.on_set(0) == (1,)
+
+    def test_care_inputs(self):
+        rows = [(0, None), (None, None), (None, 1), (None, None)]
+        spec = Specification(2, rows)
+        assert spec.care_inputs() == (0, 2)
+
+    def test_specified_bit_count(self):
+        rows = [(0, None), (None, None), (None, 1), (1, 0)]
+        assert Specification(2, rows).specified_bit_count() == 4
+
+    def test_permutation_raises_with_dont_cares(self):
+        spec = Specification(1, [(None,), (0,)])
+        with pytest.raises(ValueError):
+            spec.permutation()
+
+    def test_conflicting_fully_specified_rows_rejected(self):
+        # Two different inputs demanding the same full output can never
+        # be realized by a bijection.
+        rows = [(0, 0), (0, 0), (1, 0), (1, 1)]
+        with pytest.raises(ValueError):
+            Specification(2, rows)
+
+
+class TestFromIoFunction:
+    def test_constant_inputs_restrict_domain(self):
+        # XOR of two inputs on line 0, line 2 constant 0, line 1/2 garbage.
+        spec = Specification.from_io_function(
+            3, lambda x: (x & 1) ^ ((x >> 1) & 1),
+            input_lines=[0, 1], output_lines=[0], constants={2: 0})
+        # Rows with line 2 == 1 are entirely don't care.
+        for i in range(8):
+            row = spec.rows[i]
+            if (i >> 2) & 1:
+                assert all(v is None for v in row)
+            else:
+                assert row[0] == ((i & 1) ^ ((i >> 1) & 1))
+                assert row[1] is None and row[2] is None
+
+    def test_conflicting_roles_rejected(self):
+        with pytest.raises(ValueError):
+            Specification.from_io_function(
+                2, lambda x: x, input_lines=[0], output_lines=[0],
+                constants={0: 1})
+
+    def test_validation_of_row_shapes(self):
+        with pytest.raises(ValueError):
+            Specification(2, [(0, 1)] * 3)  # wrong row count
+        with pytest.raises(ValueError):
+            Specification(2, [(0,), (1,), (0,), (1,)])  # wrong row width
+        with pytest.raises(ValueError):
+            Specification(1, [(2,), (0,)])  # bad entry
+
+
+def test_equality_and_hash():
+    a = Specification.from_permutation((1, 0))
+    b = Specification.from_permutation((1, 0), name="other-name")
+    assert a == b  # names are metadata, not identity
+    assert hash(a) == hash(b)
+    assert a != Specification.from_permutation((0, 1))
+
+
+def test_repr_mentions_kind():
+    complete = Specification.from_permutation((0, 1), name="id")
+    assert "complete" in repr(complete)
+    partial = Specification(1, [(None,), (1,)])
+    assert "incompletely" in repr(partial)

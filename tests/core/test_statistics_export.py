@@ -1,0 +1,95 @@
+"""Circuit statistics and export-format tests."""
+
+import json
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.export import from_json, to_json, to_latex
+from repro.core.gates import Fredkin, InversePeres, Peres, Toffoli
+from repro.core.statistics import analyze
+
+SAMPLE = Circuit(3, [Toffoli((0, 1), 2), Toffoli((), 0),
+                     Fredkin((2,), 0, 1), Peres(0, 1, 2),
+                     Toffoli((1,), 0, negative_controls=(1,))])
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = analyze(SAMPLE)
+        assert stats.gate_count == 5
+        assert stats.n_lines == 3
+        assert stats.quantum_cost == SAMPLE.quantum_cost()
+        assert stats.gates_by_kind == {"toffoli": 3, "fredkin": 1, "peres": 1}
+        assert stats.controls_histogram == {0: 1, 1: 3, 2: 1}
+        assert stats.negative_control_count == 1
+
+    def test_line_activity(self):
+        stats = analyze(SAMPLE)
+        # line 0: toffoli ctl, NOT target, fredkin target, peres ctl, t target
+        assert stats.line_activity[0] == 5
+        assert sum(stats.line_activity) == sum(
+            len(g.lines()) for g in SAMPLE)
+        assert stats.busiest_line == 0
+
+    def test_empty_circuit(self):
+        stats = analyze(Circuit(2))
+        assert stats.gate_count == 0
+        assert stats.max_controls == 0
+        assert stats.gates_by_kind == {}
+
+    def test_to_dict_json_ready(self):
+        payload = analyze(SAMPLE).to_dict()
+        text = json.dumps(payload)  # must not raise
+        assert json.loads(text)["gate_count"] == 5
+
+    def test_format_is_readable(self):
+        text = analyze(SAMPLE).format()
+        assert "gates          : 5" in text
+        assert "toffoli=3" in text
+        assert "negative ctls  : 1" in text
+
+
+class TestJsonExport:
+    def test_round_trip(self):
+        text = to_json(SAMPLE, name="sample")
+        parsed = from_json(text)
+        assert parsed == SAMPLE
+
+    def test_round_trip_all_gate_kinds(self, rng):
+        from repro.core.library import (mcf_gates, mct_gates,
+                                        peres_gates, inverse_peres_gates,
+                                        mpmct_gates)
+        pool = (mct_gates(4) + mcf_gates(4) + peres_gates(4)
+                + inverse_peres_gates(4) + mpmct_gates(3))
+        # mpmct gates over 3 lines are fine on 4-line circuits.
+        for _ in range(10):
+            circuit = Circuit(4, [pool[rng.randrange(len(pool))]
+                                  for _ in range(6)])
+            assert from_json(to_json(circuit)) == circuit
+
+    def test_format_tag_checked(self):
+        with pytest.raises(ValueError):
+            from_json('{"format": "something-else"}')
+
+
+class TestLatexExport:
+    def test_structure(self):
+        latex = to_latex(SAMPLE)
+        assert latex.startswith("\\Qcircuit")
+        assert "\\ctrl" in latex
+        assert "\\targ" in latex
+        assert "\\qswap" in latex
+        assert "\\ctrlo" in latex  # the negative control
+        assert "\\lstick{x_0}" in latex
+
+    def test_custom_names(self):
+        latex = to_latex(Circuit(2, [Toffoli((0,), 1)]),
+                         variable_names=["a", "b"])
+        assert "\\lstick{a}" in latex
+        with pytest.raises(ValueError):
+            to_latex(Circuit(2), variable_names=["a"])
+
+    def test_row_count_matches_lines(self):
+        latex = to_latex(SAMPLE)
+        assert latex.count("\\lstick") == 3

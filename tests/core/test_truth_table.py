@@ -1,0 +1,73 @@
+"""Permutation-algebra tests."""
+
+import pytest
+
+from repro.core.truth_table import (
+    compose_permutations,
+    format_truth_table,
+    hamming_output_distance,
+    identity_permutation,
+    invert_permutation,
+    is_permutation,
+    popcount,
+    random_permutation,
+)
+
+
+def test_popcount():
+    assert [popcount(x) for x in (0, 1, 2, 3, 255, 256)] == [0, 1, 1, 2, 8, 1]
+
+
+def test_is_permutation():
+    assert is_permutation((2, 0, 1))
+    assert not is_permutation((0, 0, 1))
+    assert is_permutation(())
+
+
+def test_identity():
+    assert identity_permutation(2) == (0, 1, 2, 3)
+
+
+def test_invert_round_trip():
+    perm = (3, 0, 2, 1)
+    inverse = invert_permutation(perm)
+    assert compose_permutations(perm, inverse) == identity_permutation(2)
+    assert compose_permutations(inverse, perm) == identity_permutation(2)
+
+
+def test_invert_rejects_non_permutation():
+    with pytest.raises(ValueError):
+        invert_permutation((0, 0))
+
+
+def test_compose_order():
+    first = (1, 2, 3, 0)   # +1 mod 4
+    second = (0, 2, 1, 3)  # swap 1,2
+    composed = compose_permutations(first, second)
+    assert composed == tuple(second[first[i]] for i in range(4))
+    with pytest.raises(ValueError):
+        compose_permutations((0, 1), (0, 1, 2, 3))
+
+
+def test_random_permutation_deterministic():
+    a = random_permutation(3, seed=42)
+    b = random_permutation(3, seed=42)
+    c = random_permutation(3, seed=43)
+    assert a == b
+    assert a != c
+    assert is_permutation(a)
+
+
+def test_hamming_output_distance():
+    assert hamming_output_distance((0, 1, 2, 3), (0, 1, 2, 3)) == 0
+    assert hamming_output_distance((0, 1), (1, 0)) == 2
+    assert hamming_output_distance((0, 3), (0, 0)) == 2
+    with pytest.raises(ValueError):
+        hamming_output_distance((0, 1), (0, 1, 2, 3))
+
+
+def test_format_truth_table():
+    text = format_truth_table((1, 0), 1)
+    assert text.splitlines() == ["0 -> 1", "1 -> 0"]
+    with pytest.raises(ValueError):
+        format_truth_table((0, 1, 2), 1)

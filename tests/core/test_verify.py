@@ -1,0 +1,112 @@
+"""Equivalence-checking tests (repro.verify)."""
+
+import random
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Peres, Toffoli
+from repro.core.library import mcf_gates, mct_gates, peres_gates
+from repro.core.spec import Specification
+from repro.verify import (
+    circuit_output_bdds,
+    circuit_realizes,
+    circuits_equivalent,
+    counterexample,
+)
+
+
+def random_circuit(rng, n, length):
+    pool = mct_gates(n) + mcf_gates(n) + peres_gates(n)
+    return Circuit(n, [pool[rng.randrange(len(pool))] for _ in range(length)])
+
+
+class TestOutputBdds:
+    def test_symbolic_simulation_matches_concrete(self, rng):
+        from repro.bdd.manager import BddManager
+        for _ in range(10):
+            circuit = random_circuit(rng, 3, 4)
+            manager = BddManager(3)
+            outputs = circuit_output_bdds(circuit, manager, [0, 1, 2])
+            for x in range(8):
+                assignment = {l: bool((x >> l) & 1) for l in range(3)}
+                packed = sum(
+                    int(manager.evaluate(outputs[l], assignment)) << l
+                    for l in range(3))
+                assert packed == circuit.simulate(x)
+
+
+class TestEquivalence:
+    def test_bdd_agrees_with_exhaustive(self, rng):
+        for _ in range(15):
+            a = random_circuit(rng, 3, rng.randint(0, 4))
+            b = random_circuit(rng, 3, rng.randint(0, 4))
+            assert circuits_equivalent(a, b, "bdd") == \
+                circuits_equivalent(a, b, "exhaustive")
+
+    def test_circuit_equals_itself_reordered_when_commuting(self):
+        a = Circuit(4, [Toffoli((0,), 1), Toffoli((2,), 3)])
+        b = Circuit(4, [Toffoli((2,), 3), Toffoli((0,), 1)])
+        assert circuits_equivalent(a, b)
+
+    def test_peres_equals_its_decomposition(self):
+        peres = Circuit(3, [Peres(0, 1, 2)])
+        decomposed = Circuit(3, [Toffoli((0, 1), 2), Toffoli((0,), 1)])
+        assert circuits_equivalent(peres, decomposed)
+
+    def test_swap_equals_three_cnots(self):
+        swap = Circuit(2, [Fredkin((), 0, 1)])
+        cnots = Circuit(2, [Toffoli((0,), 1), Toffoli((1,), 0),
+                            Toffoli((0,), 1)])
+        assert circuits_equivalent(swap, cnots)
+
+    def test_different_widths_not_equivalent(self):
+        assert not circuits_equivalent(Circuit(2), Circuit(3))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            circuits_equivalent(Circuit(2), Circuit(2), method="magic")
+
+
+class TestCounterexample:
+    def test_none_for_equivalent(self):
+        a = Circuit(2, [Toffoli((0,), 1)])
+        assert counterexample(a, a) is None
+
+    def test_witness_distinguishes(self, rng):
+        for _ in range(10):
+            a = random_circuit(rng, 3, 3)
+            b = random_circuit(rng, 3, 3)
+            witness = counterexample(a, b)
+            if witness is None:
+                assert circuits_equivalent(a, b, "exhaustive")
+            else:
+                packed, out_a, out_b = witness
+                assert a.simulate(packed) == out_a
+                assert b.simulate(packed) == out_b
+                assert out_a != out_b
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            counterexample(Circuit(2), Circuit(3))
+
+
+class TestCircuitRealizes:
+    def test_agrees_with_spec_matching(self, rng):
+        spec = Specification(3, [
+            (0, None, None), (1, None, None), (None, 1, None),
+            (None, None, None), (None, None, 0), (None, None, None),
+            (1, 1, None), (None, None, None),
+        ])
+        for _ in range(15):
+            circuit = random_circuit(rng, 3, rng.randint(0, 3))
+            assert circuit_realizes(circuit, spec, "bdd") == \
+                spec.matches_circuit(circuit)
+
+    def test_width_mismatch_is_false(self):
+        spec = Specification.from_permutation((0, 1))
+        assert not circuit_realizes(Circuit(2), spec)
+
+    def test_exhaustive_method(self):
+        spec = Specification.from_permutation((0, 1, 2, 3))
+        assert circuit_realizes(Circuit(2), spec, "exhaustive")

@@ -1,0 +1,151 @@
+"""Benchmark-family tests: each reconstruction must match its definition."""
+
+import pytest
+
+from repro.core.truth_table import is_permutation, popcount
+from repro.functions.parametric import (
+    decod24,
+    graycode,
+    hwb,
+    mod_indicator,
+    one_bit_alu,
+    rd32,
+)
+from repro.synth import synthesize
+
+
+class TestGraycode:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_matches_gray_code_formula(self, n):
+        spec = graycode(n)
+        perm = spec.permutation()
+        assert perm == tuple(x ^ (x >> 1) for x in range(1 << n))
+        assert is_permutation(perm)
+
+    def test_consecutive_codes_differ_in_one_bit(self):
+        perm = graycode(4).permutation()
+        for i in range(len(perm) - 1):
+            assert popcount(perm[i] ^ perm[i + 1]) == 1
+
+    def test_minimal_depth_is_n_minus_1(self):
+        # The structural claim behind the paper's graycode6 D = 5.
+        for n in (2, 3, 4):
+            result = synthesize(graycode(n), engine="bdd")
+            assert result.depth == n - 1, n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            graycode(1)
+
+
+class TestHwb:
+    def test_rotation_semantics(self):
+        spec = hwb(4)
+        perm = spec.permutation()
+        for x in range(16):
+            k = popcount(x) % 4
+            expected = ((x >> k) | (x << (4 - k))) & 15
+            assert perm[x] == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_bijective(self, n):
+        assert is_permutation(hwb(n).permutation())
+
+    def test_hwb3_minimal_depth(self):
+        # Small sibling of the paper's hwb4 (D = 11); fast to verify.
+        result = synthesize(hwb(3), engine="bdd")
+        assert result.realized
+        assert result.depth >= 4
+
+
+class TestRd32:
+    def test_popcount_outputs(self):
+        spec = rd32(sum_line=2, carry_line=3)
+        for i in range(8):  # care rows: line 3 constant 0
+            row = spec.rows[i]
+            weight = popcount(i & 0b111)
+            assert row[2] == (weight & 1)
+            assert row[3] == (weight >> 1) & 1
+
+    def test_constant_line_restricts_domain(self):
+        spec = rd32()
+        for i in range(8, 16):
+            assert all(v is None for v in spec.rows[i])
+
+    def test_distinct_lines_required(self):
+        with pytest.raises(ValueError):
+            rd32(sum_line=1, carry_line=1)
+
+    def test_synthesizable_at_paper_scale(self):
+        result = synthesize(rd32(sum_line=2, carry_line=3), engine="bdd")
+        assert result.realized
+        assert result.depth == 4  # Table 1 reports D = 4 for rd32-v0
+
+
+class TestDecod24:
+    @pytest.mark.parametrize("constants", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_one_hot_outputs(self, constants):
+        spec = decod24(constants)
+        for i in range(16):
+            in_domain = (((i >> 2) & 1) == constants[0]
+                         and ((i >> 3) & 1) == constants[1])
+            row = spec.rows[i]
+            if not in_domain:
+                assert all(v is None for v in row)
+                continue
+            value = i & 0b11
+            for line in range(4):
+                assert row[line] == (1 if line == value else 0)
+
+    def test_all_variants_synthesizable(self):
+        for constants in ((0, 0), (1, 1)):
+            result = synthesize(decod24(constants), engine="bdd",
+                                time_limit=120)
+            assert result.realized
+            for circuit in result.circuits[:5]:
+                assert decod24(constants).matches_circuit(circuit)
+
+
+class TestModIndicator:
+    def test_indicator_semantics(self):
+        spec = mod_indicator(4, 5, 0, 4, "mod5-v0")
+        assert spec.n_lines == 5
+        for i in range(16):  # care rows: line 4 constant 0
+            assert spec.rows[i][4] == (1 if i % 5 == 0 else 0)
+            for line in range(4):
+                assert spec.rows[i][line] is None
+
+    def test_out_of_domain_rows_unconstrained(self):
+        spec = mod_indicator(3, 5, 0, 3, "small")
+        for i in range(8, 16):
+            assert all(v is None for v in spec.rows[i])
+
+    def test_output_line_range_checked(self):
+        with pytest.raises(ValueError):
+            mod_indicator(3, 5, 0, 7, "bad")
+
+    def test_small_variant_synthesizable(self):
+        result = synthesize(mod_indicator(3, 5, 0, 3, "mod5-small"),
+                            engine="bdd")
+        assert result.realized
+
+
+class TestOneBitAlu:
+    def test_op_semantics(self):
+        spec = one_bit_alu(4, (0, 1, 2, 3))
+        ops = [lambda a, b: a & b, lambda a, b: a | b,
+               lambda a, b: a ^ b, lambda a, b: 1 - a]
+        for i in range(16):  # care rows: line 4 constant 0
+            op = i & 0b11
+            a = (i >> 2) & 1
+            b = (i >> 3) & 1
+            assert spec.rows[i][4] == ops[op](a, b)
+
+    def test_variants_differ(self):
+        v0 = one_bit_alu(4, (0, 1, 2, 3))
+        v1 = one_bit_alu(4, (2, 0, 1, 3))
+        assert v0 != v1
+
+    def test_bad_op_order_rejected(self):
+        with pytest.raises(ValueError):
+            one_bit_alu(4, (0, 1, 2, 2))

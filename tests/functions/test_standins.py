@@ -1,0 +1,43 @@
+"""Stand-in generator tests."""
+
+from repro.core.truth_table import is_permutation
+from repro.functions.standins import seeded_mct_permutation, standin
+from repro.synth import synthesize
+
+
+def test_deterministic_for_fixed_seed():
+    a = seeded_mct_permutation(4, 5, seed=7)
+    b = seeded_mct_permutation(4, 5, seed=7)
+    assert a.permutation() == b.permutation()
+    assert list(a.gates) == list(b.gates)
+
+
+def test_different_seeds_differ():
+    a = seeded_mct_permutation(4, 5, seed=7)
+    b = seeded_mct_permutation(4, 5, seed=8)
+    assert a.permutation() != b.permutation()
+
+
+def test_requested_gate_count():
+    circuit = seeded_mct_permutation(3, 6, seed=1)
+    assert len(circuit) == 6
+
+
+def test_no_consecutive_duplicates():
+    circuit = seeded_mct_permutation(3, 30, seed=2)
+    for first, second in zip(circuit.gates, circuit.gates[1:]):
+        assert first != second
+
+
+def test_standin_spec_is_complete_permutation():
+    spec = standin("x", 4, 5, seed=3)
+    assert spec.name == "x"
+    assert spec.is_completely_specified()
+    assert is_permutation(spec.permutation())
+
+
+def test_minimal_depth_bounded_by_seed_length():
+    spec = standin("y", 3, 3, seed=11)
+    result = synthesize(spec, engine="bdd")
+    assert result.realized
+    assert result.depth <= 3

@@ -1,0 +1,80 @@
+"""Suite-registry tests: the benchmark table is consistent and buildable."""
+
+import pytest
+
+from repro.core.truth_table import is_permutation
+from repro.functions.suite import (
+    PERM_3_17,
+    PERM_4_49,
+    SUITE,
+    entries,
+    get_spec,
+    table1_entries,
+    table3_entries,
+)
+
+
+def test_known_permutations_are_permutations():
+    assert is_permutation(PERM_3_17)
+    assert is_permutation(PERM_4_49)
+
+
+def test_every_entry_builds_a_spec_of_declared_shape():
+    for entry in entries("full"):
+        spec = entry.spec()
+        assert spec.name == entry.name
+        assert spec.is_completely_specified() == entry.completely_specified
+
+
+def test_get_spec_round_trip():
+    spec = get_spec("3_17")
+    assert spec.permutation() == PERM_3_17
+    with pytest.raises(ValueError):
+        get_spec("nonexistent")
+
+
+def test_default_tier_is_a_subset_of_full():
+    default_names = {e.name for e in entries("default")}
+    full_names = {e.name for e in entries("full")}
+    assert default_names < full_names
+
+
+def test_paper_benchmarks_present():
+    paper_names = {"mod5mils", "graycode6", "3_17", "mod5d1", "mod5d2",
+                   "hwb4", "4_49", "rd32-v0", "rd32-v1", "mod5-v0",
+                   "mod5-v1", "decod24-v0", "decod24-v1", "decod24-v2",
+                   "decod24-v3", "ALU-v0", "ALU-v1", "ALU-v2", "ALU-v3",
+                   "4mod5"}
+    assert paper_names <= set(SUITE)
+
+
+def test_table_partitions():
+    table1 = {e.name for e in table1_entries("full")}
+    table3 = {e.name for e in table3_entries("full")}
+    assert "4mod5" not in table1
+    assert "4mod5" in table3
+    assert table1 | {"4mod5"} == table3
+
+
+def test_paper_depths_recorded_for_cited_rows():
+    assert SUITE["3_17"].paper_depth_mct == 6
+    assert SUITE["hwb4"].paper_depth_mct == 11
+    assert SUITE["4_49"].paper_depth_mct == 12
+    assert SUITE["graycode6"].paper_depth_mct == 5
+
+
+def test_provenance_labels_are_known():
+    allowed = {"exact", "semantic", "stand-in", "scaled stand-in"}
+    for entry in entries("full"):
+        assert entry.provenance in allowed, entry.name
+
+
+def test_stand_ins_note_the_substitution():
+    for entry in entries("full"):
+        if "stand-in" in entry.provenance:
+            assert entry.note, entry.name
+
+
+def test_spec_factories_are_deterministic():
+    for name in ("mod5mils", "mod5d1", "mod5d2"):
+        assert get_spec(name) == get_spec(name)

@@ -1,0 +1,126 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_bench_lists_suite(capsys):
+    assert main(["bench"]) == 0
+    out = capsys.readouterr().out
+    assert "3_17" in out and "hwb4" in out and "provenance" in out
+
+
+def test_synth_benchmark(capsys):
+    assert main(["synth", "-b", "3_17"]) == 0
+    out = capsys.readouterr().out
+    assert "D=6" in out
+    assert "cheapest network" in out
+
+
+def test_synth_explicit_permutation(capsys):
+    assert main(["synth", "-p", "0,2,1,3"]) == 0
+    out = capsys.readouterr().out
+    assert "D=3" in out  # a swap needs three CNOTs with MCT only
+
+
+def test_synth_extended_kinds(capsys):
+    assert main(["synth", "-p", "0,2,1,3", "--kinds", "mct+mcf"]) == 0
+    assert "D=1" in capsys.readouterr().out
+
+
+def test_synth_all_solutions(capsys):
+    assert main(["synth", "-b", "3_17", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "all 7 minimal networks" in out
+
+
+def test_synth_writes_real_file(tmp_path, capsys):
+    target = tmp_path / "out.real"
+    assert main(["synth", "-b", "graycode4", "-o", str(target)]) == 0
+    content = target.read_text()
+    assert ".begin" in content and ".end" in content
+    from repro.core.realfmt import parse_real
+    circuit, _ = parse_real(content)
+    from repro.functions import get_spec
+    assert get_spec("graycode4").matches_circuit(circuit)
+
+
+def test_show_truth_table(capsys):
+    assert main(["show", "-b", "rd32-v0"]) == 0
+    out = capsys.readouterr().out
+    assert "incompletely specified" in out
+    assert "->" in out
+
+
+def test_qdimacs_export(capsys):
+    assert main(["qdimacs", "-b", "3_17", "--depth", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("c ")
+    assert "\ne " in out and "\na " in out
+
+
+def test_check_equivalent_and_not(tmp_path, capsys):
+    from repro.core.circuit import Circuit
+    from repro.core.gates import Toffoli
+    from repro.core.realfmt import write_real
+    a = tmp_path / "a.real"
+    b = tmp_path / "b.real"
+    c = tmp_path / "c.real"
+    a.write_text(write_real(Circuit(2, [Toffoli((0,), 1)])))
+    b.write_text(write_real(Circuit(2, [Toffoli((0,), 1)])))
+    c.write_text(write_real(Circuit(2, [Toffoli((1,), 0)])))
+    assert main(["check", str(a), str(b)]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+    assert main(["check", str(a), str(c)]) == 1
+    assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+
+def test_heuristic_command(capsys):
+    assert main(["heuristic", "-b", "3_17"]) == 0
+    out = capsys.readouterr().out
+    assert "MMD heuristic" in out
+
+
+def test_heuristic_simplify_flag(capsys):
+    assert main(["heuristic", "-b", "3_17", "--simplify"]) == 0
+    out = capsys.readouterr().out
+    assert "after peephole optimization" in out
+
+
+def test_opsynth_command(capsys):
+    assert main(["opsynth", "-p", "0,2,1,3"]) == 0
+    out = capsys.readouterr().out
+    assert "D=0 with output permutation" in out
+    assert "best permutation (1, 0)" in out
+
+
+def test_decompose_command(tmp_path, capsys):
+    from repro.core.circuit import Circuit
+    from repro.core.gates import Toffoli
+    from repro.core.realfmt import write_real
+    target = tmp_path / "t.real"
+    target.write_text(write_real(Circuit(3, [Toffoli((0, 1), 2)])))
+    assert main(["decompose", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "5 elementary quantum gates" in out
+    assert "CV" in out
+
+
+def test_stats_command(tmp_path, capsys):
+    from repro.core.circuit import Circuit
+    from repro.core.gates import Toffoli
+    from repro.core.realfmt import write_real
+    target = tmp_path / "c.real"
+    target.write_text(write_real(Circuit(3, [Toffoli((0, 1), 2),
+                                             Toffoli((0,), 1)])))
+    assert main(["stats", str(target), "--latex", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert "gates          : 2" in out
+    assert "\\Qcircuit" in out
+    assert '"repro-circuit-v1"' in out
+
+
+def test_spec_source_required():
+    with pytest.raises(SystemExit):
+        main(["synth"])

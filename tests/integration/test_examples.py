@@ -1,0 +1,58 @@
+"""Every example script must run to completion (deliverable b)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Minimal gate count : 6" in out
+    assert "Verified: all 7 networks realize 3_17." in out
+
+
+def test_adder_embedding(capsys):
+    run_example("adder_embedding.py")
+    out = capsys.readouterr().out
+    assert "Half adder verified on all inputs." in out
+
+
+def test_all_solutions_cost_ranking(capsys):
+    run_example("all_solutions_cost_ranking.py", ["mod5-v0_s"])
+    out = capsys.readouterr().out
+    assert "minimal networks" in out
+    assert "saves" in out
+
+
+def test_gate_libraries(capsys):
+    run_example("gate_libraries.py", ["rd32-v0"])
+    out = capsys.readouterr().out
+    assert "MCT+MCF+P" in out
+    assert "beating plain MCT" in out
+
+
+def test_pla_to_quantum(capsys):
+    run_example("pla_to_quantum.py")
+    out = capsys.readouterr().out
+    assert "Verified: unitary == permutation matrix" in out
+
+
+@pytest.mark.slow
+def test_engine_comparison(capsys):
+    run_example("engine_comparison.py", ["3_17", "60"])
+    out = capsys.readouterr().out
+    assert "Improvement of the BDD engine" in out

@@ -1,0 +1,58 @@
+"""Regression pins: measured minimal depths of the default-tier suite.
+
+These are the D values recorded in EXPERIMENTS.md (Table 1/2).  Any
+change — an encoding bug, a library enumeration bug, a suite-definition
+change — shows up here as a depth shift.
+"""
+
+import pytest
+
+from repro.functions import get_spec
+from repro.synth import synthesize
+
+#: benchmark -> minimal MCT depth measured and recorded in EXPERIMENTS.md
+EXPECTED_DEPTHS = {
+    "mod5mils": 5,
+    "graycode4": 3,
+    "3_17": 6,
+    "mod5d1_s": 6,
+    "mod5d2_s": 6,
+    "rd32-v0": 4,
+    "rd32-v1": 4,
+    "mod5-v0_s": 4,
+    "mod5-v1_s": 3,
+    "decod24-v0": 6,
+    "decod24-v1": 6,
+    "decod24-v2": 6,
+    "decod24-v3": 7,
+    "alu_small": 4,
+    "toffoli": 1,
+    "peres": 2,
+    "fredkin": 3,
+}
+
+#: benchmark -> (#SOL, QC min, QC max) recorded in EXPERIMENTS.md
+EXPECTED_SOLUTIONS = {
+    "3_17": (7, 14, 14),
+    "rd32-v0": (4, 12, 12),
+    "mod5-v0_s": (102, 8, 20),
+    "decod24-v3": (1950, 11, 43),
+    "alu_small": (342, 12, 28),
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(EXPECTED_DEPTHS.items()))
+def test_minimal_depth_pinned(name, expected):
+    result = synthesize(get_spec(name), kinds=("mct",), engine="bdd",
+                        time_limit=300)
+    assert result.realized, name
+    assert result.depth == expected, (name, result.depth, expected)
+
+
+@pytest.mark.parametrize("name,expected", sorted(EXPECTED_SOLUTIONS.items()))
+def test_solution_count_and_costs_pinned(name, expected):
+    result = synthesize(get_spec(name), kinds=("mct",), engine="bdd",
+                        time_limit=300)
+    assert result.realized
+    assert (result.num_solutions, result.quantum_cost_min,
+            result.quantum_cost_max) == expected

@@ -1,0 +1,65 @@
+"""QCNF model tests."""
+
+import pytest
+
+from repro.qbf.qcnf import EXISTS, FORALL, QuantifiedCnf
+from repro.sat.cnf import Cnf
+
+
+def make(prefix, n_vars=4, clause=(1, -2)):
+    cnf = Cnf(n_vars)
+    cnf.add_clause(clause)
+    return QuantifiedCnf(prefix, cnf)
+
+
+def test_levels_and_quantifiers():
+    q = make([(EXISTS, [1, 2]), (FORALL, [3]), (EXISTS, [4])])
+    assert q.level(1) == 0 and q.level(2) == 0
+    assert q.level(3) == 1
+    assert q.level(4) == 2
+    assert q.is_existential(1) and not q.is_universal(1)
+    assert q.is_universal(3)
+
+
+def test_free_variables_become_outer_existentials():
+    q = make([(FORALL, [3])])
+    # 1, 2, 4 free -> outermost existential block
+    assert q.prefix[0][0] == EXISTS
+    assert set(q.prefix[0][1]) == {1, 2, 4}
+    assert q.level(3) == 1
+    assert q.outer_existential_block() == q.prefix[0][1]
+
+
+def test_outer_existential_block_empty_when_leading_forall():
+    q = make([(FORALL, [1, 2, 3, 4])])
+    assert q.outer_existential_block() == ()
+
+
+def test_variables_in_order():
+    q = make([(EXISTS, [2]), (FORALL, [1, 3]), (EXISTS, [4])])
+    assert q.variables_in_order() == [2, 1, 3, 4]
+
+
+def test_double_quantification_rejected():
+    with pytest.raises(ValueError):
+        make([(EXISTS, [1]), (FORALL, [1, 2, 3, 4])])
+
+
+def test_out_of_range_variable_rejected():
+    with pytest.raises(ValueError):
+        make([(EXISTS, [9])])
+
+
+def test_unknown_quantifier_rejected():
+    with pytest.raises(ValueError):
+        make([("x", [1])])
+
+
+def test_empty_blocks_dropped():
+    q = make([(EXISTS, []), (FORALL, [1, 2, 3, 4])])
+    assert q.num_blocks() == 1
+
+
+def test_repr_shows_shape():
+    q = make([(EXISTS, [1, 2]), (FORALL, [3, 4])])
+    assert "e2 a2" in repr(q)

@@ -1,0 +1,133 @@
+"""Decomposition tests: the quantum-cost table grounded in real circuits.
+
+Every reversible gate's elementary decomposition must (a) have exactly
+``quantum_cost`` gates for positive polarities and (b) implement the
+gate's permutation as a unitary — verified with numpy.
+"""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, InversePeres, Peres, Toffoli
+from repro.core.library import mcf_gates, mct_gates, peres_gates
+from repro.quantum import (
+    circuit_unitary,
+    decompose_circuit,
+    decompose_gate,
+    ncv_cost,
+    permutation_unitary,
+    unitaries_equal,
+)
+
+
+def gate_checks_out(gate, n_lines):
+    sequence = decompose_gate(gate)
+    perm = [gate.apply(x) for x in range(1 << n_lines)]
+    return unitaries_equal(circuit_unitary(sequence, n_lines),
+                           permutation_unitary(perm))
+
+
+class TestPaperCostExamples:
+    def test_toffoli_two_controls_is_five(self):
+        gate = Toffoli((0, 1), 2)
+        assert len(decompose_gate(gate)) == 5
+        assert gate_checks_out(gate, 3)
+
+    def test_fredkin_one_control_is_seven(self):
+        gate = Fredkin((2,), 0, 1)
+        assert len(decompose_gate(gate)) == 7
+        assert gate_checks_out(gate, 3)
+
+    def test_peres_is_four(self):
+        gate = Peres(0, 1, 2)
+        assert len(decompose_gate(gate)) == 4
+        assert gate_checks_out(gate, 3)
+
+    def test_peres_cheaper_than_toffoli_plus_cnot(self):
+        peres = len(decompose_gate(Peres(0, 1, 2)))
+        toffoli_cnot = (len(decompose_gate(Toffoli((0, 1), 2)))
+                        + len(decompose_gate(Toffoli((0,), 1))))
+        assert peres == 4 and toffoli_cnot == 6
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_mct_ladder_cost_formula(self, k):
+        gate = Toffoli(tuple(range(k)), k)
+        sequence = decompose_gate(gate)
+        assert len(sequence) == 2 ** (k + 1) - 3
+        if k <= 4:  # keep the unitary sizes small
+            assert gate_checks_out(gate, k + 1)
+
+
+class TestAllLibraryGates:
+    @pytest.mark.parametrize("gate", mct_gates(3), ids=repr)
+    def test_every_mct3_gate(self, gate):
+        assert len(decompose_gate(gate)) == gate.quantum_cost(3)
+        assert gate_checks_out(gate, 3)
+
+    @pytest.mark.parametrize("gate", mcf_gates(3), ids=repr)
+    def test_every_mcf3_gate(self, gate):
+        assert len(decompose_gate(gate)) == gate.quantum_cost(3)
+        assert gate_checks_out(gate, 3)
+
+    @pytest.mark.parametrize("gate", peres_gates(3), ids=repr)
+    def test_every_peres3_gate(self, gate):
+        assert len(decompose_gate(gate)) == gate.quantum_cost(3)
+        assert gate_checks_out(gate, 3)
+
+    def test_inverse_peres(self):
+        gate = InversePeres(0, 1, 2)
+        assert len(decompose_gate(gate)) == 4
+        assert gate_checks_out(gate, 3)
+
+
+class TestMixedPolarity:
+    def test_negative_controls_conjugated(self):
+        gate = Toffoli((0, 1), 2, negative_controls=(1,))
+        sequence = decompose_gate(gate)
+        # 5-gate core + X conjugation on the negative control.
+        assert len(sequence) == 7
+        assert gate_checks_out(gate, 3)
+
+    def test_all_negative(self):
+        gate = Toffoli((0,), 1, negative_controls=(0,))
+        assert gate_checks_out(gate, 2)
+
+
+class TestCircuits:
+    def test_circuit_decomposition_matches_quantum_cost(self, rng):
+        pool = mct_gates(3) + mcf_gates(3) + peres_gates(3)
+        for _ in range(8):
+            circuit = Circuit(3, [pool[rng.randrange(len(pool))]
+                                  for _ in range(4)])
+            assert ncv_cost(circuit) == circuit.quantum_cost()
+
+    def test_circuit_decomposition_unitary(self, rng):
+        pool = mct_gates(3) + peres_gates(3)
+        for _ in range(5):
+            circuit = Circuit(3, [pool[rng.randrange(len(pool))]
+                                  for _ in range(3)])
+            sequence = decompose_circuit(circuit)
+            assert unitaries_equal(
+                circuit_unitary(sequence, 3),
+                permutation_unitary(circuit.permutation()))
+
+    def test_synthesized_minimal_network_decomposes(self):
+        from repro.core.spec import Specification
+        from repro.synth import synthesize
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5),
+                                              name="3_17")
+        result = synthesize(spec, engine="bdd")
+        best = result.circuit
+        sequence = decompose_circuit(best)
+        assert len(sequence) == result.quantum_cost_min == 14
+        assert unitaries_equal(
+            circuit_unitary(sequence, 3),
+            permutation_unitary(spec.permutation()))
+
+
+def test_unknown_gate_type_rejected():
+    class Mystery:
+        pass
+
+    with pytest.raises(TypeError):
+        decompose_gate(Mystery())

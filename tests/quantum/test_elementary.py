@@ -1,0 +1,105 @@
+"""Elementary-gate (NCV) model tests."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.quantum.elementary import (
+    ElementaryGate,
+    circuit_unitary,
+    cnot,
+    controlled_root,
+    cv,
+    cv_dagger,
+    permutation_unitary,
+    unitaries_equal,
+    x_gate,
+)
+
+
+class TestGateConstruction:
+    def test_labels(self):
+        assert x_gate(0).label() == "X"
+        assert cnot(0, 1).label() == "CX"
+        assert cv(0, 1).label() == "CV"
+        assert cv_dagger(0, 1).label() == "CV+"
+        assert controlled_root(0, 1, Fraction(1, 4)).label() == "CX^1/4"
+
+    def test_control_equals_target_rejected(self):
+        with pytest.raises(ValueError):
+            cnot(1, 1)
+
+    def test_exponent_must_be_power_of_two_fraction(self):
+        with pytest.raises(ValueError):
+            ElementaryGate(0, None, Fraction(1, 3))
+        with pytest.raises(ValueError):
+            ElementaryGate(0, None, Fraction(0))
+
+
+class TestSingleQubitMatrices:
+    def test_x_matrix(self):
+        assert unitaries_equal(x_gate(0).x_power_matrix(),
+                               np.array([[0, 1], [1, 0]], dtype=complex))
+
+    def test_v_squared_is_x(self):
+        v = cv(0, 1).x_power_matrix()
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert unitaries_equal(v @ v, x)
+
+    def test_v_dagger_is_inverse(self):
+        v = cv(0, 1).x_power_matrix()
+        vd = cv_dagger(0, 1).x_power_matrix()
+        assert unitaries_equal(v @ vd, np.eye(2, dtype=complex))
+
+    def test_eighth_root(self):
+        w = controlled_root(0, 1, Fraction(1, 4)).x_power_matrix()
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert unitaries_equal(np.linalg.matrix_power(w, 4), x)
+
+    def test_all_roots_unitary(self):
+        for exponent in (Fraction(1), Fraction(1, 2), Fraction(-1, 2),
+                         Fraction(1, 8), Fraction(-1, 16)):
+            m = ElementaryGate(0, None, exponent).x_power_matrix()
+            assert unitaries_equal(m @ m.conj().T, np.eye(2, dtype=complex))
+
+
+class TestCircuitUnitary:
+    def test_cnot_is_its_permutation(self):
+        u = circuit_unitary([cnot(0, 1)], 2)
+        assert unitaries_equal(u, permutation_unitary([0, 3, 2, 1]))
+
+    def test_vv_on_target_equals_cnot(self):
+        # Two controlled-V in a row from the same control = CX.
+        u = circuit_unitary([cv(0, 1), cv(0, 1)], 2)
+        assert unitaries_equal(u, circuit_unitary([cnot(0, 1)], 2))
+
+    def test_left_to_right_composition(self):
+        left_then_right = circuit_unitary([x_gate(0), cnot(0, 1)], 2)
+        # X on line 0 then CNOT(0 -> 1): 00 -> 01 -> 11, 01 -> 00,
+        # 10 -> 11 -> 01, 11 -> 10.
+        assert unitaries_equal(
+            left_then_right,
+            permutation_unitary([3, 0, 1, 2]))
+
+    def test_unitarity_of_random_cascades(self, rng):
+        from fractions import Fraction as F
+        exponents = [F(1), F(1, 2), F(-1, 2), F(1, 4)]
+        for _ in range(10):
+            gates = []
+            for _ in range(6):
+                t = rng.randrange(3)
+                c = rng.choice([None] + [x for x in range(3) if x != t])
+                gates.append(ElementaryGate(t, c, rng.choice(exponents)))
+            u = circuit_unitary(gates, 3)
+            assert unitaries_equal(u @ u.conj().T, np.eye(8, dtype=complex))
+
+    def test_line_bounds_checked(self):
+        with pytest.raises(ValueError):
+            circuit_unitary([cnot(0, 5)], 2)
+
+
+def test_permutation_unitary_shape():
+    p = permutation_unitary([2, 0, 1])
+    assert p.shape == (3, 3)
+    assert unitaries_equal(p @ p.conj().T, np.eye(3, dtype=complex))

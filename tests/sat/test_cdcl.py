@@ -1,0 +1,149 @@
+"""CDCL solver tests: crafted instances plus randomized cross-checks."""
+
+import random
+
+import pytest
+
+from repro.sat.cdcl import CdclSolver, luby, solve_cnf
+from repro.sat.cnf import Cnf, evaluate_cnf
+from repro.sat.dpll import dpll_solve
+
+
+def brute_force_sat(cnf):
+    for bits in range(1 << cnf.num_vars):
+        model = {v: bool((bits >> (v - 1)) & 1) for v in range(1, cnf.num_vars + 1)}
+        if evaluate_cnf(cnf, model):
+            return True
+    return False
+
+
+def pigeonhole(holes):
+    """PHP(holes+1, holes) — classically hard UNSAT family."""
+    pigeons = holes + 1
+    cnf = Cnf(pigeons * holes)
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    for p in range(pigeons):
+        cnf.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+class TestLuby:
+    def test_sequence_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == \
+            [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestCraftedInstances:
+    def test_empty_formula_is_sat(self):
+        result = solve_cnf(Cnf(3))
+        assert result.is_sat
+        assert set(result.model) == {1, 2, 3}
+
+    def test_single_unit(self):
+        cnf = Cnf(1)
+        cnf.add_unit(-1)
+        result = solve_cnf(cnf)
+        assert result.is_sat and result.model[1] is False
+
+    def test_contradictory_units(self):
+        cnf = Cnf(1)
+        cnf.add_unit(1)
+        cnf.add_unit(-1)
+        assert solve_cnf(cnf).is_unsat
+
+    def test_empty_clause_rejected_as_unsat(self):
+        cnf = Cnf(1)
+        cnf.clauses.append(())  # bypass validation deliberately
+        assert solve_cnf(cnf).is_unsat
+
+    def test_tautological_clause_ignored(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, -1])
+        cnf.add_clause([2])
+        result = solve_cnf(cnf)
+        assert result.is_sat and result.model[2] is True
+
+    def test_duplicate_literals_handled(self):
+        cnf = Cnf(1)
+        cnf.add_clause([1, 1, 1])
+        assert solve_cnf(cnf).is_sat
+
+    def test_chain_of_implications(self):
+        n = 50
+        cnf = Cnf(n)
+        cnf.add_unit(1)
+        for v in range(1, n):
+            cnf.add_clause([-v, v + 1])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert all(result.model[v] for v in range(1, n + 1))
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        assert solve_cnf(pigeonhole(holes)).is_unsat
+
+    def test_xor_chain_parity(self):
+        # x1 xor x2 xor x3 = 1 via clauses; satisfiable.
+        cnf = Cnf(3)
+        cnf.add_clauses([(1, 2, 3), (1, -2, -3), (-1, 2, -3), (-1, -2, 3)])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        parity = sum(result.model[v] for v in (1, 2, 3)) % 2
+        assert parity == 1
+
+    def test_conflict_limit_returns_unknown(self):
+        result = solve_cnf(pigeonhole(6), conflict_limit=5)
+        assert result.status == "unknown"
+
+
+class TestRandomizedCrossCheck:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_against_brute_force_and_dpll(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 9)
+        cnf = Cnf(n)
+        for _ in range(rng.randint(3, int(4.0 * n))):
+            width = rng.randint(1, 3)
+            clause = [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(width)]
+            cnf.add_clause(clause)
+        expected = brute_force_sat(cnf)
+        result = solve_cnf(cnf)
+        assert (result.status == "sat") == expected
+        assert (dpll_solve(cnf) is not None) == expected
+        if result.is_sat:
+            assert evaluate_cnf(cnf, result.model)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_hard_random_3sat_near_threshold(self, seed):
+        rng = random.Random(1000 + seed)
+        n = 30
+        cnf = Cnf(n)
+        for _ in range(int(4.26 * n)):
+            clause = rng.sample(range(1, n + 1), 3)
+            cnf.add_clause([v if rng.random() < 0.5 else -v for v in clause])
+        result = solve_cnf(cnf)
+        assert result.status in ("sat", "unsat")
+        if result.is_sat:
+            assert evaluate_cnf(cnf, result.model)
+        # Cross-check the verdict with the reference DPLL solver.
+        assert (dpll_solve(cnf) is not None) == result.is_sat
+
+
+class TestStats:
+    def test_stats_populated(self):
+        result = solve_cnf(pigeonhole(4))
+        assert result.conflicts > 0
+        assert result.decisions > 0
+        assert result.propagations > 0
+        assert result.runtime >= 0

@@ -1,0 +1,60 @@
+"""CNF container tests."""
+
+import pytest
+
+from repro.sat.cnf import Cnf, clause_satisfied, evaluate_cnf
+
+
+def test_new_var_allocates_sequentially():
+    cnf = Cnf()
+    assert cnf.new_var() == 1
+    assert cnf.new_var() == 2
+    assert cnf.new_vars(3) == [3, 4, 5]
+    assert cnf.num_vars == 5
+
+
+def test_add_clause_validates_literals():
+    cnf = Cnf(2)
+    cnf.add_clause([1, -2])
+    with pytest.raises(ValueError):
+        cnf.add_clause([0])
+    with pytest.raises(ValueError):
+        cnf.add_clause([3])
+    with pytest.raises(ValueError):
+        cnf.add_clause([-5])
+
+
+def test_add_unit_and_len():
+    cnf = Cnf(1)
+    cnf.add_unit(-1)
+    assert len(cnf) == 1
+    assert cnf.clauses == [(-1,)]
+
+
+def test_copy_is_independent():
+    cnf = Cnf(2)
+    cnf.add_clause([1, 2])
+    duplicate = cnf.copy()
+    duplicate.add_clause([-1])
+    assert len(cnf) == 1
+    assert len(duplicate) == 2
+
+
+def test_clause_satisfied():
+    model = {1: True, 2: False}
+    assert clause_satisfied((1, 2), model)
+    assert clause_satisfied((-2,), model)
+    assert not clause_satisfied((-1, 2), model)
+
+
+def test_evaluate_cnf():
+    cnf = Cnf(3)
+    cnf.add_clause([1, 2])
+    cnf.add_clause([-1, 3])
+    assert evaluate_cnf(cnf, {1: True, 2: False, 3: True})
+    assert not evaluate_cnf(cnf, {1: True, 2: False, 3: False})
+
+
+def test_negative_var_count_rejected():
+    with pytest.raises(ValueError):
+        Cnf(-1)

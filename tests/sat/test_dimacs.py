@@ -1,0 +1,60 @@
+"""DIMACS / QDIMACS serialization round-trip tests."""
+
+import pytest
+
+from repro.sat.cnf import Cnf
+from repro.sat.dimacs import from_dimacs, from_qdimacs, to_dimacs, to_qdimacs
+
+
+def sample_cnf():
+    cnf = Cnf(3)
+    cnf.add_clause([1, -2])
+    cnf.add_clause([2, 3])
+    cnf.add_unit(-3)
+    return cnf
+
+
+def test_dimacs_round_trip():
+    original = sample_cnf()
+    text = to_dimacs(original, comments=["a comment"])
+    assert text.startswith("c a comment\np cnf 3 3\n")
+    parsed = from_dimacs(text)
+    assert parsed.num_vars == original.num_vars
+    assert parsed.clauses == original.clauses
+
+
+def test_dimacs_multiline_clauses_and_blanks():
+    text = "c x\np cnf 2 2\n1\n-2 0\n\n2 1 0\n"
+    parsed = from_dimacs(text)
+    assert parsed.clauses == [(1, -2), (2, 1)]
+
+
+def test_dimacs_errors():
+    with pytest.raises(ValueError):
+        from_dimacs("1 2 0\n")  # clause before header
+    with pytest.raises(ValueError):
+        from_dimacs("p cnf 2 1\n1 2\n")  # unterminated
+    with pytest.raises(ValueError):
+        from_dimacs("p dnf 2 1\n1 0\n")  # malformed header
+    with pytest.raises(ValueError):
+        from_dimacs("")
+
+
+def test_qdimacs_round_trip():
+    cnf = sample_cnf()
+    prefix = [("e", [1]), ("a", [2]), ("e", [3])]
+    text = to_qdimacs(prefix, cnf)
+    parsed_prefix, parsed_cnf = from_qdimacs(text)
+    assert parsed_prefix == [("e", [1]), ("a", [2]), ("e", [3])]
+    assert parsed_cnf.clauses == cnf.clauses
+
+
+def test_qdimacs_rejects_unknown_quantifier():
+    with pytest.raises(ValueError):
+        to_qdimacs([("x", [1])], sample_cnf())
+
+
+def test_qdimacs_skips_empty_blocks():
+    text = to_qdimacs([("e", []), ("a", [1])], Cnf(1))
+    assert "e " not in text
+    assert "a 1 0" in text

@@ -1,0 +1,126 @@
+"""Cross-engine agreement: every engine must find the same minimal depth,
+and every returned circuit must realize the specification.
+
+This is the strongest correctness test in the repository: four
+independently implemented decision procedures (BDD quantification,
+expansion-based QBF, per-row SAT, word-level search) plus a brute-force
+BFS oracle all have to agree.
+"""
+
+import random
+
+import pytest
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.synth import synthesize
+from tests.conftest import (
+    brute_force_all_minimal,
+    brute_force_minimal_depth,
+    random_incomplete_spec,
+    random_small_spec,
+)
+
+ENGINES = ("bdd", "sat", "sword", "qbf")
+
+
+def synth_all(spec, **kwargs):
+    return {engine: synthesize(spec, engine=engine, **kwargs)
+            for engine in ENGINES}
+
+
+class TestCompleteFunctions:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_2line_functions(self, seed):
+        rng = random.Random(seed)
+        spec = random_small_spec(rng, 2, seed_gates=rng.randint(0, 3))
+        library = GateLibrary.mct(2)
+        oracle = brute_force_minimal_depth(spec, library, max_depth=4)
+        assert oracle is not None
+        results = synth_all(spec)
+        for engine, result in results.items():
+            assert result.realized, engine
+            assert result.depth == oracle, (engine, result.depth, oracle)
+            for circuit in result.circuits:
+                assert spec.matches_circuit(circuit), engine
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_3line_functions(self, seed):
+        rng = random.Random(100 + seed)
+        spec = random_small_spec(rng, 3, seed_gates=rng.randint(1, 3))
+        library = GateLibrary.mct(3)
+        oracle = brute_force_minimal_depth(spec, library, max_depth=3)
+        if oracle is None:
+            pytest.skip("seed produced a deep function; covered elsewhere")
+        results = synth_all(spec)
+        for engine, result in results.items():
+            assert result.realized and result.depth == oracle, engine
+            for circuit in result.circuits:
+                assert spec.matches_circuit(circuit), engine
+
+
+class TestIncompleteFunctions:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dont_care_specs(self, seed):
+        rng = random.Random(2000 + seed)
+        spec = random_incomplete_spec(rng, 3, seed_gates=2, dc_fraction=0.4)
+        library = GateLibrary.mct(3)
+        oracle = brute_force_minimal_depth(spec, library, max_depth=2)
+        if oracle is None:
+            pytest.skip("minimal depth above oracle budget")
+        results = synth_all(spec)
+        for engine, result in results.items():
+            assert result.realized and result.depth == oracle, engine
+            for circuit in result.circuits:
+                assert spec.matches_circuit(circuit), engine
+
+    def test_everything_dont_care_is_depth_zero(self):
+        spec = Specification(2, [(None, None)] * 4)
+        for engine in ENGINES:
+            result = synthesize(spec, engine=engine)
+            assert result.realized and result.depth == 0, engine
+
+
+class TestAllSolutionsAgainstOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bdd_engine_finds_exactly_all_minimal_networks(self, seed):
+        rng = random.Random(3000 + seed)
+        spec = random_small_spec(rng, 2, seed_gates=2)
+        library = GateLibrary.mct(2)
+        result = synthesize(spec, engine="bdd")
+        assert result.realized
+        oracle_circuits = brute_force_all_minimal(spec, library, result.depth)
+        assert result.num_solutions == len(oracle_circuits)
+        assert set(result.circuits) == set(oracle_circuits)
+
+    def test_bdd_engine_all_solutions_3_17_depth(self):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5),
+                                              name="3_17")
+        result = synthesize(spec, engine="bdd")
+        assert result.depth == 6
+        assert result.num_solutions == len(result.circuits)
+        assert len(set(result.circuits)) == result.num_solutions
+        for circuit in result.circuits:
+            assert spec.matches_circuit(circuit)
+
+
+class TestExtendedLibraries:
+    @pytest.mark.parametrize("kinds", [("mct", "mcf"), ("mct", "peres"),
+                                       ("mct", "mcf", "peres")])
+    def test_extended_library_never_deeper_than_mct(self, kinds):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5),
+                                              name="3_17")
+        mct_result = synthesize(spec, kinds=("mct",), engine="bdd")
+        extended = synthesize(spec, kinds=kinds, engine="bdd")
+        assert extended.realized
+        assert extended.depth <= mct_result.depth
+        for circuit in extended.circuits:
+            assert spec.matches_circuit(circuit)
+
+    def test_fredkin_function_needs_three_mct_but_one_mcf(self):
+        # A plain swap: one Fredkin gate, three CNOTs with MCT only.
+        swap = Specification.from_permutation((0, 2, 1, 3), name="swap")
+        mct_only = synthesize(swap, kinds=("mct",), engine="bdd")
+        with_fredkin = synthesize(swap, kinds=("mct", "mcf"), engine="bdd")
+        assert mct_only.depth == 3
+        assert with_fredkin.depth == 1

@@ -1,0 +1,96 @@
+"""Iterative-deepening driver tests (the Figure-1 loop)."""
+
+import pytest
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.synth import synthesize
+from repro.synth.driver import default_gate_limit
+from repro.synth.result import SynthesisResult
+
+
+def cnot_spec():
+    perm = []
+    for i in range(4):
+        a, b = i & 1, (i >> 1) & 1
+        perm.append(a | ((a ^ b) << 1))
+    return Specification.from_permutation(perm, name="cnot")
+
+
+def test_per_depth_history_records_the_iteration(capfd):
+    result = synthesize(cnot_spec(), engine="bdd")
+    decisions = [(s.depth, s.decision) for s in result.per_depth]
+    assert decisions == [(0, "unsat"), (1, "sat")]
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        synthesize(cnot_spec(), engine="mystery")
+
+
+def test_gate_limit_stops_the_loop():
+    # CNOT needs 1 gate; limit 0 makes the loop give up.
+    result = synthesize(cnot_spec(), engine="bdd", max_gates=0)
+    assert result.status == "gate_limit"
+    assert not result.realized
+    assert result.circuit is None
+
+
+def test_time_limit_yields_timeout_status():
+    spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+    result = synthesize(spec, engine="sat", time_limit=0.01)
+    assert result.status == "timeout"
+
+
+def test_explicit_library_object_accepted():
+    library = GateLibrary.mct(2)
+    result = synthesize(cnot_spec(), library=library, engine="bdd")
+    assert result.realized and result.depth == 1
+
+
+def test_kinds_build_the_library():
+    swap = Specification.from_permutation((0, 2, 1, 3), name="swap")
+    result = synthesize(swap, kinds=("mct", "mcf"), engine="bdd")
+    assert result.depth == 1
+
+
+def test_engine_instance_passthrough():
+    from repro.synth.sword_engine import SwordEngine
+    spec = cnot_spec()
+    engine = SwordEngine(spec, GateLibrary.mct(2))
+    result = synthesize(spec, library=GateLibrary.mct(2), engine=engine)
+    assert result.engine == "sword"
+    assert result.realized and result.depth == 1
+
+
+def test_engine_options_forwarded():
+    result = synthesize(cnot_spec(), engine="bdd", max_enumerate=1)
+    assert result.realized
+    assert len(result.circuits) == 1
+
+
+def test_default_gate_limit_formula():
+    assert default_gate_limit(3) == 24
+    assert default_gate_limit(4) == 64
+
+
+def test_summary_strings():
+    realized = synthesize(cnot_spec(), engine="bdd")
+    text = realized.summary()
+    assert "D=1" in text and "#SOL=" in text
+    failed = synthesize(cnot_spec(), engine="bdd", max_gates=0)
+    assert "gate_limit" in failed.summary()
+
+
+def test_result_best_circuit_is_cheapest():
+    spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+    result = synthesize(spec, engine="bdd")
+    best = result.circuit
+    assert best.quantum_cost() == result.quantum_cost_min
+
+
+def test_spec_name_propagates():
+    result = synthesize(cnot_spec(), engine="bdd")
+    assert result.spec_name == "cnot"
+    anonymous = Specification.from_permutation((0, 1))
+    assert synthesize(anonymous, engine="bdd").spec_name == "anonymous"

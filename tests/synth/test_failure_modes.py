@@ -1,0 +1,81 @@
+"""Failure-injection tests: unrealizable inputs, resource exhaustion.
+
+An exact synthesizer must *never* return a wrong circuit — when the
+specification is unrealizable or a budget runs out it has to say so.
+"""
+
+import pytest
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.synth import synthesize
+
+#: Constant-1 output column on a 2-line circuit: unbalanced, hence no
+#: reversible realization exists at any depth.
+UNREALIZABLE = Specification(2, [(1, None)] * 4, name="constant-one")
+
+#: An output column equal to the AND of both inputs: also unbalanced.
+AND_OUTPUT = Specification(
+    2, [(0, None), (0, None), (0, None), (1, None)], name="and-col")
+
+ENGINES = ("bdd", "sat", "sword", "qbf")
+
+
+class TestUnrealizableSpecs:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("spec", [UNREALIZABLE, AND_OUTPUT],
+                             ids=lambda s: s.name)
+    def test_engines_exhaust_gate_limit(self, engine, spec):
+        result = synthesize(spec, engine=engine, max_gates=3)
+        assert result.status == "gate_limit"
+        assert not result.circuits
+        assert result.depth is None
+        # every probed depth must have been refuted
+        assert all(step.decision == "unsat" for step in result.per_depth)
+
+    def test_unbalanced_output_unsat_at_every_small_depth(self):
+        from repro.synth.bdd_engine import BddSynthesisEngine
+        engine = BddSynthesisEngine(UNREALIZABLE, GateLibrary.mct(2))
+        for depth in range(5):
+            assert engine.decide(depth).status == "unsat"
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_zero_time_budget_is_timeout_not_wrong_answer(self, engine):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        result = synthesize(spec, engine=engine, time_limit=0.0)
+        assert result.status == "timeout"
+        assert not result.circuits
+
+    def test_gate_limit_zero(self):
+        spec = Specification.from_permutation((1, 0))
+        result = synthesize(spec, engine="bdd", max_gates=0)
+        assert result.status == "gate_limit"
+
+    def test_partial_progress_recorded_on_timeout(self):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        result = synthesize(spec, engine="sat", time_limit=0.5)
+        assert result.status == "timeout"
+        assert result.per_depth  # at least one depth was attempted
+
+
+class TestDegenerateInputs:
+    def test_single_line_circuits(self):
+        identity = Specification.from_permutation((0, 1))
+        inverter = Specification.from_permutation((1, 0))
+        for engine in ENGINES:
+            assert synthesize(identity, engine=engine).depth == 0
+            assert synthesize(inverter, engine=engine).depth == 1
+
+    def test_trivial_gate_benchmarks(self):
+        from repro.functions import get_spec
+        assert synthesize(get_spec("toffoli"), engine="bdd").depth == 1
+        fredkin = get_spec("fredkin")
+        assert synthesize(fredkin, engine="bdd").depth == 3  # MCT only
+        assert synthesize(fredkin, kinds=("mct", "mcf"),
+                          engine="bdd").depth == 1
+        peres = get_spec("peres")
+        assert synthesize(peres, engine="bdd").depth == 2  # Toffoli + CNOT
+        assert synthesize(peres, kinds=("mct", "peres"),
+                          engine="bdd").depth == 1

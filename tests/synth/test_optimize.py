@@ -1,0 +1,121 @@
+"""Peephole-optimization tests: every pass preserves the permutation."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, InversePeres, Peres, Toffoli
+from repro.core.library import mcf_gates, mct_gates, peres_gates
+from repro.synth.optimize import absorb_nots, cancel_pairs, fuse_peres, simplify
+from repro.verify import circuits_equivalent
+
+
+class TestCancelPairs:
+    def test_adjacent_identical_gates_cancel(self):
+        circuit = Circuit(3, [Toffoli((0,), 1), Toffoli((0,), 1)])
+        assert len(cancel_pairs(circuit)) == 0
+
+    def test_cancellation_across_disjoint_gates(self):
+        circuit = Circuit(4, [Toffoli((0,), 1), Toffoli((2,), 3),
+                              Toffoli((0,), 1)])
+        reduced = cancel_pairs(circuit)
+        assert reduced.gates == (Toffoli((2,), 3),)
+
+    def test_no_cancellation_across_interfering_gate(self):
+        circuit = Circuit(3, [Toffoli((0,), 1), Toffoli((1,), 2),
+                              Toffoli((0,), 1)])
+        assert len(cancel_pairs(circuit)) == 3
+
+    def test_cascaded_cancellation(self):
+        # Removing the inner pair exposes the outer pair.
+        circuit = Circuit(2, [Toffoli((0,), 1), Toffoli((), 0),
+                              Toffoli((), 0), Toffoli((0,), 1)])
+        assert len(cancel_pairs(circuit)) == 0
+
+    def test_fredkin_pairs_cancel(self):
+        circuit = Circuit(3, [Fredkin((2,), 0, 1), Fredkin((2,), 0, 1)])
+        assert len(cancel_pairs(circuit)) == 0
+
+    def test_peres_pairs_do_not_cancel(self):
+        # Peres is not self-inverse: P . P = CNOT, must not be removed.
+        circuit = Circuit(3, [Peres(0, 1, 2), Peres(0, 1, 2)])
+        assert len(cancel_pairs(circuit)) == 2
+
+
+class TestAbsorbNots:
+    def test_not_flips_control_polarity(self):
+        circuit = Circuit(2, [Toffoli((), 0), Toffoli((0,), 1)])
+        rewritten = absorb_nots(circuit)
+        assert rewritten.gates == (
+            Toffoli((0,), 1, negative_controls=(0,)), Toffoli((), 0))
+        assert circuits_equivalent(circuit, rewritten)
+
+    def test_double_flip_restores_polarity(self):
+        circuit = Circuit(2, [Toffoli((), 0), Toffoli((), 0),
+                              Toffoli((0,), 1)])
+        rewritten = absorb_nots(circuit)
+        assert rewritten.gates == (Toffoli((0,), 1),)
+
+    def test_not_on_target_line_blocks(self):
+        circuit = Circuit(2, [Toffoli((), 1), Toffoli((0,), 1)])
+        rewritten = absorb_nots(circuit)
+        assert circuits_equivalent(circuit, rewritten)
+        assert len(rewritten) == 2
+
+    def test_not_cancellation_through_disjoint_gates(self):
+        circuit = Circuit(4, [Toffoli((), 0), Toffoli((2,), 3),
+                              Toffoli((), 0)])
+        rewritten = absorb_nots(circuit)
+        assert rewritten.gates == (Toffoli((2,), 3),)
+
+
+class TestFusePeres:
+    def test_toffoli_cnot_fuses_to_peres(self):
+        circuit = Circuit(3, [Toffoli((0, 1), 2), Toffoli((0,), 1)])
+        fused = fuse_peres(circuit)
+        assert fused.gates == (Peres(0, 1, 2),)
+        assert circuits_equivalent(circuit, fused)
+        assert fused.quantum_cost() == 4 < circuit.quantum_cost() == 6
+
+    def test_cnot_toffoli_fuses_to_inverse_peres(self):
+        circuit = Circuit(3, [Toffoli((0,), 1), Toffoli((0, 1), 2)])
+        fused = fuse_peres(circuit)
+        assert fused.gates == (InversePeres(0, 1, 2),)
+        assert circuits_equivalent(circuit, fused)
+
+    def test_unrelated_pair_untouched(self):
+        circuit = Circuit(3, [Toffoli((0, 1), 2), Toffoli((2,), 0)])
+        assert fuse_peres(circuit).gates == circuit.gates
+
+    def test_mixed_polarity_not_fused(self):
+        circuit = Circuit(3, [Toffoli((0, 1), 2, negative_controls=(0,)),
+                              Toffoli((0,), 1)])
+        assert fuse_peres(circuit).gates == circuit.gates
+
+
+class TestSimplify:
+    def test_preserves_function_on_random_circuits(self, rng):
+        pool = mct_gates(3) + mcf_gates(3) + peres_gates(3)
+        for _ in range(25):
+            circuit = Circuit(3, [pool[rng.randrange(len(pool))]
+                                  for _ in range(rng.randint(0, 8))])
+            simplified = simplify(circuit)  # check=True raises on bugs
+            assert simplified.quantum_cost() <= circuit.quantum_cost()
+
+    def test_mmd_output_shrinks(self):
+        from repro.core.spec import Specification
+        from repro.synth.transformation import transformation_synthesize
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        heuristic = transformation_synthesize(spec)
+        optimized = simplify(heuristic)
+        assert optimized.quantum_cost() <= heuristic.quantum_cost()
+        assert spec.matches_circuit(optimized)
+
+    def test_flags_restrict_gate_types(self):
+        circuit = Circuit(3, [Toffoli((0, 1), 2), Toffoli((0,), 1)])
+        plain = simplify(circuit, allow_peres=False, allow_polarity=False)
+        assert all(isinstance(g, Toffoli) for g in plain.gates)
+        fused = simplify(circuit)
+        assert any(isinstance(g, Peres) for g in fused.gates)
+
+    def test_identity_stays_empty(self):
+        assert len(simplify(Circuit(2))) == 0

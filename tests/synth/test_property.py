@@ -1,0 +1,98 @@
+"""Hypothesis property tests for the synthesis layer.
+
+Random specifications are drawn from random seed cascades (hence always
+realizable); the BDD engine's claims are checked as invariants: minimal
+depth bounded by the seed, all returned networks distinct, every network
+realizes the spec with exactly the minimal gate count, and the engines
+agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import Circuit
+from repro.core.library import GateLibrary, mct_gates
+from repro.core.spec import Specification
+from repro.synth import synthesize
+
+POOL2 = mct_gates(2)
+POOL3 = mct_gates(3)
+
+gates2 = st.sampled_from(POOL2)
+gates3 = st.sampled_from(POOL3)
+
+cascades2 = st.lists(gates2, min_size=0, max_size=3)
+cascades3 = st.lists(gates3, min_size=0, max_size=3)
+
+
+def spec_from(gates, n):
+    circuit = Circuit(n, gates)
+    return Specification.from_permutation(circuit.permutation()), circuit
+
+
+@given(cascades2)
+@settings(max_examples=40, deadline=None)
+def test_bdd_engine_invariants_2_lines(gates):
+    spec, seed_circuit = spec_from(gates, 2)
+    result = synthesize(spec, engine="bdd")
+    assert result.realized
+    assert result.depth <= len(seed_circuit)
+    assert result.num_solutions == len(result.circuits)
+    assert len(set(result.circuits)) == len(result.circuits)
+    for circuit in result.circuits:
+        assert spec.matches_circuit(circuit)
+        assert len(circuit) == result.depth
+    costs = [c.quantum_cost() for c in result.circuits]
+    assert result.quantum_cost_min == min(costs)
+    assert result.quantum_cost_max == max(costs)
+
+
+@given(cascades3)
+@settings(max_examples=25, deadline=None)
+def test_engines_agree_3_lines(gates):
+    spec, _ = spec_from(gates, 3)
+    bdd = synthesize(spec, engine="bdd")
+    sword = synthesize(spec, engine="sword")
+    assert bdd.realized and sword.realized
+    assert bdd.depth == sword.depth
+    assert spec.matches_circuit(sword.circuit)
+
+
+@given(cascades2, st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_dont_cares_never_increase_depth(gates, mask_row):
+    spec, _ = spec_from(gates, 2)
+    rows = list(spec.rows)
+    rows[mask_row] = (None, None)
+    relaxed = Specification(2, rows)
+    full = synthesize(spec, engine="bdd")
+    loose = synthesize(relaxed, engine="bdd")
+    assert loose.realized
+    assert loose.depth <= full.depth
+    assert loose.num_solutions >= full.num_solutions
+
+
+@given(cascades2)
+@settings(max_examples=25, deadline=None)
+def test_inverse_function_has_same_depth(gates):
+    """Exact synthesis is symmetric under inversion for MCT libraries
+    (every gate is self-inverse, so reversing a minimal cascade realizes
+    the inverse function with the same gate count)."""
+    from repro.core.truth_table import invert_permutation
+    spec, _ = spec_from(gates, 2)
+    inverse = Specification.from_permutation(
+        invert_permutation(spec.permutation()))
+    forward = synthesize(spec, engine="bdd")
+    backward = synthesize(inverse, engine="bdd")
+    assert forward.depth == backward.depth
+    assert forward.num_solutions == backward.num_solutions
+
+
+@given(cascades2)
+@settings(max_examples=20, deadline=None)
+def test_bounds_flag_never_changes_the_answer(gates):
+    spec, _ = spec_from(gates, 2)
+    plain = synthesize(spec, engine="bdd")
+    bounded = synthesize(spec, engine="bdd", use_bounds=True)
+    assert bounded.depth == plain.depth
+    assert bounded.num_solutions == plain.num_solutions

@@ -1,0 +1,70 @@
+"""SAT-baseline engine specifics: encoding size growth and decisions."""
+
+import pytest
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.functions.parametric import graycode
+from repro.synth.sat_engine import SatBaselineEngine
+
+
+def cnot_spec():
+    perm = []
+    for i in range(4):
+        a, b = i & 1, (i >> 1) & 1
+        perm.append(a | ((a ^ b) << 1))
+    return Specification.from_permutation(perm, name="cnot")
+
+
+class TestEncoding:
+    def test_select_variables_allocated_first(self):
+        engine = SatBaselineEngine(cnot_spec(), GateLibrary.mct(2))
+        cnf, select_vars = engine.encode(depth=3)
+        width = GateLibrary.mct(2).select_bits()
+        flat = [v for block in select_vars for v in block]
+        assert flat == list(range(1, 3 * width + 1))
+        assert cnf.num_vars > len(flat)  # Tseitin auxiliaries follow
+
+    def test_encoding_grows_exponentially_with_lines(self):
+        """The per-row duplication of [9]: clause count ~ 2^n."""
+        sizes = []
+        for n in (2, 3, 4):
+            spec = graycode(n)
+            engine = SatBaselineEngine(spec, GateLibrary.mct(n))
+            cnf, _ = engine.encode(depth=2)
+            sizes.append(len(cnf.clauses))
+        assert sizes[1] > 1.8 * sizes[0]
+        assert sizes[2] > 1.8 * sizes[1]
+
+    def test_dont_care_rows_are_skipped(self):
+        complete = cnot_spec()
+        partial = Specification(2, [complete.rows[0], complete.rows[1],
+                                    (None, None), (None, None)])
+        library = GateLibrary.mct(2)
+        full_cnf, _ = SatBaselineEngine(complete, library).encode(2)
+        partial_cnf, _ = SatBaselineEngine(partial, library).encode(2)
+        assert len(partial_cnf.clauses) < len(full_cnf.clauses)
+
+
+class TestDecisions:
+    def test_unsat_below_minimal_depth(self):
+        engine = SatBaselineEngine(cnot_spec(), GateLibrary.mct(2))
+        assert engine.decide(0).status == "unsat"
+        outcome = engine.decide(1)
+        assert outcome.status == "sat"
+        assert len(outcome.circuits) == 1
+        assert outcome.quantum_cost_min == outcome.quantum_cost_max
+
+    def test_timeout_reports_unknown(self):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        engine = SatBaselineEngine(spec, GateLibrary.mct(3))
+        assert engine.decide(6, time_limit=0.0).status == "unknown"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SatBaselineEngine(cnot_spec(), GateLibrary.mct(3))
+
+    def test_detail_reports_instance_size(self):
+        engine = SatBaselineEngine(cnot_spec(), GateLibrary.mct(2))
+        outcome = engine.decide(1)
+        assert "vars=" in outcome.detail and "clauses=" in outcome.detail

@@ -1,0 +1,133 @@
+"""SWORD-engine specifics: word-level state, pruning soundness."""
+
+import random
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Peres, Toffoli
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.synth.sword_engine import SwordEngine
+from tests.conftest import brute_force_minimal_depth, random_small_spec
+
+
+def cnot_spec():
+    perm = []
+    for i in range(4):
+        a, b = i & 1, (i >> 1) & 1
+        perm.append(a | ((a ^ b) << 1))
+    return Specification.from_permutation(perm, name="cnot")
+
+
+class TestWordLevelApply:
+    """Column-wise gate application must equal row-wise simulation."""
+
+    @pytest.mark.parametrize("gate", [
+        Toffoli((), 1),
+        Toffoli((0, 2), 1),
+        Fredkin((1,), 0, 2),
+        Fredkin((), 2, 1),
+        Peres(0, 1, 2),
+        Peres(2, 0, 1),
+    ])
+    def test_apply_matches_simulation(self, gate):
+        spec = cnot_spec()  # irrelevant; we only need the machinery
+        engine = SwordEngine(
+            Specification.from_permutation(tuple(range(8))),
+            GateLibrary.mct(3))
+        cols = engine.initial
+        new_cols = engine._apply(gate, cols)
+        for row in range(8):
+            expected = gate.apply(row)
+            got = sum(((new_cols[l] >> row) & 1) << l for l in range(3))
+            assert got == expected, (gate, row)
+
+    def test_sequential_application_matches_circuit(self, rng):
+        library = GateLibrary.mct_mcf_peres(3)
+        engine = SwordEngine(
+            Specification.from_permutation(tuple(range(8))), library)
+        for _ in range(20):
+            gates = [library[rng.randrange(library.size())] for _ in range(4)]
+            cols = engine.initial
+            for gate in gates:
+                cols = engine._apply(gate, cols)
+            circuit = Circuit(3, gates)
+            for row in range(8):
+                got = sum(((cols[l] >> row) & 1) << l for l in range(3))
+                assert got == circuit.simulate(row)
+
+
+class TestLowerBound:
+    def test_zero_iff_goal(self):
+        spec = cnot_spec()
+        engine = SwordEngine(spec, GateLibrary.mct(2))
+        assert engine._lower_bound(engine.initial) > 0
+        goal_cols = engine._apply(Toffoli((0,), 1), engine.initial)
+        assert engine._is_goal(goal_cols)
+        assert engine._lower_bound(goal_cols) == 0
+
+    def test_admissibility_on_random_functions(self, rng):
+        """The bound must never exceed the true remaining depth."""
+        library = GateLibrary.mct(3)
+        for _ in range(10):
+            spec = random_small_spec(rng, 3, seed_gates=rng.randint(0, 3))
+            true_depth = brute_force_minimal_depth(spec, library, max_depth=3)
+            if true_depth is None:
+                continue
+            engine = SwordEngine(spec, library)
+            assert engine._lower_bound(engine.initial) <= true_depth
+
+    def test_two_target_gates_halve_the_line_bound(self):
+        swap = Specification.from_permutation((0, 2, 1, 3), name="swap")
+        mct_engine = SwordEngine(swap, GateLibrary.mct(2))
+        mcf_engine = SwordEngine(swap, GateLibrary.mct_mcf(2))
+        assert mct_engine._lower_bound(mct_engine.initial) == 2
+        assert mcf_engine._lower_bound(mcf_engine.initial) == 1
+
+
+class TestDecisions:
+    def test_minimal_depth_on_crafted_instances(self):
+        spec = cnot_spec()
+        engine = SwordEngine(spec, GateLibrary.mct(2))
+        assert engine.decide(0).status == "unsat"
+        outcome = engine.decide(1)
+        assert outcome.status == "sat"
+        assert spec.matches_circuit(outcome.circuits[0])
+
+    def test_transposition_table_reused_across_depths(self):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        engine = SwordEngine(spec, GateLibrary.mct(3))
+        for depth in range(6):
+            assert engine.decide(depth).status == "unsat"
+        assert len(engine._failed) > 0
+        assert engine.decide(6).status == "sat"
+
+    def test_symmetry_breaking_does_not_lose_solutions(self, rng):
+        """Pruning must preserve the minimal depth on random functions."""
+        library = GateLibrary.mct(3)
+        for _ in range(8):
+            spec = random_small_spec(rng, 3, seed_gates=rng.randint(1, 3))
+            oracle = brute_force_minimal_depth(spec, library, max_depth=3)
+            if oracle is None:
+                continue
+            engine = SwordEngine(spec, library)
+            for depth in range(oracle):
+                assert engine.decide(depth).status == "unsat", spec.name
+            assert engine.decide(oracle).status == "sat"
+
+    def test_timeout_reports_unknown(self):
+        # An UNSAT proof cannot terminate early, so a zero budget must
+        # surface as "unknown" once the node counter hits a check point.
+        from repro.functions.parametric import hwb
+        engine = SwordEngine(hwb(4), GateLibrary.mct(4))
+        assert engine.decide(7, time_limit=0.0).status == "unknown"
+
+    def test_peres_libraries_supported(self):
+        perm = tuple(Peres(0, 1, 2).apply(x) for x in range(8))
+        spec3 = Specification.from_permutation(perm, name="peres-fn")
+        engine = SwordEngine(spec3, GateLibrary.mct_peres(3))
+        assert engine.decide(0).status == "unsat"
+        outcome = engine.decide(1)
+        assert outcome.status == "sat"
+        assert spec3.matches_circuit(outcome.circuits[0])

@@ -1,0 +1,61 @@
+"""Transformation-based (MMD) heuristic synthesis tests."""
+
+import random
+
+import pytest
+
+from repro.core.spec import Specification
+from repro.core.truth_table import random_permutation
+from repro.synth import synthesize
+from repro.synth.transformation import (
+    mmd_gate_count_upper_bound,
+    transformation_synthesize,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_identity_needs_no_gates(self, n):
+        spec = Specification.from_permutation(tuple(range(1 << n)))
+        assert len(transformation_synthesize(spec)) == 0
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_permutations_realized(self, seed):
+        n = 3 if seed % 2 else 4
+        perm = random_permutation(n, seed=seed)
+        spec = Specification.from_permutation(perm, name=f"r{seed}")
+        circuit = transformation_synthesize(spec)
+        assert spec.matches_circuit(circuit)
+
+    def test_3_17_realized(self):
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        circuit = transformation_synthesize(spec)
+        assert spec.matches_circuit(circuit)
+
+    def test_incomplete_spec_rejected(self):
+        spec = Specification(1, [(None,), (1,)])
+        with pytest.raises(ValueError):
+            transformation_synthesize(spec)
+
+
+class TestGateCountBound:
+    def test_never_below_exact_minimum(self):
+        rng = random.Random(5)
+        for _ in range(6):
+            perm = random_permutation(3, seed=rng.randrange(10_000))
+            spec = Specification.from_permutation(perm)
+            heuristic = mmd_gate_count_upper_bound(spec)
+            exact = synthesize(spec, engine="bdd").depth
+            assert heuristic >= exact
+
+    def test_heuristic_is_generally_suboptimal(self):
+        # The paper's motivation for exact synthesis: heuristics overshoot.
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        assert mmd_gate_count_upper_bound(spec) > 6  # exact minimum is 6
+
+    def test_worst_case_bound(self):
+        # MMD appends at most n gates per table row.
+        for seed in range(5):
+            perm = random_permutation(4, seed=seed)
+            spec = Specification.from_permutation(perm)
+            assert mmd_gate_count_upper_bound(spec) <= 4 * 16

@@ -1,0 +1,126 @@
+"""Universal-gate tests (Definition 2): all algebras must agree with
+direct gate application."""
+
+import pytest
+
+from repro.bdd.manager import BddManager
+from repro.core.circuit import Circuit
+from repro.core.library import GateLibrary
+from repro.sat.cnf import Cnf
+from repro.sat.expr import ExprBuilder
+from repro.synth.universal import (
+    BddAlgebra,
+    BoolAlgebra,
+    ExprAlgebra,
+    select_code_bits,
+    universal_gate_stage,
+)
+
+
+def test_select_code_bits_lsb_first():
+    assert select_code_bits(0b101, 4) == [True, False, True, False]
+
+
+class TestBoolAlgebra:
+    @pytest.mark.parametrize("library", [
+        GateLibrary.mct(3),
+        GateLibrary.mct_mcf(3),
+        GateLibrary.mct_mcf_peres(3),
+    ])
+    def test_acts_as_selected_gate(self, library):
+        """Under select code k < q the stage must equal gate g_k."""
+        algebra = BoolAlgebra()
+        n = library.n_lines
+        width = library.select_bits()
+        for code, gate in enumerate(library):
+            select = select_code_bits(code, width)
+            for x in range(1 << n):
+                lines = [bool((x >> l) & 1) for l in range(n)]
+                outputs = universal_gate_stage(lines, select, library, algebra)
+                packed = sum(int(b) << l for l, b in enumerate(outputs))
+                assert packed == gate.apply(x), (code, gate, x)
+
+    def test_padding_codes_act_as_identity(self):
+        library = GateLibrary.mct(3)  # q = 12, padded to 16
+        algebra = BoolAlgebra()
+        width = library.select_bits()
+        for code in range(library.size(), library.padded_size()):
+            select = select_code_bits(code, width)
+            for x in range(8):
+                lines = [bool((x >> l) & 1) for l in range(3)]
+                outputs = universal_gate_stage(lines, select, library, algebra)
+                packed = sum(int(b) << l for l, b in enumerate(outputs))
+                assert packed == x, code
+
+
+class TestBddAlgebra:
+    def test_cascade_equals_concrete_circuit(self):
+        """Restricting the symbolic cascade's select variables to concrete
+        codes must give the BDD of that concrete circuit."""
+        library = GateLibrary.mct(3)
+        width = library.select_bits()
+        manager = BddManager()
+        x_vars = [manager.add_var(f"x{l}") for l in range(3)]
+        lines = [manager.var(v) for v in x_vars]
+        algebra = BddAlgebra(manager)
+        depth = 2
+        y_blocks = []
+        for p in range(depth):
+            block = [manager.add_var(f"y{p}_{j}") for j in range(width)]
+            y_blocks.append(block)
+            lines = universal_gate_stage(
+                lines, [manager.var(v) for v in block], library, algebra)
+
+        codes = (3, 7)
+        gates = [library[c] for c in codes]
+        circuit = Circuit(3, gates)
+        restricted = list(lines)
+        for p, code in enumerate(codes):
+            for j, var in enumerate(y_blocks[p]):
+                restricted = [manager.restrict(f, var, bool((code >> j) & 1))
+                              for f in restricted]
+        for x in range(8):
+            assignment = {x_vars[l]: bool((x >> l) & 1) for l in range(3)}
+            out = sum(int(manager.evaluate(restricted[l], assignment)) << l
+                      for l in range(3))
+            assert out == circuit.simulate(x)
+
+
+class TestExprAlgebra:
+    def test_expression_stage_matches_bool_stage(self):
+        library = GateLibrary.mct_mcf_peres(3)
+        width = library.select_bits()
+        cnf = Cnf(3 + width)
+        builder = ExprBuilder(cnf)
+        x_exprs = [builder.var(l + 1) for l in range(3)]
+        y_exprs = [builder.var(3 + j + 1) for j in range(width)]
+        outputs = universal_gate_stage(x_exprs, y_exprs, library,
+                                       ExprAlgebra(builder))
+        bool_algebra = BoolAlgebra()
+        for code in range(library.padded_size()):
+            select = select_code_bits(code, width)
+            for x in range(8):
+                model = {l + 1: bool((x >> l) & 1) for l in range(3)}
+                model.update({3 + j + 1: select[j] for j in range(width)})
+                lines = [bool((x >> l) & 1) for l in range(3)]
+                expected = universal_gate_stage(lines, select, library,
+                                                bool_algebra)
+                got = [builder.evaluate(o, model) for o in outputs]
+                assert got == expected, (code, x)
+
+
+def test_wrong_signal_counts_rejected():
+    library = GateLibrary.mct(3)
+    algebra = BoolAlgebra()
+    with pytest.raises(ValueError):
+        universal_gate_stage([True, False], [False] * 4, library, algebra)
+    with pytest.raises(ValueError):
+        universal_gate_stage([True] * 3, [False] * 2, library, algebra)
+
+
+def test_tick_called_once_per_gate():
+    library = GateLibrary.mct(3)
+    calls = []
+    universal_gate_stage([False] * 3, [False] * 4, library, BoolAlgebra(),
+                         tick=lambda: calls.append(1))
+    assert len(calls) == library.size()
