@@ -7,6 +7,12 @@ Environment knobs:
 * ``REPRO_TIMEOUT=SEC`` — per-engine timeout per benchmark (default 30,
   the paper used 2000 CPU seconds on 2008 hardware; raise it for tighter
   improvement bounds on the cells that time out).
+* ``REPRO_TRACE=0``     — disable the JSONL run-record export; by default
+  every table cell appends a schema-valid record (see
+  ``docs/observability.md``) to ``BENCH_<table>.jsonl`` so the stored
+  trajectories are self-describing.
+* ``REPRO_TRACE_DIR=D`` — directory for the ``BENCH_*.jsonl`` files
+  (default: current directory).
 
 Paper-reported reference values are stored here so each bench prints a
 "paper vs measured" row.  The available copy of the paper has partly
@@ -21,8 +27,8 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional
 
-__all__ = ["tier", "engine_timeout", "PAPER_TABLE1", "PAPER_NOTES",
-           "format_time", "print_table"]
+__all__ = ["tier", "engine_timeout", "trace_file", "PAPER_TABLE1",
+           "PAPER_NOTES", "format_time", "print_table"]
 
 
 def tier() -> str:
@@ -31,6 +37,14 @@ def tier() -> str:
 
 def engine_timeout() -> float:
     return float(os.environ.get("REPRO_TIMEOUT", "30"))
+
+
+def trace_file(table: str) -> Optional[str]:
+    """JSONL run-record target for a table's cells (None = disabled)."""
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, f"BENCH_{table}.jsonl")
 
 
 #: Table 1 reference values: name -> (paper D with MCT, paper BDD seconds).

@@ -53,8 +53,9 @@ def teardown_module(module):
                 continue
             outcome, engine = entry
             # The monolithic manager of the last decide() call.
+            nodes = outcome.detail.get("nodes", "-")
             rows.append(f"{name:12s} {order:>6s} {outcome.status:>7s} "
-                        f"{outcome.detail:>14s}")
+                        f"{str(nodes):>14s}")
     print_table("ABLATION A1 — variable order X,Y vs Y,X (monolithic)",
                 header, rows,
                 "Paper: the Y,X order blows up; X,Y is essential.")

@@ -26,6 +26,7 @@ from _tables import (
     format_time,
     print_table,
     tier,
+    trace_file,
 )
 from repro.functions import table1_entries
 from repro.synth import synthesize
@@ -38,7 +39,8 @@ _results = {}
 def _run_benchmark(entry, engine):
     spec = entry.spec()
     result = synthesize(spec, kinds=("mct",), engine=engine,
-                        time_limit=engine_timeout())
+                        time_limit=engine_timeout(),
+                        trace=trace_file("table1"))
     _results[(entry.name, engine)] = result
     return result
 

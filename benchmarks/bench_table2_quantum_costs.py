@@ -12,7 +12,7 @@ Run:  pytest benchmarks/bench_table2_quantum_costs.py --benchmark-only -s
 
 import pytest
 
-from _tables import PAPER_NOTES, engine_timeout, print_table, tier
+from _tables import PAPER_NOTES, engine_timeout, print_table, tier, trace_file
 from repro.functions import table2_entries
 from repro.synth import synthesize
 
@@ -21,7 +21,8 @@ _results = {}
 
 def _run_benchmark(entry):
     result = synthesize(entry.spec(), kinds=("mct",), engine="bdd",
-                        time_limit=engine_timeout())
+                        time_limit=engine_timeout(),
+                        trace=trace_file("table2"))
     _results[entry.name] = result
     return result
 

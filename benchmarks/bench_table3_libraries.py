@@ -13,7 +13,8 @@ Run:  pytest benchmarks/bench_table3_libraries.py --benchmark-only -s
 
 import pytest
 
-from _tables import PAPER_NOTES, engine_timeout, print_table, tier
+from _tables import (PAPER_NOTES, engine_timeout, print_table, tier,
+                     trace_file)
 from repro.functions import table3_entries
 from repro.synth import synthesize
 
@@ -28,7 +29,8 @@ _results = {}
 
 def _run_benchmark(entry, kinds):
     result = synthesize(entry.spec(), kinds=kinds, engine="bdd",
-                        time_limit=engine_timeout())
+                        time_limit=engine_timeout(),
+                        trace=trace_file("table3"))
     _results[(entry.name, kinds)] = result
     return result
 

@@ -14,14 +14,18 @@ Commands
 ``opsynth``   exact synthesis with output permutation (the follow-up
               extension): the synthesizer may relabel output lines.
 ``decompose`` map a ``.real`` circuit to elementary NCV quantum gates.
+``trace-summary``  aggregate a JSONL run-record trace file (see
+              ``docs/observability.md``) into a table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.core.library import GateLibrary
 from repro.core.realfmt import parse_real, write_real
 from repro.core.spec import Specification
@@ -41,12 +45,70 @@ def _load_spec(args) -> Specification:
     return get_spec(args.benchmark)
 
 
+#: Per-engine metric columns surfaced by ``synth --profile``.
+_PROFILE_COLUMNS = {
+    "bdd": ("bdd.nodes", "bdd.eq_size", "bdd.ite_calls",
+            "bdd.ite_cache_hits", "bdd.quant_calls", "bdd.solutions"),
+    "sat": ("sat.vars", "sat.clauses", "sat.conflicts", "sat.decisions",
+            "sat.propagations", "sat.restarts"),
+    "qbf": ("qbf.clauses", "qbf.expanded_clauses", "qbf.decisions",
+            "qbf.propagations", "qbf.conflicts"),
+    "sword": ("sword.nodes_visited", "sword.lb_prunes", "sword.tt_prunes",
+              "sword.transpositions"),
+}
+
+
+def _print_profile(result) -> None:
+    """The per-depth metrics table behind ``synth --profile``."""
+    keys = _PROFILE_COLUMNS.get(result.engine)
+    if keys is None:
+        seen = sorted({k for step in result.per_depth for k in step.metrics})
+        keys = tuple(seen[:6])
+    titles = [k.split(".", 1)[-1] for k in keys]
+    header = (f"{'depth':>5s} {'decision':>8s} {'time':>9s} "
+              + " ".join(f"{t:>12s}" for t in titles))
+    print("\nper-depth metrics:")
+    print(header)
+    print("-" * len(header))
+    for step in result.per_depth:
+        cells = []
+        for key in keys:
+            value = step.metrics.get(key)
+            cells.append("-" if value is None else str(int(value)))
+        flag = "*" if step.timed_out else ""
+        print(f"{step.depth:5d} {step.decision + flag:>8s} "
+              f"{step.runtime:8.3f}s " + " ".join(f"{c:>12s}" for c in cells))
+    if any(step.timed_out for step in result.per_depth):
+        print("(* = depth hit the time budget)")
+    tracer = obs.get_tracer()
+    if tracer.enabled and tracer.spans:
+        print("\nspan tree:")
+        print(tracer.format_tree())
+
+
 def _cmd_synth(args) -> int:
     spec = _load_spec(args)
     kinds = tuple(args.kinds.split("+"))
+    if args.trace:
+        # Fail on an unwritable trace target now, not after the run.
+        try:
+            open(args.trace, "a").close()
+        except OSError as exc:
+            print(f"error: cannot write trace file {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+    if args.profile:
+        obs.set_tracing(True)
     result = synthesize(spec, kinds=kinds, engine=args.engine,
-                        time_limit=args.time_limit)
+                        time_limit=args.time_limit, trace=args.trace)
+    if args.json:
+        record = obs.build_run_record(
+            result, GateLibrary.from_kinds(spec.n_lines, kinds))
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if result.realized else 1
     print(result.summary())
+    if args.profile:
+        _print_profile(result)
     if not result.realized:
         return 1
     for step in result.per_depth:
@@ -63,6 +125,8 @@ def _cmd_synth(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(write_real(best, name=spec.name))
         print(f"\nwrote {args.output}")
+    if args.trace:
+        print(f"appended run record to {args.trace}")
     return 0
 
 
@@ -165,13 +229,32 @@ def _cmd_stats(args) -> int:
     from repro.core.statistics import analyze
     with open(args.circuit) as handle:
         circuit, _ = parse_real(handle.read())
-    print(analyze(circuit).format())
+    statistics = analyze(circuit)
+    print(statistics.format())
     if args.latex:
         print()
         print(to_latex(circuit))
     if args.json:
+        payload = {"circuit": json.loads(to_json(circuit, name=args.circuit)),
+                   "statistics": statistics.to_dict()}
         print()
-        print(to_json(circuit, name=args.circuit))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace_summary(args) -> int:
+    try:
+        records = obs.read_records(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.trace} is not JSONL: {exc}", file=sys.stderr)
+        return 1
+    print(obs.summarize_records(records))
+    if args.validate:
+        invalid = sum(1 for r in records if obs.validate_run_record(r))
+        return 1 if invalid else 0
     return 0
 
 
@@ -215,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--all", action="store_true",
                        help="print every minimal network (BDD engine)")
     synth.add_argument("--output", "-o", help="write cheapest network as .real")
+    synth.add_argument("--trace", metavar="FILE",
+                       help="append a JSONL run record to FILE")
+    synth.add_argument("--profile", action="store_true",
+                       help="enable span tracing and print per-depth metrics")
+    synth.add_argument("--json", action="store_true",
+                       help="print the run record as JSON instead of text")
     synth.set_defaults(func=_cmd_synth)
 
     bench = sub.add_parser("bench", help="list the benchmark suite")
@@ -260,8 +349,16 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--latex", action="store_true",
                        help="also print a qcircuit LaTeX rendering")
     stats.add_argument("--json", action="store_true",
-                       help="also print the JSON serialization")
+                       help="also print the JSON serialization "
+                            "(circuit + statistics)")
     stats.set_defaults(func=_cmd_stats)
+
+    trace_summary = sub.add_parser(
+        "trace-summary", help="aggregate a JSONL run-record trace file")
+    trace_summary.add_argument("trace", help="path to a .jsonl trace file")
+    trace_summary.add_argument("--validate", action="store_true",
+                               help="exit nonzero if any record is invalid")
+    trace_summary.set_defaults(func=_cmd_trace_summary)
     return parser
 
 

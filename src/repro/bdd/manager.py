@@ -45,6 +45,18 @@ class BddManager:
         self._quant_cache: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
         self._names: List[str] = []
         self.num_vars = 0
+        # Plain-integer instrumentation counters (see stats()); kept as
+        # attributes rather than a registry so the hot ITE path pays at
+        # most one increment.  ITE misses are not counted in ite() at
+        # all: every miss inserts exactly one computed-cache entry, so
+        # cumulative misses = live entries + entries dropped by cache
+        # clears, tracked in _ite_dropped.
+        self.ite_cache_hits = 0
+        self._ite_dropped = 0
+        self.quant_calls = 0
+        self.quant_cache_hits = 0
+        self.cache_clears = 0
+        self.peak_nodes = 2
         for i in range(num_vars):
             name = var_names[i] if var_names else None
             self.add_var(name)
@@ -143,11 +155,30 @@ class BddManager:
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self.ite_cache_hits += 1
             return cached
-        level = min(self._level(f), self._level(g), self._level(h))
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        h0, h1 = self._cofactors(h, level)
+        # Inlined _level/_cofactors: this is the hottest loop in the
+        # package, and six method calls per miss dominate its cost.
+        var, lo, hi = self._var, self._lo, self._hi
+        level = var[f]  # f is non-terminal past the short cuts
+        level_g = var[g] if g > 1 else self.num_vars
+        if level_g < level:
+            level = level_g
+        level_h = var[h] if h > 1 else self.num_vars
+        if level_h < level:
+            level = level_h
+        if var[f] == level:
+            f0, f1 = lo[f], hi[f]
+        else:
+            f0 = f1 = f
+        if g > 1 and var[g] == level:
+            g0, g1 = lo[g], hi[g]
+        else:
+            g0 = g1 = g
+        if h > 1 and var[h] == level:
+            h0, h1 = lo[h], hi[h]
+        else:
+            h0 = h1 = h
         result = self._mk(level,
                           self.ite(f0, g0, h0),
                           self.ite(f1, g1, h1))
@@ -244,9 +275,11 @@ class BddManager:
     def _quantify(self, f: int, variables: Tuple[int, ...], forall: bool) -> int:
         if not variables or f <= 1:
             return f
+        self.quant_calls += 1
         key = (-1 if forall else -4, f, variables)
         cached = self._quant_cache.get(key)
         if cached is not None:
+            self.quant_cache_hits += 1
             return cached
         level = self._var[f]
         # Drop quantified variables above the node's top variable: they do
@@ -422,8 +455,31 @@ class BddManager:
 
     def clear_caches(self) -> None:
         """Drop the operation caches (unique table is kept)."""
+        self.cache_clears += 1
+        self._ite_dropped += len(self._ite_cache)
         self._ite_cache.clear()
         self._quant_cache.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Instrumentation snapshot, in the ``docs/observability.md`` names.
+
+        Counter values are cumulative over the manager's lifetime and
+        survive :meth:`clear_caches`/:meth:`compact`; callers wanting
+        per-phase figures diff two snapshots.
+        """
+        misses = self._ite_dropped + len(self._ite_cache)
+        return {
+            "nodes": len(self._var),
+            "peak_nodes": max(self.peak_nodes, len(self._var)),
+            "num_vars": self.num_vars,
+            "ite_calls": self.ite_cache_hits + misses,
+            "ite_cache_hits": self.ite_cache_hits,
+            "ite_cache_entries": len(self._ite_cache),
+            "quant_calls": self.quant_calls,
+            "quant_cache_hits": self.quant_cache_hits,
+            "quant_cache_entries": len(self._quant_cache),
+            "cache_clears": self.cache_clears,
+        }
 
     def compact(self, roots: Sequence[int]) -> List[int]:
         """Mark-and-sweep compaction keeping only nodes reachable from roots.
@@ -432,6 +488,7 @@ class BddManager:
         other than the returned ones become invalid; callers (the BDD
         synthesis engine between depth iterations) must re-root.
         """
+        self.peak_nodes = max(self.peak_nodes, len(self._var))
         reachable: Set[int] = {FALSE, TRUE}
         stack = list(roots)
         while stack:
@@ -461,6 +518,7 @@ class BddManager:
             (self._var[i], self._lo[i], self._hi[i]): i
             for i in range(2, len(self._var))
         }
+        self._ite_dropped += len(self._ite_cache)
         self._ite_cache.clear()
         self._quant_cache.clear()
         return [remap[r] for r in roots]

@@ -1,0 +1,72 @@
+"""repro.obs — unified instrumentation: spans, metrics, run records.
+
+The measurement substrate every synthesis engine publishes into, in
+three layers (see ``docs/observability.md`` for the full contract):
+
+* **spans** (:mod:`repro.obs.tracer`) — hierarchical timings, a strict
+  no-op until enabled via :func:`set_tracing`;
+* **metrics** (:mod:`repro.obs.metrics`) — dot-namespaced counters and
+  gauges (``bdd.ite_cache_hits``, ``sat.conflicts``, ...) collected per
+  depth query and folded into :class:`SynthesisResult.metrics`;
+* **run records** (:mod:`repro.obs.runrecord`) — one schema-validated
+  JSON line per ``synthesize()`` call, appended to a trace file.
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.set_tracing(True)
+    result = synthesize(spec, engine="bdd", trace="runs.jsonl")
+    print(obs.get_tracer().format_tree())     # where the time went
+    print(result.metrics["bdd.ite_cache_hits"])
+"""
+
+from repro.obs.metrics import (
+    GAUGE_METRICS,
+    MetricsRegistry,
+    default_registry,
+    merge_metrics,
+    publish,
+)
+from repro.obs.runrecord import (
+    RUN_RECORD_FORMAT,
+    RUN_RECORD_SCHEMA,
+    append_record,
+    build_run_record,
+    iter_records,
+    read_records,
+    summarize_records,
+    validate_run_record,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "GAUGE_METRICS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RUN_RECORD_FORMAT",
+    "RUN_RECORD_SCHEMA",
+    "Span",
+    "Tracer",
+    "append_record",
+    "build_run_record",
+    "default_registry",
+    "get_tracer",
+    "iter_records",
+    "merge_metrics",
+    "publish",
+    "read_records",
+    "set_tracing",
+    "span",
+    "summarize_records",
+    "tracing_enabled",
+    "validate_run_record",
+]

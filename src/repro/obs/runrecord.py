@@ -1,0 +1,267 @@
+"""JSONL run records — the persistence half of :mod:`repro.obs`.
+
+Every ``synthesize()`` call can append one self-describing JSON object
+(a *run record*) to a trace file: the specification and engine, the
+gate library, the final status, and the full per-depth trajectory with
+each depth's metrics.  Benchmark sweeps write ``BENCH_*.jsonl`` files
+through the same path, so a stored trajectory carries everything needed
+to re-plot a paper table without re-running it.
+
+The record layout is pinned by :data:`RUN_RECORD_SCHEMA`, a JSON-Schema
+subset checked by :func:`validate_run_record` (no third-party validator
+is required).  ``python -m repro trace-summary FILE`` renders a file of
+records as a table via :func:`summarize_records`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["RUN_RECORD_FORMAT", "RUN_RECORD_SCHEMA", "build_run_record",
+           "append_record", "iter_records", "read_records",
+           "validate_run_record", "summarize_records"]
+
+RUN_RECORD_FORMAT = "repro-run-v1"
+
+_METRICS_SCHEMA = {"type": "object", "additionalProperties": {"type": "number"}}
+
+#: JSON-Schema (draft-subset) description of one run record.  The
+#: supported keywords are exactly those :func:`validate_run_record`
+#: implements: type, enum, required, properties, additionalProperties,
+#: items, minimum.
+RUN_RECORD_SCHEMA = {
+    "type": "object",
+    "required": ["format", "spec", "n_lines", "engine", "library", "status",
+                 "runtime", "per_depth", "metrics", "versions"],
+    "properties": {
+        "format": {"enum": [RUN_RECORD_FORMAT]},
+        "spec": {"type": "string"},
+        "n_lines": {"type": "integer", "minimum": 1},
+        "engine": {"type": "string"},
+        "library": {
+            "type": "object",
+            "required": ["name", "size", "select_bits"],
+            "properties": {
+                "name": {"type": "string"},
+                "size": {"type": "integer", "minimum": 0},
+                "select_bits": {"type": "integer", "minimum": 0},
+            },
+            "additionalProperties": False,
+        },
+        "status": {"enum": ["realized", "timeout", "gate_limit"]},
+        "depth": {"type": ["integer", "null"]},
+        "num_solutions": {"type": ["integer", "null"]},
+        "num_circuits": {"type": "integer", "minimum": 0},
+        "solutions_truncated": {"type": "boolean"},
+        "quantum_cost_min": {"type": ["integer", "null"]},
+        "quantum_cost_max": {"type": ["integer", "null"]},
+        "runtime": {"type": "number", "minimum": 0},
+        "unix_time": {"type": "number"},
+        "per_depth": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["depth", "decision", "runtime", "timed_out",
+                             "metrics", "detail"],
+                "properties": {
+                    "depth": {"type": "integer", "minimum": 0},
+                    "decision": {"enum": ["sat", "unsat", "unknown"]},
+                    "runtime": {"type": "number", "minimum": 0},
+                    "timed_out": {"type": "boolean"},
+                    "metrics": _METRICS_SCHEMA,
+                    "detail": {"type": "object"},
+                },
+                "additionalProperties": False,
+            },
+        },
+        "metrics": _METRICS_SCHEMA,
+        "versions": {
+            "type": "object",
+            "required": ["repro", "python"],
+            "properties": {
+                "repro": {"type": "string"},
+                "python": {"type": "string"},
+            },
+            "additionalProperties": False,
+        },
+    },
+    "additionalProperties": False,
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python but not a JSON number.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(value, schema, path: str, errors: List[str]) -> None:
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+        return
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(f"{path}: expected {'/'.join(types)}, "
+                          f"got {type(value).__name__}")
+            return
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{path}: {value} below minimum {minimum}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in properties:
+                _validate(item, properties[key], f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                _validate(item, extra, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def validate_run_record(record) -> List[str]:
+    """Check a record against :data:`RUN_RECORD_SCHEMA`.
+
+    Returns a list of human-readable problems; an empty list means the
+    record is schema-valid.
+    """
+    errors: List[str] = []
+    _validate(record, RUN_RECORD_SCHEMA, "record", errors)
+    return errors
+
+
+# -- construction -------------------------------------------------------------
+
+
+def build_run_record(result, library=None) -> Dict:
+    """Assemble a run record from a SynthesisResult (+ its gate library).
+
+    ``result`` is duck-typed (anything with ``to_dict()``/``n_lines``-
+    compatible fields works) so this module stays import-free of
+    :mod:`repro.synth` and usable from any layer.
+    """
+    from repro import __version__
+
+    payload = result.to_dict()
+    n_lines = (library.n_lines if library is not None
+               else max((c.n_lines for c in getattr(result, "circuits", [])),
+                        default=0))
+    record: Dict = {
+        "format": RUN_RECORD_FORMAT,
+        "spec": payload.pop("spec_name"),
+        "n_lines": n_lines,
+        "library": {
+            "name": library.name if library is not None else "unknown",
+            "size": library.size() if library is not None else 0,
+            "select_bits": library.select_bits() if library is not None else 0,
+        },
+        "unix_time": time.time(),
+        "versions": {
+            "repro": __version__,
+            "python": "%d.%d.%d" % sys.version_info[:3],
+        },
+    }
+    record.update(payload)
+    return record
+
+
+def append_record(path: str, record: Dict) -> None:
+    """Append one record as a single JSON line (creates the file)."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def iter_records(path: str) -> Iterator[Dict]:
+    """Yield records from a JSONL trace file, skipping blank lines."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_records(path: str) -> List[Dict]:
+    return list(iter_records(path))
+
+
+# -- aggregation --------------------------------------------------------------
+
+#: (metric, column header) pairs surfaced by the summary table.
+_SUMMARY_COLUMNS = (
+    ("sat.conflicts", "conflicts"),
+    ("sat.decisions", "decisions"),
+    ("sat.propagations", "props"),
+    ("bdd.peak_nodes", "bddnodes"),
+    ("bdd.ite_cache_hits", "ite_hits"),
+    ("qbf.expanded_clauses", "expclauses"),
+    ("sword.nodes_visited", "swnodes"),
+)
+
+
+def _fmt_count(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    value = int(value)
+    if value >= 10_000_000:
+        return f"{value / 1e6:.0f}M"
+    if value >= 100_000:
+        return f"{value / 1e3:.0f}k"
+    return str(value)
+
+
+def summarize_records(records: Iterable[Dict]) -> str:
+    """Render run records as an aggregate table (CLI ``trace-summary``).
+
+    Invalid records are reported, not silently dropped.
+    """
+    records = list(records)
+    header = (f"{'SPEC':14s} {'ENGINE':7s} {'STATUS':10s} {'D':>3s} "
+              f"{'DEPTHS':>6s} {'TIME':>9s} "
+              + " ".join(f"{title:>10s}" for _, title in _SUMMARY_COLUMNS))
+    lines = [header, "-" * len(header)]
+    total_time = 0.0
+    invalid = 0
+    for record in records:
+        problems = validate_run_record(record)
+        if problems:
+            invalid += 1
+            lines.append(f"!! invalid record: {problems[0]}")
+            continue
+        metrics = record["metrics"]
+        depth = record.get("depth")
+        total_time += record["runtime"]
+        lines.append(
+            f"{record['spec']:14s} {record['engine']:7s} "
+            f"{record['status']:10s} {depth if depth is not None else '-':>3} "
+            f"{len(record['per_depth']):>6d} {record['runtime']:8.2f}s "
+            + " ".join(f"{_fmt_count(metrics.get(name)):>10s}"
+                       for name, _ in _SUMMARY_COLUMNS))
+    lines.append("-" * len(header))
+    lines.append(f"{len(records)} records ({invalid} invalid), "
+                 f"total runtime {total_time:.2f}s")
+    hits = sum(r["metrics"].get("bdd.ite_cache_hits", 0) for r in records
+               if not validate_run_record(r))
+    calls = sum(r["metrics"].get("bdd.ite_calls", 0) for r in records
+                if not validate_run_record(r))
+    if calls:
+        lines.append(f"aggregate BDD ITE cache hit rate: {hits / calls:.1%} "
+                     f"({_fmt_count(hits)}/{_fmt_count(calls)})")
+    return "\n".join(lines)

@@ -108,14 +108,20 @@ def solve_qbf_by_expansion(formula: QuantifiedCnf,
                            max_clauses: Optional[int] = None) -> QbfResult:
     """Decide a QBF by full universal expansion plus one CDCL call."""
     start = time.perf_counter()
+    universals = sum(len(variables) for quantifier, variables in formula.prefix
+                     if quantifier == FORALL)
     try:
         cnf, outer = expand_to_cnf(formula, max_clauses=max_clauses)
     except ExpansionBudgetExceeded:
-        return QbfResult(status="unknown", runtime=time.perf_counter() - start)
+        return QbfResult(status="unknown", expanded_universals=universals,
+                         runtime=time.perf_counter() - start)
     sat = solve_cnf(cnf, time_limit=time_limit)
     result = QbfResult(status=sat.status,
                        decisions=sat.decisions,
                        propagations=sat.propagations,
+                       conflicts=sat.conflicts,
+                       expanded_universals=universals,
+                       expanded_clauses=len(cnf.clauses),
                        runtime=time.perf_counter() - start)
     if sat.is_sat:
         assert sat.model is not None

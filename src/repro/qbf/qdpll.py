@@ -42,12 +42,20 @@ _FALSE = -1
 
 @dataclass
 class QbfResult:
-    """Outcome of a QBF call."""
+    """Outcome of a QBF call.
+
+    ``conflicts`` and the ``expanded_*`` figures are filled by the
+    expansion-based solver (which delegates to CDCL); the QDPLL search
+    reports branching via ``decisions``/``propagations``.
+    """
 
     status: str  # "sat", "unsat" or "unknown"
     model: Optional[Dict[int, bool]] = None  # outer existential block only
     decisions: int = 0
     propagations: int = 0
+    conflicts: int = 0
+    expanded_universals: int = 0
+    expanded_clauses: int = 0
     runtime: float = 0.0
 
     @property

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.bdd.manager import FALSE, BddManager
 from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
@@ -37,14 +38,20 @@ __all__ = ["DepthOutcome", "BddSynthesisEngine"]
 
 @dataclass
 class DepthOutcome:
-    """Answer of one depth query (shared by all engines)."""
+    """Answer of one depth query (shared by all engines).
+
+    ``detail`` is a small engine-specific dict (human-oriented);
+    ``metrics`` uses the stable dot-namespaced names of
+    ``docs/observability.md`` and feeds :class:`DepthStat.metrics`.
+    """
 
     status: str  # "sat", "unsat" or "unknown"
     circuits: List[Circuit] = field(default_factory=list)
     num_solutions: Optional[int] = None
     quantum_cost_min: Optional[int] = None
     quantum_cost_max: Optional[int] = None
-    detail: str = ""
+    detail: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
     solutions_truncated: bool = False
 
 
@@ -178,46 +185,89 @@ class BddSynthesisEngine:
         deadline = _Deadline(time_limit,
                              manager=self.manager if self.incremental else None,
                              cache_limit=self.cache_limit)
+        before = (self.manager.stats() if self.incremental
+                  else {"ite_calls": 0, "ite_cache_hits": 0,
+                        "quant_calls": 0, "quant_cache_hits": 0})
         try:
             if self.incremental:
                 if depth < self.built_depth:
                     raise ValueError("incremental engine: query depths in "
                                      "non-decreasing order")
-                self._advance_to(depth, deadline)
+                with obs.span("bdd.cascade", depth=depth):
+                    self._advance_to(depth, deadline)
                 manager, x_vars = self.manager, self.x_vars
                 y_vars, lines = self.y_vars, self.lines
             else:
-                manager, x_vars, y_vars, lines = self._build_monolithic(
-                    depth, deadline)
+                with obs.span("bdd.cascade", depth=depth, monolithic=True):
+                    manager, x_vars, y_vars, lines = self._build_monolithic(
+                        depth, deadline)
 
-            terms = []
-            for l in range(self.n):
-                deadline.check()
-                agree = manager.xnor(lines[l], self.on_bdds[l])
-                terms.append(manager.or_(self.dc_bdds[l], agree))
-            equality = manager.conj(terms)
+            with obs.span("bdd.equality", depth=depth):
+                terms = []
+                for l in range(self.n):
+                    deadline.check()
+                    agree = manager.xnor(lines[l], self.on_bdds[l])
+                    terms.append(manager.or_(self.dc_bdds[l], agree))
+                equality = manager.conj(terms)
             deadline.check()
-            solutions = manager.forall(equality, x_vars)
+            with obs.span("bdd.quantify", depth=depth):
+                solutions = manager.forall(equality, x_vars)
             deadline.check()
         except TimeoutError:
-            return DepthOutcome(status="unknown", detail="timeout")
+            return DepthOutcome(status="unknown", detail={"timeout": True},
+                                metrics=self._metrics(before))
 
-        detail = (f"nodes={manager.node_count()} "
-                  f"eq_size={manager.size(equality)}")
+        detail = {"nodes": manager.node_count(),
+                  "eq_size": manager.size(equality)}
+        metrics = self._metrics(before, manager)
+        metrics["bdd.eq_size"] = detail["eq_size"]
         if solutions == FALSE:
             if self.incremental and self.compact_between_depths:
                 self._compact()
-            return DepthOutcome(status="unsat", detail=detail)
+            return DepthOutcome(status="unsat", detail=detail, metrics=metrics)
 
-        outcome = self._extract(manager, y_vars, solutions, depth, detail)
+        with obs.span("bdd.extract", depth=depth):
+            outcome = self._extract(manager, y_vars, solutions, depth, detail,
+                                    metrics)
         if self.incremental and self.compact_between_depths:
             self._compact()
         return outcome
 
+    def _metrics(self, before: Dict[str, int],
+                 manager: Optional[BddManager] = None) -> Dict[str, float]:
+        """Per-depth ``bdd.*`` metrics: counter deltas + state gauges.
+
+        In incremental mode the manager counters span all depths, so the
+        query's own work is the difference against the snapshot taken at
+        the start of :meth:`decide`; monolithic managers start at zero.
+        """
+        if manager is None:
+            manager = getattr(self, "manager", None)
+        if manager is None:  # monolithic build timed out before a manager
+            return {}
+        now = manager.stats()
+        calls = now["ite_calls"] - before.get("ite_calls", 0)
+        hits = now["ite_cache_hits"] - before.get("ite_cache_hits", 0)
+        return {
+            "bdd.nodes": now["nodes"],
+            "bdd.peak_nodes": now["peak_nodes"],
+            "bdd.num_vars": now["num_vars"],
+            "bdd.ite_calls": calls,
+            "bdd.ite_cache_hits": hits,
+            "bdd.ite_cache_misses": calls - hits,
+            "bdd.ite_cache_entries": now["ite_cache_entries"],
+            "bdd.quant_calls": now["quant_calls"] - before.get("quant_calls", 0),
+            "bdd.quant_cache_hits": (now["quant_cache_hits"]
+                                     - before.get("quant_cache_hits", 0)),
+            "bdd.quant_cache_entries": now["quant_cache_entries"],
+            "bdd.cache_clears": now["cache_clears"],
+        }
+
     # -- solution extraction -------------------------------------------------------------
 
     def _extract(self, manager: BddManager, y_vars: Sequence[Sequence[int]],
-                 solutions: int, depth: int, detail: str) -> DepthOutcome:
+                 solutions: int, depth: int, detail: Dict[str, object],
+                 metrics: Dict[str, float]) -> DepthOutcome:
         all_select = [v for block in y_vars for v in block]
         count = manager.count_models(solutions, all_select) if all_select else 1
         circuits: List[Circuit] = []
@@ -231,6 +281,8 @@ class BddSynthesisEngine:
         else:  # depth 0: the identity circuit
             circuits.append(Circuit(self.n))
         costs = [c.quantum_cost() for c in circuits]
+        metrics = dict(metrics)
+        metrics["bdd.solutions"] = count
         return DepthOutcome(
             status="sat",
             circuits=circuits,
@@ -238,6 +290,7 @@ class BddSynthesisEngine:
             quantum_cost_min=min(costs),
             quantum_cost_max=max(costs),
             detail=detail,
+            metrics=metrics,
             solutions_truncated=truncated,
         )
 

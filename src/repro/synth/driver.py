@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Sequence, Type, Union
 
+import repro.obs as obs
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
 from repro.synth.bdd_engine import BddSynthesisEngine, DepthOutcome
@@ -25,7 +26,7 @@ from repro.synth.result import DepthStat, SynthesisResult
 from repro.synth.sat_engine import SatBaselineEngine
 from repro.synth.sword_engine import SwordEngine
 
-__all__ = ["ENGINES", "default_gate_limit", "synthesize"]
+__all__ = ["ENGINES", "MIN_DEPTH_BUDGET", "default_gate_limit", "synthesize"]
 
 ENGINES: Dict[str, Type] = {
     "bdd": BddSynthesisEngine,
@@ -33,6 +34,11 @@ ENGINES: Dict[str, Type] = {
     "sat": SatBaselineEngine,
     "sword": SwordEngine,
 }
+
+#: Smallest per-depth time budget worth starting an engine call for: the
+#: engines spend more than this constructing their encoding, so a tinier
+#: remaining slice is reported as a timeout instead of being burned.
+MIN_DEPTH_BUDGET = 1e-3
 
 
 def default_gate_limit(n_lines: int) -> int:
@@ -54,6 +60,7 @@ def synthesize(spec: Specification,
                max_gates: Optional[int] = None,
                time_limit: Optional[float] = None,
                use_bounds: bool = False,
+               trace: Optional[str] = None,
                **engine_options) -> SynthesisResult:
     """Exact synthesis: minimal number of library gates realizing ``spec``.
 
@@ -67,6 +74,13 @@ def synthesize(spec: Specification,
     with the MMD-heuristic upper bound.  Note the BDD engine still builds
     the skipped cascade stages — only their equality checks and
     quantifications are saved.
+
+    ``trace`` names a JSONL file; one schema-valid run record (see
+    :mod:`repro.obs.runrecord`) is appended per call.  Per-depth engine
+    metrics always land in ``result.per_depth[*].metrics`` and the
+    run-level aggregate in ``result.metrics`` — the raw counters are so
+    cheap they are never turned off; only span *timing* needs an
+    explicit ``obs.set_tracing(True)``.
     """
     if library is None:
         library = GateLibrary.from_kinds(spec.n_lines, kinds)
@@ -99,31 +113,56 @@ def synthesize(spec: Specification,
     start = time.perf_counter()
     deadline = None if time_limit is None else start + time_limit
 
-    for depth in range(start_depth, limit + 1):
-        remaining = None
-        if deadline is not None:
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0:
+    with obs.span("synthesize", spec=result.spec_name, engine=instance.name):
+        for depth in range(start_depth, limit + 1):
+            remaining = None
+            if deadline is not None:
+                # Clamp: a sliver of budget is not worth an engine call —
+                # the encoding construction alone would overrun it.
+                remaining = max(0.0, deadline - time.perf_counter())
+                if remaining <= MIN_DEPTH_BUDGET:
+                    result.status = "timeout"
+                    break
+            step_start = time.perf_counter()
+            with obs.span("depth", depth=depth, engine=instance.name):
+                outcome: DepthOutcome = instance.decide(
+                    depth, time_limit=remaining)
+            step_time = time.perf_counter() - step_start
+            timed_out = outcome.status == "unknown"
+            result.per_depth.append(
+                DepthStat(depth=depth, decision=outcome.status,
+                          runtime=step_time, detail=dict(outcome.detail),
+                          metrics=dict(outcome.metrics), timed_out=timed_out))
+            if timed_out:
                 result.status = "timeout"
                 break
-        step_start = time.perf_counter()
-        outcome: DepthOutcome = instance.decide(depth, time_limit=remaining)
-        step_time = time.perf_counter() - step_start
-        result.per_depth.append(DepthStat(depth=depth, decision=outcome.status,
-                                          runtime=step_time,
-                                          detail=outcome.detail))
-        if outcome.status == "unknown":
-            result.status = "timeout"
-            break
-        if outcome.status == "sat":
-            result.status = "realized"
-            result.depth = depth
-            result.circuits = outcome.circuits
-            result.num_solutions = outcome.num_solutions
-            result.quantum_cost_min = outcome.quantum_cost_min
-            result.quantum_cost_max = outcome.quantum_cost_max
-            result.solutions_truncated = outcome.solutions_truncated
-            break
+            if outcome.status == "sat":
+                result.status = "realized"
+                result.depth = depth
+                result.circuits = outcome.circuits
+                result.num_solutions = outcome.num_solutions
+                result.quantum_cost_min = outcome.quantum_cost_min
+                result.quantum_cost_max = outcome.quantum_cost_max
+                result.solutions_truncated = outcome.solutions_truncated
+                break
 
     result.runtime = time.perf_counter() - start
+    _aggregate_metrics(result)
+    obs.publish(result.metrics)
+    if trace is not None:
+        library_obj = getattr(instance, "library", library)
+        obs.append_record(trace, obs.build_run_record(result, library_obj))
     return result
+
+
+def _aggregate_metrics(result: SynthesisResult) -> None:
+    """Fold per-depth metrics into ``result.metrics`` + driver figures."""
+    totals: Dict[str, float] = {}
+    for step in result.per_depth:
+        obs.merge_metrics(totals, step.metrics)
+    totals["driver.depths_tried"] = len(result.per_depth)
+    totals["driver.unsat_depths"] = sum(
+        1 for s in result.per_depth if s.decision == "unsat")
+    totals["driver.timed_out_depths"] = sum(
+        1 for s in result.per_depth if s.timed_out)
+    result.metrics = totals

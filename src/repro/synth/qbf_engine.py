@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.bdd.manager import BddManager
 from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
@@ -116,19 +117,31 @@ class QbfSolverEngine:
 
     def decide(self, depth: int,
                time_limit: Optional[float] = None) -> DepthOutcome:
-        formula, select_vars = self.encode(depth)
-        detail = (f"vars={formula.cnf.num_vars} "
-                  f"clauses={len(formula.cnf.clauses)}")
-        if self.solver == "qdpll":
-            result = QdpllSolver(formula).solve(time_limit=time_limit)
-        else:
-            result = solve_qbf_by_expansion(
-                formula, time_limit=time_limit,
-                max_clauses=self.expansion_clause_budget)
+        with obs.span("qbf.encode", depth=depth):
+            formula, select_vars = self.encode(depth)
+        detail = {"vars": formula.cnf.num_vars,
+                  "clauses": len(formula.cnf.clauses)}
+        with obs.span("qbf.solve", depth=depth, solver=self.solver):
+            if self.solver == "qdpll":
+                result = QdpllSolver(formula).solve(time_limit=time_limit)
+            else:
+                result = solve_qbf_by_expansion(
+                    formula, time_limit=time_limit,
+                    max_clauses=self.expansion_clause_budget)
+        metrics = {
+            "qbf.vars": formula.cnf.num_vars,
+            "qbf.clauses": len(formula.cnf.clauses),
+            "qbf.decisions": result.decisions,
+            "qbf.propagations": result.propagations,
+            "qbf.conflicts": result.conflicts,
+            "qbf.expanded_universals": result.expanded_universals,
+            "qbf.expanded_clauses": result.expanded_clauses,
+        }
         if result.status == "unknown":
-            return DepthOutcome(status="unknown", detail=detail + " timeout")
+            return DepthOutcome(status="unknown", metrics=metrics,
+                                detail=dict(detail, timeout=True))
         if result.is_unsat:
-            return DepthOutcome(status="unsat", detail=detail)
+            return DepthOutcome(status="unsat", detail=detail, metrics=metrics)
         assert result.model is not None
         circuit = self._decode(result.model, select_vars)
         if not self.spec.matches_circuit(circuit):
@@ -138,7 +151,7 @@ class QbfSolverEngine:
         cost = circuit.quantum_cost()
         return DepthOutcome(status="sat", circuits=[circuit],
                             quantum_cost_min=cost, quantum_cost_max=cost,
-                            detail=detail)
+                            detail=detail, metrics=metrics)
 
     def _decode(self, model: Dict[int, bool],
                 select_vars: List[List[int]]) -> Circuit:

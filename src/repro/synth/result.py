@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.circuit import Circuit
 
@@ -12,12 +12,32 @@ __all__ = ["DepthStat", "SynthesisResult"]
 
 @dataclass
 class DepthStat:
-    """Statistics of one iteration of the Figure-1 loop."""
+    """Statistics of one iteration of the Figure-1 loop.
+
+    ``detail`` is an engine-specific dict (BDD sizes, clause counts,
+    search statistics); ``metrics`` carries the depth's figures under
+    the stable names of ``docs/observability.md``.  ``timed_out`` marks
+    an "unknown" decision caused by the time budget, distinguishing it
+    from a genuine UNSAT for downstream tooling.
+    """
 
     depth: int
     decision: str  # "sat", "unsat" or "unknown"
     runtime: float
-    detail: str = ""  # engine-specific, e.g. BDD sizes or clause counts
+    detail: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    timed_out: bool = False
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (run records, ``--json`` output)."""
+        return {
+            "depth": self.depth,
+            "decision": self.decision,
+            "runtime": self.runtime,
+            "timed_out": self.timed_out,
+            "detail": dict(self.detail),
+            "metrics": dict(self.metrics),
+        }
 
 
 @dataclass
@@ -33,7 +53,9 @@ class SynthesisResult:
     ``circuits`` holds every found realization (all of them for the BDD
     engine, a single one for the SAT/SWORD/QBF engines).  ``num_solutions``
     is the exact count of minimal networks when the engine knows it (BDD
-    model counting), else the number of circuits returned.
+    model counting), else the number of circuits returned.  ``metrics``
+    aggregates the per-depth metrics over the whole run (counters are
+    summed, gauges take their peak) plus the driver's own figures.
     """
 
     engine: str
@@ -47,6 +69,7 @@ class SynthesisResult:
     runtime: float = 0.0
     per_depth: List[DepthStat] = field(default_factory=list)
     solutions_truncated: bool = False
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def realized(self) -> bool:
@@ -58,6 +81,27 @@ class SynthesisResult:
         if not self.circuits:
             return None
         return min(self.circuits, key=lambda c: c.quantum_cost())
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation — the body of a run record.
+
+        Circuits themselves are summarized by count (serialize them via
+        :func:`repro.core.export.to_json` when the gate lists matter).
+        """
+        return {
+            "engine": self.engine,
+            "spec_name": self.spec_name,
+            "status": self.status,
+            "depth": self.depth,
+            "num_solutions": self.num_solutions,
+            "num_circuits": len(self.circuits),
+            "solutions_truncated": self.solutions_truncated,
+            "quantum_cost_min": self.quantum_cost_min,
+            "quantum_cost_max": self.quantum_cost_max,
+            "runtime": self.runtime,
+            "per_depth": [step.to_dict() for step in self.per_depth],
+            "metrics": dict(self.metrics),
+        }
 
     def summary(self) -> str:
         if not self.realized:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
@@ -116,13 +117,25 @@ class SatBaselineEngine:
 
     def decide(self, depth: int,
                time_limit: Optional[float] = None) -> DepthOutcome:
-        cnf, select_vars = self.encode(depth)
-        detail = f"vars={cnf.num_vars} clauses={len(cnf.clauses)}"
-        result = CdclSolver(cnf).solve(time_limit=time_limit)
+        with obs.span("sat.encode", depth=depth):
+            cnf, select_vars = self.encode(depth)
+        detail = {"vars": cnf.num_vars, "clauses": len(cnf.clauses)}
+        with obs.span("sat.solve", depth=depth):
+            result = CdclSolver(cnf).solve(time_limit=time_limit)
+        metrics = {
+            "sat.vars": cnf.num_vars,
+            "sat.clauses": len(cnf.clauses),
+            "sat.conflicts": result.conflicts,
+            "sat.decisions": result.decisions,
+            "sat.propagations": result.propagations,
+            "sat.restarts": result.restarts,
+            "sat.learnt_clauses": result.learnt_clauses,
+        }
         if result.status == "unknown":
-            return DepthOutcome(status="unknown", detail=detail + " timeout")
+            return DepthOutcome(status="unknown", metrics=metrics,
+                                detail=dict(detail, timeout=True))
         if result.is_unsat:
-            return DepthOutcome(status="unsat", detail=detail)
+            return DepthOutcome(status="unsat", detail=detail, metrics=metrics)
         assert result.model is not None
         circuit = self._decode(result.model, select_vars)
         if not self.spec.matches_circuit(circuit):
@@ -132,7 +145,8 @@ class SatBaselineEngine:
         cost = circuit.quantum_cost()
         return DepthOutcome(status="sat", circuits=[circuit],
                             num_solutions=None, quantum_cost_min=cost,
-                            quantum_cost_max=cost, detail=detail)
+                            quantum_cost_max=cost, detail=detail,
+                            metrics=metrics)
 
     def _decode(self, model, select_vars: List[List[int]]) -> Circuit:
         gates = []

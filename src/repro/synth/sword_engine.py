@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.core.circuit import Circuit
 from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
 from repro.core.library import GateLibrary
@@ -85,6 +86,8 @@ class SwordEngine:
         self._transposition_limit = transposition_limit
         self._deadline: Optional[float] = None
         self._node_counter = 0
+        self._lb_prunes = 0
+        self._tt_prunes = 0
 
     # -- word-level gate application ------------------------------------------------
 
@@ -146,13 +149,19 @@ class SwordEngine:
         self._deadline = (None if time_limit is None
                           else time.perf_counter() + time_limit)
         path: List[Gate] = []
+        before = (self._node_counter, self._lb_prunes, self._tt_prunes)
         try:
-            found = self._dfs(self.initial, depth, -1, path)
+            with obs.span("sword.search", depth=depth):
+                found = self._dfs(self.initial, depth, -1, path)
         except _Timeout:
-            return DepthOutcome(status="unknown", detail="timeout")
-        detail = f"transpositions={len(self._failed)}"
+            return DepthOutcome(status="unknown",
+                                detail=dict(self._search_stats(before),
+                                            timeout=True),
+                                metrics=self._metrics(before))
+        detail = self._search_stats(before)
+        metrics = self._metrics(before)
         if not found:
-            return DepthOutcome(status="unsat", detail=detail)
+            return DepthOutcome(status="unsat", detail=detail, metrics=metrics)
         circuit = Circuit(self.n, path)
         if not self.spec.matches_circuit(circuit):
             raise AssertionError("SWORD engine produced a circuit violating "
@@ -160,7 +169,21 @@ class SwordEngine:
         cost = circuit.quantum_cost()
         return DepthOutcome(status="sat", circuits=[circuit],
                             quantum_cost_min=cost, quantum_cost_max=cost,
-                            detail=detail)
+                            detail=detail, metrics=metrics)
+
+    def _search_stats(self, before: Tuple[int, int, int]) -> Dict[str, object]:
+        """This query's search statistics (the counters span all depths)."""
+        nodes, lb, tt = before
+        return {
+            "nodes_visited": self._node_counter - nodes,
+            "lb_prunes": self._lb_prunes - lb,
+            "tt_prunes": self._tt_prunes - tt,
+            "transpositions": len(self._failed),
+        }
+
+    def _metrics(self, before: Tuple[int, int, int]) -> Dict[str, float]:
+        return {"sword." + key: value
+                for key, value in self._search_stats(before).items()}
 
     def _dfs(self, cols: Columns, budget: int, previous: int,
              path: List[Gate]) -> bool:
@@ -171,8 +194,10 @@ class SwordEngine:
         if self._is_goal(cols):
             return True
         if budget <= 0 or self._lower_bound(cols) > budget:
+            self._lb_prunes += 1
             return False
         if self._failed.get(cols, -1) >= budget:
+            self._tt_prunes += 1
             return False
         previous_lines = self._gate_lines[previous] if previous >= 0 else None
         for index, gate in enumerate(self.library.gates):

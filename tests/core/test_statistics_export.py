@@ -49,6 +49,45 @@ class TestStatistics:
         assert "toffoli=3" in text
         assert "negative ctls  : 1" in text
 
+    def test_fredkin_only_circuit(self):
+        circuit = Circuit(3, [Fredkin((), 0, 1), Fredkin((2,), 0, 1),
+                              Fredkin((0,), 1, 2)])
+        stats = analyze(circuit)
+        assert stats.gates_by_kind == {"fredkin": 3}
+        assert stats.controls_histogram == {0: 1, 1: 2}
+        assert stats.negative_control_count == 0
+        assert stats.quantum_cost == circuit.quantum_cost()
+
+    def test_peres_family_circuit(self):
+        circuit = Circuit(3, [Peres(0, 1, 2), InversePeres(0, 1, 2),
+                              Peres(1, 2, 0)])
+        stats = analyze(circuit)
+        assert stats.gates_by_kind == {"peres": 2, "inverse-peres": 1}
+        # Peres gates act on one control + two targets.
+        assert stats.controls_histogram == {1: 3}
+        assert stats.max_controls == 1
+        assert sum(stats.line_activity) == 9
+
+    def test_negative_controls_counted_per_gate(self):
+        circuit = Circuit(3, [
+            Toffoli((0, 1), 2, negative_controls=(0, 1)),
+            Toffoli((2,), 0, negative_controls=(2,)),
+            Toffoli((0,), 1),
+        ])
+        stats = analyze(circuit)
+        assert stats.negative_control_count == 3
+        assert stats.gates_by_kind == {"toffoli": 3}
+        assert stats.controls_histogram == {1: 2, 2: 1}
+
+    def test_to_dict_round_trip_preserves_histograms(self):
+        stats = analyze(SAMPLE)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["gates_by_kind"] == stats.gates_by_kind
+        assert payload["controls_histogram"] == {
+            str(k): v for k, v in stats.controls_histogram.items()}
+        assert payload["line_activity"] == stats.line_activity
+        assert payload["negative_control_count"] == 1
+
 
 class TestJsonExport:
     def test_round_trip(self):

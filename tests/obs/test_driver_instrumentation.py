@@ -1,0 +1,104 @@
+"""Driver-level observability: budget clamp, timed_out flag, aggregation."""
+
+import pytest
+
+from repro import obs
+from repro.functions import get_spec
+from repro.synth import synthesize
+from repro.synth.driver import MIN_DEPTH_BUDGET
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    yield
+    obs.set_tracing(False)
+
+
+class TestBudgetClamp:
+    def test_tiny_budget_is_timeout_without_engine_call(self):
+        # A budget below the clamp must not reach any engine: no depths
+        # are recorded, the status is an honest timeout.
+        result = synthesize(get_spec("3_17"), kinds=("mct",), engine="bdd",
+                            time_limit=MIN_DEPTH_BUDGET / 2)
+        assert result.status == "timeout"
+        assert result.per_depth == []
+
+    def test_zero_budget_is_timeout(self):
+        result = synthesize(get_spec("3_17"), kinds=("mct",), engine="sat",
+                            time_limit=0.0)
+        assert result.status == "timeout"
+        assert result.per_depth == []
+
+    def test_generous_budget_unaffected(self):
+        result = synthesize(get_spec("toffoli"), kinds=("mct",),
+                            engine="bdd", time_limit=30.0)
+        assert result.realized
+
+
+class TestTimedOutFlag:
+    def test_engine_timeout_marks_last_depth(self):
+        # hwb4 at SAT within 0.3s: some depth query hits the engine's own
+        # deadline and returns "unknown" — that DepthStat must say so.
+        result = synthesize(get_spec("3_17"), kinds=("mct",), engine="sat",
+                            time_limit=0.3)
+        if result.status == "timeout" and result.per_depth:
+            last = result.per_depth[-1]
+            assert last.decision == "unknown"
+            assert last.timed_out is True
+            assert all(not s.timed_out for s in result.per_depth[:-1])
+
+    def test_realized_run_has_no_timed_out_depths(self):
+        result = synthesize(get_spec("graycode4"), kinds=("mct",),
+                            engine="bdd")
+        assert result.realized
+        assert all(not s.timed_out for s in result.per_depth)
+        assert result.metrics["driver.timed_out_depths"] == 0
+
+
+class TestAggregation:
+    def test_counters_sum_over_depths(self):
+        result = synthesize(get_spec("3_17"), kinds=("mct",), engine="bdd")
+        per_depth_calls = sum(s.metrics.get("bdd.ite_calls", 0)
+                              for s in result.per_depth)
+        assert result.metrics["bdd.ite_calls"] == per_depth_calls > 0
+
+    def test_gauges_take_peak_over_depths(self):
+        result = synthesize(get_spec("3_17"), kinds=("mct",), engine="bdd")
+        peaks = [s.metrics.get("bdd.peak_nodes", 0)
+                 for s in result.per_depth]
+        assert result.metrics["bdd.peak_nodes"] == max(peaks)
+
+    def test_driver_figures(self):
+        result = synthesize(get_spec("3_17"), kinds=("mct",), engine="bdd")
+        assert result.metrics["driver.depths_tried"] == len(result.per_depth)
+        assert result.metrics["driver.unsat_depths"] == \
+            sum(1 for s in result.per_depth if s.decision == "unsat")
+
+    def test_published_to_default_registry(self):
+        registry = obs.default_registry()
+        before = registry.get("driver.depths_tried", 0.0)
+        synthesize(get_spec("toffoli"), kinds=("mct",), engine="bdd")
+        assert registry.get("driver.depths_tried", 0.0) > before
+
+
+class TestSpans:
+    def test_synthesize_produces_span_tree(self):
+        tracer = obs.set_tracing(True)
+        result = synthesize(get_spec("graycode4"), kinds=("mct",),
+                            engine="bdd")
+        assert result.realized
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["synthesize"]
+        depth_spans = tracer.children_of(roots[0])
+        assert [s.name for s in depth_spans] == \
+            ["depth"] * len(result.per_depth)
+        assert [s.attrs["depth"] for s in depth_spans] == \
+            [s.depth for s in result.per_depth]
+        # Engine-internal spans nest below the depth spans.
+        inner = tracer.children_of(depth_spans[-1])
+        assert any(s.name.startswith("bdd.") for s in inner)
+
+    def test_disabled_tracing_records_nothing(self):
+        tracer = obs.set_tracing(False)
+        synthesize(get_spec("toffoli"), kinds=("mct",), engine="bdd")
+        assert tracer.spans == []

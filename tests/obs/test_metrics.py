@@ -1,0 +1,89 @@
+"""Metrics registry: counter vs gauge semantics and merging."""
+
+import pytest
+
+from repro.obs.metrics import (GAUGE_METRICS, MetricsRegistry,
+                               default_registry, merge_metrics, publish)
+
+
+class TestMergeMetrics:
+    def test_counters_sum(self):
+        total = {"sat.conflicts": 10.0}
+        merge_metrics(total, {"sat.conflicts": 5.0, "sat.decisions": 3.0})
+        assert total == {"sat.conflicts": 15.0, "sat.decisions": 3.0}
+
+    def test_gauges_take_max(self):
+        total = {"bdd.nodes": 100.0}
+        merge_metrics(total, {"bdd.nodes": 60.0})
+        assert total["bdd.nodes"] == 100.0
+        merge_metrics(total, {"bdd.nodes": 250.0})
+        assert total["bdd.nodes"] == 250.0
+
+    def test_merge_returns_and_mutates_total(self):
+        total = {}
+        out = merge_metrics(total, {"a": 1.0})
+        assert out is total
+
+    def test_known_gauges_are_declared(self):
+        # The stable names the engines actually publish as snapshots.
+        for name in ("bdd.nodes", "bdd.peak_nodes", "sat.vars",
+                     "sat.clauses", "qbf.expanded_clauses"):
+            assert name in GAUGE_METRICS
+
+    def test_counter_names_are_not_gauges(self):
+        for name in ("sat.conflicts", "sat.propagations", "bdd.ite_calls",
+                     "bdd.ite_cache_hits", "sword.nodes_visited"):
+            assert name not in GAUGE_METRICS
+
+
+class TestRegistry:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("sat.conflicts")
+        registry.inc("sat.conflicts", 4)
+        assert registry.get("sat.conflicts") == 5
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("bdd.nodes", 10)
+        registry.gauge("bdd.nodes", 3)
+        assert registry.get("bdd.nodes") == 3
+
+    def test_gauge_max_keeps_peak(self):
+        registry = MetricsRegistry()
+        registry.gauge_max("bdd.peak_nodes", 10)
+        registry.gauge_max("bdd.peak_nodes", 3)
+        assert registry.get("bdd.peak_nodes") == 10
+
+    def test_publish_uses_merge_semantics(self):
+        registry = MetricsRegistry()
+        registry.publish({"sat.conflicts": 5.0, "bdd.nodes": 100.0})
+        registry.publish({"sat.conflicts": 2.0, "bdd.nodes": 40.0})
+        assert registry.get("sat.conflicts") == 7.0
+        assert registry.get("bdd.nodes") == 100.0
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        snap = registry.snapshot()
+        snap["x"] = 99
+        assert registry.get("x") == 1
+
+    def test_reset_contains_len(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("b")
+        assert len(registry) == 2
+        assert "a" in registry and "c" not in registry
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.get("a") is None
+        assert registry.get("a", 0.0) == 0.0
+
+
+class TestDefaultRegistry:
+    def test_module_publish_lands_in_default_registry(self):
+        registry = default_registry()
+        before = registry.get("test.obs_metric", 0.0)
+        publish({"test.obs_metric": 2.0})
+        assert registry.get("test.obs_metric") == pytest.approx(before + 2.0)

@@ -1,0 +1,129 @@
+"""Span tracer: no-op when disabled, tree reconstruction when enabled."""
+
+import pytest
+
+from repro.obs.tracer import (NULL_SPAN, Span, Tracer, get_tracer,
+                              set_tracing, span, tracing_enabled)
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_tracer():
+    """Leave the process-wide tracer disabled and empty after each test."""
+    yield
+    set_tracing(False)
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything", depth=3) is NULL_SPAN
+        assert tracer.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as active:
+            assert active is NULL_SPAN
+            assert active.set(nodes=7) is NULL_SPAN
+
+    def test_module_level_span_is_null_by_default(self):
+        assert not tracing_enabled()
+        assert span("depth", depth=1) is NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work"):
+            pass
+        assert tracer.spans == []
+
+
+class TestRecording:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("depth", depth=2) as s:
+            s.set(nodes=40)
+        assert len(tracer.spans) == 1
+        finished = tracer.spans[0]
+        assert finished.name == "depth"
+        assert finished.attrs == {"depth": 2, "nodes": 40}
+        assert finished.duration is not None and finished.duration >= 0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("synthesize") as outer:
+            with tracer.span("depth") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert tracer.roots() == [outer]
+        assert tracer.children_of(outer) == [inner]
+
+    def test_children_finish_before_parents(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.spans] == ["b", "a"]
+
+    def test_total_sums_by_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("depth"):
+                pass
+        with tracer.span("extract"):
+            pass
+        assert tracer.total("depth") == pytest.approx(
+            sum(s.duration for s in tracer.spans if s.name == "depth"))
+        assert tracer.total("missing") == 0
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        with tracer.span("y") as s:
+            pass
+        assert s.span_id == 0
+
+    def test_format_tree_indents_children(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("synthesize", engine="bdd"):
+            with tracer.span("depth", depth=0):
+                pass
+        text = tracer.format_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("synthesize")
+        assert lines[1].startswith("  depth")
+        assert "engine=bdd" in lines[0]
+
+    def test_to_dict_is_json_ready(self):
+        import json
+        tracer = Tracer(enabled=True)
+        with tracer.span("depth", depth=1) as s:
+            pass
+        payload = json.loads(json.dumps(s.to_dict()))
+        assert payload["name"] == "depth"
+        assert payload["attrs"] == {"depth": 1}
+        assert payload["parent"] is None
+
+
+class TestModuleDefault:
+    def test_set_tracing_enables_module_span(self):
+        tracer = set_tracing(True)
+        assert tracer is get_tracer()
+        with span("depth", depth=5) as s:
+            assert isinstance(s, Span)
+        assert tracer.spans[-1].attrs == {"depth": 5}
+
+    def test_set_tracing_resets_by_default(self):
+        set_tracing(True)
+        with span("old"):
+            pass
+        tracer = set_tracing(True)
+        assert tracer.spans == []
+
+    def test_set_tracing_can_preserve_spans(self):
+        set_tracing(True)
+        with span("old"):
+            pass
+        tracer = set_tracing(False, reset=False)
+        assert [s.name for s in tracer.spans] == ["old"]

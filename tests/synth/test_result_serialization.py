@@ -1,0 +1,85 @@
+"""Round-trip tests for the JSON-ready result serializations."""
+
+import json
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Toffoli
+from repro.synth.result import DepthStat, SynthesisResult
+
+
+def sample_result():
+    circuit = Circuit(2, [Toffoli((0,), 1)])
+    return SynthesisResult(
+        engine="bdd",
+        spec_name="cnot",
+        status="realized",
+        depth=1,
+        circuits=[circuit],
+        num_solutions=1,
+        quantum_cost_min=1,
+        quantum_cost_max=1,
+        runtime=0.25,
+        per_depth=[
+            DepthStat(0, "unsat", 0.01, detail={"nodes": 4},
+                      metrics={"bdd.ite_calls": 7.0}),
+            DepthStat(1, "sat", 0.24, detail={"nodes": 9, "eq_size": 3},
+                      metrics={"bdd.ite_calls": 41.0, "bdd.solutions": 1.0}),
+        ],
+        metrics={"bdd.ite_calls": 48.0, "driver.depths_tried": 2.0},
+    )
+
+
+class TestDepthStatToDict:
+    def test_fields_round_trip_through_json(self):
+        stat = DepthStat(3, "unknown", 1.5, detail={"timeout": True},
+                         metrics={"sat.conflicts": 120.0}, timed_out=True)
+        payload = json.loads(json.dumps(stat.to_dict()))
+        assert payload == {
+            "depth": 3,
+            "decision": "unknown",
+            "runtime": 1.5,
+            "timed_out": True,
+            "detail": {"timeout": True},
+            "metrics": {"sat.conflicts": 120.0},
+        }
+
+    def test_defaults_are_empty_dicts(self):
+        payload = DepthStat(0, "unsat", 0.0).to_dict()
+        assert payload["detail"] == {}
+        assert payload["metrics"] == {}
+        assert payload["timed_out"] is False
+
+    def test_dicts_are_copies(self):
+        detail = {"nodes": 5}
+        stat = DepthStat(1, "sat", 0.1, detail=detail)
+        stat.to_dict()["detail"]["nodes"] = 99
+        assert detail["nodes"] == 5
+
+
+class TestSynthesisResultToDict:
+    def test_round_trip_through_json(self):
+        result = sample_result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["engine"] == "bdd"
+        assert payload["spec_name"] == "cnot"
+        assert payload["status"] == "realized"
+        assert payload["depth"] == 1
+        assert payload["num_circuits"] == 1
+        assert payload["quantum_cost_min"] == 1
+        assert len(payload["per_depth"]) == 2
+        assert payload["per_depth"][1]["decision"] == "sat"
+        assert payload["per_depth"][1]["metrics"]["bdd.solutions"] == 1.0
+        assert payload["metrics"]["driver.depths_tried"] == 2.0
+
+    def test_circuits_summarized_not_embedded(self):
+        payload = sample_result().to_dict()
+        assert "circuits" not in payload
+        assert payload["num_circuits"] == 1
+
+    def test_timeout_result_serializes_none_depth(self):
+        result = SynthesisResult(engine="sat", spec_name="hwb4",
+                                 status="timeout", runtime=30.0)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["depth"] is None
+        assert payload["status"] == "timeout"
+        assert payload["per_depth"] == []

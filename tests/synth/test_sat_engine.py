@@ -67,4 +67,7 @@ class TestDecisions:
     def test_detail_reports_instance_size(self):
         engine = SatBaselineEngine(cnot_spec(), GateLibrary.mct(2))
         outcome = engine.decide(1)
-        assert "vars=" in outcome.detail and "clauses=" in outcome.detail
+        assert outcome.detail["vars"] > 0
+        assert outcome.detail["clauses"] > 0
+        assert outcome.metrics["sat.conflicts"] >= 0
+        assert outcome.metrics["sat.propagations"] > 0
