@@ -1,0 +1,165 @@
+"""BDD core v2 vs the frozen pre-PR manager (``_legacy_bdd.py``).
+
+Races full ``synthesize()`` runs — cascade construction, the per-depth
+decision, and solution enumeration — of the v2 ROBDD core against the
+vendored seed core on the two instances the issue pins: 3_17 and the
+mod5d1_s stand-in.  Correctness is a hard assertion, not a report: both
+cores must return the exact depth / #SOL / quantum-cost range recorded
+in EXPERIMENTS.md, so a speedup can never be bought with a wrong answer.
+
+Methodology (what the numbers mean):
+
+* Best-of-N wall clock (``REPRO_BENCH_REPS``, default 7).  Best-of is
+  the right statistic for a single-threaded CPU-bound race: every source
+  of variance (scheduler, frequency scaling, collector) only ever adds
+  time.  The median is recorded too.
+* ``gc.collect(); gc.freeze()`` before *each* timed rep.  The BDD
+  engines allocate containers fast enough to trigger full-heap gen-2
+  scans, so garbage left by whoever ran earlier in the process would
+  otherwise bill its collection cost to whichever core runs second.
+* Both cores run in the same process, same interpreter state, strictly
+  alternating is unnecessary: freezing per-rep isolates them.
+
+Exports ``BENCH_bdd_core.json`` (honoring ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE=0`` like the table benches) so future PRs have a perf
+trajectory for the hottest loop in the repo.
+
+Run:  cd benchmarks && PYTHONPATH=../src python -m pytest bench_bdd_core.py -q -s
+ or:  PYTHONPATH=src python benchmarks/bench_bdd_core.py
+"""
+
+import gc
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _legacy_bdd import legacy_synthesize
+from _tables import print_table
+from repro.core.library import GateLibrary
+from repro.functions import get_spec
+from repro.synth import synthesize
+
+#: name -> pinned (depth, #SOL, qc_min, qc_max); the EXPERIMENTS.md
+#: values both cores must reproduce exactly.
+CASES = {
+    "3_17": (6, 7, 14, 14),
+    "mod5d1_s": (6, 5, 34, 34),
+}
+
+_results = {}
+
+
+def _reps():
+    return max(1, int(os.environ.get("REPRO_BENCH_REPS", "7")))
+
+
+def _json_path():
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, "BENCH_bdd_core.json")
+
+
+def _race(fn):
+    """Best-of-N wall clock with a frozen heap per rep."""
+    times = []
+    result = None
+    for _ in range(_reps()):
+        gc.collect()
+        gc.freeze()
+        try:
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+        finally:
+            gc.unfreeze()
+    times.sort()
+    return result, times[0], times[len(times) // 2]
+
+
+def _run_case(name):
+    expected = CASES[name]
+    spec = get_spec(name)
+    library = GateLibrary.mct(spec.n_lines)
+
+    v2, v2_best, v2_median = _race(
+        lambda: synthesize(spec, kinds=("mct",), engine="bdd"))
+    v2_answer = (v2.depth, v2.num_solutions,
+                 v2.quantum_cost_min, v2.quantum_cost_max)
+    assert v2_answer == expected, f"v2 {name}: {v2_answer} != {expected}"
+
+    legacy_answer, legacy_best, legacy_median = _race(
+        lambda: legacy_synthesize(spec, library))
+    assert legacy_answer == expected, \
+        f"legacy {name}: {legacy_answer} != {expected}"
+
+    entry = {
+        "depth": expected[0],
+        "num_solutions": expected[1],
+        "quantum_cost_min": expected[2],
+        "quantum_cost_max": expected[3],
+        "v2_best_s": v2_best,
+        "v2_median_s": v2_median,
+        "legacy_best_s": legacy_best,
+        "legacy_median_s": legacy_median,
+        "speedup_best": legacy_best / v2_best,
+        "speedup_median": legacy_median / v2_median,
+    }
+    _results[name] = entry
+    # The v2 core must never lose the race it was rewritten to win.
+    assert entry["speedup_best"] > 1.0, entry
+    return entry
+
+
+def test_bdd_core_3_17():
+    _run_case("3_17")
+
+
+def test_bdd_core_mod5d1_s():
+    _run_case("mod5d1_s")
+
+
+def _export():
+    if not _results:
+        return
+    payload = {
+        "bench": "bdd_core",
+        "reps": _reps(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cases": _results,
+    }
+    path = _json_path()
+    if path:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    header = (f"{'BENCH':10s} {'D':>2s} {'#SOL':>4s} {'QC':>7s} "
+              f"{'legacy best':>12s} {'v2 best':>9s} {'speedup':>8s}")
+    rows = []
+    for name, e in _results.items():
+        qc = f"{e['quantum_cost_min']}-{e['quantum_cost_max']}"
+        rows.append(f"{name:10s} {e['depth']:2d} {e['num_solutions']:4d} "
+                    f"{qc:>7s} {e['legacy_best_s']:11.4f}s "
+                    f"{e['v2_best_s']:8.4f}s {e['speedup_best']:7.2f}x")
+    print_table("BDD CORE — v2 manager vs frozen pre-PR core "
+                f"(best of {_reps()}, identical answers asserted)",
+                header, rows,
+                "Same process, heap frozen per rep; see module docstring.")
+
+
+def teardown_module(module):
+    _export()
+
+
+if __name__ == "__main__":
+    for case in CASES:
+        entry = _run_case(case)
+        print(f"{case}: v2 {entry['v2_best_s']:.4f}s "
+              f"legacy {entry['legacy_best_s']:.4f}s "
+              f"-> {entry['speedup_best']:.2f}x")
+    _export()

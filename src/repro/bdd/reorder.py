@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.manager import FALSE, BddManager
 
 __all__ = ["rebuild_with_order", "best_of_orders"]
 
@@ -32,18 +32,21 @@ def rebuild_with_order(source: BddManager, roots: Sequence[int],
     target = BddManager(len(order),
                         var_names=[source.var_name(v) for v in order])
     new_index = {src: i for i, src in enumerate(order)}
-    cache: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    cache: Dict[int, int] = {FALSE: FALSE}
 
     def translate(node: int) -> int:
+        # Translation commutes with negation, so cache on the regular
+        # edge only: a function and its complement share one traversal.
+        comp = node & 1
+        node ^= comp
         cached = cache.get(node)
-        if cached is not None:
-            return cached
-        var = target.var(new_index[source.top_var(node)])
-        result = target.ite(var,
-                            translate(source.high(node)),
-                            translate(source.low(node)))
-        cache[node] = result
-        return result
+        if cached is None:
+            var = target.var(new_index[source.top_var(node)])
+            cached = target.ite(var,
+                                translate(source.high(node)),
+                                translate(source.low(node)))
+            cache[node] = cached
+        return cached ^ comp
 
     return target, [translate(r) for r in roots]
 

@@ -38,8 +38,17 @@ __all__ = [
 
 
 def _control_subsets(lines: Sequence[int]) -> Iterator[Tuple[int, ...]]:
-    for size in range(len(lines) + 1):
-        yield from itertools.combinations(lines, size)
+    """All subsets of ``lines``, ordered by bitmask: the subset at index
+    ``m`` contains ``lines[i]`` iff bit ``i`` of ``m`` is set.
+
+    The order is load-bearing for MCT libraries: it makes gate code
+    ``t * 2**(n-1) + m`` mean "target ``t``, controls = bitmask ``m``
+    over the non-target lines", which lets the universal gate factor its
+    select mux into a product form (see :mod:`repro.synth.universal`)
+    instead of enumerating all ``2**w`` leaves.
+    """
+    for mask in range(1 << len(lines)):
+        yield tuple(l for i, l in enumerate(lines) if (mask >> i) & 1)
 
 
 def mct_gates(n_lines: int) -> List[Toffoli]:

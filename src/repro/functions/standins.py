@@ -32,7 +32,14 @@ def seeded_mct_permutation(n_lines: int, n_gates: int, seed: int) -> Circuit:
     ``n_gates``.
     """
     rng = random.Random(seed)
-    pool = mct_gates(n_lines)
+    # The seeded draws index into this pool, so its order is part of each
+    # stand-in's *definition*.  Sort by (target, #controls, controls) —
+    # the enumeration order in effect when the stand-ins were fixed — so
+    # a change to the library's code layout cannot silently redefine
+    # benchmark instances.
+    pool = sorted(mct_gates(n_lines),
+                  key=lambda g: (g.target, len(g.controls),
+                                 tuple(sorted(g.controls))))
     gates: List = []
     while len(gates) < n_gates:
         gate = rng.choice(pool)

@@ -347,6 +347,13 @@ class CdclSolver:
             stats.status = "unsat"
             stats.runtime = time.perf_counter() - start
             return stats
+        # An already-expired budget must report "unknown" even when the
+        # instance would solve in fewer conflicts than the periodic
+        # in-loop deadline check (every 256 conflicts) ever sees.
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            stats.status = "unknown"
+            stats.runtime = time.perf_counter() - start
+            return stats
 
         restart_index = 1
         restart_base = 100

@@ -83,7 +83,8 @@ class TestCompactEdgeCases:
         manager.xor(manager.var(0), manager.var(1))  # garbage
         roots = manager.compact([TRUE, FALSE])
         assert roots == [TRUE, FALSE]
-        assert manager.node_count() == 2
+        # v2 keeps a single terminal node; TRUE is its complement edge.
+        assert manager.node_count() == 1
 
     def test_compact_twice_is_stable(self):
         manager = BddManager(3)
@@ -107,9 +108,10 @@ class TestCompactEdgeCases:
 class TestSupportAndSize:
     def test_size_of_shared_structure(self):
         manager = BddManager(2)
-        # x0 XOR x1 has two x1 nodes (complement branches), one x0 node.
+        # With complement edges x0 XOR x1 needs a single x1 node (its
+        # negation is an edge attribute), one x0 node and one terminal.
         f = manager.xor(manager.var(0), manager.var(1))
-        assert manager.size(f) == 5  # 3 internal + 2 terminals
+        assert manager.size(f) == 3  # 2 internal + 1 terminal
 
     def test_support_after_quantification_shrinks(self):
         manager = BddManager(3)

@@ -125,9 +125,9 @@ class TestStructure:
         manager = BddManager(2)
         assert manager.size(TRUE) == 1
         x = manager.var(0)
-        assert manager.size(x) == 3  # node + two terminals
+        assert manager.size(x) == 2  # node + shared terminal
         f = manager.and_(x, manager.var(1))
-        assert manager.size(f) == 4
+        assert manager.size(f) == 3
 
     def test_support(self):
         manager = BddManager(4)

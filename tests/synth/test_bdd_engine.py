@@ -94,6 +94,25 @@ class TestExtraction:
         assert outcome.solutions_truncated
         assert len(outcome.circuits) == 3
         assert outcome.num_solutions > 3
+        # The QC range covers only the 3-circuit sample, and says so.
+        assert outcome.detail["qc_range_sample_only"] is True
+
+    def test_full_enumeration_has_no_sample_flag(self):
+        engine = BddSynthesisEngine(SPEC_317, GateLibrary.mct(3))
+        for depth in range(7):
+            outcome = engine.decide(depth)
+        assert outcome.status == "sat"
+        assert not outcome.solutions_truncated
+        assert "qc_range_sample_only" not in outcome.detail
+
+    def test_sample_flag_reaches_run_record(self):
+        from repro.obs.runrecord import build_run_record, validate_run_record
+        from repro.synth.driver import synthesize
+        result = synthesize(SPEC_317, engine="bdd", max_enumerate=2)
+        record = build_run_record(result)
+        assert validate_run_record(record) == []
+        final = record["per_depth"][-1]
+        assert final["detail"]["qc_range_sample_only"] is True
 
     def test_non_minimal_depth_decodes_shorter_circuits(self):
         # MCT(3) has q = 12 < 16: padding codes exist, so deciding depth 2
@@ -132,6 +151,36 @@ class TestGuards:
         fresh = BddSynthesisEngine(SPEC_317, GateLibrary.mct(3))
         outcome = fresh.decide(6, time_limit=0.0)
         assert outcome.status == "unknown"
+
+    def test_alloc_tick_uninstalled_after_decide(self):
+        # decide() wires the deadline into the manager's allocation tick;
+        # a stale deadline from a finished query must never fire later.
+        engine = BddSynthesisEngine(SPEC_317, GateLibrary.mct(3))
+        engine.decide(0, time_limit=60.0)
+        assert engine.manager._alloc_tick is None
+        engine.decide(1, time_limit=0.0)
+        assert engine.manager._alloc_tick is None
+
+    def test_deadline_interrupts_inside_apply(self):
+        # With the per-gate ticks disabled, only the node-allocation tick
+        # can notice an expired deadline inside universal_gate_stage's
+        # apply runs — deadline enforcement no longer depends on gate
+        # boundaries.
+        import repro.synth.bdd_engine as mod
+
+        engine = BddSynthesisEngine(SPEC_317, GateLibrary.mct(3))
+        original = mod.universal_gate_stage
+
+        def no_tick_stage(lines, select, library, algebra, tick=None):
+            return original(lines, select, library, algebra, tick=None)
+
+        mod.universal_gate_stage = no_tick_stage
+        try:
+            outcome = engine.decide(6, time_limit=0.0)
+        finally:
+            mod.universal_gate_stage = original
+        assert outcome.status == "unknown"
+        assert outcome.detail.get("timeout") is True
 
     def test_compaction_between_depths_keeps_results_valid(self):
         with_compaction = BddSynthesisEngine(SPEC_317, GateLibrary.mct(3),
