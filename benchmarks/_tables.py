@@ -13,6 +13,11 @@ Environment knobs:
   trajectories are self-describing.
 * ``REPRO_TRACE_DIR=D`` — directory for the ``BENCH_*.jsonl`` files
   (default: current directory).
+* ``REPRO_WORKERS=N``    — process-pool size for the table sweeps
+  (default: min(4, CPUs)); the cells run through
+  :func:`repro.parallel.run_suite`, so N > 1 parallelizes them with
+  crash isolation while keeping the run records byte-identical to a
+  serial sweep (modulo the volatile timing/placement fields).
 
 Paper-reported reference values are stored here so each bench prints a
 "paper vs measured" row.  The available copy of the paper has partly
@@ -27,12 +32,18 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional
 
-__all__ = ["tier", "engine_timeout", "trace_file", "PAPER_TABLE1",
-           "PAPER_NOTES", "format_time", "print_table"]
+__all__ = ["tier", "engine_timeout", "trace_file", "workers",
+           "PAPER_TABLE1", "PAPER_NOTES", "format_time", "print_table"]
 
 
 def tier() -> str:
     return "full" if os.environ.get("REPRO_FULL") == "1" else "default"
+
+
+def workers() -> int:
+    """Suite pool size: ``REPRO_WORKERS`` env, else min(4, CPUs)."""
+    from repro.parallel import default_workers
+    return default_workers()
 
 
 def engine_timeout() -> float:

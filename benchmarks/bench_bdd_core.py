@@ -131,6 +131,10 @@ def _export():
         "reps": _reps(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
+        # A single-process race by design; recorded so the perf
+        # trajectory stays comparable with the parallel benches.
+        "workers": 1,
+        "cpu_count": os.cpu_count() or 1,
         "cases": _results,
     }
     path = _json_path()

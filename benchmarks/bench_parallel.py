@@ -1,0 +1,232 @@
+"""Parallel execution vs serial — correctness-pinned speedup bench.
+
+Three comparisons over the Table 1 smoke set, every one asserting that
+the parallel run computes *exactly* the serial answer (depths, solution
+counts, quantum-cost ranges — via canonical run records with the
+volatile timing/placement fields stripped) before any speedup number is
+reported:
+
+* **suite pool** — the whole smoke set, 1 worker vs ``REPRO_WORKERS``
+  (default 4) workers through :func:`repro.parallel.run_suite`.  The
+  speedup scales with available cores; ≥ 2x is asserted when the
+  machine has ≥ 4 CPUs (CI runners do).
+* **portfolio racing** — per benchmark, the summed wall-clock of all
+  four engines run serially vs one ``engine="portfolio"`` race.  The
+  race finishes when the fastest engine does, so the win holds even on
+  a single core (the engine runtime spread is orders of magnitude);
+  ≥ 2x aggregate is asserted unconditionally.
+* **speculative depth pipelining** — ``sat`` with ``workers=3`` vs
+  serial ``sat``: identical committed trajectory asserted, wasted
+  speculation reported.
+
+Exports ``BENCH_parallel.json`` (honoring ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE=0``) with all three sections plus ``workers`` and
+``cpu_count`` provenance.
+
+Run:  cd benchmarks && PYTHONPATH=../src python -m pytest bench_parallel.py -q -s
+ or:  PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _tables import print_table
+import repro.obs as obs
+from repro.functions import get_spec
+from repro.parallel import SynthesisTask, run_suite
+from repro.synth import synthesize
+
+#: Table 1 smoke set: fast enough for CI, slow enough to measure.
+SMOKE_SET = ("3_17", "mod5d1_s", "mod5d2_s", "mod5mils",
+             "decod24-v0", "decod24-v3")
+
+#: Benchmarks for the portfolio comparison (largest engine spread).
+PORTFOLIO_SET = ("3_17", "mod5d1_s", "mod5d2_s")
+
+ENGINES = ("bdd", "sword", "sat", "qbf")
+
+TIME_LIMIT = 60.0
+
+_payload = {}
+
+
+def _workers():
+    return max(2, int(os.environ.get("REPRO_WORKERS", "4")))
+
+
+def _json_path():
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, "BENCH_parallel.json")
+
+
+def _smoke_tasks():
+    return [SynthesisTask(spec=get_spec(name), engine="bdd", kinds=("mct",),
+                          time_limit=TIME_LIMIT, label=name)
+            for name in SMOKE_SET]
+
+
+def _answer(result):
+    return {"depth": result.depth, "num_solutions": result.num_solutions,
+            "qc_min": result.quantum_cost_min,
+            "qc_max": result.quantum_cost_max}
+
+
+def test_suite_pool_speedup():
+    """N-worker suite == 1-worker suite, record for record; speed scales."""
+    serial = run_suite(_smoke_tasks(), workers=1)
+    parallel = run_suite(_smoke_tasks(), workers=_workers())
+    assert all(r.ok for r in serial.reports)
+    assert all(r.ok for r in parallel.reports)
+    for ser, par in zip(serial.reports, parallel.reports):
+        assert obs.canonical_record(ser.record) \
+            == obs.canonical_record(par.record), \
+            f"{ser.label}: parallel run diverged from serial"
+    speedup = serial.runtime / parallel.runtime
+    cpus = os.cpu_count() or 1
+    _payload["suite"] = {
+        "benchmarks": list(SMOKE_SET),
+        "engine": "bdd",
+        "serial_s": serial.runtime,
+        "parallel_s": parallel.runtime,
+        "workers": _workers(),
+        "cpu_count": cpus,
+        "speedup": speedup,
+        "answers": {r.label: _answer(r.result) for r in parallel.reports},
+    }
+    # Wall-clock scaling needs actual cores; the identity assertions
+    # above hold regardless.
+    if cpus >= 4:
+        assert speedup >= 2.0, \
+            f"suite speedup {speedup:.2f}x < 2x on {cpus} CPUs"
+
+
+def test_portfolio_speedup():
+    """Racing the engines beats running them back to back, >= 2x."""
+    total_serial = 0.0
+    total_portfolio = 0.0
+    cases = {}
+    for name in PORTFOLIO_SET:
+        spec = get_spec(name)
+        serial_times = {}
+        answers = {}
+        for engine in ENGINES:
+            start = time.perf_counter()
+            result = synthesize(spec, kinds=("mct",), engine=engine,
+                                time_limit=TIME_LIMIT)
+            serial_times[engine] = time.perf_counter() - start
+            assert result.realized, f"{name}/{engine}: {result.status}"
+            answers[engine] = result.depth
+        assert len(set(answers.values())) == 1, \
+            f"{name}: engines disagree on depth: {answers}"
+
+        start = time.perf_counter()
+        raced = synthesize(spec, kinds=("mct",), engine="portfolio",
+                           time_limit=TIME_LIMIT)
+        portfolio_wall = time.perf_counter() - start
+        assert raced.realized
+        # The race must return one of the engines' exact answers.
+        assert raced.depth == next(iter(answers.values())), \
+            f"{name}: portfolio depth {raced.depth} != {answers}"
+        serial_sum = sum(serial_times.values())
+        total_serial += serial_sum
+        total_portfolio += portfolio_wall
+        cases[name] = {
+            "serial_sum_s": serial_sum,
+            "serial_per_engine_s": serial_times,
+            "portfolio_s": portfolio_wall,
+            "winner": raced.winner_engine,
+            "depth": raced.depth,
+            "speedup": serial_sum / portfolio_wall,
+        }
+    speedup = total_serial / total_portfolio
+    _payload["portfolio"] = {
+        "benchmarks": list(PORTFOLIO_SET),
+        "serial_sum_s": total_serial,
+        "portfolio_sum_s": total_portfolio,
+        "speedup": speedup,
+        "cases": cases,
+    }
+    assert speedup >= 2.0, \
+        f"portfolio speedup {speedup:.2f}x < 2x (even single-core the " \
+        f"race should finish with the fastest engine)"
+
+
+def test_speculative_trajectory():
+    """Depth pipelining commits the serial trajectory; waste is counted."""
+    spec = get_spec("3_17")
+    serial = synthesize(spec, kinds=("mct",), engine="sat",
+                        time_limit=TIME_LIMIT)
+    piped = synthesize(spec, kinds=("mct",), engine="sat", workers=3,
+                       time_limit=TIME_LIMIT)
+    assert piped.depth == serial.depth
+    assert [s.decision for s in piped.per_depth] \
+        == [s.decision for s in serial.per_depth]
+    assert _answer(piped) == _answer(serial)
+    wasted = piped.metrics["driver.speculation_wasted_depths"]
+    _payload["speculative"] = {
+        "benchmark": "3_17",
+        "engine": "sat",
+        "workers": 3,
+        "serial_s": serial.runtime,
+        "pipelined_s": piped.runtime,
+        "depth": piped.depth,
+        "wasted_depths": wasted,
+        "dispatched_depths": piped.metrics["driver.speculation_dispatched"],
+    }
+
+
+def _export():
+    if not _payload:
+        return
+    _payload.update({
+        "bench": "parallel",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "workers": _workers(),
+        "cpu_count": os.cpu_count() or 1,
+    })
+    path = _json_path()
+    if path:
+        with open(path, "w") as handle:
+            json.dump(_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    rows = []
+    suite = _payload.get("suite")
+    if suite:
+        rows.append(f"{'suite pool':16s} {suite['serial_s']:9.2f}s "
+                    f"{suite['parallel_s']:9.2f}s {suite['speedup']:7.2f}x "
+                    f"({suite['workers']} workers, {suite['cpu_count']} CPUs)")
+    portfolio = _payload.get("portfolio")
+    if portfolio:
+        rows.append(f"{'portfolio race':16s} {portfolio['serial_sum_s']:9.2f}s "
+                    f"{portfolio['portfolio_sum_s']:9.2f}s "
+                    f"{portfolio['speedup']:7.2f}x "
+                    f"(vs all engines back to back)")
+    speculative = _payload.get("speculative")
+    if speculative:
+        rows.append(f"{'speculative sat':16s} {speculative['serial_s']:9.2f}s "
+                    f"{speculative['pipelined_s']:9.2f}s "
+                    f"{'':>8s} ({speculative['wasted_depths']} wasted depths)")
+    header = f"{'MODE':16s} {'SERIAL':>10s} {'PARALLEL':>10s} {'SPEEDUP':>8s}"
+    print_table("PARALLEL — identical answers asserted, then speed",
+                header, rows,
+                "Suite scaling needs cores; the portfolio win is "
+                "scheduling, not parallel hardware.")
+
+
+def teardown_module(module):
+    _export()
+
+
+if __name__ == "__main__":
+    test_suite_pool_speedup()
+    test_portfolio_speedup()
+    test_speculative_trajectory()
+    _export()

@@ -13,6 +13,12 @@ engines, exactly as in the paper's columns.  Expected shape: every
 engine agrees on D; SAT is slowest and times out first; SWORD beats the
 QBF-solver engine; the BDD engine wins on every non-trivial function.
 
+Each benchmark's four engine cells run concurrently through the
+crash-isolated pool of :func:`repro.parallel.run_suite` (pool size:
+``REPRO_WORKERS`` or min(4, CPUs)); one run record per cell is still
+appended to ``BENCH_table1.jsonl``, now carrying the
+``workers``/``cpu_count``/``worker_id`` provenance fields.
+
 Run:  pytest benchmarks/bench_table1_engines.py --benchmark-only -s
       REPRO_FULL=1 REPRO_TIMEOUT=600 pytest ... (full tier)
 """
@@ -27,31 +33,41 @@ from _tables import (
     print_table,
     tier,
     trace_file,
+    workers,
 )
 from repro.functions import table1_entries
-from repro.synth import synthesize
+from repro.parallel import SynthesisTask, run_suite
 
 ENGINES = ("sat", "sword", "qbf", "bdd")
 
 _results = {}
 
 
-def _run_benchmark(entry, engine):
-    spec = entry.spec()
-    result = synthesize(spec, kinds=("mct",), engine=engine,
-                        time_limit=engine_timeout(),
-                        trace=trace_file("table1"))
-    _results[(entry.name, engine)] = result
-    return result
+def _run_benchmark(entry):
+    """All four engine cells of one table row, fanned over the pool."""
+    tasks = [SynthesisTask(spec=entry.spec(), engine=engine, kinds=("mct",),
+                           time_limit=engine_timeout(), label=engine)
+             for engine in ENGINES]
+    suite = run_suite(tasks, workers=min(workers(), len(tasks)),
+                      trace=trace_file("table1"))
+    for engine, report in zip(ENGINES, suite.reports):
+        if report.result is None:
+            raise RuntimeError(f"{entry.name}/{engine} failed: {report.error}")
+        _results[(entry.name, engine)] = report.result
+    return suite
 
 
-@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("entry", table1_entries(tier()), ids=lambda e: e.name)
-def test_table1_engine_runtime(benchmark, entry, engine):
-    result = benchmark.pedantic(_run_benchmark, args=(entry, engine),
-                                rounds=1, iterations=1)
-    if result.realized:
-        assert all(entry.spec().matches_circuit(c) for c in result.circuits)
+def test_table1_engine_runtime(benchmark, entry):
+    suite = benchmark.pedantic(_run_benchmark, args=(entry,),
+                               rounds=1, iterations=1)
+    spec = entry.spec()
+    realized = [r.result for r in suite.reports if r.result.realized]
+    for result in realized:
+        assert all(spec.matches_circuit(c) for c in result.circuits)
+    # Every engine that finished must agree on the minimal depth.
+    depths = {r.depth for r in realized}
+    assert len(depths) <= 1, f"{entry.name}: engines disagree: {depths}"
 
 
 def teardown_module(module):

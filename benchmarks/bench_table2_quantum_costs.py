@@ -7,30 +7,42 @@ quantum costs over them.  Expected shape: many benchmarks admit multiple
 minimal networks with a substantial quantum-cost spread (the paper's
 4_49 spans 32 to >70), so picking the cheapest is a real win.
 
+The whole sweep is fanned over the crash-isolated process pool of
+:func:`repro.parallel.run_suite` once per session (``REPRO_WORKERS``
+sets the pool size); each parametrized test then asserts its row.
+
 Run:  pytest benchmarks/bench_table2_quantum_costs.py --benchmark-only -s
 """
 
 import pytest
 
-from _tables import PAPER_NOTES, engine_timeout, print_table, tier, trace_file
+from _tables import (PAPER_NOTES, engine_timeout, print_table, tier,
+                     trace_file, workers)
 from repro.functions import table2_entries
-from repro.synth import synthesize
+from repro.parallel import SynthesisTask, run_suite
 
 _results = {}
 
 
-def _run_benchmark(entry):
-    result = synthesize(entry.spec(), kinds=("mct",), engine="bdd",
-                        time_limit=engine_timeout(),
-                        trace=trace_file("table2"))
-    _results[entry.name] = result
-    return result
+def _sweep():
+    """Run every table cell through the pool, once per pytest session."""
+    if _results:
+        return _results
+    entries = table2_entries(tier())
+    tasks = [SynthesisTask(spec=entry.spec(), engine="bdd", kinds=("mct",),
+                           time_limit=engine_timeout(), label=entry.name)
+             for entry in entries]
+    suite = run_suite(tasks, workers=workers(), trace=trace_file("table2"))
+    for entry, report in zip(entries, suite.reports):
+        if report.result is None:
+            raise RuntimeError(f"{entry.name} failed: {report.error}")
+        _results[entry.name] = report.result
+    return _results
 
 
 @pytest.mark.parametrize("entry", table2_entries(tier()), ids=lambda e: e.name)
-def test_table2_all_solutions(benchmark, entry):
-    result = benchmark.pedantic(_run_benchmark, args=(entry,),
-                                rounds=1, iterations=1)
+def test_table2_all_solutions(entry):
+    result = _sweep()[entry.name]
     if result.realized:
         assert result.num_solutions >= 1
         assert result.quantum_cost_min <= result.quantum_cost_max

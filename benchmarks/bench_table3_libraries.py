@@ -8,15 +8,20 @@ shape: extended libraries never increase the depth and often shrink it
 (the paper's hwb4: 11 -> 8 with Peres); runtimes grow with the library
 size except where a smaller depth saves whole iterations.
 
+The (benchmark x library) cells are fanned over the crash-isolated
+process pool of :func:`repro.parallel.run_suite` once per session
+(``REPRO_WORKERS`` sets the pool size); each parametrized test then
+asserts its cell.
+
 Run:  pytest benchmarks/bench_table3_libraries.py --benchmark-only -s
 """
 
 import pytest
 
 from _tables import (PAPER_NOTES, engine_timeout, print_table, tier,
-                     trace_file)
+                     trace_file, workers)
 from repro.functions import table3_entries
-from repro.synth import synthesize
+from repro.parallel import SynthesisTask, run_suite
 
 LIBRARIES = [
     ("MCT+MCF", ("mct", "mcf")),
@@ -27,19 +32,29 @@ LIBRARIES = [
 _results = {}
 
 
-def _run_benchmark(entry, kinds):
-    result = synthesize(entry.spec(), kinds=kinds, engine="bdd",
-                        time_limit=engine_timeout(),
-                        trace=trace_file("table3"))
-    _results[(entry.name, kinds)] = result
-    return result
+def _sweep():
+    """Run every (benchmark, library) cell through the pool, once."""
+    if _results:
+        return _results
+    grid = [(entry, label, kinds) for entry in table3_entries(tier())
+            for label, kinds in LIBRARIES]
+    tasks = [SynthesisTask(spec=entry.spec(), engine="bdd", kinds=kinds,
+                           time_limit=engine_timeout(),
+                           label=f"{entry.name}/{label}")
+             for entry, label, kinds in grid]
+    suite = run_suite(tasks, workers=workers(), trace=trace_file("table3"))
+    for (entry, label, kinds), report in zip(grid, suite.reports):
+        if report.result is None:
+            raise RuntimeError(
+                f"{entry.name}/{label} failed: {report.error}")
+        _results[(entry.name, kinds)] = report.result
+    return _results
 
 
 @pytest.mark.parametrize("label,kinds", LIBRARIES, ids=[l for l, _ in LIBRARIES])
 @pytest.mark.parametrize("entry", table3_entries(tier()), ids=lambda e: e.name)
-def test_table3_extended_library(benchmark, entry, label, kinds):
-    result = benchmark.pedantic(_run_benchmark, args=(entry, kinds),
-                                rounds=1, iterations=1)
+def test_table3_extended_library(entry, label, kinds):
+    result = _sweep()[(entry.name, kinds)]
     if result.realized:
         spec = entry.spec()
         for circuit in result.circuits[:100]:

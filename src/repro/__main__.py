@@ -4,7 +4,13 @@ Commands
 --------
 ``synth``     exact synthesis of a named benchmark or an explicit
               permutation; prints the minimal network(s) and can export
-              the cheapest one as RevLib ``.real``.
+              the cheapest one as RevLib ``.real``.  ``--portfolio``
+              races every engine in worker processes and keeps the
+              first finisher; ``--workers N`` pipelines depth queries
+              for the stateless engines (see ``docs/parallelism.md``).
+``suite``     run a batch of (benchmark, engine) tasks over a
+              crash-isolated process pool, appending one run record per
+              task to a JSONL trace.
 ``bench``     list the benchmark suite with tiers and provenance.
 ``show``      print a benchmark's (possibly incomplete) truth table.
 ``qdimacs``   export the QBF synthesis instance for an external solver.
@@ -99,8 +105,16 @@ def _cmd_synth(args) -> int:
             return 1
     if args.profile:
         obs.set_tracing(True)
-    result = synthesize(spec, kinds=kinds, engine=args.engine,
-                        time_limit=args.time_limit, trace=args.trace)
+    engine = "portfolio" if args.portfolio else args.engine
+    result = synthesize(spec, kinds=kinds, engine=engine,
+                        time_limit=args.time_limit, trace=args.trace,
+                        workers=args.workers)
+    if args.portfolio and not args.json:
+        losers = getattr(result, "loser_results", {})
+        cancelled = sorted(name for name, loser in losers.items()
+                           if loser.status == "cancelled")
+        print(f"portfolio winner: {result.winner_engine}"
+              + (f" (cancelled: {', '.join(cancelled)})" if cancelled else ""))
     if args.json:
         record = obs.build_run_record(
             result, GateLibrary.from_kinds(spec.n_lines, kinds))
@@ -128,6 +142,43 @@ def _cmd_synth(args) -> int:
     if args.trace:
         print(f"appended run record to {args.trace}")
     return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.parallel import SynthesisTask, default_workers, run_suite
+
+    if args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        unknown = [n for n in names if n not in SUITE]
+        if unknown:
+            print(f"error: unknown benchmarks: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        names = [n for n in sorted(SUITE) if SUITE[n].tier == args.tier
+                 or args.tier == "full"]
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    kinds = tuple(args.kinds.split("+"))
+    tasks = [SynthesisTask(spec=get_spec(name), engine=engine, kinds=kinds,
+                           time_limit=args.time_limit)
+             for name in names for engine in engines]
+    workers = args.workers if args.workers else default_workers()
+
+    def progress(report):
+        retried = " [retried]" if report.retried else ""
+        print(f"  w{report.worker_id} {report.label}: "
+              f"{report.status} ({report.runtime:.2f}s){retried}")
+
+    run = run_suite(tasks, workers=workers, trace=args.trace,
+                    on_report=None if args.quiet else progress)
+    print(run.summary())
+    if args.trace:
+        print(f"run records appended to {args.trace}")
+    failed = [r for r in run.reports if not r.ok]
+    for report in failed:
+        print(f"  FAILED {report.label}: {report.error or report.status}",
+              file=sys.stderr)
+    return 1 if failed or run.interrupted else 0
 
 
 def _cmd_bench(args) -> int:
@@ -294,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gate library, e.g. mct, mct+mcf, mct+peres")
     synth.add_argument("--engine", default="bdd",
                        choices=("bdd", "qbf", "sat", "sword"))
+    synth.add_argument("--portfolio", action="store_true",
+                       help="race every engine in worker processes; "
+                            "first complete result wins")
+    synth.add_argument("--workers", type=int, default=1,
+                       help="worker processes: caps the portfolio race, or "
+                            "pipelines depth queries for sat/qbf/sword")
     synth.add_argument("--time-limit", type=float, default=None)
     synth.add_argument("--all", action="store_true",
                        help="print every minimal network (BDD engine)")
@@ -305,6 +362,29 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--json", action="store_true",
                        help="print the run record as JSON instead of text")
     synth.set_defaults(func=_cmd_synth)
+
+    suite = sub.add_parser(
+        "suite", help="run a benchmark batch over a parallel process pool")
+    suite.add_argument("--benchmarks", "-b",
+                       help="comma-separated benchmark names "
+                            "(default: the selected tier)")
+    suite.add_argument("--tier", choices=("default", "full"),
+                       default="default",
+                       help="benchmark tier when --benchmarks is not given")
+    suite.add_argument("--engines", default="bdd",
+                       help="comma-separated engines, e.g. bdd,sat,sword")
+    suite.add_argument("--kinds", default="mct",
+                       help="gate library, e.g. mct, mct+mcf, mct+peres")
+    suite.add_argument("--workers", type=int, default=0,
+                       help="pool size (default: REPRO_WORKERS or "
+                            "min(4, CPUs))")
+    suite.add_argument("--time-limit", type=float, default=None,
+                       help="per-task engine time budget in seconds")
+    suite.add_argument("--trace", metavar="FILE",
+                       help="append one JSONL run record per task to FILE")
+    suite.add_argument("--quiet", action="store_true",
+                       help="suppress per-task progress lines")
+    suite.set_defaults(func=_cmd_suite)
 
     bench = sub.add_parser("bench", help="list the benchmark suite")
     bench.set_defaults(func=_cmd_bench)

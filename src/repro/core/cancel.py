@@ -1,0 +1,68 @@
+"""Cooperative cancellation for long-running synthesis work.
+
+The parallel execution layer (:mod:`repro.parallel`) races engines
+against each other and speculates on depths that may turn out to be
+irrelevant; both need a way to stop a loser *mid-decision* without
+killing the worker process outright (a killed worker cannot report the
+metrics it accumulated).  The mechanism is deliberately tiny:
+
+* a :class:`CancelToken` wraps any object with an ``is_set()`` method —
+  in practice a :class:`multiprocessing.Event` shared with the parent —
+  and is handed to an engine as the ``cancel_token`` option;
+* every engine polls the token inside its existing periodic check
+  (the BDD deadline/allocation tick, the CDCL conflict-loop tick, the
+  SWORD node-counter tick, the QBF expansion rounds) and raises
+  :class:`CancelledError` when it fires;
+* the driver catches :class:`CancelledError`, marks the run
+  ``status="cancelled"`` and returns the partial result normally, so
+  per-depth metrics collected before the cancellation survive.
+
+Hard termination (``Process.terminate``) remains the backstop for
+workers that do not reach a poll point in time; cooperative
+cancellation is the fast path that preserves observability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CancelToken", "CancelledError"]
+
+
+class CancelledError(Exception):
+    """The current synthesis run was cancelled by its coordinator."""
+
+
+class CancelToken:
+    """Poll-only view of a shared cancellation flag.
+
+    ``event`` is anything exposing ``is_set() -> bool`` (typically a
+    ``multiprocessing.Event``); ``None`` builds an inert token that
+    never fires, so engines can hold a token unconditionally.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event=None):
+        self._event = event
+
+    def cancelled(self) -> bool:
+        return self._event is not None and self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event is not None and self._event.is_set():
+            raise CancelledError("synthesis cancelled by coordinator")
+
+    def __repr__(self) -> str:
+        state = "inert" if self._event is None else (
+            "set" if self.cancelled() else "armed")
+        return f"CancelToken({state})"
+
+
+#: Shared inert token: never cancelled, safe as a default.
+NEVER_CANCELLED = CancelToken()
+
+
+def as_token(token: Optional[CancelToken]) -> CancelToken:
+    """Normalize ``None`` to the shared inert token."""
+    return NEVER_CANCELLED if token is None else token

@@ -31,8 +31,10 @@ from repro.obs.metrics import (
 from repro.obs.runrecord import (
     RUN_RECORD_FORMAT,
     RUN_RECORD_SCHEMA,
+    VOLATILE_RECORD_FIELDS,
     append_record,
     build_run_record,
+    canonical_record,
     iter_records,
     read_records,
     summarize_records,
@@ -56,8 +58,10 @@ __all__ = [
     "RUN_RECORD_SCHEMA",
     "Span",
     "Tracer",
+    "VOLATILE_RECORD_FIELDS",
     "append_record",
     "build_run_record",
+    "canonical_record",
     "default_registry",
     "get_tracer",
     "iter_records",

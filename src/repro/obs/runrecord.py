@@ -20,7 +20,8 @@ import sys
 import time
 from typing import Dict, Iterable, Iterator, List, Optional
 
-__all__ = ["RUN_RECORD_FORMAT", "RUN_RECORD_SCHEMA", "build_run_record",
+__all__ = ["RUN_RECORD_FORMAT", "RUN_RECORD_SCHEMA", "VOLATILE_RECORD_FIELDS",
+           "build_run_record", "canonical_record",
            "append_record", "iter_records", "read_records",
            "validate_run_record", "summarize_records"]
 
@@ -51,7 +52,7 @@ RUN_RECORD_SCHEMA = {
             },
             "additionalProperties": False,
         },
-        "status": {"enum": ["realized", "timeout", "gate_limit"]},
+        "status": {"enum": ["realized", "timeout", "gate_limit", "cancelled"]},
         "depth": {"type": ["integer", "null"]},
         "num_solutions": {"type": ["integer", "null"]},
         "num_circuits": {"type": "integer", "minimum": 0},
@@ -78,6 +79,14 @@ RUN_RECORD_SCHEMA = {
             },
         },
         "metrics": _METRICS_SCHEMA,
+        # Parallel-execution provenance (repro.parallel), all optional:
+        # absent on serial runs so pre-existing traces stay valid.
+        "workers": {"type": "integer", "minimum": 1},
+        "cpu_count": {"type": "integer", "minimum": 1},
+        "worker_id": {"type": "integer", "minimum": 0},
+        "retried": {"type": "integer", "minimum": 0},
+        "winner_engine": {"type": "string"},
+        "speculation_wasted_depths": {"type": "integer", "minimum": 0},
         "versions": {
             "type": "object",
             "required": ["repro", "python"],
@@ -151,12 +160,17 @@ def validate_run_record(record) -> List[str]:
 # -- construction -------------------------------------------------------------
 
 
-def build_run_record(result, library=None) -> Dict:
+def build_run_record(result, library=None,
+                     extra: Optional[Dict] = None) -> Dict:
     """Assemble a run record from a SynthesisResult (+ its gate library).
 
     ``result`` is duck-typed (anything with ``to_dict()``/``n_lines``-
     compatible fields works) so this module stays import-free of
     :mod:`repro.synth` and usable from any layer.
+
+    ``extra`` merges additional top-level keys into the record — the
+    parallel layer uses it for provenance fields (``workers``,
+    ``worker_id``, ``retried``, ...) declared in the schema.
     """
     from repro import __version__
 
@@ -180,7 +194,34 @@ def build_run_record(result, library=None) -> Dict:
         },
     }
     record.update(payload)
+    if extra:
+        record.update(extra)
     return record
+
+
+#: Fields that legitimately differ between two runs of the same task:
+#: wall-clock times and parallel-execution placement.  Everything else
+#: (decisions, depths, solution counts, engine counters) is
+#: deterministic, so two records stripped of these fields compare equal
+#: iff the runs computed the same thing.
+VOLATILE_RECORD_FIELDS = frozenset({
+    "runtime", "unix_time",
+    "workers", "cpu_count", "worker_id", "retried", "winner_engine",
+    "speculation_wasted_depths",
+})
+
+
+def canonical_record(record: Dict) -> Dict:
+    """A record minus volatile fields, for byte-level run comparison.
+
+    Per-depth runtimes are zeroed (the entries themselves must match);
+    the result serializes identically for identical computations — the
+    parallel test-suite and the CI ``parallel-smoke`` job rely on this.
+    """
+    out = {k: v for k, v in record.items() if k not in VOLATILE_RECORD_FIELDS}
+    out["per_depth"] = [dict(step, runtime=0.0)
+                       for step in record.get("per_depth", ())]
+    return out
 
 
 def append_record(path: str, record: Dict) -> None:

@@ -1,0 +1,215 @@
+"""Engine-portfolio racing — first complete result wins.
+
+The four engines have wildly different runtime profiles per benchmark
+(Table 1: the best engine per spec varies and the spread is orders of
+magnitude), so racing them and taking the first finisher beats any
+fixed engine choice without having to predict the winner.  Each racer
+runs the full iterative-deepening loop in its own forked process; the
+first *definitive* result (``realized`` or ``gate_limit``) wins and the
+losers are cancelled cooperatively through their
+:class:`~repro.core.cancel.CancelToken`, giving them a grace window to
+report the partial trajectory they computed — the loser metrics are
+merged into the winner's record under ``portfolio.<engine>.*``.
+
+Surfaced as ``synthesize(spec, engine="portfolio")`` and
+``python -m repro synth --portfolio``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import signal
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import repro.obs as obs
+from repro.core.cancel import CancelToken
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.parallel.tasks import SynthesisTask
+
+__all__ = ["PORTFOLIO_ENGINES", "portfolio_synthesize"]
+
+#: Engines raced by default, in tie-break priority order.
+PORTFOLIO_ENGINES: Tuple[str, ...] = ("bdd", "sword", "sat", "qbf")
+
+#: A result with one of these statuses settles the race.
+_DEFINITIVE = frozenset({"realized", "gate_limit"})
+
+#: Preference order when no racer was definitive.
+_STATUS_RANK = {"realized": 0, "gate_limit": 1, "timeout": 2,
+                "cancelled": 3, "error": 4}
+
+
+def _race_worker(task: SynthesisTask, cancel_event, results, racer_id: int):
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
+    token = CancelToken(cancel_event)
+    try:
+        result = task.run(cancel_token=token)
+        results.put((racer_id, "ok", result))
+    except BaseException as exc:  # noqa: BLE001 — must cross the process gap
+        try:
+            results.put((racer_id, "error", repr(exc)))
+        except Exception:
+            pass
+
+
+def portfolio_synthesize(spec: Specification,
+                         library: GateLibrary,
+                         engines: Sequence[str] = PORTFOLIO_ENGINES,
+                         max_gates: Optional[int] = None,
+                         time_limit: Optional[float] = None,
+                         use_bounds: bool = False,
+                         trace: Optional[str] = None,
+                         workers: int = 0,
+                         engine_options: Optional[Dict] = None,
+                         grace: float = 5.0):
+    """Race ``engines`` on ``spec``; return the first complete result.
+
+    ``workers`` bounds how many racers run concurrently (0 or anything
+    larger than the portfolio means "all at once"); every engine is
+    raced eventually — a bounded pool launches the next engine when a
+    slot frees without a winner.  ``engine_options`` keys naming an
+    engine hold per-engine option dicts; remaining keys apply to every
+    racer.
+
+    The returned :class:`~repro.synth.result.SynthesisResult` is the
+    winner's, with ``runtime`` rebased to the race's wall-clock time
+    and extra attributes ``winner_engine``, ``workers`` and
+    ``loser_results`` (engine → result for every racer that reported
+    back, including cancelled partials).
+    """
+    engines = list(engines)
+    if not engines:
+        raise ValueError("portfolio needs at least one engine")
+    unknown = [e for e in engines if e == "portfolio"]
+    if unknown:
+        raise ValueError("portfolio cannot race itself")
+    engine_options = dict(engine_options or {})
+    per_engine = {name: engine_options.pop(name) for name in list(engine_options)
+                  if name in engines and isinstance(engine_options[name], dict)}
+    concurrency = len(engines) if workers < 1 else min(workers, len(engines))
+
+    ctx = mp.get_context("fork")
+    cancel_event = ctx.Event()
+    results_queue = ctx.Queue()
+    start = time.perf_counter()
+
+    def spawn(racer_id: int):
+        name = engines[racer_id]
+        options = dict(engine_options)
+        options.update(per_engine.get(name, {}))
+        task = SynthesisTask(spec=spec, engine=name, library=library,
+                             engine_options=options, max_gates=max_gates,
+                             time_limit=time_limit, use_bounds=use_bounds)
+        proc = ctx.Process(target=_race_worker,
+                           args=(task, cancel_event, results_queue, racer_id),
+                           daemon=True)
+        proc.start()
+        return proc
+
+    with obs.span("portfolio", spec=spec.name or "anonymous",
+                  engines=",".join(engines)):
+        procs: Dict[int, object] = {}
+        next_racer = 0
+        while next_racer < concurrency:
+            procs[next_racer] = spawn(next_racer)
+            next_racer += 1
+
+        reported: Dict[int, Tuple[str, object]] = {}
+        winner_id: Optional[int] = None
+        while len(reported) < len(engines):
+            try:
+                racer_id, kind, payload = results_queue.get(timeout=0.05)
+                reported[racer_id] = (kind, payload)
+                if (winner_id is None and kind == "ok"
+                        and payload.status in _DEFINITIVE):
+                    winner_id = racer_id
+                    cancel_event.set()
+            except queue_module.Empty:
+                pass
+            # A racer that died without reporting (OOM-kill, hard crash)
+            # must not hang the race: score it as an error.
+            for racer_id, proc in list(procs.items()):
+                if racer_id not in reported and not proc.is_alive():
+                    proc.join()
+                    reported[racer_id] = ("error",
+                                          f"racer {engines[racer_id]} died "
+                                          f"(exit {proc.exitcode})")
+            if winner_id is None and next_racer < len(engines):
+                while (next_racer < len(engines)
+                       and sum(1 for rid, p in procs.items()
+                               if rid not in reported and p.is_alive())
+                       < concurrency):
+                    procs[next_racer] = spawn(next_racer)
+                    next_racer += 1
+            if winner_id is not None:
+                # Grace window for the cancelled losers to report their
+                # partial trajectories; stragglers are terminated.
+                deadline = time.perf_counter() + grace
+                launched = set(procs)
+                while (launched - set(reported)
+                       and time.perf_counter() < deadline):
+                    try:
+                        racer_id, kind, payload = results_queue.get(timeout=0.05)
+                        reported[racer_id] = (kind, payload)
+                    except queue_module.Empty:
+                        for racer_id, proc in list(procs.items()):
+                            if racer_id not in reported and not proc.is_alive():
+                                reported[racer_id] = ("error", "racer died")
+                for racer_id in launched - set(reported):
+                    procs[racer_id].terminate()
+                    reported[racer_id] = ("cancelled", None)
+                # Engines never launched lost by walkover.
+                for racer_id in range(next_racer, len(engines)):
+                    reported[racer_id] = ("cancelled", None)
+                break
+        for proc in procs.values():
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    if winner_id is None:
+        # Nobody was definitive (all timed out / errored): pick the
+        # least-bad reporter in portfolio priority order.
+        def rank(racer_id: int) -> Tuple[int, int]:
+            kind, payload = reported[racer_id]
+            status = payload.status if kind == "ok" else "error"
+            return (_STATUS_RANK.get(status, 5), racer_id)
+
+        candidates = [rid for rid, (kind, _) in reported.items()
+                      if kind == "ok"]
+        if not candidates:
+            failures = "; ".join(
+                f"{engines[rid]}: {payload}"
+                for rid, (kind, payload) in sorted(reported.items()))
+            raise RuntimeError(f"every portfolio racer failed — {failures}")
+        winner_id = min(candidates, key=rank)
+
+    final = reported[winner_id][1]
+    losers = {engines[rid]: payload
+              for rid, (kind, payload) in reported.items()
+              if rid != winner_id and kind == "ok"}
+    cancelled = sum(1 for rid, (kind, payload) in reported.items()
+                    if kind == "cancelled"
+                    or (kind == "ok" and payload.status == "cancelled"))
+    for name, loser in losers.items():
+        for metric, value in loser.metrics.items():
+            final.metrics[f"portfolio.{name}.{metric}"] = value
+    final.metrics["driver.portfolio_racers"] = len(engines)
+    final.metrics["driver.portfolio_cancelled"] = cancelled
+    final.runtime = time.perf_counter() - start
+    final.winner_engine = engines[winner_id]
+    final.workers = concurrency
+    final.loser_results = losers
+    obs.publish(final.metrics)
+    if trace is not None:
+        obs.append_record(trace, obs.build_run_record(
+            final, library,
+            extra={"workers": concurrency,
+                   "cpu_count": os.cpu_count() or 1,
+                   "winner_engine": engines[winner_id]}))
+    return final

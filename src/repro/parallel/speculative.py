@@ -1,0 +1,239 @@
+"""Speculative depth pipelining for the stateless engines.
+
+The iterative-deepening loop (Figure 1) is inherently serial: depth
+``d+1`` is only asked once depth ``d`` answered UNSAT.  For the
+engines whose depth queries are independent (``sat``, ``qbf``,
+``sword`` — each builds its encoding or search from scratch per depth)
+the answer for ``d+1`` can be *speculated* while ``d`` is still being
+decided: a window of depth queries runs on persistent worker processes
+and a commit pointer advances over consecutive UNSAT answers.  The
+first committed SAT depth is the minimum — exactly the serial result,
+with the same per-depth decisions — and every dispatched depth beyond
+it is wasted speculation, surfaced honestly as
+``driver.speculation_wasted_depths`` in the metrics and the
+``speculation_wasted_depths`` run-record field.
+
+The BDD engine is *not* pipelined: its cascade BDDs are built
+incrementally, each depth extending the previous state, so independent
+depth workers would each rebuild the whole prefix and lose the very
+sharing that makes the engine fast.  ``synthesize(engine="bdd",
+workers=k)`` therefore documents a serial fallback instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, Optional, Tuple
+
+import repro.obs as obs
+from repro.core.cancel import CancelledError, CancelToken
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.synth.result import DepthStat, SynthesisResult
+
+__all__ = ["speculative_synthesize"]
+
+
+def _depth_server(engine_name: str, spec, library, engine_options,
+                  conn, cancel_event):
+    """Worker loop: construct the engine once, answer depth queries."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.synth.driver import ENGINES
+
+    token = CancelToken(cancel_event)
+    engine = ENGINES[engine_name](spec, library, cancel_token=token,
+                                  **engine_options)
+    while True:
+        message = conn.recv()
+        if message is None:
+            return
+        depth, budget = message
+        started = time.perf_counter()
+        try:
+            outcome = engine.decide(depth, time_limit=budget)
+            conn.send((depth, "ok", outcome, time.perf_counter() - started))
+        except CancelledError:
+            conn.send((depth, "cancelled", None,
+                       time.perf_counter() - started))
+        except Exception as exc:  # noqa: BLE001 — ship it to the parent
+            conn.send((depth, "error", repr(exc),
+                       time.perf_counter() - started))
+
+
+def speculative_synthesize(spec: Specification,
+                           library: GateLibrary,
+                           engine: str,
+                           max_gates: Optional[int] = None,
+                           time_limit: Optional[float] = None,
+                           use_bounds: bool = False,
+                           trace: Optional[str] = None,
+                           workers: int = 2,
+                           engine_options: Optional[Dict] = None,
+                           window: Optional[int] = None) -> SynthesisResult:
+    """Iterative deepening with depths decided speculatively in parallel.
+
+    Semantics match ``synthesize(spec, engine=engine, ...)``: the same
+    depth range is planned (:func:`repro.synth.driver.plan_depth_range`),
+    the committed trajectory has the same decisions, and the result
+    status/depth/circuit agree with the serial run.  Only runtimes, the
+    ``driver.speculation_*`` metrics and (for ``sword``) per-depth
+    search counters — whose transposition table no longer spans
+    depths decided by different workers — may differ.
+    """
+    from repro.synth.driver import (MIN_DEPTH_BUDGET, STATELESS_ENGINES,
+                                    _aggregate_metrics, plan_depth_range)
+
+    if engine not in STATELESS_ENGINES:
+        raise ValueError(f"engine {engine!r} cannot be depth-pipelined; "
+                         f"stateless engines: {sorted(STATELESS_ENGINES)}")
+    workers = max(1, workers)
+    window = workers if window is None else max(1, window)
+    engine_options = dict(engine_options or {})
+    engine_options.pop("cancel_token", None)  # workers get their own
+
+    start_depth, limit = plan_depth_range(spec, library, max_gates, use_bounds)
+    result = SynthesisResult(engine=engine, spec_name=spec.name or "anonymous",
+                             status="gate_limit")
+    start = time.perf_counter()
+    deadline = None if time_limit is None else start + time_limit
+
+    ctx = mp.get_context("fork")
+    cancel_event = ctx.Event()
+    conns = []
+    procs = []
+    for _ in range(workers):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(target=_depth_server,
+                           args=(engine, spec, library, engine_options,
+                                 child_conn, cancel_event),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        procs.append(proc)
+
+    idle = list(range(workers))
+    busy: Dict[int, int] = {}           # worker index -> depth in flight
+    outcomes: Dict[int, Tuple[str, object, float]] = {}
+    dispatched = set()
+    commit = start_depth
+    final_depth: Optional[int] = None   # depth the run settled on
+
+    def remaining_budget() -> Optional[float]:
+        if deadline is None:
+            return None
+        return max(0.0, deadline - time.perf_counter())
+
+    try:
+        with obs.span("speculate", spec=result.spec_name, engine=engine,
+                      workers=workers):
+            while True:
+                # Fill idle workers with the next depths in the window.
+                next_depth = max(dispatched, default=start_depth - 1) + 1
+                while (idle and next_depth <= limit
+                       and next_depth < commit + window
+                       and result.status == "gate_limit"):
+                    budget = remaining_budget()
+                    if budget is not None and budget <= MIN_DEPTH_BUDGET:
+                        break
+                    worker = idle.pop()
+                    conns[worker].send((next_depth, budget))
+                    busy[worker] = next_depth
+                    dispatched.add(next_depth)
+                    next_depth += 1
+
+                if not busy:
+                    if commit > limit:
+                        break  # every depth answered UNSAT: gate_limit
+                    # Out of budget before the commit depth could run.
+                    result.status = "timeout"
+                    break
+
+                ready = connection_wait([conns[w] for w in busy], timeout=0.1)
+                for conn in ready:
+                    worker = conns.index(conn)
+                    depth, kind, payload, runtime = conn.recv()
+                    del busy[worker]
+                    idle.append(worker)
+                    outcomes[depth] = (kind, payload, runtime)
+
+                if (deadline is not None
+                        and time.perf_counter() > deadline
+                        and commit not in outcomes):
+                    result.status = "timeout"
+                    break
+
+                # Advance the commit pointer over consecutive answers.
+                settled = False
+                while commit in outcomes:
+                    kind, outcome, runtime = outcomes[commit]
+                    if kind == "error":
+                        raise RuntimeError(
+                            f"depth-{commit} worker failed: {outcome}")
+                    if kind == "cancelled":
+                        result.status = "cancelled"
+                        settled = True
+                        break
+                    result.per_depth.append(
+                        DepthStat(depth=commit, decision=outcome.status,
+                                  runtime=runtime,
+                                  detail=dict(outcome.detail),
+                                  metrics=dict(outcome.metrics),
+                                  timed_out=outcome.status == "unknown"))
+                    if outcome.status == "unknown":
+                        result.status = "timeout"
+                        settled = True
+                        break
+                    if outcome.status == "sat":
+                        result.status = "realized"
+                        result.depth = commit
+                        result.circuits = outcome.circuits
+                        result.num_solutions = outcome.num_solutions
+                        result.quantum_cost_min = outcome.quantum_cost_min
+                        result.quantum_cost_max = outcome.quantum_cost_max
+                        result.solutions_truncated = outcome.solutions_truncated
+                        settled = True
+                        break
+                    commit += 1  # UNSAT: the pointer moves on
+                if settled:
+                    final_depth = result.depth if result.realized else commit
+                    break
+                if commit > limit and not busy:
+                    break
+    finally:
+        cancel_event.set()
+        for conn in conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        for conn in conns:
+            conn.close()
+
+    if final_depth is None:
+        final_depth = commit
+    wasted = sum(1 for depth in dispatched if depth > final_depth)
+    result.runtime = time.perf_counter() - start
+    _aggregate_metrics(result)
+    result.metrics["driver.speculation_dispatched"] = len(dispatched)
+    result.metrics["driver.speculation_wasted_depths"] = wasted
+    result.metrics["driver.workers"] = workers
+    result.workers = workers
+    result.speculation_wasted_depths = wasted
+    obs.publish(result.metrics)
+    if trace is not None:
+        obs.append_record(trace, obs.build_run_record(
+            result, library,
+            extra={"workers": workers,
+                   "cpu_count": os.cpu_count() or 1,
+                   "speculation_wasted_depths": wasted}))
+    return result

@@ -1,0 +1,89 @@
+"""Picklable task descriptions shared by the parallel executors.
+
+A :class:`SynthesisTask` is a complete, self-contained description of
+one ``synthesize()`` call: it crosses process boundaries by pickling
+(``Specification``, ``GateLibrary`` and all engine options are plain
+data), and the worker side executes it with :meth:`SynthesisTask.run`.
+
+``crash_once_file`` is a fault-injection hook for the scheduler tests:
+when set, the task SIGKILLs its own worker process the *first* time it
+runs (creating the file as a tombstone) and executes normally on the
+retry.  Production code never sets it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.cancel import CancelToken
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+
+__all__ = ["SynthesisTask", "default_workers"]
+
+
+def default_workers(cap: int = 4) -> int:
+    """Worker-count default: ``REPRO_WORKERS`` env, else min(cap, CPUs)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(cap, os.cpu_count() or 1))
+
+
+@dataclass
+class SynthesisTask:
+    """One (spec, library, engine) synthesis job for the parallel layer."""
+
+    spec: Specification
+    engine: str = "bdd"
+    library: Optional[GateLibrary] = None
+    kinds: Optional[Tuple[str, ...]] = None
+    engine_options: Dict[str, object] = field(default_factory=dict)
+    max_gates: Optional[int] = None
+    time_limit: Optional[float] = None
+    use_bounds: bool = False
+    label: Optional[str] = None
+    #: Fault injection (tests only): SIGKILL the worker on first run.
+    crash_once_file: Optional[str] = None
+
+    def resolved_label(self) -> str:
+        if self.label is not None:
+            return self.label
+        name = self.spec.name or "anonymous"
+        lib = self.resolved_library().name
+        return f"{name}/{self.engine}/{lib}"
+
+    def resolved_library(self) -> GateLibrary:
+        if self.library is not None:
+            return self.library
+        return GateLibrary.from_kinds(self.spec.n_lines,
+                                      self.kinds or ("mct",))
+
+    def run(self, cancel_token: Optional[CancelToken] = None):
+        """Execute the task in the current process; returns the result.
+
+        ``cancel_token`` threads the coordinator's cancellation into the
+        engine's hot loop (except for nested ``"portfolio"`` tasks,
+        which manage their own racer tokens).
+        """
+        from repro.synth.driver import synthesize
+
+        if self.crash_once_file is not None:
+            if not os.path.exists(self.crash_once_file):
+                with open(self.crash_once_file, "w"):
+                    pass
+                os.kill(os.getpid(), signal.SIGKILL)
+        options = dict(self.engine_options)
+        if cancel_token is not None and self.engine != "portfolio":
+            options["cancel_token"] = cancel_token
+        return synthesize(self.spec,
+                          library=self.library,
+                          kinds=self.kinds,
+                          engine=self.engine,
+                          max_gates=self.max_gates,
+                          time_limit=self.time_limit,
+                          use_bounds=self.use_bounds,
+                          **options)

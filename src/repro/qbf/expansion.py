@@ -18,7 +18,7 @@ formulation avoids.  Ablation A2 measures this.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.qbf.qcnf import EXISTS, FORALL, QuantifiedCnf
 from repro.qbf.qdpll import QbfResult
@@ -35,13 +35,19 @@ class ExpansionBudgetExceeded(Exception):
 
 
 def expand_to_cnf(formula: QuantifiedCnf,
-                  max_clauses: Optional[int] = None) -> Tuple[Cnf, List[int]]:
+                  max_clauses: Optional[int] = None,
+                  tick: Optional[Callable[[], None]] = None
+                  ) -> Tuple[Cnf, List[int]]:
     """Expand all universal variables; returns (CNF, outer existential vars).
 
     The returned CNF is over the surviving existential variables (original
     outer ones keep their indices, inner ones gain renamed copies).  A
     model of it restricted to the outer block is a certificate for the
     original QBF.
+
+    ``tick`` is invoked once per eliminated universal variable and may
+    raise to abort the (potentially exponential) expansion early — the
+    parallel layer uses it for cooperative cancellation.
     """
     clauses: List[Clause] = [tuple(c) for c in formula.cnf.clauses]
     next_var = formula.cnf.num_vars
@@ -57,6 +63,8 @@ def expand_to_cnf(formula: QuantifiedCnf,
         return None
 
     while True:
+        if tick is not None:
+            tick()
         block_index = innermost_universal()
         if block_index is None:
             break
@@ -105,17 +113,19 @@ def expand_to_cnf(formula: QuantifiedCnf,
 
 def solve_qbf_by_expansion(formula: QuantifiedCnf,
                            time_limit: Optional[float] = None,
-                           max_clauses: Optional[int] = None) -> QbfResult:
+                           max_clauses: Optional[int] = None,
+                           tick: Optional[Callable[[], None]] = None
+                           ) -> QbfResult:
     """Decide a QBF by full universal expansion plus one CDCL call."""
     start = time.perf_counter()
     universals = sum(len(variables) for quantifier, variables in formula.prefix
                      if quantifier == FORALL)
     try:
-        cnf, outer = expand_to_cnf(formula, max_clauses=max_clauses)
+        cnf, outer = expand_to_cnf(formula, max_clauses=max_clauses, tick=tick)
     except ExpansionBudgetExceeded:
         return QbfResult(status="unknown", expanded_universals=universals,
                          runtime=time.perf_counter() - start)
-    sat = solve_cnf(cnf, time_limit=time_limit)
+    sat = solve_cnf(cnf, time_limit=time_limit, tick=tick)
     result = QbfResult(status=sat.status,
                        decisions=sat.decisions,
                        propagations=sat.propagations,

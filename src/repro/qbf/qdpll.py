@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.qbf.qcnf import QuantifiedCnf
 
@@ -86,6 +86,7 @@ class QdpllSolver:
         self.outer_block = formula.outer_existential_block()
         self.result = QbfResult(status="unknown")
         self._deadline: Optional[float] = None
+        self._tick: Optional[Callable[[], None]] = None
         self._contradiction = False
 
         # Clause store with counters, built by preprocessing.
@@ -250,8 +251,12 @@ class QdpllSolver:
 
     # -- search ------------------------------------------------------------------------------
 
-    def solve(self, time_limit: Optional[float] = None) -> QbfResult:
+    def solve(self, time_limit: Optional[float] = None,
+              tick: Optional[Callable[[], None]] = None) -> QbfResult:
+        """Run the search.  ``tick`` is invoked at every search-node entry
+        and may raise to abort cooperatively (parallel cancellation)."""
         start = time.perf_counter()
+        self._tick = tick
         if time_limit is not None:
             self._deadline = start + time_limit
         if self._contradiction:
@@ -273,6 +278,8 @@ class QdpllSolver:
         return self.result
 
     def _search(self) -> bool:
+        if self._tick is not None:
+            self._tick()
         if self._deadline is not None and time.perf_counter() > self._deadline:
             raise _Timeout
         mark = len(self.trail)

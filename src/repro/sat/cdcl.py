@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sat.cnf import Cnf
 
@@ -336,8 +336,19 @@ class CdclSolver:
     # -- main loop ---------------------------------------------------------------------------------
 
     def solve(self, conflict_limit: Optional[int] = None,
-              time_limit: Optional[float] = None) -> SatResult:
+              time_limit: Optional[float] = None,
+              tick: Optional[Callable[[], None]] = None) -> SatResult:
+        """Run the CDCL search.
+
+        ``tick``, when given, is invoked at the same 256-conflict cadence
+        as the deadline check (plus once before the search starts).  It
+        may raise to abort the search — the parallel layer passes
+        ``CancelToken.raise_if_cancelled`` so a portfolio loser stops
+        cooperatively; the exception propagates to the caller.
+        """
         start = time.perf_counter()
+        if tick is not None:
+            tick()
         stats = self.stats
         if self._contradiction:
             stats.status = "unsat"
@@ -385,8 +396,11 @@ class CdclSolver:
                 if conflict_limit is not None and stats.conflicts >= conflict_limit:
                     stats.status = "unknown"
                     break
-                if (stats.conflicts & 255) == 0 and time_limit is not None:
-                    if time.perf_counter() - start > time_limit:
+                if (stats.conflicts & 255) == 0:
+                    if tick is not None:
+                        tick()
+                    if (time_limit is not None
+                            and time.perf_counter() - start > time_limit):
                         stats.status = "unknown"
                         break
             else:
@@ -419,7 +433,8 @@ class CdclSolver:
 
 
 def solve_cnf(cnf: Cnf, conflict_limit: Optional[int] = None,
-              time_limit: Optional[float] = None) -> SatResult:
+              time_limit: Optional[float] = None,
+              tick: Optional[Callable[[], None]] = None) -> SatResult:
     """Convenience wrapper: solve a CNF with a fresh CDCL instance."""
     return CdclSolver(cnf).solve(conflict_limit=conflict_limit,
-                                 time_limit=time_limit)
+                                 time_limit=time_limit, tick=tick)

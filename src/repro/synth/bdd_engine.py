@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.bdd.manager import FALSE, BddManager
+from repro.core.cancel import CancelToken, as_token
 from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
@@ -59,22 +60,28 @@ class DepthOutcome:
 
 
 class _Deadline:
-    """Cooperative deadline and memory guard for long-running BDD loops.
+    """Cooperative deadline, cancellation and memory guard for BDD loops.
 
     Pure-Python BDD caches can grow into gigabytes on the hardest
     instances (hwb4 at depth 11); dropping the operation caches once they
     pass ``cache_limit`` entries trades some recomputation for bounded
     memory.  The unique table (the nodes themselves) is never dropped, so
-    results are unaffected.
+    results are unaffected.  ``token`` is polled at the same cadence, so
+    a portfolio/suite coordinator can stop the engine mid-apply (raising
+    :class:`repro.core.cancel.CancelledError`, which the driver turns
+    into a ``"cancelled"`` result rather than a timeout).
     """
 
     def __init__(self, limit: Optional[float], manager=None,
-                 cache_limit: int = 1_500_000):
+                 cache_limit: int = 1_500_000,
+                 token: Optional[CancelToken] = None):
         self._expiry = None if limit is None else time.perf_counter() + limit
         self._manager = manager
         self._cache_limit = cache_limit
+        self._token = as_token(token)
 
     def check(self) -> None:
+        self._token.raise_if_cancelled()
         if self._expiry is not None and time.perf_counter() > self._expiry:
             raise TimeoutError("synthesis deadline exceeded")
         if (self._manager is not None
@@ -91,7 +98,20 @@ class BddSynthesisEngine:
                  incremental: bool = True, var_order: str = "xy",
                  compact_between_depths: bool = True,
                  max_enumerate: int = 200_000,
-                 cache_limit: int = 1_500_000):
+                 cache_limit: int = 1_500_000,
+                 cancel_token: Optional[CancelToken] = None):
+        """``cache_limit`` bounds the manager's *operation-cache* entry
+        count: once ``ite``/quantification caches together exceed it they
+        are dropped (the unique table never is, so answers are
+        unaffected).  The default suits a machine running one synthesis;
+        memory-bounded parallel workers — several engines racing in a
+        portfolio, or a wide :mod:`repro.parallel.scheduler` pool —
+        should shrink it via ``engine_options={"cache_limit": ...}`` so
+        the per-process peak stays within its share of RAM.
+
+        ``cancel_token`` is polled from the deadline/allocation tick; see
+        :mod:`repro.core.cancel`.
+        """
         if library.n_lines != spec.n_lines:
             raise ValueError("library and specification widths differ")
         if var_order not in ("xy", "yx"):
@@ -106,6 +126,7 @@ class BddSynthesisEngine:
         self.compact_between_depths = compact_between_depths
         self.max_enumerate = max_enumerate
         self.cache_limit = cache_limit
+        self.cancel_token = as_token(cancel_token)
         self.n = spec.n_lines
         self.width = library.select_bits()
         if incremental:
@@ -201,7 +222,8 @@ class BddSynthesisEngine:
         """
         deadline = _Deadline(time_limit,
                              manager=self.manager if self.incremental else None,
-                             cache_limit=self.cache_limit)
+                             cache_limit=self.cache_limit,
+                             token=self.cancel_token)
         before = (self.manager.stats() if self.incremental
                   else {"ite_calls": 0, "ite_cache_hits": 0,
                         "quant_calls": 0, "quant_cache_hits": 0})

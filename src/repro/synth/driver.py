@@ -15,9 +15,10 @@ first satisfiable depth is the minimal gate count.  Engines:
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Sequence, Type, Union
+from typing import Dict, Optional, Sequence, Tuple, Type, Union
 
 import repro.obs as obs
+from repro.core.cancel import CancelledError
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
 from repro.synth.bdd_engine import BddSynthesisEngine, DepthOutcome
@@ -26,7 +27,8 @@ from repro.synth.result import DepthStat, SynthesisResult
 from repro.synth.sat_engine import SatBaselineEngine
 from repro.synth.sword_engine import SwordEngine
 
-__all__ = ["ENGINES", "MIN_DEPTH_BUDGET", "default_gate_limit", "synthesize"]
+__all__ = ["ENGINES", "MIN_DEPTH_BUDGET", "STATELESS_ENGINES",
+           "default_gate_limit", "plan_depth_range", "synthesize"]
 
 ENGINES: Dict[str, Type] = {
     "bdd": BddSynthesisEngine,
@@ -34,6 +36,12 @@ ENGINES: Dict[str, Type] = {
     "sat": SatBaselineEngine,
     "sword": SwordEngine,
 }
+
+#: Engines whose per-depth queries are independent of one another, so
+#: depth decisions may be computed out of order (speculative depth
+#: pipelining).  The BDD engine is excluded: its cascade is built
+#: incrementally and each depth extends the previous one's BDD state.
+STATELESS_ENGINES = frozenset({"qbf", "sat", "sword"})
 
 #: Smallest per-depth time budget worth starting an engine call for: the
 #: engines spend more than this constructing their encoding, so a tinier
@@ -53,20 +61,86 @@ def default_gate_limit(n_lines: int) -> int:
     return n_lines * (1 << n_lines)
 
 
+def plan_depth_range(spec: Specification,
+                     library: GateLibrary,
+                     max_gates: Optional[int] = None,
+                     use_bounds: bool = False) -> Tuple[int, int]:
+    """The iterative-deepening plan: (start depth, inclusive gate limit).
+
+    Factored out of :func:`synthesize` so the speculative depth pipeline
+    (:mod:`repro.parallel.speculative`) plans the identical range and
+    its committed trajectory matches the serial one depth for depth.
+    """
+    limit = (max_gates if max_gates is not None
+             else default_gate_limit(spec.n_lines))
+    start_depth = 0
+    if use_bounds:
+        from repro.core.library import mct_gates
+        from repro.synth.bounds import lower_bound, upper_bound
+        start_depth = lower_bound(spec, library)
+        if max_gates is None:
+            # The MMD cap is a Toffoli network, so it is only an upper
+            # bound for libraries containing every MCT gate.
+            if set(mct_gates(spec.n_lines)) <= set(library.gates):
+                heuristic_cap = upper_bound(spec)
+                if heuristic_cap is not None:
+                    limit = min(limit, heuristic_cap)
+    return start_depth, limit
+
+
+def _resolve_library(spec: Specification,
+                     library: Optional[GateLibrary],
+                     kinds: Optional[Sequence[str]],
+                     engine: Union[str, object]) -> GateLibrary:
+    """The library the run uses, rejecting silently-ignored arguments.
+
+    When ``engine`` is an instance it was already constructed around a
+    library; a *conflicting* explicit ``library``/``kinds`` would be
+    dead weight the caller almost certainly meant to take effect, so it
+    raises instead of being dropped (matching arguments stay allowed —
+    callers legitimately pass the same library to both).
+    """
+    if isinstance(engine, str):
+        if library is not None:
+            return library
+        return GateLibrary.from_kinds(spec.n_lines, kinds or ("mct",))
+    bound = getattr(engine, "library", None)
+    if bound is None:
+        if library is not None:
+            return library
+        return GateLibrary.from_kinds(spec.n_lines, kinds or ("mct",))
+    for argument, value in (("library", library),
+                            ("kinds", GateLibrary.from_kinds(
+                                spec.n_lines, kinds) if kinds else None)):
+        if value is not None and tuple(value.gates) != tuple(bound.gates):
+            raise ValueError(
+                f"conflicting {argument}: engine instance was built with "
+                f"library {bound.name!r} but {argument}={value.name!r} was "
+                f"passed explicitly; construct the engine with the intended "
+                f"library or drop the argument")
+    return bound
+
+
 def synthesize(spec: Specification,
                library: Optional[GateLibrary] = None,
-               kinds: Sequence[str] = ("mct",),
+               kinds: Optional[Sequence[str]] = None,
                engine: Union[str, object] = "bdd",
                max_gates: Optional[int] = None,
                time_limit: Optional[float] = None,
                use_bounds: bool = False,
                trace: Optional[str] = None,
+               workers: int = 1,
                **engine_options) -> SynthesisResult:
     """Exact synthesis: minimal number of library gates realizing ``spec``.
 
     Returns a :class:`SynthesisResult`; with the BDD engine it carries
     every minimal network plus the exact solution count and quantum-cost
     range, with the other engines a single realization.
+
+    ``kinds`` defaults to ``("mct",)`` when neither it nor ``library``
+    is given.  Passing a ``library`` or ``kinds`` that conflicts with an
+    already-constructed engine instance raises :class:`ValueError`
+    instead of being silently ignored.
 
     ``use_bounds=True`` seeds the loop with the admissible lower bound of
     :mod:`repro.synth.bounds` (skipping provably unrealizable shallow
@@ -81,9 +155,40 @@ def synthesize(spec: Specification,
     run-level aggregate in ``result.metrics`` — the raw counters are so
     cheap they are never turned off; only span *timing* needs an
     explicit ``obs.set_tracing(True)``.
+
+    **Parallel execution** (:mod:`repro.parallel`):
+
+    * ``engine="portfolio"`` races every registered engine on the spec
+      in worker processes and returns the first completed result
+      (``workers`` caps the racer count);
+    * ``workers > 1`` with a stateless engine (``sat``, ``qbf``,
+      ``sword``) pipelines depth decisions ``d..d+workers-1``
+      speculatively and commits the lowest satisfiable depth;
+    * ``workers > 1`` with the ``bdd`` engine falls back to the serial
+      cascade — its depth queries are incremental (each extends the
+      previous depth's BDD state), so there is no depth-level
+      parallelism to exploit; the argument is accepted and recorded
+      but does not change execution.
     """
-    if library is None:
-        library = GateLibrary.from_kinds(spec.n_lines, kinds)
+    if engine == "portfolio":
+        from repro.parallel.portfolio import portfolio_synthesize
+        resolved = _resolve_library(spec, library, kinds, "bdd")
+        # workers=1 is synthesize()'s serial default; for a race it
+        # means "no cap" — every engine runs concurrently.
+        return portfolio_synthesize(
+            spec, resolved, max_gates=max_gates, time_limit=time_limit,
+            use_bounds=use_bounds, trace=trace,
+            workers=0 if workers <= 1 else workers,
+            engine_options=engine_options)
+    if workers > 1 and isinstance(engine, str) and engine in STATELESS_ENGINES:
+        from repro.parallel.speculative import speculative_synthesize
+        resolved = _resolve_library(spec, library, kinds, engine)
+        return speculative_synthesize(
+            spec, resolved, engine, max_gates=max_gates,
+            time_limit=time_limit, use_bounds=use_bounds, trace=trace,
+            workers=workers, engine_options=engine_options)
+
+    library = _resolve_library(spec, library, kinds, engine)
     if isinstance(engine, str):
         try:
             engine_cls = ENGINES[engine]
@@ -93,19 +198,7 @@ def synthesize(spec: Specification,
         instance = engine_cls(spec, library, **engine_options)
     else:
         instance = engine
-    limit = max_gates if max_gates is not None else default_gate_limit(spec.n_lines)
-    start_depth = 0
-    if use_bounds:
-        from repro.core.library import mct_gates
-        from repro.synth.bounds import lower_bound, upper_bound
-        start_depth = lower_bound(spec, library)
-        if max_gates is None:
-            # The MMD cap is a Toffoli network, so it is only an upper
-            # bound for libraries containing every MCT gate.
-            if set(mct_gates(spec.n_lines)) <= set(library.gates):
-                heuristic_cap = upper_bound(spec)
-                if heuristic_cap is not None:
-                    limit = min(limit, heuristic_cap)
+    start_depth, limit = plan_depth_range(spec, library, max_gates, use_bounds)
 
     result = SynthesisResult(engine=instance.name,
                              spec_name=spec.name or "anonymous",
@@ -124,9 +217,16 @@ def synthesize(spec: Specification,
                     result.status = "timeout"
                     break
             step_start = time.perf_counter()
-            with obs.span("depth", depth=depth, engine=instance.name):
-                outcome: DepthOutcome = instance.decide(
-                    depth, time_limit=remaining)
+            try:
+                with obs.span("depth", depth=depth, engine=instance.name):
+                    outcome: DepthOutcome = instance.decide(
+                        depth, time_limit=remaining)
+            except CancelledError:
+                # Cooperative cancellation (portfolio loser / Ctrl-C
+                # drain): keep the per-depth trajectory gathered so far
+                # so the coordinator can still merge partial metrics.
+                result.status = "cancelled"
+                break
             step_time = time.perf_counter() - step_start
             timed_out = outcome.status == "unknown"
             result.per_depth.append(

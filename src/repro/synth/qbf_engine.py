@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import repro.obs as obs
 from repro.bdd.manager import BddManager
+from repro.core.cancel import CancelToken, as_token
 from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
@@ -49,11 +50,13 @@ class QbfSolverEngine:
 
     def __init__(self, spec: Specification, library: GateLibrary,
                  solver: str = "expansion",
-                 expansion_clause_budget: Optional[int] = None):
+                 expansion_clause_budget: Optional[int] = None,
+                 cancel_token: Optional[CancelToken] = None):
         if library.n_lines != spec.n_lines:
             raise ValueError("library and specification widths differ")
         if solver not in ("qdpll", "expansion"):
             raise ValueError("solver must be 'qdpll' or 'expansion'")
+        self.cancel_token = as_token(cancel_token)
         self.spec = spec
         self.library = library
         self.solver = solver
@@ -86,6 +89,7 @@ class QbfSolverEngine:
         var_to_expr = {l: builder.var(x_vars[l]) for l in range(self.n)}
         terms = []
         for l in range(self.n):
+            self.cancel_token.raise_if_cancelled()
             on_bdd = spec_manager.from_minterms(bdd_x, self.spec.on_set(l))
             dc_bdd = spec_manager.from_minterms(bdd_x, self.spec.dc_set(l))
             on_expr = expr_from_bdd(spec_manager, on_bdd, var_to_expr, builder)
@@ -122,12 +126,14 @@ class QbfSolverEngine:
         detail = {"vars": formula.cnf.num_vars,
                   "clauses": len(formula.cnf.clauses)}
         with obs.span("qbf.solve", depth=depth, solver=self.solver):
+            tick = self.cancel_token.raise_if_cancelled
             if self.solver == "qdpll":
-                result = QdpllSolver(formula).solve(time_limit=time_limit)
+                result = QdpllSolver(formula).solve(time_limit=time_limit,
+                                                    tick=tick)
             else:
                 result = solve_qbf_by_expansion(
                     formula, time_limit=time_limit,
-                    max_clauses=self.expansion_clause_budget)
+                    max_clauses=self.expansion_clause_budget, tick=tick)
         metrics = {
             "qbf.vars": formula.cnf.num_vars,
             "qbf.clauses": len(formula.cnf.clauses),

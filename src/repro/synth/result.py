@@ -49,6 +49,9 @@ class SynthesisResult:
     * ``"realized"`` — minimal circuits found; ``depth`` is minimal.
     * ``"timeout"`` — the time budget ran out before a decision.
     * ``"gate_limit"`` — every depth up to the limit is unrealizable.
+    * ``"cancelled"`` — cooperatively cancelled mid-run (a portfolio
+      loser or a drained Ctrl-C); the per-depth trajectory holds what
+      completed before the cancellation.
 
     ``circuits`` holds every found realization (all of them for the BDD
     engine, a single one for the SAT/SWORD/QBF engines).  ``num_solutions``

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 import repro.obs as obs
+from repro.core.cancel import CancelToken, as_token
 from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
@@ -40,11 +41,13 @@ class SatBaselineEngine:
     name = "sat"
 
     def __init__(self, spec: Specification, library: GateLibrary,
-                 select_encoding: str = "binary"):
+                 select_encoding: str = "binary",
+                 cancel_token: Optional[CancelToken] = None):
         if library.n_lines != spec.n_lines:
             raise ValueError("library and specification widths differ")
         if select_encoding not in ("binary", "onehot"):
             raise ValueError("select_encoding must be 'binary' or 'onehot'")
+        self.cancel_token = as_token(cancel_token)
         self.spec = spec
         self.library = library
         self.select_encoding = select_encoding
@@ -67,6 +70,7 @@ class SatBaselineEngine:
         select_exprs = [[builder.var(v) for v in block] for block in select_vars]
 
         for row_input, row in enumerate(self.spec.rows):
+            self.cancel_token.raise_if_cancelled()
             if all(value is None for value in row):
                 continue  # row entirely outside the care domain
             lines = [builder.const(bool((row_input >> l) & 1))
@@ -95,6 +99,7 @@ class SatBaselineEngine:
         algebra = ExprAlgebra(builder)
 
         for row_input, row in enumerate(self.spec.rows):
+            self.cancel_token.raise_if_cancelled()
             if all(value is None for value in row):
                 continue
             lines = [builder.const(bool((row_input >> l) & 1))
@@ -121,7 +126,9 @@ class SatBaselineEngine:
             cnf, select_vars = self.encode(depth)
         detail = {"vars": cnf.num_vars, "clauses": len(cnf.clauses)}
         with obs.span("sat.solve", depth=depth):
-            result = CdclSolver(cnf).solve(time_limit=time_limit)
+            result = CdclSolver(cnf).solve(
+                time_limit=time_limit,
+                tick=self.cancel_token.raise_if_cancelled)
         metrics = {
             "sat.vars": cnf.num_vars,
             "sat.clauses": len(cnf.clauses),

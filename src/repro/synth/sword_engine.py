@@ -29,6 +29,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 import repro.obs as obs
+from repro.core.cancel import CancelToken, as_token
 from repro.core.circuit import Circuit
 from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
 from repro.core.library import GateLibrary
@@ -50,9 +51,11 @@ class SwordEngine:
     name = "sword"
 
     def __init__(self, spec: Specification, library: GateLibrary,
-                 transposition_limit: int = 2_000_000):
+                 transposition_limit: int = 2_000_000,
+                 cancel_token: Optional[CancelToken] = None):
         if library.n_lines != spec.n_lines:
             raise ValueError("library and specification widths differ")
+        self.cancel_token = as_token(cancel_token)
         self.spec = spec
         self.library = library
         self.n = spec.n_lines
@@ -188,8 +191,10 @@ class SwordEngine:
     def _dfs(self, cols: Columns, budget: int, previous: int,
              path: List[Gate]) -> bool:
         self._node_counter += 1
-        if self._deadline is not None and (self._node_counter & 255) == 0:
-            if time.perf_counter() > self._deadline:
+        if (self._node_counter & 255) == 0:
+            self.cancel_token.raise_if_cancelled()
+            if (self._deadline is not None
+                    and time.perf_counter() > self._deadline):
                 raise _Timeout
         if self._is_goal(cols):
             return True

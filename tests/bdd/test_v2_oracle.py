@@ -6,8 +6,13 @@ assignment whose bit ``i`` gives variable ``i``.  Every manager
 operation has a one-line oracle counterpart, so random operation
 sequences cross-check connectives, cofactors, quantifiers, model
 counting and the complement-edge canonicity rules all at once.
+
+Set ``REPRO_TEST_SEED`` to explore a different region of the operation
+space; the default of 0 keeps runs reproducible.  The effective seed is
+printed so pytest's captured stdout identifies a failing draw.
 """
 
+import os
 import random
 
 import pytest
@@ -16,6 +21,15 @@ from repro.bdd.manager import FALSE, TRUE, BddManager
 
 NV = 5
 ALL = (1 << (1 << NV)) - 1  # truth-table of the constant-1 function
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def rng_for(offset: int, seed: int) -> random.Random:
+    """RNG for one parametrized case, mixed with REPRO_TEST_SEED."""
+    effective = BASE_SEED * 10_000 + offset + seed
+    print(f"REPRO_TEST_SEED={BASE_SEED} effective_seed={effective}")
+    return random.Random(effective)
 
 
 def tt_var(i: int) -> int:
@@ -87,14 +101,14 @@ def assert_matches(manager, node: int, table: int) -> None:
 class TestRandomizedEquivalence:
     @pytest.mark.parametrize("seed", range(12))
     def test_connectives(self, seed):
-        rng = random.Random(seed)
+        rng = rng_for(0, seed)
         manager = BddManager(NV)
         node, table = random_pair(rng, manager, depth=4)
         assert_matches(manager, node, table)
 
     @pytest.mark.parametrize("seed", range(6))
     def test_cofactors(self, seed):
-        rng = random.Random(100 + seed)
+        rng = rng_for(100, seed)
         manager = BddManager(NV)
         node, table = random_pair(rng, manager, depth=4)
         for var in range(NV):
@@ -105,7 +119,7 @@ class TestRandomizedEquivalence:
 
     @pytest.mark.parametrize("seed", range(6))
     def test_quantifiers(self, seed):
-        rng = random.Random(200 + seed)
+        rng = rng_for(200, seed)
         manager = BddManager(NV)
         node, table = random_pair(rng, manager, depth=4)
         variables = rng.sample(range(NV), rng.randrange(1, NV + 1))
@@ -116,7 +130,7 @@ class TestRandomizedEquivalence:
 
     @pytest.mark.parametrize("seed", range(6))
     def test_model_counting(self, seed):
-        rng = random.Random(300 + seed)
+        rng = rng_for(300, seed)
         manager = BddManager(NV)
         node, table = random_pair(rng, manager, depth=4)
         assert manager.count_models(node, range(NV)) == bin(table).count("1")
@@ -131,7 +145,7 @@ class TestComplementEdgeCanonicity:
 
     @pytest.mark.parametrize("seed", range(8))
     def test_negation_is_edge_flip(self, seed):
-        rng = random.Random(400 + seed)
+        rng = rng_for(400, seed)
         manager = BddManager(NV)
         node, table = random_pair(rng, manager, depth=4)
         neg = manager.not_(node)
@@ -145,7 +159,7 @@ class TestComplementEdgeCanonicity:
         # whose high edge is complemented (the complement is pushed to
         # the incoming edge), so each function/negation pair costs one
         # node.
-        rng = random.Random(500 + seed)
+        rng = rng_for(500, seed)
         manager = BddManager(NV)
         random_pair(rng, manager, depth=5)
         for hi in manager._hi[1:]:
@@ -155,7 +169,7 @@ class TestComplementEdgeCanonicity:
     def test_canonical_identity(self, seed):
         # Semantically equal functions built along different operation
         # routes must return the *same* edge.
-        rng = random.Random(600 + seed)
+        rng = rng_for(600, seed)
         manager = BddManager(NV)
         f, tf = random_pair(rng, manager, depth=4)
         g, tg = random_pair(rng, manager, depth=4)

@@ -1,0 +1,81 @@
+"""Portfolio racing: first complete result wins, losers cancel cleanly."""
+
+import pytest
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.functions import get_spec
+import repro.obs as obs
+from repro.parallel import portfolio_synthesize
+from repro.synth import synthesize
+
+
+def cnot_spec():
+    perm = []
+    for i in range(4):
+        a, b = i & 1, (i >> 1) & 1
+        perm.append(a | ((a ^ b) << 1))
+    return Specification.from_permutation(perm, name="cnot")
+
+
+def test_portfolio_returns_a_correct_realization():
+    spec = get_spec("3_17")
+    result = synthesize(spec, engine="portfolio", time_limit=60)
+    assert result.realized
+    assert result.depth == 6
+    assert result.winner_engine in ("bdd", "sword", "sat", "qbf")
+    assert all(spec.matches_circuit(c) for c in result.circuits)
+
+
+def test_portfolio_merges_loser_metrics_and_counts_cancellations():
+    spec = get_spec("mod5d1_s")
+    result = synthesize(spec, engine="portfolio", time_limit=60)
+    assert result.realized and result.depth == 6
+    assert result.metrics["driver.portfolio_racers"] == 4
+    # Cancelled losers still reported their partial trajectories, and
+    # those metrics live under the portfolio.<engine> namespace.
+    for name, loser in result.loser_results.items():
+        assert name != result.winner_engine
+        for metric in loser.metrics:
+            assert result.metrics[f"portfolio.{name}.{metric}"] \
+                == loser.metrics[metric]
+
+
+def test_portfolio_run_record_is_schema_valid(tmp_path):
+    trace = str(tmp_path / "race.jsonl")
+    spec = cnot_spec()
+    result = synthesize(spec, engine="portfolio", time_limit=60, trace=trace)
+    assert result.realized and result.depth == 1
+    records = obs.read_records(trace)
+    assert len(records) == 1
+    assert obs.validate_run_record(records[0]) == []
+    assert records[0]["winner_engine"] == result.winner_engine
+    assert records[0]["workers"] >= 1
+    assert records[0]["cpu_count"] >= 1
+
+
+def test_portfolio_bounded_concurrency_races_every_engine():
+    result = portfolio_synthesize(cnot_spec(), GateLibrary.mct(2),
+                                  workers=2, time_limit=60)
+    assert result.realized and result.depth == 1
+    assert result.workers == 2
+    assert result.metrics["driver.portfolio_racers"] == 4
+
+
+def test_portfolio_rejects_empty_and_recursive_configurations():
+    with pytest.raises(ValueError):
+        portfolio_synthesize(cnot_spec(), GateLibrary.mct(2), engines=())
+    with pytest.raises(ValueError):
+        portfolio_synthesize(cnot_spec(), GateLibrary.mct(2),
+                             engines=("bdd", "portfolio"))
+
+
+def test_portfolio_aggregate_metrics_match_per_worker_sums():
+    """The record's aggregate equals the fold of its per-depth metrics."""
+    spec = get_spec("3_17")
+    result = synthesize(spec, engine="portfolio", time_limit=60)
+    totals = {}
+    for step in result.per_depth:
+        obs.merge_metrics(totals, step.metrics)
+    for key, value in totals.items():
+        assert result.metrics[key] == value

@@ -63,6 +63,29 @@ def test_engine_instance_passthrough():
     assert result.realized and result.depth == 1
 
 
+def test_engine_instance_conflicting_library_rejected():
+    from repro.synth.sword_engine import SwordEngine
+    spec = cnot_spec()
+    engine = SwordEngine(spec, GateLibrary.mct(2))
+    with pytest.raises(ValueError, match="conflicting"):
+        synthesize(spec, library=GateLibrary.mct_mcf(2), engine=engine)
+
+
+def test_engine_instance_conflicting_kinds_rejected():
+    from repro.synth.sword_engine import SwordEngine
+    spec = cnot_spec()
+    engine = SwordEngine(spec, GateLibrary.mct(2))
+    with pytest.raises(ValueError, match="conflicting"):
+        synthesize(spec, kinds=("mct", "mcf"), engine=engine)
+
+
+def test_bdd_cache_limit_option():
+    # cache_limit is a documented BddSynthesisEngine knob; a tiny cap
+    # must still synthesize correctly, just with more recomputation.
+    result = synthesize(cnot_spec(), engine="bdd", cache_limit=64)
+    assert result.realized and result.depth == 1
+
+
 def test_engine_options_forwarded():
     result = synthesize(cnot_spec(), engine="bdd", max_enumerate=1)
     assert result.realized
