@@ -1,0 +1,165 @@
+"""Incremental deepening vs per-depth scratch solving — identity-pinned.
+
+The warm engine sessions (assumption-based CDCL with formula reuse
+across depths, ``docs/performance.md`` § Incremental deepening) must be
+a pure optimization: for every benchmark in the Table 1 smoke set and
+both session-capable engines (``sat``, ``qbf``/expansion) the warm run
+is asserted to produce *exactly* the scratch run's answer — status,
+depth, per-depth decisions, and the canonical circuit, gate for gate —
+before any speed or conflict number is reported.
+
+On ``3_17`` the SAT engine's warm total conflict count is additionally
+asserted to be strictly below the cold count: the retained learnt
+clauses and VSIDS activity must actually pay, not just not hurt.  The
+QBF expansion engine's conflict delta is reported without a strict
+assertion — on some functions the warm solver's inherited activity
+ordering explores more conflicts at the SAT depth (see the honest
+numbers in ``docs/performance.md``).
+
+Exports ``BENCH_incremental.json`` (honoring ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE=0``).
+
+Run:  cd benchmarks && PYTHONPATH=../src python -m pytest bench_incremental.py -q -s
+ or:  PYTHONPATH=src python benchmarks/bench_incremental.py
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _tables import print_table
+from repro.functions import get_spec
+from repro.synth import synthesize
+
+#: Table 1 smoke set: fast enough for CI, slow enough to measure.
+SMOKE_SET = ("3_17", "mod5d1_s", "mod5d2_s", "mod5mils",
+             "decod24-v0", "decod24-v3")
+
+#: Engines with a warm-session implementation to compare.
+ENGINES = ("sat", "qbf")
+
+#: Conflict metric aggregated per engine (the QBF engine's inner SAT
+#: conflicts are reported under its own prefix).
+CONFLICT_METRIC = {"sat": "sat.conflicts", "qbf": "qbf.conflicts"}
+
+TIME_LIMIT = 120.0
+
+_payload = {}
+
+
+def _json_path():
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, "BENCH_incremental.json")
+
+
+def _run(name, engine, incremental):
+    spec = get_spec(name)
+    start = time.perf_counter()
+    result = synthesize(spec, kinds=("mct",), engine=engine,
+                        incremental=incremental, time_limit=TIME_LIMIT)
+    wall = time.perf_counter() - start
+    assert result.incremental is incremental, \
+        f"{name}/{engine}: asked incremental={incremental}, " \
+        f"ran {result.incremental}"
+    return result, wall
+
+
+def _assert_identical(name, engine, warm, cold):
+    """The warm session must compute the scratch answer, exactly."""
+    assert warm.status == cold.status, \
+        f"{name}/{engine}: warm {warm.status} != cold {cold.status}"
+    assert warm.depth == cold.depth, \
+        f"{name}/{engine}: warm depth {warm.depth} != cold {cold.depth}"
+    assert [s.decision for s in warm.per_depth] \
+        == [s.decision for s in cold.per_depth], \
+        f"{name}/{engine}: per-depth trajectories diverge"
+    assert [c.to_string() for c in warm.circuits] \
+        == [c.to_string() for c in cold.circuits], \
+        f"{name}/{engine}: canonical circuits diverge"
+
+
+def _compare(engine, names):
+    cases = {}
+    for name in names:
+        warm, warm_s = _run(name, engine, True)
+        cold, cold_s = _run(name, engine, False)
+        _assert_identical(name, engine, warm, cold)
+        metric = CONFLICT_METRIC[engine]
+        cases[name] = {
+            "status": warm.status,
+            "depth": warm.depth,
+            "warm_s": warm_s,
+            "cold_s": cold_s,
+            "speedup": cold_s / warm_s if warm_s else float("inf"),
+            "warm_conflicts": int(warm.metrics.get(metric, 0)),
+            "cold_conflicts": int(cold.metrics.get(metric, 0)),
+            "clauses_reused_total": int(
+                warm.metrics.get("sat.incremental.clauses_reused", 0)),
+        }
+    return cases
+
+
+def test_sat_identity_and_reuse():
+    """Warm == cold on the whole smoke set; warm must win on 3_17."""
+    cases = _compare("sat", SMOKE_SET)
+    flagship = cases["3_17"]
+    assert flagship["warm_conflicts"] < flagship["cold_conflicts"], \
+        f"3_17: warm conflicts {flagship['warm_conflicts']} not below " \
+        f"cold {flagship['cold_conflicts']} — clause reuse did not pay"
+    assert all(c["clauses_reused_total"] > 0 for c in cases.values())
+    _payload["sat"] = {"benchmarks": list(SMOKE_SET), "cases": cases}
+
+
+def test_qbf_identity():
+    """Warm row-cofactor expansion == scratch expansion, answer for answer."""
+    cases = _compare("qbf", SMOKE_SET)
+    assert all(c["clauses_reused_total"] > 0 for c in cases.values())
+    _payload["qbf"] = {"benchmarks": list(SMOKE_SET), "cases": cases}
+
+
+def _export():
+    if not _payload:
+        return
+    _payload.update({
+        "bench": "incremental",
+        "time_limit_s": TIME_LIMIT,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    })
+    path = _json_path()
+    if path:
+        with open(path, "w") as handle:
+            json.dump(_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    rows = []
+    for engine in ENGINES:
+        section = _payload.get(engine)
+        if not section:
+            continue
+        for name, case in section["cases"].items():
+            rows.append(
+                f"{engine:4s} {name:12s} {case['cold_s']:8.2f}s "
+                f"{case['warm_s']:8.2f}s {case['speedup']:7.2f}x "
+                f"{case['cold_conflicts']:>9d} {case['warm_conflicts']:>9d}")
+    header = (f"{'ENG':4s} {'BENCH':12s} {'COLD':>9s} {'WARM':>9s} "
+              f"{'SPEEDUP':>8s} {'CONFL(C)':>9s} {'CONFL(W)':>9s}")
+    print_table("INCREMENTAL — identical answers asserted, then speed",
+                header, rows,
+                "Warm = one assumption-guarded solver across all depths; "
+                "cold = fresh solver per depth.  Same circuits, bit for bit.")
+
+
+def teardown_module(module):
+    _export()
+
+
+if __name__ == "__main__":
+    test_sat_identity_and_reuse()
+    test_qbf_identity()
+    _export()

@@ -36,7 +36,7 @@ from repro.core.library import GateLibrary
 from repro.core.realfmt import parse_real, write_real
 from repro.core.spec import Specification
 from repro.functions import SUITE, get_spec
-from repro.synth import synthesize
+from repro.synth import INCREMENTAL_ENGINES, synthesize
 from repro.synth.qbf_engine import QbfSolverEngine
 from repro.synth.transformation import transformation_synthesize
 from repro.verify import circuits_equivalent, counterexample
@@ -92,6 +92,23 @@ def _print_profile(result) -> None:
         print(tracer.format_tree())
 
 
+def _incremental_options(engine: str, no_incremental: bool) -> dict:
+    """Engine options implementing ``--no-incremental``.
+
+    Only the engines that understand the ``incremental`` constructor
+    option receive it — ``sword`` searches from scratch per depth
+    either way and accepts no such keyword.  For a portfolio race the
+    flag becomes per-engine option dicts so only those racers see it.
+    """
+    if not no_incremental:
+        return {}
+    if engine == "portfolio":
+        return {name: {"incremental": False} for name in INCREMENTAL_ENGINES}
+    if engine in INCREMENTAL_ENGINES:
+        return {"incremental": False}
+    return {}
+
+
 def _cmd_synth(args) -> int:
     spec = _load_spec(args)
     kinds = tuple(args.kinds.split("+"))
@@ -106,9 +123,10 @@ def _cmd_synth(args) -> int:
     if args.profile:
         obs.set_tracing(True)
     engine = "portfolio" if args.portfolio else args.engine
+    engine_options = _incremental_options(engine, args.no_incremental)
     result = synthesize(spec, kinds=kinds, engine=engine,
                         time_limit=args.time_limit, trace=args.trace,
-                        workers=args.workers)
+                        workers=args.workers, **engine_options)
     if args.portfolio and not args.json:
         losers = getattr(result, "loser_results", {})
         cancelled = sorted(name for name, loser in losers.items()
@@ -160,7 +178,9 @@ def _cmd_suite(args) -> int:
     engines = [e.strip() for e in args.engines.split(",") if e.strip()]
     kinds = tuple(args.kinds.split("+"))
     tasks = [SynthesisTask(spec=get_spec(name), engine=engine, kinds=kinds,
-                           time_limit=args.time_limit)
+                           time_limit=args.time_limit,
+                           engine_options=_incremental_options(
+                               engine, args.no_incremental))
              for name in names for engine in engines]
     workers = args.workers if args.workers else default_workers()
 
@@ -352,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes: caps the portfolio race, or "
                             "pipelines depth queries for sat/qbf/sword")
     synth.add_argument("--time-limit", type=float, default=None)
+    synth.add_argument("--no-incremental", action="store_true",
+                       help="decide every depth from scratch instead of "
+                            "reusing engine state (warm SAT/QBF solver, "
+                            "incremental BDD cascade) across the loop")
     synth.add_argument("--all", action="store_true",
                        help="print every minimal network (BDD engine)")
     synth.add_argument("--output", "-o", help="write cheapest network as .real")
@@ -380,6 +404,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "min(4, CPUs))")
     suite.add_argument("--time-limit", type=float, default=None,
                        help="per-task engine time budget in seconds")
+    suite.add_argument("--no-incremental", action="store_true",
+                       help="decide every depth from scratch in every task")
     suite.add_argument("--trace", metavar="FILE",
                        help="append one JSONL run record per task to FILE")
     suite.add_argument("--quiet", action="store_true",

@@ -60,6 +60,12 @@ RUN_RECORD_SCHEMA = {
         "quantum_cost_min": {"type": ["integer", "null"]},
         "quantum_cost_max": {"type": ["integer", "null"]},
         "runtime": {"type": "number", "minimum": 0},
+        # Whether engine state was reused across the depth loop (warm
+        # SAT/QBF sessions, the BDD incremental cascade).  Optional so
+        # pre-existing traces stay valid; canonical, not volatile — it
+        # changes the computation, and serial vs parallel runs of the
+        # same configuration agree on it.
+        "incremental": {"type": "boolean"},
         "unix_time": {"type": "number"},
         "per_depth": {
             "type": "array",

@@ -40,28 +40,39 @@ __all__ = ["speculative_synthesize"]
 
 def _depth_server(engine_name: str, spec, library, engine_options,
                   conn, cancel_event):
-    """Worker loop: construct the engine once, answer depth queries."""
+    """Worker loop: construct the engine once, answer depth queries.
+
+    The loop runs inside an engine session
+    (:func:`repro.synth.driver.engine_session`), so the SAT/QBF engines
+    keep one warm incremental solver per worker amortized across the
+    worker's whole depth window.  The monotone session encodings
+    tolerate the gapped, strictly-increasing depth sequence each worker
+    sees — missing cascade stages are appended on demand and trailing
+    stages never constrain earlier depths' answers.
+    """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    from repro.synth.driver import ENGINES
+    from repro.synth.driver import ENGINES, engine_session
 
     token = CancelToken(cancel_event)
     engine = ENGINES[engine_name](spec, library, cancel_token=token,
                                   **engine_options)
-    while True:
-        message = conn.recv()
-        if message is None:
-            return
-        depth, budget = message
-        started = time.perf_counter()
-        try:
-            outcome = engine.decide(depth, time_limit=budget)
-            conn.send((depth, "ok", outcome, time.perf_counter() - started))
-        except CancelledError:
-            conn.send((depth, "cancelled", None,
-                       time.perf_counter() - started))
-        except Exception as exc:  # noqa: BLE001 — ship it to the parent
-            conn.send((depth, "error", repr(exc),
-                       time.perf_counter() - started))
+    with engine_session(engine):
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            depth, budget = message
+            started = time.perf_counter()
+            try:
+                outcome = engine.decide(depth, time_limit=budget)
+                conn.send((depth, "ok", outcome,
+                           time.perf_counter() - started))
+            except CancelledError:
+                conn.send((depth, "cancelled", None,
+                           time.perf_counter() - started))
+            except Exception as exc:  # noqa: BLE001 — ship it to the parent
+                conn.send((depth, "error", repr(exc),
+                           time.perf_counter() - started))
 
 
 def speculative_synthesize(spec: Specification,
@@ -223,6 +234,10 @@ def speculative_synthesize(spec: Specification,
         final_depth = commit
     wasted = sum(1 for depth in dispatched if depth > final_depth)
     result.runtime = time.perf_counter() - start
+    # The workers' engines report their solving mode per depth; the
+    # committed trajectory is uniform, so any step's flag is the run's.
+    result.incremental = any(step.detail.get("incremental", False)
+                             for step in result.per_depth)
     _aggregate_metrics(result)
     result.metrics["driver.speculation_dispatched"] = len(dispatched)
     result.metrics["driver.speculation_wasted_depths"] = wasted

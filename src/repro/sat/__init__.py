@@ -5,6 +5,7 @@ from repro.sat.cnf import Cnf, clause_satisfied, evaluate_cnf
 from repro.sat.dimacs import from_dimacs, from_qdimacs, to_dimacs, to_qdimacs
 from repro.sat.dpll import dpll_solve
 from repro.sat.expr import Expr, ExprBuilder, expr_from_bdd
+from repro.sat.incremental import lexmin_model
 
 __all__ = [
     "CdclSolver",
@@ -12,6 +13,7 @@ __all__ = [
     "Expr",
     "ExprBuilder",
     "SatResult",
+    "lexmin_model",
     "clause_satisfied",
     "dpll_solve",
     "evaluate_cnf",

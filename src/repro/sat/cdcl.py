@@ -9,7 +9,12 @@ MiniSat architecture:
 * first-UIP conflict analysis with recursive clause minimization,
 * VSIDS decision heuristic with phase saving,
 * Luby-sequence restarts,
-* activity/LBD-guided learnt-clause database reduction.
+* activity/LBD-guided learnt-clause database reduction,
+* incremental solving under assumptions: ``solve(assumptions=[...])``
+  treats each assumption as a forced decision at levels ``1..k`` and
+  reports a final-conflict subset (``SatResult.core``) when they are
+  inconsistent; ``add_clause`` extends the formula between calls while
+  learnt clauses, VSIDS activity and saved phases survive.
 
 Literals use the DIMACS convention throughout (``v`` / ``-v``).
 """
@@ -17,7 +22,7 @@ Literals use the DIMACS convention throughout (``v`` / ``-v``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -43,7 +48,19 @@ def luby(index: int) -> int:
 
 @dataclass
 class SatResult:
-    """Outcome of a SAT call."""
+    """Outcome of one SAT call.
+
+    Every :meth:`CdclSolver.solve` call returns a *fresh* instance, so
+    holding on to the result of call N is safe across call N+1 (the
+    one-shot solver aliased a single object across calls, which made
+    re-solving report corrupted statistics).
+
+    ``core`` is only populated for assumption-based calls that come back
+    ``unsat``: it is a subset of the given assumption literals whose
+    conjunction with the formula is contradictory (MiniSat's
+    ``analyzeFinal``).  An empty list means the formula is unsat
+    regardless of the assumptions.
+    """
 
     status: str  # "sat", "unsat" or "unknown"
     model: Optional[Dict[int, bool]] = None
@@ -53,6 +70,7 @@ class SatResult:
     restarts: int = 0
     learnt_clauses: int = 0
     runtime: float = 0.0
+    core: Optional[List[int]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -76,21 +94,28 @@ class _Clause:
 
 
 class CdclSolver:
-    """One-shot CDCL solver over a :class:`~repro.sat.cnf.Cnf`."""
+    """Incremental CDCL solver over a :class:`~repro.sat.cnf.Cnf`.
 
-    def __init__(self, cnf: Cnf):
-        self.nv = cnf.num_vars
-        self.assign: List[int] = [_UNDEF] * (self.nv + 1)
-        self.level: List[int] = [0] * (self.nv + 1)
-        self.reason: List[Optional[_Clause]] = [None] * (self.nv + 1)
+    The solver object stays live across calls: ``solve()`` always
+    returns with the trail cancelled back to the root level, so the
+    caller may interleave :meth:`add_clause` / :meth:`ensure_vars` with
+    further ``solve(assumptions=...)`` calls and every learnt clause,
+    activity score and saved phase carries over.
+    """
+
+    def __init__(self, cnf: Optional[Cnf] = None):
+        self.nv = 0
+        self.assign: List[int] = [_UNDEF]
+        self.level: List[int] = [0]
+        self.reason: List[Optional[_Clause]] = [None]
         self.trail: List[int] = []
         self.trail_lim: List[int] = []
         self.qhead = 0
         self.watches: Dict[int, List[_Clause]] = {}
         self.clauses: List[_Clause] = []
         self.learnts: List[_Clause] = []
-        self.activity: List[float] = [0.0] * (self.nv + 1)
-        self.saved_phase: List[bool] = [False] * (self.nv + 1)
+        self.activity: List[float] = [0.0]
+        self.saved_phase: List[bool] = [False]
         self.var_inc = 1.0
         self.var_decay = 0.95
         self.cla_inc = 1.0
@@ -98,34 +123,83 @@ class CdclSolver:
         self._order: List[Tuple[float, int]] = []
         self._contradiction = False
         self.stats = SatResult(status="unknown")
-        for clause in cnf.clauses:
-            self._add_input_clause(clause)
-        for v in range(1, self.nv + 1):
+        if cnf is not None:
+            self.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self.add_clause(clause)
+
+    # -- variable management -----------------------------------------------------
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable arrays so variables ``1..num_vars`` exist."""
+        if num_vars <= self.nv:
+            return
+        grow = num_vars - self.nv
+        self.assign.extend([_UNDEF] * grow)
+        self.level.extend([0] * grow)
+        self.reason.extend([None] * grow)
+        self.activity.extend([0.0] * grow)
+        self.saved_phase.extend([False] * grow)
+        for v in range(self.nv + 1, num_vars + 1):
             heappush(self._order, (0.0, v))
+        self.nv = num_vars
+
+    def new_var(self) -> int:
+        """Allocate one fresh variable and return its index."""
+        self.ensure_vars(self.nv + 1)
+        return self.nv
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def num_learnts(self) -> int:
+        return len(self.learnts)
 
     # -- clause management -------------------------------------------------------
 
-    def _add_input_clause(self, literals: Sequence[int]) -> None:
+    def add_clause(self, literals: Sequence[int]) -> bool:
+        """Add a problem clause; may be called between ``solve()`` calls.
+
+        The clause is simplified against the root-level assignment
+        (root-satisfied clauses are dropped, root-false literals are
+        removed — both are sound because root assignments are
+        permanent).  Returns ``False`` when the addition makes the
+        formula contradictory at the root.
+        """
         if self._contradiction:
-            return
+            return False
+        self._cancel_until(0)
         seen = set()
         cleaned: List[int] = []
         for lit in literals:
+            var = abs(lit)
+            if var > self.nv:
+                self.ensure_vars(var)
             if -lit in seen:
-                return  # tautology
-            if lit not in seen:
-                seen.add(lit)
-                cleaned.append(lit)
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._lit_value(lit)
+            if value == _TRUE:
+                return True  # root-satisfied
+            if value == _FALSE:
+                continue  # root-false literal drops out
+            seen.add(lit)
+            cleaned.append(lit)
         if not cleaned:
             self._contradiction = True
-            return
+            return False
         if len(cleaned) == 1:
             if not self._enqueue(cleaned[0], None):
                 self._contradiction = True
-            return
+                return False
+            return True
         clause = _Clause(cleaned, learnt=False)
         self.clauses.append(clause)
         self._watch(clause)
+        return True
 
     def _watch(self, clause: _Clause) -> None:
         self.watches.setdefault(clause.literals[0], []).append(clause)
@@ -303,6 +377,38 @@ class CdclSolver:
             return False
         return True
 
+    def _final_conflict(self, failed: int) -> List[int]:
+        """MiniSat ``analyzeFinal``: assumptions implying ``-failed``.
+
+        Called when replaying assumption ``failed`` finds it already
+        false.  Walks the trail's implication reasons back to the
+        assumption decisions and returns the subset of assumption
+        literals (including ``failed``) whose conjunction is
+        contradictory with the formula.
+        """
+        core = [failed]
+        if not self.trail_lim:
+            return core
+        seen = [False] * (self.nv + 1)
+        seen[abs(failed)] = True
+        for index in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = self.trail[index]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self.reason[var]
+            if reason is None:
+                # A decision inside the assumption prefix is an
+                # assumption literal itself.
+                if self.level[var] > 0 and lit != failed:
+                    core.append(lit)
+            else:
+                for q in reason.literals:
+                    if abs(q) != var and self.level[abs(q)] > 0:
+                        seen[abs(q)] = True
+            seen[var] = False
+        return core
+
     def _compute_lbd(self, literals: Sequence[int]) -> int:
         return len({self.level[abs(lit)] for lit in literals})
 
@@ -337,8 +443,17 @@ class CdclSolver:
 
     def solve(self, conflict_limit: Optional[int] = None,
               time_limit: Optional[float] = None,
-              tick: Optional[Callable[[], None]] = None) -> SatResult:
-        """Run the CDCL search.
+              tick: Optional[Callable[[], None]] = None,
+              assumptions: Optional[Sequence[int]] = None) -> SatResult:
+        """Run the CDCL search; reusable across calls.
+
+        ``assumptions`` are literals forced as the first decisions
+        (MiniSat-style: one decision level per assumption, a dummy empty
+        level when an assumption is already implied).  When they are
+        contradictory with the formula the result is ``unsat`` with
+        ``result.core`` holding a failed subset; the solver itself stays
+        consistent and reusable — no clause permanently asserts an
+        assumption.
 
         ``tick``, when given, is invoked at the same 256-conflict cadence
         as the deadline check (plus once before the search starts).  It
@@ -349,92 +464,135 @@ class CdclSolver:
         start = time.perf_counter()
         if tick is not None:
             tick()
-        stats = self.stats
-        if self._contradiction:
-            stats.status = "unsat"
-            stats.runtime = time.perf_counter() - start
-            return stats
-        if self._propagate() is not None:
-            stats.status = "unsat"
-            stats.runtime = time.perf_counter() - start
-            return stats
-        # An already-expired budget must report "unknown" even when the
-        # instance would solve in fewer conflicts than the periodic
-        # in-loop deadline check (every 256 conflicts) ever sees.
-        if time_limit is not None and time.perf_counter() - start > time_limit:
-            stats.status = "unknown"
-            stats.runtime = time.perf_counter() - start
-            return stats
+        assumed: List[int] = list(assumptions) if assumptions else []
+        for lit in assumed:
+            if lit == 0:
+                raise ValueError("assumption literal must be non-zero")
+            self.ensure_vars(abs(lit))
+        stats = SatResult(status="unknown")
+        # ``_propagate`` counts through ``self.stats``; repointing it at
+        # the fresh object is what makes consecutive calls return
+        # independent statistics.
+        self.stats = stats
+        try:
+            if self._contradiction:
+                stats.status = "unsat"
+                stats.core = []
+                return stats
+            if self._propagate() is not None:
+                self._contradiction = True
+                stats.status = "unsat"
+                stats.core = []
+                return stats
+            # An already-expired budget must report "unknown" even when
+            # the instance would solve in fewer conflicts than the
+            # periodic in-loop deadline check (every 256 conflicts) ever
+            # sees.
+            if (time_limit is not None
+                    and time.perf_counter() - start > time_limit):
+                return stats
 
-        restart_index = 1
-        restart_base = 100
-        conflicts_until_restart = restart_base * luby(restart_index)
-        max_learnts = max(1000, len(self.clauses) // 3)
-        conflicts_since_restart = 0
+            restart_index = 1
+            restart_base = 100
+            conflicts_until_restart = restart_base * luby(restart_index)
+            max_learnts = max(1000, len(self.clauses) // 3)
+            conflicts_since_restart = 0
 
-        while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                stats.conflicts += 1
-                conflicts_since_restart += 1
-                if self._decision_level() == 0:
-                    stats.status = "unsat"
-                    break
-                learnt, backjump = self._analyze(conflict)
-                self._cancel_until(backjump)
-                if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
-                else:
-                    clause = _Clause(learnt, learnt=True)
-                    clause.lbd = self._compute_lbd(learnt)
-                    self.learnts.append(clause)
-                    stats.learnt_clauses += 1
-                    self._watch(clause)
-                    self._enqueue(learnt[0], clause)
-                self.var_inc /= self.var_decay
-                self.cla_inc /= self.cla_decay
-                if conflict_limit is not None and stats.conflicts >= conflict_limit:
-                    stats.status = "unknown"
-                    break
-                if (stats.conflicts & 255) == 0:
-                    if tick is not None:
-                        tick()
-                    if (time_limit is not None
-                            and time.perf_counter() - start > time_limit):
-                        stats.status = "unknown"
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    stats.conflicts += 1
+                    conflicts_since_restart += 1
+                    if self._decision_level() == 0:
+                        self._contradiction = True
+                        stats.status = "unsat"
+                        stats.core = []
                         break
-            else:
-                if conflicts_since_restart >= conflicts_until_restart:
-                    stats.restarts += 1
-                    restart_index += 1
-                    conflicts_until_restart = restart_base * luby(restart_index)
-                    conflicts_since_restart = 0
-                    self._cancel_until(0)
-                    continue
-                if len(self.learnts) > max_learnts + len(self.trail):
-                    self._reduce_db()
-                    max_learnts = int(max_learnts * 1.1)
-                var = self._pick_branch_var()
-                if var == 0:
-                    stats.status = "sat"
-                    stats.model = {
-                        v: self.assign[v] == _TRUE if self.assign[v] != _UNDEF
-                        else self.saved_phase[v]
-                        for v in range(1, self.nv + 1)
-                    }
-                    break
-                stats.decisions += 1
-                self.trail_lim.append(len(self.trail))
-                phase = self.saved_phase[var]
-                self._enqueue(var if phase else -var, None)
-
-        stats.runtime = time.perf_counter() - start
+                    learnt, backjump = self._analyze(conflict)
+                    self._cancel_until(backjump)
+                    if len(learnt) == 1:
+                        self._enqueue(learnt[0], None)
+                    else:
+                        clause = _Clause(learnt, learnt=True)
+                        clause.lbd = self._compute_lbd(learnt)
+                        self.learnts.append(clause)
+                        stats.learnt_clauses += 1
+                        self._watch(clause)
+                        self._enqueue(learnt[0], clause)
+                    self.var_inc /= self.var_decay
+                    self.cla_inc /= self.cla_decay
+                    if (conflict_limit is not None
+                            and stats.conflicts >= conflict_limit):
+                        break
+                    if (stats.conflicts & 255) == 0:
+                        if tick is not None:
+                            tick()
+                        if (time_limit is not None
+                                and time.perf_counter() - start > time_limit):
+                            break
+                else:
+                    if conflicts_since_restart >= conflicts_until_restart:
+                        stats.restarts += 1
+                        restart_index += 1
+                        conflicts_until_restart = \
+                            restart_base * luby(restart_index)
+                        conflicts_since_restart = 0
+                        self._cancel_until(0)
+                        continue
+                    if len(self.learnts) > max_learnts + len(self.trail):
+                        self._reduce_db()
+                        max_learnts = int(max_learnts * 1.1)
+                    # Replay assumptions as decisions at levels 1..k
+                    # before any free decision (restarts and backjumps
+                    # may have unwound some of them).
+                    next_lit = 0
+                    failed = 0
+                    while self._decision_level() < len(assumed):
+                        p = assumed[self._decision_level()]
+                        value = self._lit_value(p)
+                        if value == _TRUE:
+                            # Already implied: dummy level keeps the
+                            # level<->assumption-index correspondence.
+                            self.trail_lim.append(len(self.trail))
+                        elif value == _FALSE:
+                            failed = p
+                            break
+                        else:
+                            next_lit = p
+                            break
+                    if failed:
+                        stats.status = "unsat"
+                        stats.core = self._final_conflict(failed)
+                        break
+                    if next_lit == 0:
+                        var = self._pick_branch_var()
+                        if var == 0:
+                            stats.status = "sat"
+                            stats.model = {
+                                v: self.assign[v] == _TRUE
+                                if self.assign[v] != _UNDEF
+                                else self.saved_phase[v]
+                                for v in range(1, self.nv + 1)
+                            }
+                            break
+                        stats.decisions += 1
+                        next_lit = var if self.saved_phase[var] else -var
+                    self.trail_lim.append(len(self.trail))
+                    self._enqueue(next_lit, None)
+        finally:
+            # Leave the solver at the root level so the caller can add
+            # clauses and re-solve; learnt clauses, activity and phases
+            # survive the cancellation.
+            self._cancel_until(0)
+            stats.runtime = time.perf_counter() - start
         return stats
 
 
 def solve_cnf(cnf: Cnf, conflict_limit: Optional[int] = None,
               time_limit: Optional[float] = None,
-              tick: Optional[Callable[[], None]] = None) -> SatResult:
+              tick: Optional[Callable[[], None]] = None,
+              assumptions: Optional[Sequence[int]] = None) -> SatResult:
     """Convenience wrapper: solve a CNF with a fresh CDCL instance."""
     return CdclSolver(cnf).solve(conflict_limit=conflict_limit,
-                                 time_limit=time_limit, tick=tick)
+                                 time_limit=time_limit, tick=tick,
+                                 assumptions=assumptions)

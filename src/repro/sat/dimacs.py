@@ -22,18 +22,30 @@ def to_dimacs(cnf: Cnf, comments: Sequence[str] = ()) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _parse_header(line: str) -> Tuple[int, int]:
+    parts = line.split()
+    if len(parts) != 4 or parts[1] != "cnf":
+        raise ValueError(f"malformed problem line: {line!r}")
+    try:
+        num_vars, num_clauses = int(parts[2]), int(parts[3])
+    except ValueError:
+        raise ValueError(f"malformed problem line: {line!r}") from None
+    if num_vars < 0 or num_clauses < 0:
+        raise ValueError(f"malformed problem line: {line!r}")
+    return num_vars, num_clauses
+
+
 def from_dimacs(text: str) -> Cnf:
     cnf: Cnf = None  # type: ignore[assignment]
+    declared = 0
     pending: List[int] = []
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("c"):
             continue
         if line.startswith("p"):
-            parts = line.split()
-            if len(parts) != 4 or parts[1] != "cnf":
-                raise ValueError(f"malformed problem line: {line!r}")
-            cnf = Cnf(int(parts[2]))
+            num_vars, declared = _parse_header(line)
+            cnf = Cnf(num_vars)
             continue
         if cnf is None:
             raise ValueError("clause before problem line")
@@ -48,6 +60,9 @@ def from_dimacs(text: str) -> Cnf:
         raise ValueError("missing problem line")
     if pending:
         raise ValueError("unterminated clause")
+    if len(cnf.clauses) != declared:
+        raise ValueError(f"header declares {declared} clauses, "
+                         f"found {len(cnf.clauses)}")
     return cnf
 
 
@@ -68,6 +83,7 @@ def to_qdimacs(prefix: Sequence[Tuple[str, Sequence[int]]], cnf: Cnf,
 
 def from_qdimacs(text: str) -> Tuple[List[Tuple[str, List[int]]], Cnf]:
     cnf: Cnf = None  # type: ignore[assignment]
+    declared = 0
     prefix: List[Tuple[str, List[int]]] = []
     pending: List[int] = []
     for raw in text.splitlines():
@@ -75,8 +91,8 @@ def from_qdimacs(text: str) -> Tuple[List[Tuple[str, List[int]]], Cnf]:
         if not line or line.startswith("c"):
             continue
         if line.startswith("p"):
-            parts = line.split()
-            cnf = Cnf(int(parts[2]))
+            num_vars, declared = _parse_header(line)
+            cnf = Cnf(num_vars)
             continue
         if line[0] in ("e", "a"):
             tokens = line.split()
@@ -98,4 +114,7 @@ def from_qdimacs(text: str) -> Tuple[List[Tuple[str, List[int]]], Cnf]:
         raise ValueError("missing problem line")
     if pending:
         raise ValueError("unterminated clause")
+    if len(cnf.clauses) != declared:
+        raise ValueError(f"header declares {declared} clauses, "
+                         f"found {len(cnf.clauses)}")
     return prefix, cnf

@@ -1,7 +1,9 @@
 """Synthesis engines and the iterative exact-synthesis driver."""
 
 from repro.synth.bdd_engine import BddSynthesisEngine, DepthOutcome
-from repro.synth.driver import ENGINES, default_gate_limit, synthesize
+from repro.synth.driver import (ENGINES, INCREMENTAL_ENGINES,
+                                default_gate_limit, engine_session,
+                                synthesize)
 from repro.synth.qbf_engine import QbfSolverEngine
 from repro.synth.result import DepthStat, SynthesisResult
 from repro.synth.sat_engine import SatBaselineEngine
@@ -29,6 +31,7 @@ __all__ = [
     "DepthStat",
     "ENGINES",
     "ExprAlgebra",
+    "INCREMENTAL_ENGINES",
     "QbfSolverEngine",
     "SatBaselineEngine",
     "SwordEngine",
@@ -36,6 +39,7 @@ __all__ = [
     "absorb_nots",
     "cancel_pairs",
     "default_gate_limit",
+    "engine_session",
     "fuse_peres",
     "lower_bound",
     "mmd_gate_count_upper_bound",

@@ -15,6 +15,7 @@ first satisfiable depth is the minimal gate count.  Engines:
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Dict, Optional, Sequence, Tuple, Type, Union
 
 import repro.obs as obs
@@ -27,8 +28,9 @@ from repro.synth.result import DepthStat, SynthesisResult
 from repro.synth.sat_engine import SatBaselineEngine
 from repro.synth.sword_engine import SwordEngine
 
-__all__ = ["ENGINES", "MIN_DEPTH_BUDGET", "STATELESS_ENGINES",
-           "default_gate_limit", "plan_depth_range", "synthesize"]
+__all__ = ["ENGINES", "INCREMENTAL_ENGINES", "MIN_DEPTH_BUDGET",
+           "STATELESS_ENGINES", "default_gate_limit", "engine_session",
+           "plan_depth_range", "synthesize"]
 
 ENGINES: Dict[str, Type] = {
     "bdd": BddSynthesisEngine,
@@ -43,10 +45,49 @@ ENGINES: Dict[str, Type] = {
 #: incrementally and each depth extends the previous one's BDD state.
 STATELESS_ENGINES = frozenset({"qbf", "sat", "sword"})
 
+#: Engines able to reuse solver/cascade state across the depth loop: the
+#: BDD engine's cascade is incremental by construction, and the SAT/QBF
+#: engines keep a warm assumption-based CDCL solver inside a driver
+#: session.  All accept an ``incremental=False`` engine option (the
+#: CLI's ``--no-incremental``) forcing per-depth scratch evaluation.
+INCREMENTAL_ENGINES = frozenset({"bdd", "sat", "qbf"})
+
 #: Smallest per-depth time budget worth starting an engine call for: the
 #: engines spend more than this constructing their encoding, so a tinier
 #: remaining slice is reported as a timeout instead of being burned.
 MIN_DEPTH_BUDGET = 1e-3
+
+
+@contextmanager
+def engine_session(instance):
+    """Engine session protocol around one iterative-deepening run.
+
+    Engines that reuse solver state across depths expose
+    ``begin_session()`` / ``end_session()``; the driver (and the
+    speculative pipeline's depth servers) bracket their depth loops with
+    this context manager so a warm solver lives exactly as long as one
+    run.  ``begin_session()`` returns whether an incremental session
+    actually opened — the yielded value, recorded as
+    ``SynthesisResult.incremental``.
+
+    Engines without the protocol get a compatibility shim: nothing is
+    called, and the yielded value falls back to the engine's
+    ``incremental`` attribute (the BDD engine's cascade is inherently
+    incremental; stateless engines like ``sword`` report False).  A bare
+    ``engine.decide()`` call outside any session always evaluates from
+    scratch, which keeps one-off depth queries side-effect free.
+    """
+    begin = getattr(instance, "begin_session", None)
+    if begin is None:
+        yield bool(getattr(instance, "incremental", False))
+        return
+    active = bool(begin())
+    try:
+        yield active
+    finally:
+        end = getattr(instance, "end_session", None)
+        if end is not None:
+            end()
 
 
 def default_gate_limit(n_lines: int) -> int:
@@ -142,6 +183,15 @@ def synthesize(spec: Specification,
     already-constructed engine instance raises :class:`ValueError`
     instead of being silently ignored.
 
+    The depth loop runs inside an engine session
+    (:func:`engine_session`): the SAT and QBF engines keep one warm
+    assumption-based CDCL solver across all depths (pass
+    ``incremental=False`` as an engine option — the CLI's
+    ``--no-incremental`` — to force per-depth scratch solving), the BDD
+    engine's cascade is incremental by construction, and ``sword``
+    re-searches per depth.  ``result.incremental`` records which mode
+    actually ran.
+
     ``use_bounds=True`` seeds the loop with the admissible lower bound of
     :mod:`repro.synth.bounds` (skipping provably unrealizable shallow
     depths) and, for completely specified functions, caps ``max_gates``
@@ -206,7 +256,10 @@ def synthesize(spec: Specification,
     start = time.perf_counter()
     deadline = None if time_limit is None else start + time_limit
 
-    with obs.span("synthesize", spec=result.spec_name, engine=instance.name):
+    with obs.span("synthesize", spec=result.spec_name,
+                  engine=instance.name), \
+            engine_session(instance) as warm:
+        result.incremental = warm
         for depth in range(start_depth, limit + 1):
             remaining = None
             if deadline is not None:

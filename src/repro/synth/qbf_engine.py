@@ -19,10 +19,24 @@ search-based alternative; without clause/cube learning it blows up
 exponentially per depth and is only practical on tiny instances —
 ablation A2 quantifies the difference.  Either way the paper's finding
 holds: the QBF-solver route is far slower than the BDD engine.
+
+Inside a driver session the expansion solver runs *incrementally*: the
+polynomial matrix is encoded once (monotone in depth, with the depth-
+``d`` spec constraint behind a guard literal), and universal expansion
+is performed as row-cofactoring into one warm CDCL solver — the matrix
+copy for input row ``r`` substitutes the ``X`` literals by ``r``'s bits
+and renames the inner Tseitin auxiliaries through a per-row copy map,
+while the outer gate-select and guard variables stay shared.  A depth
+query then reuses every clause, learnt clause and phase from the
+previous depths instead of re-expanding and cold-solving.  Realizing
+models are canonicalized to the lexicographically smallest gate-code
+sequence in both modes, so warm and scratch runs return identical
+circuits.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 import repro.obs as obs
@@ -31,14 +45,17 @@ from repro.core.cancel import CancelToken, as_token
 from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
-from repro.qbf.expansion import solve_qbf_by_expansion
+from repro.qbf.expansion import ExpansionBudgetExceeded, expand_to_cnf
 from repro.qbf.qcnf import EXISTS, FORALL, QuantifiedCnf
 from repro.qbf.qdpll import QdpllSolver
+from repro.sat.cdcl import CdclSolver
 from repro.sat.cnf import Cnf
 from repro.sat.dimacs import to_qdimacs
 from repro.sat.expr import ExprBuilder, expr_from_bdd
+from repro.sat.incremental import lexmin_model
 from repro.synth.bdd_engine import DepthOutcome
-from repro.synth.universal import ExprAlgebra, universal_gate_stage
+from repro.synth.universal import (ExprAlgebra, canonical_select_order,
+                                   universal_gate_stage)
 
 __all__ = ["QbfSolverEngine"]
 
@@ -51,6 +68,7 @@ class QbfSolverEngine:
     def __init__(self, spec: Specification, library: GateLibrary,
                  solver: str = "expansion",
                  expansion_clause_budget: Optional[int] = None,
+                 incremental: bool = True,
                  cancel_token: Optional[CancelToken] = None):
         if library.n_lines != spec.n_lines:
             raise ValueError("library and specification widths differ")
@@ -61,8 +79,27 @@ class QbfSolverEngine:
         self.library = library
         self.solver = solver
         self.expansion_clause_budget = expansion_clause_budget
+        self.incremental = bool(incremental)
         self.n = spec.n_lines
         self.width = library.select_bits()
+        self._session: Optional[_IncrementalExpansionSession] = None
+
+    # -- engine session protocol -------------------------------------------------
+
+    def begin_session(self) -> bool:
+        """Driver hook: open the warm row-expansion session.
+
+        Only the expansion solver supports incremental deepening; the
+        qdpll backend keeps its per-depth search.  Returns whether an
+        incremental session is now active.
+        """
+        if self.incremental and self.solver == "expansion":
+            self._session = _IncrementalExpansionSession(self)
+        return self._session is not None
+
+    def end_session(self) -> None:
+        """Driver hook: drop the warm solver and its expansion maps."""
+        self._session = None
 
     # -- encoding ---------------------------------------------------------------
 
@@ -121,35 +158,99 @@ class QbfSolverEngine:
 
     def decide(self, depth: int,
                time_limit: Optional[float] = None) -> DepthOutcome:
+        if self._session is not None:
+            return self._session.decide(depth, time_limit)
         with obs.span("qbf.encode", depth=depth):
             formula, select_vars = self.encode(depth)
         detail = {"vars": formula.cnf.num_vars,
-                  "clauses": len(formula.cnf.clauses)}
-        with obs.span("qbf.solve", depth=depth, solver=self.solver):
-            tick = self.cancel_token.raise_if_cancelled
-            if self.solver == "qdpll":
+                  "clauses": len(formula.cnf.clauses),
+                  "incremental": False}
+        tick = self.cancel_token.raise_if_cancelled
+        if self.solver == "qdpll":
+            with obs.span("qbf.solve", depth=depth, solver=self.solver):
                 result = QdpllSolver(formula).solve(time_limit=time_limit,
-                                                    tick=tick)
-            else:
-                result = solve_qbf_by_expansion(
-                    formula, time_limit=time_limit,
-                    max_clauses=self.expansion_clause_budget, tick=tick)
+                                                   tick=tick)
+            metrics = {
+                "qbf.vars": formula.cnf.num_vars,
+                "qbf.clauses": len(formula.cnf.clauses),
+                "qbf.decisions": result.decisions,
+                "qbf.propagations": result.propagations,
+                "qbf.conflicts": result.conflicts,
+                "qbf.expanded_universals": result.expanded_universals,
+                "qbf.expanded_clauses": result.expanded_clauses,
+            }
+            if result.status == "unknown":
+                return DepthOutcome(status="unknown", metrics=metrics,
+                                    detail=dict(detail, timeout=True))
+            if result.is_unsat:
+                return DepthOutcome(status="unsat", detail=detail,
+                                    metrics=metrics)
+            assert result.model is not None
+            return self._realized(result.model, select_vars, detail, metrics)
+        return self._decide_expansion_scratch(formula, select_vars, detail,
+                                              depth, time_limit)
+
+    def _decide_expansion_scratch(self, formula: QuantifiedCnf,
+                                  select_vars: List[List[int]],
+                                  detail: Dict[str, object], depth: int,
+                                  time_limit: Optional[float]
+                                  ) -> DepthOutcome:
+        """Cold expansion path: expand, one CDCL call, canonicalize.
+
+        Inlined (rather than routed through
+        :func:`~repro.qbf.expansion.solve_qbf_by_expansion`) so the
+        realizing model can be lexmin-canonicalized on the live solver —
+        the guarantee that scratch and incremental runs return the same
+        circuit needs both paths to extract the same canonical witness.
+        """
+        tick = self.cancel_token.raise_if_cancelled
+        universals = sum(len(variables)
+                         for quantifier, variables in formula.prefix
+                         if quantifier == FORALL)
         metrics = {
             "qbf.vars": formula.cnf.num_vars,
             "qbf.clauses": len(formula.cnf.clauses),
+            "qbf.expanded_universals": universals,
+        }
+        with obs.span("qbf.expand", depth=depth):
+            try:
+                cnf, _outer = expand_to_cnf(
+                    formula, max_clauses=self.expansion_clause_budget,
+                    tick=tick)
+            except ExpansionBudgetExceeded:
+                return DepthOutcome(status="unknown", metrics=metrics,
+                                    detail=dict(detail,
+                                                budget_exceeded=True))
+        metrics["qbf.expanded_clauses"] = len(cnf.clauses)
+        solver = CdclSolver(cnf)
+        deadline = (None if time_limit is None
+                    else time.perf_counter() + time_limit)
+        with obs.span("qbf.solve", depth=depth, solver=self.solver):
+            result = solver.solve(time_limit=time_limit, tick=tick)
+        metrics.update({
             "qbf.decisions": result.decisions,
             "qbf.propagations": result.propagations,
             "qbf.conflicts": result.conflicts,
-            "qbf.expanded_universals": result.expanded_universals,
-            "qbf.expanded_clauses": result.expanded_clauses,
-        }
+            "sat.incremental.cold_conflicts": result.conflicts,
+        })
         if result.status == "unknown":
             return DepthOutcome(status="unknown", metrics=metrics,
                                 detail=dict(detail, timeout=True))
         if result.is_unsat:
             return DepthOutcome(status="unsat", detail=detail, metrics=metrics)
         assert result.model is not None
-        circuit = self._decode(result.model, select_vars)
+        with obs.span("qbf.canonicalize", depth=depth):
+            model, canon = lexmin_model(
+                solver, canonical_select_order(select_vars), result.model,
+                deadline=deadline, tick=tick)
+        metrics["sat.canonical_solves"] = canon["solves"]
+        metrics["sat.canonical_conflicts"] = canon["conflicts"]
+        return self._realized(model, select_vars, detail, metrics)
+
+    def _realized(self, model: Dict[int, bool],
+                  select_vars: List[List[int]], detail: Dict[str, object],
+                  metrics: Dict[str, float]) -> DepthOutcome:
+        circuit = self._decode(model, select_vars)
         if not self.spec.matches_circuit(circuit):
             raise AssertionError(
                 "QBF engine produced a circuit violating the specification — "
@@ -167,3 +268,186 @@ class QbfSolverEngine:
             if code < self.library.size():
                 gates.append(self.library[code])
         return Circuit(self.n, gates)
+
+
+class _IncrementalExpansionSession:
+    """Warm row-expansion state for one iterative-deepening run.
+
+    Template side: a growing CNF over the symbolic inputs ``X``, the
+    per-stage select variables and the Tseitin auxiliaries — exactly the
+    matrix :meth:`QbfSolverEngine.encode` would build, but monotone in
+    depth and with each depth's spec constraint behind a guard literal.
+
+    Solver side: full universal expansion realized incrementally as row
+    cofactoring.  Every template clause is copied once per input row
+    ``r``: ``X`` literals are substituted by ``r``'s bits (satisfied
+    copies dropped, false literals removed), inner auxiliary variables
+    are renamed through a per-row copy map, and the outer select/guard
+    variables map to one shared solver variable each.  This is the same
+    formula :func:`~repro.qbf.expansion.expand_to_cnf` produces, built
+    clause-by-clause into a live :class:`~repro.sat.cdcl.CdclSolver`
+    instead of re-expanded from scratch per depth, so the inner SAT
+    calls keep their learnt clauses, activity and phases across the
+    whole Figure-1 loop.
+    """
+
+    def __init__(self, engine: QbfSolverEngine):
+        self.engine = engine
+        self.cnf = Cnf()
+        self.builder = ExprBuilder(self.cnf)
+        self.algebra = ExprAlgebra(self.builder)
+        self.solver = CdclSolver()
+        self._synced = 0  # clause cursor into the template CNF
+        n = engine.n
+        builder = self.builder
+        self.x_vars = [self.cnf.new_var() for _ in range(n)]
+        self.x_index = {var: l for l, var in enumerate(self.x_vars)}
+        #: outer (select/guard) template var -> shared solver var
+        self.outer_map: Dict[int, int] = {}
+        #: per input row: inner template var -> that row's solver copy
+        self.row_maps: List[Dict[int, int]] = [{} for _ in range(1 << n)]
+        self.select_blocks_t: List[List[int]] = []
+        self.select_blocks_s: List[List[int]] = []
+        self.guards: Dict[int, int] = {}
+        # Symbolic line snapshots per depth (snapshot 0: the raw inputs).
+        self.snapshots: List[list] = [[builder.var(v) for v in self.x_vars]]
+        # Specification expressions over X, via its per-output BDDs —
+        # computed once, shared by every depth's guard.
+        spec_manager = BddManager(n, var_names=[f"x{l}" for l in range(n)])
+        bdd_x = list(range(n))
+        var_to_expr = {l: builder.var(self.x_vars[l]) for l in range(n)}
+        self.on_exprs = []
+        self.dc_exprs = []
+        for l in range(n):
+            engine.cancel_token.raise_if_cancelled()
+            on_bdd = spec_manager.from_minterms(bdd_x, engine.spec.on_set(l))
+            dc_bdd = spec_manager.from_minterms(bdd_x, engine.spec.dc_set(l))
+            self.on_exprs.append(
+                expr_from_bdd(spec_manager, on_bdd, var_to_expr, builder))
+            self.dc_exprs.append(
+                expr_from_bdd(spec_manager, dc_bdd, var_to_expr, builder))
+
+    # -- encoding growth ---------------------------------------------------------
+
+    def _outer_var(self, template_var: int) -> int:
+        solver_var = self.outer_map.get(template_var)
+        if solver_var is None:
+            solver_var = self.solver.new_var()
+            self.outer_map[template_var] = solver_var
+        return solver_var
+
+    def _extend_to(self, depth: int) -> None:
+        engine = self.engine
+        while len(self.select_blocks_t) < depth:
+            engine.cancel_token.raise_if_cancelled()
+            block = [self.cnf.new_var() for _ in range(engine.width)]
+            self.select_blocks_t.append(block)
+            self.select_blocks_s.append([self._outer_var(v) for v in block])
+            select_exprs = [self.builder.var(v) for v in block]
+            self.snapshots.append(universal_gate_stage(
+                self.snapshots[-1], select_exprs, engine.library,
+                self.algebra))
+
+    def _guard(self, depth: int) -> int:
+        guard = self.guards.get(depth)
+        if guard is not None:
+            return guard
+        builder = self.builder
+        guard = self.cnf.new_var()
+        self._outer_var(guard)
+        lines = self.snapshots[depth]
+        terms = [builder.or_([self.dc_exprs[l],
+                              builder.xnor(lines[l], self.on_exprs[l])])
+                 for l in range(self.engine.n)]
+        self.cnf.add_clause((-guard, builder.tseitin(builder.and_(terms))))
+        self.guards[depth] = guard
+        return guard
+
+    def _sync(self) -> int:
+        """Row-cofactor the newly-encoded template clauses into the solver."""
+        added = 0
+        clauses = self.cnf.clauses
+        while self._synced < len(clauses):
+            clause = clauses[self._synced]
+            self._synced += 1
+            for row, row_map in enumerate(self.row_maps):
+                copy: List[int] = []
+                satisfied = False
+                for lit in clause:
+                    var = abs(lit)
+                    line = self.x_index.get(var)
+                    if line is not None:
+                        bit = bool((row >> line) & 1)
+                        if (lit > 0) == bit:
+                            satisfied = True
+                            break
+                        continue  # false under this row: literal drops
+                    solver_var = self.outer_map.get(var)
+                    if solver_var is None:
+                        solver_var = row_map.get(var)
+                        if solver_var is None:
+                            solver_var = self.solver.new_var()
+                            row_map[var] = solver_var
+                    copy.append(solver_var if lit > 0 else -solver_var)
+                if satisfied:
+                    continue
+                self.solver.add_clause(copy)
+                added += 1
+        return added
+
+    # -- depth decision ----------------------------------------------------------
+
+    def decide(self, depth: int,
+               time_limit: Optional[float] = None) -> DepthOutcome:
+        engine = self.engine
+        tick = engine.cancel_token.raise_if_cancelled
+        reused = self.solver.num_clauses + self.solver.num_learnts
+        with obs.span("qbf.encode", depth=depth, incremental=True):
+            self._extend_to(depth)
+            guard = self._guard(depth)
+        with obs.span("qbf.expand", depth=depth, incremental=True):
+            added = self._sync()
+        detail = {"vars": self.cnf.num_vars,
+                  "clauses": len(self.cnf.clauses),
+                  "incremental": True}
+        metrics = {
+            "qbf.vars": self.cnf.num_vars,
+            "qbf.clauses": len(self.cnf.clauses),
+            "qbf.expanded_universals": engine.n,
+            "qbf.expanded_clauses": self.solver.num_clauses,
+            "sat.incremental.clauses_reused": reused,
+            "sat.incremental.clauses_added": added,
+            "sat.incremental.assumptions": 1,
+        }
+        budget = engine.expansion_clause_budget
+        if budget is not None and self.solver.num_clauses > budget:
+            return DepthOutcome(status="unknown", metrics=metrics,
+                                detail=dict(detail, budget_exceeded=True))
+        deadline = (None if time_limit is None
+                    else time.perf_counter() + time_limit)
+        guard_lit = self.outer_map[guard]
+        with obs.span("qbf.solve", depth=depth, solver="expansion",
+                      incremental=True):
+            result = self.solver.solve(time_limit=time_limit, tick=tick,
+                                       assumptions=[guard_lit])
+        metrics.update({
+            "qbf.decisions": result.decisions,
+            "qbf.propagations": result.propagations,
+            "qbf.conflicts": result.conflicts,
+            "sat.incremental.warm_conflicts": result.conflicts,
+        })
+        if result.status == "unknown":
+            return DepthOutcome(status="unknown", metrics=metrics,
+                                detail=dict(detail, timeout=True))
+        if result.is_unsat:
+            return DepthOutcome(status="unsat", detail=detail, metrics=metrics)
+        assert result.model is not None
+        select_vars = self.select_blocks_s[:depth]
+        with obs.span("qbf.canonicalize", depth=depth):
+            model, canon = lexmin_model(
+                self.solver, canonical_select_order(select_vars),
+                result.model, assumptions=[guard_lit], deadline=deadline,
+                tick=tick)
+        metrics["sat.canonical_solves"] = canon["solves"]
+        metrics["sat.canonical_conflicts"] = canon["conflicts"]
+        return engine._realized(model, select_vars, detail, metrics)

@@ -59,6 +59,13 @@ class SynthesisResult:
     model counting), else the number of circuits returned.  ``metrics``
     aggregates the per-depth metrics over the whole run (counters are
     summed, gauges take their peak) plus the driver's own figures.
+
+    ``incremental`` records whether the run reused engine state across
+    the depth loop (warm-solver SAT/QBF sessions, the BDD engine's
+    incremental cascade) as opposed to deciding every depth from
+    scratch.  It changes the computation performed — not merely how it
+    is scheduled — so it is *canonical*, not a volatile record field:
+    serial and parallel runs of the same configuration agree on it.
     """
 
     engine: str
@@ -73,6 +80,7 @@ class SynthesisResult:
     per_depth: List[DepthStat] = field(default_factory=list)
     solutions_truncated: bool = False
     metrics: Dict[str, float] = field(default_factory=dict)
+    incremental: bool = False
 
     @property
     def realized(self) -> bool:
@@ -102,6 +110,7 @@ class SynthesisResult:
             "quantum_cost_min": self.quantum_cost_min,
             "quantum_cost_max": self.quantum_cost_max,
             "runtime": self.runtime,
+            "incremental": self.incremental,
             "per_depth": [step.to_dict() for step in self.per_depth],
             "metrics": dict(self.metrics),
         }

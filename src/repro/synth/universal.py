@@ -56,7 +56,8 @@ from repro.core.gates import Toffoli
 from repro.core.library import GateLibrary
 
 __all__ = ["Algebra", "BoolAlgebra", "BddAlgebra", "ExprAlgebra",
-           "universal_gate_stage", "select_code_bits"]
+           "universal_gate_stage", "select_code_bits",
+           "canonical_select_order", "decode_selection"]
 
 
 class Algebra:
@@ -274,6 +275,24 @@ def _factored_mct_stage(lines: Sequence, select: Sequence,
                                          lines[other]]))
         outputs.append(algebra.xor(lines[l], algebra.conj(factors)))
     return outputs
+
+
+def canonical_select_order(select_blocks: Sequence[Sequence[int]]) -> List[int]:
+    """Flatten per-position select blocks into a lexmin priority order.
+
+    Position-major, most-significant bit first within each block, so
+    minimizing a model lexicographically over the returned list (see
+    :func:`repro.sat.incremental.lexmin_model`) yields the smallest
+    gate-code sequence among all realizing cascades: earlier cascade
+    positions dominate, and within a position the code value itself is
+    minimized.  The same rule covers the one-hot encoding — reversing a
+    one-hot block makes lexmin prefer the lowest selected gate index.
+
+    This ordering is what makes the warm (incremental) and cold
+    (scratch) solver paths return the *same* circuit: the minimum
+    depends only on the formula's model set, not on solver history.
+    """
+    return [var for block in select_blocks for var in reversed(list(block))]
 
 
 def decode_selection(codes: Sequence[int], library: GateLibrary):

@@ -89,6 +89,16 @@ class TestValidator:
         record["per_depth"][0]["decision"] = "maybe"
         assert validate_run_record(record)
 
+    def test_incremental_flag_is_optional_boolean(self):
+        # Optional: pre-existing traces without the key stay valid.
+        record = self.base_record()
+        assert "incremental" not in record
+        assert validate_run_record(record) == []
+        record["incremental"] = True
+        assert validate_run_record(record) == []
+        record["incremental"] = 1
+        assert validate_run_record(record)
+
 
 class TestExportedRecords:
     def test_every_record_is_schema_valid(self, traced_records):
@@ -127,6 +137,16 @@ class TestExportedRecords:
         assert record["metrics"]["sat.clauses"] > 0
         assert record["metrics"]["driver.depths_tried"] == \
             len(record["per_depth"])
+
+    def test_records_carry_the_incremental_flag(self, traced_records):
+        # Both flavours here run warm: the BDD cascade and the SAT
+        # session are incremental by default.
+        for record in traced_records:
+            assert record["incremental"] is True
+        sat = next(r for r in traced_records if r["engine"] == "sat")
+        assert sat["metrics"]["sat.incremental.assumptions"] >= 1
+        for step in sat["per_depth"]:
+            assert step["detail"]["incremental"] is True
 
     def test_library_block_describes_the_run(self, traced_records):
         for record in traced_records:

@@ -40,6 +40,36 @@ def test_dimacs_errors():
         from_dimacs("")
 
 
+def test_dimacs_comments_and_blank_lines_anywhere():
+    text = ("c leading\n"
+            "\n"
+            "p cnf 2 2\n"
+            "c between clauses\n"
+            "1 -2 0\n"
+            "\n"
+            "2 0\n"
+            "c trailing\n")
+    parsed = from_dimacs(text)
+    assert parsed.num_vars == 2
+    assert parsed.clauses == [(1, -2), (2,)]
+
+
+def test_dimacs_header_clause_count_mismatch():
+    with pytest.raises(ValueError, match="declares 3 clauses, found 2"):
+        from_dimacs("p cnf 2 3\n1 0\n2 0\n")
+    with pytest.raises(ValueError, match="declares 1 clauses, found 2"):
+        from_dimacs("p cnf 2 1\n1 0\n2 0\n")
+
+
+def test_dimacs_header_rejects_garbage_counts():
+    with pytest.raises(ValueError):
+        from_dimacs("p cnf two 1\n1 0\n")
+    with pytest.raises(ValueError):
+        from_dimacs("p cnf -1 0\n")
+    with pytest.raises(ValueError):
+        from_dimacs("p cnf 2\n1 0\n")  # missing clause count
+
+
 def test_qdimacs_round_trip():
     cnf = sample_cnf()
     prefix = [("e", [1]), ("a", [2]), ("e", [3])]
@@ -58,3 +88,20 @@ def test_qdimacs_skips_empty_blocks():
     text = to_qdimacs([("e", []), ("a", [1])], Cnf(1))
     assert "e " not in text
     assert "a 1 0" in text
+
+
+def test_qdimacs_header_is_validated_like_dimacs():
+    with pytest.raises(ValueError):
+        from_qdimacs("p dnf 2 1\n1 0\n")  # not a cnf problem line
+    with pytest.raises(ValueError, match="declares 2 clauses, found 1"):
+        from_qdimacs("p cnf 2 2\ne 1 0\n1 0\n")
+
+
+def test_qdimacs_round_trip_with_comments_and_blanks():
+    cnf = sample_cnf()
+    prefix = [("e", [1, 2]), ("a", [3])]
+    text = to_qdimacs(prefix, cnf, comments=["made by a test"])
+    text = text.replace("p cnf", "\np cnf")  # blank line survives parsing
+    parsed_prefix, parsed_cnf = from_qdimacs(text)
+    assert parsed_prefix == prefix
+    assert parsed_cnf.clauses == cnf.clauses

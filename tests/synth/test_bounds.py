@@ -76,6 +76,70 @@ class TestDriverIntegration:
         assert result.realized and result.depth == 1
 
 
+class TestPlanDepthRange:
+    """bounds × plan_depth_range: the range every execution mode shares."""
+
+    def test_default_plan_starts_at_zero_with_formula_limit(self):
+        from repro.synth.driver import default_gate_limit, plan_depth_range
+        swap = Specification.from_permutation((0, 2, 1, 3), name="swap")
+        start, limit = plan_depth_range(swap, GateLibrary.mct(2))
+        assert start == 0
+        assert limit == default_gate_limit(2)
+
+    def test_lower_bound_skips_depths(self):
+        from repro.synth.driver import plan_depth_range
+        swap = Specification.from_permutation((0, 2, 1, 3), name="swap")
+        library = GateLibrary.mct(2)
+        start, _ = plan_depth_range(swap, library, use_bounds=True)
+        assert start == lower_bound(swap, library) == 2
+
+    def test_mmd_cap_tightens_the_limit_for_mct(self):
+        from repro.synth.driver import default_gate_limit, plan_depth_range
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5),
+                                              name="3_17")
+        _, limit = plan_depth_range(spec, GateLibrary.mct(3),
+                                    use_bounds=True)
+        assert limit == upper_bound(spec)
+        assert limit < default_gate_limit(3)
+
+    def test_explicit_max_gates_wins_over_mmd_cap(self):
+        from repro.synth.driver import plan_depth_range
+        spec = Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5))
+        _, limit = plan_depth_range(spec, GateLibrary.mct(3), max_gates=4,
+                                    use_bounds=True)
+        assert limit == 4
+
+    def test_incomplete_spec_falls_back_to_formula_limit(self):
+        from repro.synth.driver import default_gate_limit, plan_depth_range
+        # upper_bound() is None for incompletely specified functions —
+        # the plan must keep the formula limit, not crash or cap at None.
+        spec = Specification(2, [(0, None), (1, None),
+                                 (None, None), (None, None)])
+        start, limit = plan_depth_range(spec, GateLibrary.mct(2),
+                                        use_bounds=True)
+        assert start == lower_bound(spec, GateLibrary.mct(2))
+        assert limit == default_gate_limit(2)
+
+    def test_non_mct_library_keeps_formula_limit(self):
+        from repro.synth.driver import default_gate_limit, plan_depth_range
+        # The MMD cap is a Toffoli-network bound; with a library missing
+        # MCT gates it is not admissible and must not be applied.
+        spec = Specification.from_permutation((0, 2, 1, 3), name="swap")
+        library = GateLibrary.from_kinds(2, ("mcf",))
+        _, limit = plan_depth_range(spec, library, use_bounds=True)
+        assert limit == default_gate_limit(2)
+
+    def test_serial_driver_follows_the_plan(self):
+        from repro.synth.driver import plan_depth_range
+        swap = Specification.from_permutation((0, 2, 1, 3), name="swap")
+        library = GateLibrary.mct(2)
+        start, _ = plan_depth_range(swap, library, use_bounds=True)
+        result = synthesize(swap, library=library, engine="sat",
+                            use_bounds=True)
+        assert result.realized
+        assert [s.depth for s in result.per_depth][0] == start
+
+
 class TestOneHotEncoding:
     def test_onehot_agrees_with_binary(self, rng):
         from repro.synth.sat_engine import SatBaselineEngine

@@ -117,3 +117,71 @@ def test_spec_name_propagates():
     assert result.spec_name == "cnot"
     anonymous = Specification.from_permutation((0, 1))
     assert synthesize(anonymous, engine="bdd").spec_name == "anonymous"
+
+
+# -- engine sessions ----------------------------------------------------------
+
+
+class TestEngineSessions:
+    def test_engine_session_shim_without_protocol(self):
+        from repro.synth.driver import engine_session
+
+        class Stateless:
+            pass
+
+        class Flagged:
+            incremental = True
+
+        with engine_session(Stateless()) as warm:
+            assert warm is False
+        with engine_session(Flagged()) as warm:
+            assert warm is True
+
+    def test_engine_session_calls_protocol_and_closes(self):
+        from repro.synth.driver import engine_session
+
+        class Sessioned:
+            opened = closed = 0
+
+            def begin_session(self):
+                self.opened += 1
+                return True
+
+            def end_session(self):
+                self.closed += 1
+
+        engine = Sessioned()
+        with pytest.raises(RuntimeError):
+            with engine_session(engine) as warm:
+                assert warm is True
+                raise RuntimeError("boom")
+        assert engine.opened == 1
+        assert engine.closed == 1  # closed even on error
+
+    def test_incremental_engines_registry(self):
+        from repro.synth.driver import ENGINES, INCREMENTAL_ENGINES
+        assert INCREMENTAL_ENGINES <= set(ENGINES)
+        assert "sword" not in INCREMENTAL_ENGINES
+
+    @pytest.mark.parametrize("engine", ["sat", "qbf"])
+    def test_result_incremental_flag_tracks_option(self, engine):
+        warm = synthesize(cnot_spec(), engine=engine)
+        cold = synthesize(cnot_spec(), engine=engine, incremental=False)
+        assert warm.incremental is True
+        assert cold.incremental is False
+        assert warm.realized and cold.realized
+        assert warm.depth == cold.depth
+        assert [c.to_string() for c in warm.circuits] \
+            == [c.to_string() for c in cold.circuits]
+        assert [s.decision for s in warm.per_depth] \
+            == [s.decision for s in cold.per_depth]
+
+    def test_sword_runs_are_never_incremental(self):
+        result = synthesize(cnot_spec(), engine="sword")
+        assert result.realized
+        assert result.incremental is False
+
+    def test_bdd_runs_report_incremental_mode(self):
+        assert synthesize(cnot_spec(), engine="bdd").incremental is True
+        cold = synthesize(cnot_spec(), engine="bdd", incremental=False)
+        assert cold.incremental is False and cold.realized

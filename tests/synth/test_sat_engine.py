@@ -71,3 +71,72 @@ class TestDecisions:
         assert outcome.detail["clauses"] > 0
         assert outcome.metrics["sat.conflicts"] >= 0
         assert outcome.metrics["sat.propagations"] > 0
+
+
+class TestIncrementalSession:
+    """Warm-session decisions must equal scratch decisions exactly."""
+
+    def spec(self):
+        return Specification.from_permutation((7, 1, 4, 3, 0, 2, 6, 5),
+                                              name="3_17")
+
+    @pytest.mark.parametrize("select_encoding", ["binary", "onehot"])
+    def test_session_matches_scratch_per_depth(self, select_encoding):
+        library = GateLibrary.mct(3)
+        cold = SatBaselineEngine(self.spec(), library,
+                                 select_encoding=select_encoding,
+                                 incremental=False)
+        warm = SatBaselineEngine(self.spec(), library,
+                                 select_encoding=select_encoding)
+        assert not cold.begin_session()
+        assert warm.begin_session()
+        try:
+            for depth in range(7):
+                a = cold.decide(depth)
+                b = warm.decide(depth)
+                assert a.status == b.status, f"depth {depth}"
+                assert a.detail["incremental"] is False
+                assert b.detail["incremental"] is True
+                if a.status == "sat":
+                    assert [c.to_string() for c in a.circuits] \
+                        == [c.to_string() for c in b.circuits]
+        finally:
+            cold.end_session()
+            warm.end_session()
+
+    def test_session_reuses_clauses_and_learnts(self):
+        engine = SatBaselineEngine(self.spec(), GateLibrary.mct(3))
+        assert engine.begin_session()
+        try:
+            first = engine.decide(2)
+            second = engine.decide(3)
+            assert first.metrics["sat.incremental.clauses_reused"] == 0
+            # Depth 3 starts from depth 2's full clause database.
+            assert second.metrics["sat.incremental.clauses_reused"] \
+                >= first.metrics["sat.incremental.clauses_added"]
+            assert second.metrics["sat.incremental.assumptions"] == 1
+        finally:
+            engine.end_session()
+
+    def test_session_tolerates_depth_gaps(self):
+        # Speculative workers see gapped strictly-increasing windows.
+        library = GateLibrary.mct(3)
+        warm = SatBaselineEngine(self.spec(), library)
+        cold = SatBaselineEngine(self.spec(), library, incremental=False)
+        warm.begin_session()
+        try:
+            for depth in (1, 4, 6):
+                a = warm.decide(depth)
+                b = cold.decide(depth)
+                assert a.status == b.status
+                if a.status == "sat":
+                    assert [c.to_string() for c in a.circuits] \
+                        == [c.to_string() for c in b.circuits]
+        finally:
+            warm.end_session()
+
+    def test_decide_outside_session_is_scratch(self):
+        engine = SatBaselineEngine(cnot_spec(), GateLibrary.mct(2))
+        outcome = engine.decide(1)
+        assert outcome.detail["incremental"] is False
+        assert outcome.status == "sat"
