@@ -1,0 +1,222 @@
+"""Persistent store: warm/cold speedup and bound-ledger resume — identity-pinned.
+
+Two claims are measured, with correctness asserted before any speed
+number is reported (``docs/store.md``):
+
+* **result-store hits** — the Table 1 smoke set is synthesized twice
+  against one fresh store; every second-pass run must be a hit
+  (``store_hit``), return *exactly* the cold answer (status, depth,
+  per-depth decisions, canonical circuits gate for gate), and the warm
+  pass in aggregate must run at least ``MIN_SPEEDUP``× faster;
+* **bound-ledger resume** — a run interrupted by a wall-clock timeout
+  banks its contiguous UNSAT prefix; the follow-up run must resume
+  above the banked bound (never re-proving a refuted depth) and still
+  find the identical circuits as an uncached baseline.
+
+Exports ``BENCH_store.json`` (honoring ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE=0``).
+
+Run:  cd benchmarks && PYTHONPATH=../src python -m pytest bench_store.py -q -s
+ or:  PYTHONPATH=src python benchmarks/bench_store.py
+"""
+
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _tables import print_table
+from repro.functions import get_spec
+from repro.store import SynthesisStore, store_key
+from repro.core.library import GateLibrary
+from repro.synth import synthesize
+
+#: Table 1 smoke set: fast enough for CI, slow enough to measure.
+SMOKE_SET = ("3_17", "mod5d1_s", "mod5d2_s", "mod5mils",
+             "decod24-v0", "decod24-v3")
+
+#: One stateless engine and the BDD engine: hits must replay both a
+#: single-circuit result and an all-minimal-networks result.
+ENGINES = ("bdd", "sat")
+
+#: Acceptance floor for the aggregate warm-over-cold speedup.
+MIN_SPEEDUP = 10.0
+
+#: Benchmark used for the timeout-resume demonstration (the slowest of
+#: the smoke set under the SAT engine, so there is budget to cut).
+RESUME_BENCH = "3_17"
+
+TIME_LIMIT = 120.0
+
+_payload = {}
+
+
+def _json_path():
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, "BENCH_store.json")
+
+
+def _assert_identical(label, warm, cold):
+    """A hit (or resume) must reproduce the uncached answer, exactly."""
+    assert warm.status == cold.status, \
+        f"{label}: warm {warm.status} != cold {cold.status}"
+    assert warm.depth == cold.depth, \
+        f"{label}: warm depth {warm.depth} != cold {cold.depth}"
+    assert warm.num_solutions == cold.num_solutions, \
+        f"{label}: solution counts diverge"
+    assert (warm.quantum_cost_min, warm.quantum_cost_max) \
+        == (cold.quantum_cost_min, cold.quantum_cost_max), \
+        f"{label}: quantum-cost range diverges"
+    assert [c.to_string() for c in warm.circuits] \
+        == [c.to_string() for c in cold.circuits], \
+        f"{label}: canonical circuits diverge"
+
+
+def test_warm_pass_is_all_hits_and_an_order_of_magnitude_faster():
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        cases = {}
+        cold_total = warm_total = 0.0
+        for engine in ENGINES:
+            for name in SMOKE_SET:
+                spec = get_spec(name)
+                start = time.perf_counter()
+                cold = synthesize(spec, kinds=("mct",), engine=engine,
+                                  time_limit=TIME_LIMIT, store=root)
+                cold_s = time.perf_counter() - start
+                start = time.perf_counter()
+                warm = synthesize(spec, kinds=("mct",), engine=engine,
+                                  time_limit=TIME_LIMIT, store=root)
+                warm_s = time.perf_counter() - start
+                label = f"{name}/{engine}"
+                assert not cold.store_hit, f"{label}: cold run hit the store"
+                assert warm.store_hit, f"{label}: warm run missed the store"
+                _assert_identical(label, warm, cold)
+                cold_total += cold_s
+                warm_total += warm_s
+                cases[label] = {
+                    "status": warm.status, "depth": warm.depth,
+                    "cold_s": cold_s, "warm_s": warm_s,
+                    "speedup": cold_s / warm_s if warm_s else float("inf"),
+                }
+        aggregate = cold_total / warm_total if warm_total else float("inf")
+        assert aggregate >= MIN_SPEEDUP, \
+            f"aggregate warm speedup {aggregate:.1f}x below the " \
+            f"{MIN_SPEEDUP:.0f}x floor"
+        stats = SynthesisStore(root).stats()
+        _payload["hits"] = {
+            "benchmarks": list(SMOKE_SET), "engines": list(ENGINES),
+            "cases": cases, "cold_total_s": cold_total,
+            "warm_total_s": warm_total, "aggregate_speedup": aggregate,
+            "store_results": stats["results"],
+            "store_result_bytes": stats["result_bytes"],
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_timeout_interrupted_run_resumes_from_banked_bound():
+    spec = get_spec(RESUME_BENCH)
+    library = GateLibrary.from_kinds(spec.n_lines, ("mct",))
+    baseline = synthesize(spec, kinds=("mct",), engine="sat",
+                          time_limit=TIME_LIMIT)
+    assert baseline.realized
+
+    root = tempfile.mkdtemp(prefix="bench-store-resume-")
+    try:
+        # Shrink the budget until the run is genuinely interrupted: the
+        # halving terminates because some budget is too small to finish
+        # in, and MIN_DEPTH_BUDGET stops the slide at the bottom.
+        budget = baseline.runtime / 2
+        interrupted = None
+        for _ in range(24):
+            store = SynthesisStore(root)
+            store.clear()
+            attempt = synthesize(spec, kinds=("mct",), engine="sat",
+                                 time_limit=budget, store=root)
+            if attempt.status == "timeout":
+                interrupted = attempt
+                break
+            budget /= 2
+        assert interrupted is not None, \
+            "could not interrupt the run — benchmark too fast to cut"
+        unsat_prefix = sum(1 for s in interrupted.per_depth
+                           if s.decision == "unsat")
+        key = store_key(spec, library, "sat")
+        banked = SynthesisStore(root).proven_bound(key)
+        assert banked == unsat_prefix - 1 if unsat_prefix else banked is None
+
+        resumed = synthesize(spec, kinds=("mct",), engine="sat",
+                             time_limit=TIME_LIMIT, store=root)
+        assert resumed.realized
+        if banked is not None:
+            assert resumed.store_resumed_from == banked
+            assert resumed.per_depth[0].depth == banked + 1, \
+                "resume re-proved a depth the ledger already held"
+        _assert_identical("resume", resumed, baseline)
+        _payload["resume"] = {
+            "benchmark": RESUME_BENCH,
+            "baseline_s": baseline.runtime,
+            "interrupt_budget_s": budget,
+            "banked_bound": banked,
+            "resumed_from": resumed.store_resumed_from,
+            "resumed_first_depth": (resumed.per_depth[0].depth
+                                    if resumed.per_depth else None),
+            "resumed_s": resumed.runtime,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _export():
+    if not _payload:
+        return
+    _payload.update({
+        "bench": "store",
+        "min_speedup": MIN_SPEEDUP,
+        "time_limit_s": TIME_LIMIT,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    })
+    path = _json_path()
+    if path:
+        with open(path, "w") as handle:
+            json.dump(_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    hits = _payload.get("hits")
+    if hits:
+        rows = [
+            f"{label:18s} {case['cold_s']:8.3f}s {case['warm_s']:8.4f}s "
+            f"{case['speedup']:8.1f}x"
+            for label, case in hits["cases"].items()]
+        rows.append(f"{'AGGREGATE':18s} {hits['cold_total_s']:8.3f}s "
+                    f"{hits['warm_total_s']:8.4f}s "
+                    f"{hits['aggregate_speedup']:8.1f}x")
+        header = f"{'BENCH/ENGINE':18s} {'COLD':>9s} {'WARM':>9s} {'SPEEDUP':>9s}"
+        print_table("PERSISTENT STORE — identical answers asserted, then speed",
+                    header, rows,
+                    "Warm = served from the content-addressed result store; "
+                    "no engine constructed, same circuits bit for bit.")
+    resume = _payload.get("resume")
+    if resume:
+        print(f"\nresume: {resume['benchmark']} interrupted at "
+              f"{resume['interrupt_budget_s']:.3f}s banked bound "
+              f"{resume['banked_bound']}, follow-up resumed from depth "
+              f"{resume['resumed_first_depth']} and matched the baseline.")
+
+
+def teardown_module(module):
+    _export()
+
+
+if __name__ == "__main__":
+    test_warm_pass_is_all_hits_and_an_order_of_magnitude_faster()
+    test_timeout_interrupted_run_resumes_from_banked_bound()
+    _export()

@@ -22,12 +22,20 @@ Commands
 ``decompose`` map a ``.real`` circuit to elementary NCV quantum gates.
 ``trace-summary``  aggregate a JSONL run-record trace file (see
               ``docs/observability.md``) into a table.
+``cache``     inspect and maintain the persistent synthesis store
+              (``stats``/``ls``/``gc``/``clear`` — see ``docs/store.md``).
+
+``synth`` and ``suite`` accept ``--store DIR`` (default: the
+``REPRO_STORE`` environment variable) to serve repeat configurations
+from the persistent store and bank new results into it; ``--no-store``
+opts a single run out.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -92,6 +100,29 @@ def _print_profile(result) -> None:
         print(tracer.format_tree())
 
 
+def _resolve_store(args) -> Optional[str]:
+    """The store directory a command should use, or None.
+
+    ``--no-store`` wins over everything; an explicit ``--store`` wins
+    over the ``REPRO_STORE`` environment default.
+    """
+    if getattr(args, "no_store", False):
+        return None
+    explicit = getattr(args, "store", None)
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_STORE") or None
+
+
+def _add_store_arguments(parser) -> None:
+    parser.add_argument("--store", metavar="DIR",
+                        help="persistent synthesis store directory "
+                             "(default: $REPRO_STORE when set)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="ignore $REPRO_STORE and run without the "
+                             "persistent store")
+
+
 def _incremental_options(engine: str, no_incremental: bool) -> dict:
     """Engine options implementing ``--no-incremental``.
 
@@ -126,7 +157,13 @@ def _cmd_synth(args) -> int:
     engine_options = _incremental_options(engine, args.no_incremental)
     result = synthesize(spec, kinds=kinds, engine=engine,
                         time_limit=args.time_limit, trace=args.trace,
-                        workers=args.workers, **engine_options)
+                        workers=args.workers, store=_resolve_store(args),
+                        **engine_options)
+    if result.store_hit and not args.json:
+        print("(served from the persistent store)")
+    elif result.store_resumed_from is not None and not args.json:
+        print(f"(resumed iterative deepening after proven bound "
+              f"{result.store_resumed_from})")
     if args.portfolio and not args.json:
         losers = getattr(result, "loser_results", {})
         cancelled = sorted(name for name, loser in losers.items()
@@ -190,6 +227,7 @@ def _cmd_suite(args) -> int:
               f"{report.status} ({report.runtime:.2f}s){retried}")
 
     run = run_suite(tasks, workers=workers, trace=args.trace,
+                    store=_resolve_store(args),
                     on_report=None if args.quiet else progress)
     print(run.summary())
     if args.trace:
@@ -329,6 +367,48 @@ def _cmd_trace_summary(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.store import open_store
+
+    root = args.store or os.environ.get("REPRO_STORE")
+    if not root:
+        print("error: no store directory — pass --store DIR or set "
+              "REPRO_STORE", file=sys.stderr)
+        return 2
+    store = open_store(root)
+    if args.action == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "ls":
+        print(f"{'KEY':16s} {'SPEC':14s} {'ENGINE':7s} {'STATUS':10s} "
+              f"{'D':>3s} {'BYTES':>9s}")
+        count = 0
+        for line in store.entries():
+            depth = line.get("depth")
+            print(f"{line.get('key', '?')[:16]:16s} "
+                  f"{str(line.get('spec', '?')):14s} "
+                  f"{str(line.get('engine', '?')):7s} "
+                  f"{str(line.get('status', '?')):10s} "
+                  f"{depth if depth is not None else '-':>3} "
+                  f"{line.get('bytes', 0):>9d}")
+            count += 1
+        print(f"{count} stored results, "
+              f"{store.stats()['bound_keys']} ledger keys")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            print("error: gc requires --max-bytes", file=sys.stderr)
+            return 2
+        outcome = store.gc(args.max_bytes)
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+        return 0
+    if args.action == "clear":
+        store.clear()
+        print(f"cleared store at {store.root}")
+        return 0
+    raise AssertionError(f"unhandled cache action {args.action!r}")
+
+
 def _cmd_decompose(args) -> int:
     from repro.quantum import decompose_circuit
     with open(args.circuit) as handle:
@@ -385,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable span tracing and print per-depth metrics")
     synth.add_argument("--json", action="store_true",
                        help="print the run record as JSON instead of text")
+    _add_store_arguments(synth)
     synth.set_defaults(func=_cmd_synth)
 
     suite = sub.add_parser(
@@ -410,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append one JSONL run record per task to FILE")
     suite.add_argument("--quiet", action="store_true",
                        help="suppress per-task progress lines")
+    _add_store_arguments(suite)
     suite.set_defaults(func=_cmd_suite)
 
     bench = sub.add_parser("bench", help="list the benchmark suite")
@@ -465,6 +547,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument("--validate", action="store_true",
                                help="exit nonzero if any record is invalid")
     trace_summary.set_defaults(func=_cmd_trace_summary)
+
+    cache = sub.add_parser(
+        "cache", help="inspect/maintain the persistent synthesis store")
+    cache.add_argument("action", choices=("stats", "ls", "gc", "clear"),
+                       help="stats: totals+counters as JSON; ls: list "
+                            "stored results; gc: shrink under --max-bytes; "
+                            "clear: drop everything")
+    cache.add_argument("--store", metavar="DIR",
+                       help="store directory (default: $REPRO_STORE)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="size budget for gc")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

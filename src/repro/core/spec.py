@@ -22,6 +22,7 @@ expose exactly those.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.truth_table import is_permutation
@@ -204,6 +205,32 @@ class Specification:
                 if value is not None and ((out >> line) & 1) != value:
                     return False
         return True
+
+    # -- digests ---------------------------------------------------------------------
+
+    def canonical_bytes(self) -> bytes:
+        """A process-independent serialization of the synthesis target.
+
+        Covers exactly what :meth:`__eq__` compares — ``n_lines`` and the
+        rows, don't-cares included; the ``name`` is a label, not content.
+        Every row entry becomes one ASCII character (``-``/``0``/``1``),
+        so the bytes are stable across processes, platforms and
+        ``PYTHONHASHSEED`` values, unlike the built-in :func:`hash`.
+        """
+        cells = "".join(
+            "-" if value is None else str(value)
+            for row in self.rows for value in row
+        )
+        return f"repro-spec-v1:{self.n_lines}:{cells}".encode("ascii")
+
+    def content_digest(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes`.
+
+        Equal specifications (by :meth:`__eq__`) have equal digests in
+        every process; the persistent store builds its keys on top of
+        this guarantee.
+        """
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
     # -- dunder ----------------------------------------------------------------------
 

@@ -32,11 +32,14 @@ from repro.obs.runrecord import (
     RUN_RECORD_FORMAT,
     RUN_RECORD_SCHEMA,
     VOLATILE_RECORD_FIELDS,
+    append_jsonl_line,
     append_record,
     build_run_record,
     canonical_record,
     iter_records,
+    read_jsonl,
     read_records,
+    read_trace,
     summarize_records,
     validate_run_record,
 )
@@ -59,6 +62,7 @@ __all__ = [
     "Span",
     "Tracer",
     "VOLATILE_RECORD_FIELDS",
+    "append_jsonl_line",
     "append_record",
     "build_run_record",
     "canonical_record",
@@ -67,7 +71,9 @@ __all__ = [
     "iter_records",
     "merge_metrics",
     "publish",
+    "read_jsonl",
     "read_records",
+    "read_trace",
     "set_tracing",
     "span",
     "summarize_records",

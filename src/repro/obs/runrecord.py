@@ -16,13 +16,15 @@ records as a table via :func:`summarize_records`.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["RUN_RECORD_FORMAT", "RUN_RECORD_SCHEMA", "VOLATILE_RECORD_FIELDS",
            "build_run_record", "canonical_record",
-           "append_record", "iter_records", "read_records",
+           "append_record", "append_jsonl_line", "read_jsonl",
+           "iter_records", "read_records", "read_trace",
            "validate_run_record", "summarize_records"]
 
 RUN_RECORD_FORMAT = "repro-run-v1"
@@ -93,6 +95,13 @@ RUN_RECORD_SCHEMA = {
         "retried": {"type": "integer", "minimum": 0},
         "winner_engine": {"type": "string"},
         "speculation_wasted_depths": {"type": "integer", "minimum": 0},
+        # Persistent-store provenance (repro.store), optional and
+        # volatile: whether this record was served from the result
+        # store, and the ledger bound (inclusive) the run resumed its
+        # iterative deepening from.  Both describe cache luck, not the
+        # computation, so canonical records exclude them.
+        "store_hit": {"type": "boolean"},
+        "store_resumed_from": {"type": "integer", "minimum": 0},
         "versions": {
             "type": "object",
             "required": ["repro", "python"],
@@ -214,6 +223,7 @@ VOLATILE_RECORD_FIELDS = frozenset({
     "runtime", "unix_time",
     "workers", "cpu_count", "worker_id", "retried", "winner_engine",
     "speculation_wasted_depths",
+    "store_hit", "store_resumed_from",
 })
 
 
@@ -230,23 +240,73 @@ def canonical_record(record: Dict) -> Dict:
     return out
 
 
+def append_jsonl_line(path: str, payload: Dict) -> None:
+    """Crash-safely append one JSON object as one line (creates the file).
+
+    The whole line goes down in a single ``os.write`` on an
+    ``O_APPEND`` descriptor and is fsynced before the fd closes: a
+    SIGKILLed writer (the suite scheduler's deliberate crash-retry
+    path) either lands the complete line or nothing — never the torn
+    half-line a buffered ``open(path, "a").write`` can leave behind —
+    and concurrent appenders interleave whole lines.
+    """
+    data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def append_record(path: str, record: Dict) -> None:
-    """Append one record as a single JSON line (creates the file)."""
-    with open(path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    """Append one run record as a single atomic JSON line."""
+    append_jsonl_line(path, record)
 
 
-def iter_records(path: str) -> Iterator[Dict]:
-    """Yield records from a JSONL trace file, skipping blank lines."""
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield json.loads(line)
+def read_jsonl(path: str, strict: bool = False) -> Tuple[List[Dict], int]:
+    """Parse a JSONL file tolerantly: (objects, skipped torn lines).
+
+    A line that fails to decode — in practice the truncated trailing
+    line a power loss or a pre-crash-safety writer left behind — is
+    skipped and counted instead of poisoning every intact record in
+    the file.  ``strict=True`` restores the raise-on-anything
+    behaviour for callers that would rather fail loudly.
+    """
+    records: List[Dict] = []
+    torn = 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    for raw in data.split(b"\n"):
+        if not raw.strip():
+            continue
+        try:
+            records.append(json.loads(raw))
+        except json.JSONDecodeError:
+            if strict:
+                raise
+            torn += 1
+    return records, torn
 
 
-def read_records(path: str) -> List[Dict]:
-    return list(iter_records(path))
+def read_trace(path: str) -> Tuple[List[Dict], int]:
+    """Run records from a trace file plus the count of torn lines."""
+    return read_jsonl(path)
+
+
+def iter_records(path: str, strict: bool = False) -> Iterator[Dict]:
+    """Yield records from a JSONL trace file, skipping blank lines.
+
+    Torn (undecodable) lines are skipped unless ``strict`` is set; use
+    :func:`read_trace` when the skip count matters.
+    """
+    records, _torn = read_jsonl(path, strict=strict)
+    return iter(records)
+
+
+def read_records(path: str, strict: bool = False) -> List[Dict]:
+    records, _torn = read_jsonl(path, strict=strict)
+    return records
 
 
 # -- aggregation --------------------------------------------------------------

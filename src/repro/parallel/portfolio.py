@@ -64,6 +64,7 @@ def portfolio_synthesize(spec: Specification,
                          use_bounds: bool = False,
                          trace: Optional[str] = None,
                          workers: int = 0,
+                         store: Optional[object] = None,
                          engine_options: Optional[Dict] = None,
                          grace: float = 5.0):
     """Race ``engines`` on ``spec``; return the first complete result.
@@ -80,6 +81,13 @@ def portfolio_synthesize(spec: Specification,
     and extra attributes ``winner_engine``, ``workers`` and
     ``loser_results`` (engine → result for every racer that reported
     back, including cancelled partials).
+
+    ``store`` (a path or open :class:`repro.store.SynthesisStore`)
+    attaches one shared persistent store to every racer: each does its
+    own content-addressed lookup and commit in-process — engines are
+    distinct keys, so racers never collide — and *cancelled losers
+    still bank their partial UNSAT bounds*, turning lost races into a
+    head start for the next run of those engines.
     """
     engines = list(engines)
     if not engines:
@@ -91,6 +99,9 @@ def portfolio_synthesize(spec: Specification,
     per_engine = {name: engine_options.pop(name) for name in list(engine_options)
                   if name in engines and isinstance(engine_options[name], dict)}
     concurrency = len(engines) if workers < 1 else min(workers, len(engines))
+    store_path = None
+    if store is not None:
+        store_path = getattr(store, "root", None) or str(store)
 
     ctx = mp.get_context("fork")
     cancel_event = ctx.Event()
@@ -103,7 +114,8 @@ def portfolio_synthesize(spec: Specification,
         options.update(per_engine.get(name, {}))
         task = SynthesisTask(spec=spec, engine=name, library=library,
                              engine_options=options, max_gates=max_gates,
-                             time_limit=time_limit, use_bounds=use_bounds)
+                             time_limit=time_limit, use_bounds=use_bounds,
+                             store_path=store_path)
         proc = ctx.Process(target=_race_worker,
                            args=(task, cancel_event, results_queue, racer_id),
                            daemon=True)
@@ -207,9 +219,13 @@ def portfolio_synthesize(spec: Specification,
     final.loser_results = losers
     obs.publish(final.metrics)
     if trace is not None:
-        obs.append_record(trace, obs.build_run_record(
-            final, library,
-            extra={"workers": concurrency,
-                   "cpu_count": os.cpu_count() or 1,
-                   "winner_engine": engines[winner_id]}))
+        extra = {"workers": concurrency,
+                 "cpu_count": os.cpu_count() or 1,
+                 "winner_engine": engines[winner_id]}
+        if final.store_hit:
+            extra["store_hit"] = True
+        if final.store_resumed_from is not None:
+            extra["store_resumed_from"] = final.store_resumed_from
+        obs.append_record(trace, obs.build_run_record(final, library,
+                                                      extra=extra))
     return final

@@ -150,6 +150,7 @@ class _Worker:
 def run_suite(tasks: Sequence[SynthesisTask],
               workers: Optional[int] = None,
               trace: Optional[str] = None,
+              store: Optional[object] = None,
               on_report: Optional[Callable[[TaskReport], None]] = None,
               hard_deadline_grace: float = 10.0,
               drain_grace: float = 5.0) -> SuiteRun:
@@ -162,8 +163,21 @@ def run_suite(tasks: Sequence[SynthesisTask],
     with a ``time_limit`` that overruns it by ``hard_deadline_grace``
     seconds (stuck worker) is terminated and reported as an error —
     retrying a deterministic overrun would just overrun again.
+
+    ``store`` (a path or open :class:`repro.store.SynthesisStore`)
+    attaches one shared persistent store to every task that does not
+    already carry its own ``store_path``: workers look repeat
+    configurations up before synthesizing and commit what they prove —
+    the second run of an unchanged suite is pure cache hits, and a
+    crash-retried task reuses whatever its first attempt banked.
     """
     tasks = list(tasks)
+    if store is not None:
+        from dataclasses import replace as dc_replace
+        store_path = getattr(store, "root", None) or str(store)
+        tasks = [task if task.store_path is not None
+                 else dc_replace(task, store_path=store_path)
+                 for task in tasks]
     pool_size = workers if workers is not None else default_workers()
     pool_size = max(1, min(pool_size, max(1, len(tasks))))
     ctx = mp.get_context("fork")
@@ -180,15 +194,26 @@ def run_suite(tasks: Sequence[SynthesisTask],
     merged_metrics: Dict[str, float] = {}
 
     def finish(index: int, report: TaskReport) -> None:
+        if index in reports:
+            # Duplicate completion for a task that already reported —
+            # e.g. a crash-retried task whose first attempt's message
+            # was consumed after the liveness scan declared it dead.
+            # Keep the first report; a second one must never publish
+            # its metrics again or emit a second trace record.
+            return
         reports[index] = report
         if report.result is not None:
             obs.publish(report.result.metrics)
             obs.merge_metrics(merged_metrics, report.result.metrics)
+            extra = {"workers": pool_size, "cpu_count": cpu_count,
+                     "worker_id": report.worker_id,
+                     "retried": report.retried}
+            if report.result.store_hit:
+                extra["store_hit"] = True
+            if report.result.store_resumed_from is not None:
+                extra["store_resumed_from"] = report.result.store_resumed_from
             report.record = obs.build_run_record(
-                report.result, tasks[index].resolved_library(),
-                extra={"workers": pool_size, "cpu_count": cpu_count,
-                       "worker_id": report.worker_id,
-                       "retried": report.retried})
+                report.result, tasks[index].resolved_library(), extra=extra)
         if on_report is not None:
             on_report(report)
 
@@ -280,9 +305,10 @@ def run_suite(tasks: Sequence[SynthesisTask],
         cancel_event.set()
         while pending:
             index = pending.popleft()
-            reports[index] = TaskReport(label=tasks[index].resolved_label(),
-                                        status="cancelled",
-                                        error="interrupted before start")
+            reports.setdefault(
+                index, TaskReport(label=tasks[index].resolved_label(),
+                                  status="cancelled",
+                                  error="interrupted before start"))
         deadline = time.perf_counter() + drain_grace
         while (any(not w.idle for w in pool)
                and time.perf_counter() < deadline):
@@ -299,9 +325,9 @@ def run_suite(tasks: Sequence[SynthesisTask],
         for worker in pool:
             if not worker.idle:
                 index = worker.task_index
-                reports[index] = TaskReport(
+                reports.setdefault(index, TaskReport(
                     label=tasks[index].resolved_label(), status="cancelled",
-                    error="interrupted mid-run", worker_id=worker.id)
+                    error="interrupted mid-run", worker_id=worker.id))
     finally:
         for worker in pool:
             worker.shutdown()

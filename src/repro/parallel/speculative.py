@@ -83,6 +83,7 @@ def speculative_synthesize(spec: Specification,
                            use_bounds: bool = False,
                            trace: Optional[str] = None,
                            workers: int = 2,
+                           store: Optional[object] = None,
                            engine_options: Optional[Dict] = None,
                            window: Optional[int] = None) -> SynthesisResult:
     """Iterative deepening with depths decided speculatively in parallel.
@@ -107,9 +108,33 @@ def speculative_synthesize(spec: Specification,
     engine_options.pop("cancel_token", None)  # workers get their own
 
     start_depth, limit = plan_depth_range(spec, library, max_gates, use_bounds)
+    start = time.perf_counter()
+
+    # Same store protocol as the serial driver: a stored result skips
+    # the pipeline entirely, a banked bound moves the first dispatched
+    # depth, and the committed trajectory's proofs are banked on exit.
+    store_obj = None
+    key = None
+    store_start_depth = start_depth
+    if store is not None:
+        from repro.store import open_store, store_key
+        from repro.store.payload import (hit_trace_record, store_commit,
+                                         store_lookup)
+        store_obj = open_store(store)
+        key = store_key(spec, library, engine, max_gates=max_gates,
+                        use_bounds=use_bounds, engine_options=engine_options)
+        hit, entry, start_depth = store_lookup(
+            store_obj, key, spec, engine, start_depth)
+        if hit is not None:
+            hit.runtime = time.perf_counter() - start
+            if trace is not None:
+                obs.append_record(trace, hit_trace_record(entry, hit))
+            return hit
+
     result = SynthesisResult(engine=engine, spec_name=spec.name or "anonymous",
                              status="gate_limit")
-    start = time.perf_counter()
+    if start_depth > store_start_depth:
+        result.store_resumed_from = start_depth - 1
     deadline = None if time_limit is None else start + time_limit
 
     ctx = mp.get_context("fork")
@@ -245,10 +270,14 @@ def speculative_synthesize(spec: Specification,
     result.workers = workers
     result.speculation_wasted_depths = wasted
     obs.publish(result.metrics)
+    if store_obj is not None:
+        store_commit(store_obj, key, result, library, start_depth)
     if trace is not None:
-        obs.append_record(trace, obs.build_run_record(
-            result, library,
-            extra={"workers": workers,
-                   "cpu_count": os.cpu_count() or 1,
-                   "speculation_wasted_depths": wasted}))
+        extra = {"workers": workers,
+                 "cpu_count": os.cpu_count() or 1,
+                 "speculation_wasted_depths": wasted}
+        if result.store_resumed_from is not None:
+            extra["store_resumed_from"] = result.store_resumed_from
+        obs.append_record(trace, obs.build_run_record(result, library,
+                                                      extra=extra))
     return result

@@ -46,6 +46,11 @@ class SynthesisTask:
     time_limit: Optional[float] = None
     use_bounds: bool = False
     label: Optional[str] = None
+    #: Root directory of a shared persistent store (:mod:`repro.store`).
+    #: A path, not an open store: tasks cross process boundaries by
+    #: pickling, and each worker opens its own handle onto the shared
+    #: directory (commits are first-writer-wins, so sharing is safe).
+    store_path: Optional[str] = None
     #: Fault injection (tests only): SIGKILL the worker on first run.
     crash_once_file: Optional[str] = None
 
@@ -86,4 +91,5 @@ class SynthesisTask:
                           max_gates=self.max_gates,
                           time_limit=self.time_limit,
                           use_bounds=self.use_bounds,
+                          store=self.store_path,
                           **options)

@@ -1,0 +1,58 @@
+"""repro.store — persistent, content-addressed synthesis results.
+
+The BDD engine's headline property (one solve yields *all* minimal
+networks) makes finished runs worth keeping: this package banks them on
+disk so the suite scheduler, portfolio racers and repeated CLI calls
+serve repeat configurations from cache instead of re-proving them.
+
+Two tables, both keyed by :func:`~repro.store.digest.store_key` — a
+SHA-256 of the specification rows (don't-cares included, name
+excluded), the gate library content, the engine and every
+answer-affecting option:
+
+* the **result store** — minimal depth, every minimal circuit, quantum
+  costs and the full canonical run record; a hit skips synthesis
+  entirely and re-emits the original record byte-for-byte;
+* the **bounds ledger** — the highest depth proven UNSAT per key;
+  timeout-interrupted and cancelled runs bank their partial deepening,
+  and the next run resumes from ``bound + 1`` instead of depth 0.
+
+See ``docs/store.md`` for the on-disk layout, crash-safety guarantees
+and GC policy, and ``python -m repro cache`` for the maintenance CLI.
+"""
+
+from repro.store.digest import (
+    KEY_FORMAT,
+    VOLATILE_OPTIONS,
+    key_payload,
+    library_payload,
+    store_key,
+)
+from repro.store.payload import (
+    entry_from_result,
+    hit_trace_record,
+    result_from_entry,
+    store_commit,
+    store_lookup,
+)
+from repro.store.store import (
+    STORE_ENTRY_FORMAT,
+    SynthesisStore,
+    open_store,
+)
+
+__all__ = [
+    "KEY_FORMAT",
+    "STORE_ENTRY_FORMAT",
+    "SynthesisStore",
+    "VOLATILE_OPTIONS",
+    "entry_from_result",
+    "hit_trace_record",
+    "key_payload",
+    "library_payload",
+    "open_store",
+    "result_from_entry",
+    "store_commit",
+    "store_key",
+    "store_lookup",
+]

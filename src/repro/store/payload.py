@@ -1,0 +1,141 @@
+"""Result <-> store-entry serialization, and the driver-facing hooks.
+
+A store entry holds two things:
+
+* the run's **canonical record** — the schema-valid JSONL run record
+  with every volatile field stripped
+  (:func:`repro.obs.runrecord.canonical_record`), which is exactly what
+  a warm run re-emits to its trace file, byte for byte;
+* the minimal **circuits**, serialized as RevLib ``.real`` text (the
+  round-trip already proven by :mod:`repro.core.realfmt`), so a hit
+  reconstructs a full :class:`~repro.synth.result.SynthesisResult`
+  without touching an engine.
+
+:func:`store_lookup` / :func:`store_commit` are the two integration
+points shared by the serial driver and the speculative depth pipeline;
+they also publish the ``store.*`` metrics.  Store metrics go to the
+process registry only — never into ``result.metrics`` — so a cold run's
+canonical record is identical with and without a store attached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+import repro.obs as obs
+from repro.core.library import GateLibrary
+from repro.core.realfmt import parse_real, write_real
+from repro.core.spec import Specification
+from repro.store.store import SynthesisStore
+from repro.synth.result import DepthStat, SynthesisResult
+
+__all__ = ["entry_from_result", "result_from_entry",
+           "hit_trace_record", "store_lookup", "store_commit"]
+
+
+def entry_from_result(result: SynthesisResult,
+                      library: GateLibrary) -> Dict:
+    """The committable store entry describing a finished run."""
+    record = obs.canonical_record(obs.build_run_record(result, library))
+    return {
+        "record": record,
+        "circuits": [write_real(circuit) for circuit in result.circuits],
+    }
+
+
+def result_from_entry(entry: Dict, spec: Specification) -> SynthesisResult:
+    """Rebuild a :class:`SynthesisResult` from a store entry.
+
+    The spec *name* comes from the requesting spec (names are not part
+    of the address, so the committing run may have used another label);
+    everything else — trajectory, metrics, circuits — is the stored
+    computation.
+    """
+    record = entry["record"]
+    result = SynthesisResult(
+        engine=record["engine"],
+        spec_name=spec.name or "anonymous",
+        status=record["status"],
+        depth=record.get("depth"),
+        circuits=[parse_real(text)[0] for text in entry.get("circuits", ())],
+        num_solutions=record.get("num_solutions"),
+        quantum_cost_min=record.get("quantum_cost_min"),
+        quantum_cost_max=record.get("quantum_cost_max"),
+        solutions_truncated=record.get("solutions_truncated", False),
+        incremental=record.get("incremental", False),
+        metrics=dict(record.get("metrics", {})),
+        store_hit=True,
+    )
+    result.per_depth = [
+        DepthStat(depth=step["depth"], decision=step["decision"],
+                  runtime=step["runtime"], detail=dict(step["detail"]),
+                  metrics=dict(step["metrics"]),
+                  timed_out=step["timed_out"])
+        for step in record.get("per_depth", ())
+    ]
+    return result
+
+
+def hit_trace_record(entry: Dict, result: SynthesisResult) -> Dict:
+    """The trace record a cache hit appends: stored canonical + volatile.
+
+    ``canonical_record()`` of this equals the stored record exactly —
+    the property the ``store-smoke`` CI job pins.
+    """
+    record = dict(entry["record"])
+    record["spec"] = result.spec_name
+    record["runtime"] = result.runtime
+    record["unix_time"] = time.time()
+    record["store_hit"] = True
+    return record
+
+
+def store_lookup(store: SynthesisStore, key: str, spec: Specification,
+                 engine: str, start_depth: int
+                 ) -> Tuple[Optional[SynthesisResult], Dict, int]:
+    """One cache consultation: (hit result or None, entry, start depth).
+
+    On a result-store hit the reconstructed result is returned and
+    synthesis is skipped entirely.  On a miss the proven-bound ledger
+    may still raise the iterative-deepening start depth: the run
+    resumes from ``bound + 1`` instead of re-refuting depths a previous
+    (possibly timed-out) run already proved UNSAT.
+    """
+    with obs.span("cache", spec=spec.name or "anonymous", engine=engine):
+        entry = store.get(key)
+        if entry is not None:
+            obs.publish({"store.hits": 1})
+            return result_from_entry(entry, spec), entry, start_depth
+        obs.publish({"store.misses": 1})
+        bound = store.proven_bound(key)
+        if bound is not None and bound + 1 > start_depth:
+            store.counters["bound_resumes"] += 1
+            obs.publish({"store.bound_resumes": 1})
+            return None, {}, bound + 1
+    return None, {}, start_depth
+
+
+def store_commit(store: SynthesisStore, key: str,
+                 result: SynthesisResult, library: GateLibrary,
+                 start_depth: int) -> None:
+    """Bank what a finished (or interrupted) run proved.
+
+    Every run banks its contiguous UNSAT prefix into the ledger —
+    including timeouts and cancellations, whose partial deepening is
+    the whole point of the ledger.  Depths below ``start_depth`` are
+    already proven (the admissible lower bound or a previous ledger
+    entry is what moved the start), so the prefix extends from there.
+    Definitive runs (``realized`` / ``gate_limit``) additionally commit
+    a result entry; the commit is first-writer-wins under concurrency.
+    """
+    unsat_prefix = 0
+    for step in result.per_depth:
+        if step.decision != "unsat":
+            break
+        unsat_prefix += 1
+    if store.bank_bound(key, start_depth + unsat_prefix - 1):
+        obs.publish({"store.bounds_banked": 1})
+    if result.status in ("realized", "gate_limit"):
+        if store.put(key, entry_from_result(result, library)):
+            obs.publish({"store.commits": 1})

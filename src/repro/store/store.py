@@ -1,0 +1,348 @@
+"""The persistent synthesis store: result objects + proven-bound ledger.
+
+On-disk layout under one root directory (see ``docs/store.md``)::
+
+    <root>/
+      objects/<k0k1>/<key>.json   one finished run per file (content-
+                                  addressed by the store key; the two-
+                                  character fan-out keeps directories small)
+      index.jsonl                 append-only index of committed results
+                                  (one summary line per object; advisory —
+                                  the objects directory is authoritative)
+      bounds.jsonl                append-only proven-bound ledger: the
+                                  highest depth proven UNSAT per key
+      quarantine/                 corrupt object files, moved aside
+                                  instead of crashing the reader
+
+Crash safety:
+
+* result objects are written to a temp file in the same directory,
+  fsynced, then linked into place — a torn write can never be observed
+  under the final name, and :func:`os.link` onto an existing name makes
+  commits **first-writer-wins** (the loser's bytes are discarded;
+  identical keys compute identical answers, so nothing is lost);
+* ledger and index lines go through the same single-``os.write``
+  ``O_APPEND`` appends as JSONL run records
+  (:func:`repro.obs.runrecord.append_jsonl_line`), so concurrent suite
+  workers interleave whole lines, never fragments;
+* readers tolerate torn trailing lines (power loss) by skipping them,
+  and a result object that fails to parse or fails its checksum is
+  moved to ``quarantine/`` and treated as a miss — the store never
+  raises on corrupt state it can route around.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.runrecord import append_jsonl_line, read_jsonl
+
+__all__ = ["STORE_ENTRY_FORMAT", "SynthesisStore", "open_store"]
+
+STORE_ENTRY_FORMAT = "repro-store-entry-v1"
+
+#: Default size of the in-memory LRU front (entries, not bytes).
+DEFAULT_LRU_ENTRIES = 128
+
+
+def open_store(store: Union[str, "SynthesisStore"]) -> "SynthesisStore":
+    """Coerce a path-or-store argument to a :class:`SynthesisStore`."""
+    if isinstance(store, SynthesisStore):
+        return store
+    return SynthesisStore(str(store))
+
+
+class SynthesisStore:
+    """Disk-backed, content-addressed cache of finished synthesis runs.
+
+    One instance wraps one root directory; many processes may share the
+    directory concurrently (suite workers, portfolio racers): object
+    commits are first-writer-wins and ledger appends are atomic lines.
+    Per-instance counters (``hits``/``misses``/...) describe *this
+    process's* traffic; :meth:`stats` combines them with the on-disk
+    totals.
+    """
+
+    def __init__(self, root: str, lru_entries: int = DEFAULT_LRU_ENTRIES):
+        self.root = os.path.abspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+        self.index_path = os.path.join(self.root, "index.jsonl")
+        self.bounds_path = os.path.join(self.root, "bounds.jsonl")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self._lru: "OrderedDict[str, Dict]" = OrderedDict()
+        self._lru_entries = max(0, lru_entries)
+        self._bounds: Optional[Dict[str, int]] = None
+        self.counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "commits": 0, "commit_races": 0,
+            "bounds_banked": 0, "bound_resumes": 0, "quarantined": 0,
+        }
+
+    # -- result store ---------------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The committed entry payload for ``key``, or None on a miss.
+
+        Corrupt entries (unparseable JSON, wrong format tag, key
+        mismatch from a mangled rename) are quarantined and reported as
+        misses — a torn file must never take down a synthesis run.
+        """
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self.counters["hits"] += 1
+            return cached
+        path = self._object_path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = json.loads(handle.read())
+            if (not isinstance(payload, dict)
+                    or payload.get("format") != STORE_ENTRY_FORMAT
+                    or payload.get("key") != key):
+                raise ValueError("malformed store entry")
+        except FileNotFoundError:
+            self.counters["misses"] += 1
+            return None
+        except (ValueError, OSError):
+            self._quarantine(path)
+            self.counters["misses"] += 1
+            return None
+        self._remember(key, payload)
+        self.counters["hits"] += 1
+        return payload
+
+    def put(self, key: str, entry: Dict) -> bool:
+        """Commit an entry under ``key``; returns False for a lost race.
+
+        First-writer-wins: when the final name already exists (another
+        worker finished the same configuration first) the new bytes are
+        dropped.  The write path is temp file + fsync + hard link, so a
+        crash mid-commit leaves at most an orphan temp file, never a
+        half-written object.
+        """
+        entry = dict(entry)
+        entry["format"] = STORE_ENTRY_FORMAT
+        entry["key"] = key
+        path = self._object_path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        data = json.dumps(entry, sort_keys=True).encode("utf-8")
+        fd, tmp_path = tempfile.mkstemp(prefix=".commit-", dir=directory)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            os.link(tmp_path, path)
+        except FileExistsError:
+            self.counters["commit_races"] += 1
+            return False
+        finally:
+            os.unlink(tmp_path)
+        self._remember(key, entry)
+        self.counters["commits"] += 1
+        record = entry.get("record") or {}
+        append_jsonl_line(self.index_path, {
+            "key": key,
+            "spec": record.get("spec", "?"),
+            "engine": record.get("engine", "?"),
+            "status": record.get("status", "?"),
+            "depth": record.get("depth"),
+            "bytes": len(data),
+            "unix_time": time.time(),
+        })
+        return True
+
+    def _remember(self, key: str, payload: Dict) -> None:
+        if self._lru_entries == 0:
+            return
+        self._lru[key] = payload
+        self._lru.move_to_end(key)
+        while len(self._lru) > self._lru_entries:
+            self._lru.popitem(last=False)
+
+    def _quarantine(self, path: str) -> None:
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        target = os.path.join(
+            self.quarantine_dir,
+            f"{int(time.time())}-{os.path.basename(path)}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass  # someone else quarantined it first — equally gone
+        self.counters["quarantined"] += 1
+
+    # -- proven-bound ledger --------------------------------------------------
+
+    def _load_bounds(self) -> Dict[str, int]:
+        if self._bounds is None:
+            bounds: Dict[str, int] = {}
+            if os.path.exists(self.bounds_path):
+                lines, _torn = read_jsonl(self.bounds_path)
+                for line in lines:
+                    key = line.get("key")
+                    depth = line.get("unsat_through")
+                    if isinstance(key, str) and isinstance(depth, int):
+                        if depth > bounds.get(key, -1):
+                            bounds[key] = depth
+            self._bounds = bounds
+        return self._bounds
+
+    def reload_bounds(self) -> None:
+        """Drop the cached ledger view (pick up other processes' banks)."""
+        self._bounds = None
+
+    def proven_bound(self, key: str) -> Optional[int]:
+        """Highest depth proven UNSAT for ``key`` (inclusive), if any."""
+        return self._load_bounds().get(key)
+
+    def bank_bound(self, key: str, unsat_through: int) -> bool:
+        """Record that every depth ``<= unsat_through`` is UNSAT.
+
+        Appends one ledger line when the bound improves on what the
+        ledger already holds; timeout-interrupted and cancelled runs
+        call this so their partial deepening is never recomputed.
+        """
+        if unsat_through < 0:
+            return False
+        bounds = self._load_bounds()
+        if unsat_through <= bounds.get(key, -1):
+            return False
+        append_jsonl_line(self.bounds_path,
+                          {"key": key, "unsat_through": unsat_through,
+                           "unix_time": time.time()})
+        bounds[key] = unsat_through
+        self.counters["bounds_banked"] += 1
+        return True
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _object_files(self) -> List[Tuple[str, str, float, int]]:
+        """(key, path, mtime, bytes) for every committed object."""
+        found = []
+        for fan in sorted(os.listdir(self.objects_dir)):
+            fan_dir = os.path.join(self.objects_dir, fan)
+            if not os.path.isdir(fan_dir):
+                continue
+            for name in sorted(os.listdir(fan_dir)):
+                if not name.endswith(".json") or name.startswith("."):
+                    continue
+                path = os.path.join(fan_dir, name)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                found.append((name[:-5], path, status.st_mtime,
+                              status.st_size))
+        return found
+
+    def entries(self) -> Iterator[Dict]:
+        """Index lines for every *live* object (committed, not GC'd)."""
+        live = {key for key, _, _, _ in self._object_files()}
+        seen = set()
+        if os.path.exists(self.index_path):
+            lines, _torn = read_jsonl(self.index_path)
+            for line in lines:
+                key = line.get("key")
+                if key in live and key not in seen:
+                    seen.add(key)
+                    yield line
+        for key, path, mtime, size in self._object_files():
+            if key not in seen:  # index line lost (crash between writes)
+                yield {"key": key, "bytes": size, "unix_time": mtime}
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk totals plus this process's traffic counters."""
+        files = self._object_files()
+        quarantined = 0
+        if os.path.isdir(self.quarantine_dir):
+            quarantined = len(os.listdir(self.quarantine_dir))
+        return {
+            "root": self.root,
+            "results": len(files),
+            "result_bytes": sum(size for _, _, _, size in files),
+            "bound_keys": len(self._load_bounds()),
+            "quarantined_files": quarantined,
+            "lru_entries": len(self._lru),
+            "session": dict(self.counters),
+        }
+
+    def gc(self, max_bytes: int) -> Dict[str, int]:
+        """Shrink the result store under ``max_bytes`` (oldest first).
+
+        Also compacts the append-only index and ledger: the index is
+        rewritten to the surviving objects and the ledger to one line
+        per key.  Proven bounds are *kept* for evicted results — they
+        are tiny and make a re-run of an evicted entry resume instead
+        of restart.
+        """
+        files = sorted(self._object_files(), key=lambda item: item[2])
+        total = sum(size for _, _, _, size in files)
+        removed = 0
+        removed_bytes = 0
+        for key, path, _mtime, size in files:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self._lru.pop(key, None)
+            total -= size
+            removed += 1
+            removed_bytes += size
+        self._rewrite_index()
+        self._compact_bounds()
+        return {"removed": removed, "removed_bytes": removed_bytes,
+                "kept": len(files) - removed, "kept_bytes": total}
+
+    def clear(self) -> None:
+        """Drop every result, bound, index line and quarantined file."""
+        for _key, path, _mtime, _size in self._object_files():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        for path in (self.index_path, self.bounds_path):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        if os.path.isdir(self.quarantine_dir):
+            for name in os.listdir(self.quarantine_dir):
+                try:
+                    os.unlink(os.path.join(self.quarantine_dir, name))
+                except OSError:
+                    pass
+        self._lru.clear()
+        self._bounds = {}
+
+    def _replace_jsonl(self, path: str, lines: List[Dict]) -> None:
+        fd, tmp_path = tempfile.mkstemp(prefix=".rewrite-", dir=self.root)
+        try:
+            payload = "".join(json.dumps(line, sort_keys=True) + "\n"
+                              for line in lines)
+            os.write(fd, payload.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp_path, path)
+
+    def _rewrite_index(self) -> None:
+        self._replace_jsonl(self.index_path, list(self.entries()))
+
+    def _compact_bounds(self) -> None:
+        bounds = self._load_bounds()
+        self._replace_jsonl(
+            self.bounds_path,
+            [{"key": key, "unsat_through": depth}
+             for key, depth in sorted(bounds.items())])

@@ -171,6 +171,7 @@ def synthesize(spec: Specification,
                use_bounds: bool = False,
                trace: Optional[str] = None,
                workers: int = 1,
+               store: Optional[Union[str, object]] = None,
                **engine_options) -> SynthesisResult:
     """Exact synthesis: minimal number of library gates realizing ``spec``.
 
@@ -206,6 +207,18 @@ def synthesize(spec: Specification,
     cheap they are never turned off; only span *timing* needs an
     explicit ``obs.set_tracing(True)``.
 
+    ``store`` names a persistent store directory (or passes an opened
+    :class:`repro.store.SynthesisStore`).  The run is addressed by a
+    content digest of the spec, library, engine and answer-affecting
+    options (:func:`repro.store.store_key`): a stored result is
+    returned without touching an engine (``result.store_hit``), a
+    banked UNSAT bound makes the depth loop resume from ``bound + 1``
+    (``result.store_resumed_from``), and on the way out the run's own
+    proofs are committed for the next caller — including partial
+    deepening from timeouts and cancellations.  Requires ``engine`` to
+    be an engine *name*; an instance carries state the digest cannot
+    faithfully address, so combining the two raises :class:`ValueError`.
+
     **Parallel execution** (:mod:`repro.parallel`):
 
     * ``engine="portfolio"`` races every registered engine on the spec
@@ -229,16 +242,40 @@ def synthesize(spec: Specification,
             spec, resolved, max_gates=max_gates, time_limit=time_limit,
             use_bounds=use_bounds, trace=trace,
             workers=0 if workers <= 1 else workers,
-            engine_options=engine_options)
+            store=store, engine_options=engine_options)
     if workers > 1 and isinstance(engine, str) and engine in STATELESS_ENGINES:
         from repro.parallel.speculative import speculative_synthesize
         resolved = _resolve_library(spec, library, kinds, engine)
         return speculative_synthesize(
             spec, resolved, engine, max_gates=max_gates,
             time_limit=time_limit, use_bounds=use_bounds, trace=trace,
-            workers=workers, engine_options=engine_options)
+            workers=workers, store=store, engine_options=engine_options)
 
     library = _resolve_library(spec, library, kinds, engine)
+    start_depth, limit = plan_depth_range(spec, library, max_gates, use_bounds)
+
+    store_obj = None
+    key = None
+    store_start_depth = start_depth
+    start = time.perf_counter()
+    if store is not None:
+        from repro.store import open_store, store_key
+        from repro.store.payload import (hit_trace_record, store_commit,
+                                         store_lookup)
+        store_obj = open_store(store)
+        key = store_key(spec, library, engine, max_gates=max_gates,
+                        use_bounds=use_bounds, engine_options=engine_options)
+        hit, entry, start_depth = store_lookup(
+            store_obj, key, spec, engine, start_depth)
+        if hit is not None:
+            # Served entirely from the result store: no engine is ever
+            # constructed.  The trace re-emits the stored canonical
+            # record (plus fresh volatile fields) byte for byte.
+            hit.runtime = time.perf_counter() - start
+            if trace is not None:
+                obs.append_record(trace, hit_trace_record(entry, hit))
+            return hit
+
     if isinstance(engine, str):
         try:
             engine_cls = ENGINES[engine]
@@ -248,12 +285,12 @@ def synthesize(spec: Specification,
         instance = engine_cls(spec, library, **engine_options)
     else:
         instance = engine
-    start_depth, limit = plan_depth_range(spec, library, max_gates, use_bounds)
 
     result = SynthesisResult(engine=instance.name,
                              spec_name=spec.name or "anonymous",
                              status="gate_limit")
-    start = time.perf_counter()
+    if start_depth > store_start_depth:
+        result.store_resumed_from = start_depth - 1
     deadline = None if time_limit is None else start + time_limit
 
     with obs.span("synthesize", spec=result.spec_name,
@@ -302,9 +339,18 @@ def synthesize(spec: Specification,
     result.runtime = time.perf_counter() - start
     _aggregate_metrics(result)
     obs.publish(result.metrics)
+    if store_obj is not None:
+        # Bank what this run proved — a definitive answer for the result
+        # store, and the contiguous UNSAT prefix for the ledger even on
+        # timeout/cancellation.
+        store_commit(store_obj, key, result, library, start_depth)
     if trace is not None:
         library_obj = getattr(instance, "library", library)
-        obs.append_record(trace, obs.build_run_record(result, library_obj))
+        extra = ({"store_resumed_from": result.store_resumed_from}
+                 if result.store_resumed_from is not None else None)
+        obs.append_record(trace,
+                          obs.build_run_record(result, library_obj,
+                                               extra=extra))
     return result
 
 

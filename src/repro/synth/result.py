@@ -66,6 +66,13 @@ class SynthesisResult:
     scratch.  It changes the computation performed — not merely how it
     is scheduled — so it is *canonical*, not a volatile record field:
     serial and parallel runs of the same configuration agree on it.
+
+    ``store_hit`` / ``store_resumed_from`` carry persistent-store
+    provenance (:mod:`repro.store`): whether the result was served from
+    the result store, and the ledger depth the deepening resumed after.
+    Both describe cache luck, not the computation, so they are excluded
+    from :meth:`to_dict` — the trace layer records them as volatile
+    extras instead.
     """
 
     engine: str
@@ -81,6 +88,8 @@ class SynthesisResult:
     solutions_truncated: bool = False
     metrics: Dict[str, float] = field(default_factory=dict)
     incremental: bool = False
+    store_hit: bool = False
+    store_resumed_from: Optional[int] = None
 
     @property
     def realized(self) -> bool:

@@ -1,0 +1,96 @@
+"""Crash-safe JSONL appends and torn-line-tolerant readers."""
+
+import json
+import multiprocessing as mp
+import os
+import signal
+
+import pytest
+
+import repro.obs as obs
+
+
+def test_append_is_one_line_per_call(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    obs.append_jsonl_line(path, {"a": 1})
+    obs.append_jsonl_line(path, {"b": 2})
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    assert [json.loads(line) for line in lines] == [{"a": 1}, {"b": 2}]
+
+
+def test_readers_skip_and_count_torn_trailing_line(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    obs.append_jsonl_line(path, {"a": 1})
+    obs.append_jsonl_line(path, {"b": 2})
+    with open(path, "a") as handle:
+        handle.write('{"c": ')  # the half-line a buffered writer tears
+    records, torn = obs.read_jsonl(path)
+    assert records == [{"a": 1}, {"b": 2}]
+    assert torn == 1
+    assert obs.read_records(path) == [{"a": 1}, {"b": 2}]
+    assert list(obs.iter_records(path)) == [{"a": 1}, {"b": 2}]
+    records, torn = obs.read_trace(path)
+    assert len(records) == 2 and torn == 1
+
+
+def test_strict_mode_still_raises(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"a": 1}\n{"broken": ')
+    with pytest.raises(json.JSONDecodeError):
+        obs.read_jsonl(path, strict=True)
+    with pytest.raises(json.JSONDecodeError):
+        obs.read_records(path, strict=True)
+
+
+def test_blank_lines_are_not_torn_lines(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"a": 1}\n\n\n{"b": 2}\n')
+    records, torn = obs.read_jsonl(path)
+    assert records == [{"a": 1}, {"b": 2}]
+    assert torn == 0
+
+
+def _killed_writer(path, payload):
+    # Append one full record, then die without any chance to flush
+    # buffers: a durable single-syscall append must already be on disk.
+    obs.append_jsonl_line(path, payload)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def test_sigkilled_appender_leaves_a_complete_line(tmp_path):
+    """Regression: the old ``open(path, "a").write`` could be SIGKILLed
+    with half a record in userspace buffers, leaving a torn line that
+    poisoned every later read of the file."""
+    path = str(tmp_path / "t.jsonl")
+    payload = {"record": "x" * 4096}  # larger than a stdio buffer slice
+    ctx = mp.get_context("fork")
+    proc = ctx.Process(target=_killed_writer, args=(path, payload))
+    proc.start()
+    proc.join()
+    assert proc.exitcode == -signal.SIGKILL
+    records, torn = obs.read_jsonl(path)
+    assert torn == 0
+    assert records == [payload]
+
+
+def test_concurrent_appends_interleave_whole_lines(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    ctx = mp.get_context("fork")
+
+    def blast(tag):
+        for i in range(50):
+            obs.append_jsonl_line(path, {"tag": tag, "i": i})
+
+    procs = [ctx.Process(target=blast, args=(t,)) for t in range(4)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+    records, torn = obs.read_jsonl(path)
+    assert torn == 0
+    assert len(records) == 200
+    for tag in range(4):
+        assert [r["i"] for r in records if r["tag"] == tag] == list(range(50))

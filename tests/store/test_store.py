@@ -1,0 +1,183 @@
+"""SynthesisStore mechanics: commits, races, quarantine, ledger, GC."""
+
+import json
+import os
+
+import repro.obs as obs
+from repro.store import STORE_ENTRY_FORMAT, SynthesisStore, open_store
+
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+def _entry(depth=3):
+    return {"record": {"spec": "t", "engine": "bdd", "status": "realized",
+                       "depth": depth},
+            "circuits": []}
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    assert store.get(KEY_A) is None
+    assert store.put(KEY_A, _entry())
+    got = store.get(KEY_A)
+    assert got["record"]["depth"] == 3
+    assert got["format"] == STORE_ENTRY_FORMAT
+    assert got["key"] == KEY_A
+    assert store.counters["commits"] == 1
+    assert store.counters["misses"] == 1
+    assert store.counters["hits"] == 1
+
+
+def test_hit_survives_a_fresh_store_instance(tmp_path):
+    root = str(tmp_path / "s")
+    SynthesisStore(root).put(KEY_A, _entry())
+    fresh = SynthesisStore(root)
+    assert fresh.get(KEY_A)["record"]["depth"] == 3
+
+
+def test_commit_is_first_writer_wins(tmp_path):
+    a = SynthesisStore(str(tmp_path / "s"))
+    b = SynthesisStore(str(tmp_path / "s"))
+    assert a.put(KEY_A, _entry(depth=3))
+    assert not b.put(KEY_A, _entry(depth=99))
+    assert b.counters["commit_races"] == 1
+    # The loser's bytes were dropped; every reader sees the first commit.
+    assert SynthesisStore(str(tmp_path / "s")).get(KEY_A)["record"]["depth"] == 3
+
+
+def test_corrupt_entry_is_quarantined_not_fatal(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.put(KEY_A, _entry())
+    store._lru.clear()
+    path = store._object_path(KEY_A)
+    with open(path, "w") as handle:
+        handle.write('{"torn": tru')  # half a write
+    assert store.get(KEY_A) is None
+    assert store.counters["quarantined"] == 1
+    assert not os.path.exists(path)
+    assert len(os.listdir(store.quarantine_dir)) == 1
+    # A later commit of the same key works again.
+    assert store.put(KEY_A, _entry(depth=4))
+    assert store.get(KEY_A)["record"]["depth"] == 4
+
+
+def test_wrong_key_in_file_is_treated_as_corruption(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.put(KEY_A, _entry())
+    store._lru.clear()
+    path = store._object_path(KEY_A)
+    payload = json.load(open(path))
+    payload["key"] = KEY_B  # mangled rename / copied file
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    assert store.get(KEY_A) is None
+    assert store.counters["quarantined"] == 1
+
+
+def test_bounds_ledger_monotone_and_persistent(tmp_path):
+    root = str(tmp_path / "s")
+    store = SynthesisStore(root)
+    assert store.proven_bound(KEY_A) is None
+    assert store.bank_bound(KEY_A, 2)
+    assert not store.bank_bound(KEY_A, 1)   # no regression
+    assert not store.bank_bound(KEY_A, 2)   # no duplicate line
+    assert store.bank_bound(KEY_A, 5)
+    assert not store.bank_bound(KEY_B, -1)  # nothing proven
+    assert store.proven_bound(KEY_A) == 5
+    fresh = SynthesisStore(root)
+    assert fresh.proven_bound(KEY_A) == 5
+    lines, torn = obs.read_jsonl(store.bounds_path)
+    assert torn == 0
+    assert [l["unsat_through"] for l in lines] == [2, 5]
+
+
+def test_reload_bounds_sees_other_writers(tmp_path):
+    root = str(tmp_path / "s")
+    a = SynthesisStore(root)
+    b = SynthesisStore(root)
+    assert a.proven_bound(KEY_A) is None  # caches the (empty) ledger
+    b.bank_bound(KEY_A, 4)
+    a.reload_bounds()
+    assert a.proven_bound(KEY_A) == 4
+
+
+def test_torn_ledger_line_is_skipped(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.bank_bound(KEY_A, 3)
+    with open(store.bounds_path, "a") as handle:
+        handle.write('{"key": "' + KEY_B + '", "unsat_thr')  # power loss
+    fresh = SynthesisStore(store.root)
+    assert fresh.proven_bound(KEY_A) == 3
+    assert fresh.proven_bound(KEY_B) is None
+
+
+def test_gc_evicts_oldest_but_keeps_bounds(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.put(KEY_A, _entry())
+    store.bank_bound(KEY_A, 2)
+    os.utime(store._object_path(KEY_A), (1, 1))  # make it the oldest
+    store.put(KEY_B, _entry(depth=4))
+    store.bank_bound(KEY_B, 3)
+    outcome = store.gc(max_bytes=store.stats()["result_bytes"] - 1)
+    assert outcome["removed"] == 1
+    fresh = SynthesisStore(store.root)
+    assert fresh.get(KEY_A) is None
+    assert fresh.get(KEY_B) is not None
+    # Evicted results keep their proven bounds: re-runs resume, not restart.
+    assert fresh.proven_bound(KEY_A) == 2
+    assert fresh.proven_bound(KEY_B) == 3
+
+
+def test_gc_compacts_index_to_live_objects(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.put(KEY_A, _entry())
+    os.utime(store._object_path(KEY_A), (1, 1))
+    store.put(KEY_B, _entry())
+    store.gc(max_bytes=store.stats()["result_bytes"] - 1)
+    listed = [line["key"] for line in store.entries()]
+    assert listed == [KEY_B]
+
+
+def test_clear_drops_everything(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.put(KEY_A, _entry())
+    store.bank_bound(KEY_A, 2)
+    store.clear()
+    stats = store.stats()
+    assert stats["results"] == 0
+    assert stats["bound_keys"] == 0
+    assert store.get(KEY_A) is None
+
+
+def test_stats_shape(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.put(KEY_A, _entry())
+    stats = store.stats()
+    assert stats["results"] == 1
+    assert stats["result_bytes"] > 0
+    assert stats["session"]["commits"] == 1
+
+
+def test_open_store_coerces_paths_and_passes_stores_through(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    assert open_store(store) is store
+    assert open_store(str(tmp_path / "s")).root == store.root
+
+
+def test_lru_front_serves_without_disk(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"))
+    store.put(KEY_A, _entry())
+    os.unlink(store._object_path(KEY_A))  # disk gone, LRU still warm
+    assert store.get(KEY_A) is not None
+    assert SynthesisStore(store.root).get(KEY_A) is None
+
+
+def test_lru_capacity_is_bounded(tmp_path):
+    store = SynthesisStore(str(tmp_path / "s"), lru_entries=2)
+    for i, key in enumerate((KEY_A, KEY_B, "c" * 64)):
+        store.put(key, _entry(depth=i))
+    assert len(store._lru) == 2
+    assert KEY_A not in store._lru  # oldest evicted from the front
+    assert store.get(KEY_A) is not None  # but disk still serves it
