@@ -30,10 +30,16 @@ depths are reported as "paper (original)".
 from __future__ import annotations
 
 import os
+import subprocess
+import time
 from typing import Dict, Optional
 
 __all__ = ["tier", "engine_timeout", "trace_file", "workers",
+           "history_file", "append_history", "machine_calibration",
            "PAPER_TABLE1", "PAPER_NOTES", "format_time", "print_table"]
+
+#: Schema tag of one benchmarks/history.jsonl line.
+HISTORY_FORMAT = "repro-bench-history-v1"
 
 
 def tier() -> str:
@@ -56,6 +62,76 @@ def trace_file(table: str) -> Optional[str]:
         return None
     directory = os.environ.get("REPRO_TRACE_DIR", ".")
     return os.path.join(directory, f"BENCH_{table}.jsonl")
+
+
+def history_file() -> Optional[str]:
+    """The benchmark-history ledger target (None = disabled).
+
+    Defaults to ``benchmarks/history.jsonl`` next to this module, so
+    every harness run appends to the same ledger regardless of the
+    working directory.  ``REPRO_HISTORY=0`` disables the append,
+    ``REPRO_HISTORY_FILE`` redirects it.
+    """
+    if os.environ.get("REPRO_HISTORY") == "0":
+        return None
+    explicit = os.environ.get("REPRO_HISTORY_FILE")
+    if explicit:
+        return explicit
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "history.jsonl")
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+_calibration: Optional[float] = None
+
+
+def machine_calibration() -> float:
+    """Best-of-N machine-speed calibration, measured once per process.
+
+    Exported as the ``calibration_s`` key of every ``BENCH_*.json``
+    payload so ``repro bench diff`` can normalize wall-clock keys
+    across hosts (see :mod:`repro.obs.benchdiff`).
+    """
+    global _calibration
+    if _calibration is None:
+        from repro.obs.benchdiff import calibrate
+        _calibration = calibrate()
+    return _calibration
+
+
+def append_history(bench: str, payload: Dict) -> Optional[str]:
+    """Append one keyed summary line for a finished bench payload.
+
+    The line carries every numeric leaf of the payload under dotted
+    keys (the exact flattening ``repro bench diff`` compares), plus
+    provenance: bench name, timestamp and — when available — the git
+    commit.  Crash-safe append; returns the path written, or None when
+    history is disabled.
+    """
+    path = history_file()
+    if path is None:
+        return None
+    from repro.obs import append_jsonl_line
+    from repro.obs.benchdiff import flatten_numeric
+    line = {
+        "format": HISTORY_FORMAT,
+        "bench": bench,
+        "unix_time": time.time(),
+        "commit": _git_commit(),
+        "keys": flatten_numeric(payload),
+    }
+    append_jsonl_line(path, line)
+    return path
 
 
 #: Table 1 reference values: name -> (paper D with MCT, paper BDD seconds).

@@ -38,7 +38,7 @@ import time
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from _legacy_bdd import legacy_synthesize
-from _tables import print_table
+from _tables import append_history, machine_calibration, print_table
 from repro.core.library import GateLibrary
 from repro.functions import get_spec
 from repro.synth import synthesize
@@ -135,6 +135,7 @@ def _export():
         # trajectory stays comparable with the parallel benches.
         "workers": 1,
         "cpu_count": os.cpu_count() or 1,
+        "calibration_s": machine_calibration(),
         "cases": _results,
     }
     path = _json_path()
@@ -142,6 +143,7 @@ def _export():
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    append_history("bdd_core", payload)
     header = (f"{'BENCH':10s} {'D':>2s} {'#SOL':>4s} {'QC':>7s} "
               f"{'legacy best':>12s} {'v2 best':>9s} {'speedup':>8s}")
     rows = []

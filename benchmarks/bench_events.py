@@ -1,0 +1,137 @@
+"""Event-stream overhead — live progress must cost (almost) nothing.
+
+Two claims pinned here, both on the flagship 3_17 benchmark:
+
+* **identity** — a run with a subscriber attached produces a canonical
+  run record byte-identical to a run without one: events observe the
+  computation, they never steer it;
+* **overhead** — with a counting subscriber attached, the best-of-REPS
+  wall-clock stays within ``MAX_OVERHEAD`` (5%) of the events-off
+  best.  Emission without subscribers is an early-out before the event
+  dict is even built, so the events-off path is the engine's natural
+  speed.
+
+Exports ``BENCH_events.json`` (honoring ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE=0``) with a ``calibration_s`` key so ``repro bench
+diff`` can compare snapshots across hosts, and appends a keyed summary
+to ``benchmarks/history.jsonl``.
+
+Run:  pytest benchmarks/bench_events.py -s
+"""
+
+import json
+import os
+import platform
+
+import repro.obs as obs
+from _tables import append_history, machine_calibration, print_table
+from repro.functions import get_spec
+from repro.synth import synthesize
+
+BENCHMARK = "3_17"
+ENGINE = "sat"
+#: Events-on best-of-REPS wall-clock may exceed events-off by this much.
+MAX_OVERHEAD = 0.05
+#: Absolute slack so a sub-10ms jitter cannot fail a sub-second run.
+ABS_SLACK_S = 0.01
+REPS = int(os.environ.get("REPRO_EVENTS_REPS", "5"))
+
+_payload = {}
+
+
+def _json_path():
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, "BENCH_events.json")
+
+
+def _best_run(subscribed):
+    """(best runtime, canonical record, events per run) over REPS."""
+    spec = get_spec(BENCHMARK)
+    best = float("inf")
+    canonical = None
+    seen = 0
+    for _ in range(REPS):
+        obs.reset_event_bus()
+        events = []
+        if subscribed:
+            obs.subscribe(lambda event: events.append(event["event"]))
+        try:
+            result = synthesize(spec, engine=ENGINE)
+        finally:
+            obs.reset_event_bus()
+        record = json.dumps(
+            obs.canonical_record(obs.build_run_record(result)),
+            sort_keys=True)
+        assert canonical is None or canonical == record, \
+            "canonical record changed between repetitions"
+        canonical = record
+        seen = len(events)
+        best = min(best, result.runtime)
+    return best, canonical, seen
+
+
+def test_events_are_free_and_invisible():
+    off_best, off_canonical, _ = _best_run(subscribed=False)
+    on_best, on_canonical, seen = _best_run(subscribed=True)
+
+    # Identity: the observed run is the same run.
+    assert on_canonical == off_canonical, \
+        "subscribing to events changed the canonical run record"
+    # The subscriber actually saw the deepening happen.
+    assert seen > 0, "no events reached the subscriber"
+
+    overhead = (on_best - off_best) / off_best if off_best else 0.0
+    _payload["overhead"] = {
+        "benchmark": BENCHMARK,
+        "engine": ENGINE,
+        "reps": REPS,
+        "events_per_run": seen,
+        "off_best_s": off_best,
+        "on_best_s": on_best,
+        "overhead_ratio": overhead,
+        "max_overhead": MAX_OVERHEAD,
+    }
+    assert on_best <= max(off_best * (1.0 + MAX_OVERHEAD),
+                          off_best + ABS_SLACK_S), \
+        f"events-on best {on_best:.4f}s exceeds events-off best " \
+        f"{off_best:.4f}s by more than {MAX_OVERHEAD:.0%}"
+
+
+def _export():
+    if not _payload:
+        return
+    _payload.update({
+        "bench": "events",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "calibration_s": machine_calibration(),
+    })
+    path = _json_path()
+    if path:
+        with open(path, "w") as handle:
+            json.dump(_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    append_history("events", _payload)
+    overhead = _payload["overhead"]
+    row = (f"{overhead['benchmark']}/{overhead['engine']:6s} "
+           f"{overhead['off_best_s']:9.4f}s {overhead['on_best_s']:9.4f}s "
+           f"{overhead['overhead_ratio']:+9.1%} "
+           f"({overhead['events_per_run']} events/run)")
+    header = (f"{'BENCH/ENGINE':13s} {'EV OFF':>10s} {'EV ON':>10s} "
+              f"{'OVERHEAD':>9s}")
+    print_table(f"EVENT STREAM — identical canonical records asserted, "
+                f"then overhead (best of {REPS})",
+                header, [row],
+                "Off = no subscribers (emission is an early-out); "
+                "on = counting subscriber attached for the whole run.")
+
+
+def teardown_module(module):
+    _export()
+
+
+if __name__ == "__main__":
+    test_events_are_free_and_invisible()
+    _export()

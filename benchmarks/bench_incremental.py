@@ -31,7 +31,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _tables import print_table
+from _tables import append_history, machine_calibration, print_table
 from repro.functions import get_spec
 from repro.synth import synthesize
 
@@ -131,12 +131,14 @@ def _export():
         "time_limit_s": TIME_LIMIT,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
+        "calibration_s": machine_calibration(),
     })
     path = _json_path()
     if path:
         with open(path, "w") as handle:
             json.dump(_payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    append_history("incremental", _payload)
     rows = []
     for engine in ENGINES:
         section = _payload.get(engine)

@@ -35,7 +35,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _tables import print_table
+from _tables import append_history, machine_calibration, print_table
 import repro.obs as obs
 from repro.functions import get_spec
 from repro.parallel import SynthesisTask, run_suite
@@ -191,12 +191,14 @@ def _export():
         "implementation": platform.python_implementation(),
         "workers": _workers(),
         "cpu_count": os.cpu_count() or 1,
+        "calibration_s": machine_calibration(),
     })
     path = _json_path()
     if path:
         with open(path, "w") as handle:
             json.dump(_payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    append_history("parallel", _payload)
     rows = []
     suite = _payload.get("suite")
     if suite:

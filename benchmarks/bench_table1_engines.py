@@ -28,7 +28,9 @@ import pytest
 from _tables import (
     PAPER_NOTES,
     PAPER_TABLE1,
+    append_history,
     engine_timeout,
+    machine_calibration,
     format_time,
     print_table,
     tier,
@@ -110,3 +112,11 @@ def teardown_module(module):
     print_table(f"TABLE 1 — engine comparison ({tier()} tier, "
                 f"timeout {engine_timeout():.0f}s)",
                 header, rows, PAPER_NOTES["table1"])
+    append_history("table1", {
+        "tier": tier(),
+        "timeout_s": engine_timeout(),
+        "calibration_s": machine_calibration(),
+        "cells": {f"{name}.{engine}": {"runtime_s": result.runtime,
+                                       "depth": result.depth}
+                  for (name, engine), result in _results.items()},
+    })

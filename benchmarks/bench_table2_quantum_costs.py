@@ -16,8 +16,9 @@ Run:  pytest benchmarks/bench_table2_quantum_costs.py --benchmark-only -s
 
 import pytest
 
-from _tables import (PAPER_NOTES, engine_timeout, print_table, tier,
-                     trace_file, workers)
+from _tables import (PAPER_NOTES, append_history, engine_timeout,
+                     machine_calibration, print_table, tier, trace_file,
+                     workers)
 from repro.functions import table2_entries
 from repro.parallel import SynthesisTask, run_suite
 
@@ -69,3 +70,13 @@ def teardown_module(module):
                     f"{result.quantum_cost_max:6d}{truncated}")
     print_table(f"TABLE 2 — all minimal networks, quantum costs "
                 f"({tier()} tier)", header, rows, PAPER_NOTES["table2"])
+    append_history("table2", {
+        "tier": tier(),
+        "calibration_s": machine_calibration(),
+        "cells": {name: {"runtime_s": result.runtime,
+                         "depth": result.depth,
+                         "num_solutions": result.num_solutions,
+                         "qc_min": result.quantum_cost_min,
+                         "qc_max": result.quantum_cost_max}
+                  for name, result in _results.items()},
+    })

@@ -18,8 +18,9 @@ Run:  pytest benchmarks/bench_table3_libraries.py --benchmark-only -s
 
 import pytest
 
-from _tables import (PAPER_NOTES, engine_timeout, print_table, tier,
-                     trace_file, workers)
+from _tables import (PAPER_NOTES, append_history, engine_timeout,
+                     machine_calibration, print_table, tier, trace_file,
+                     workers)
 from repro.functions import table3_entries
 from repro.parallel import SynthesisTask, run_suite
 
@@ -85,3 +86,11 @@ def teardown_module(module):
         rows.append(f"{entry.name:12s} | " + " | ".join(cells))
     print_table(f"TABLE 3 — extended gate libraries ({tier()} tier)",
                 header + "\n" + sub, rows, PAPER_NOTES["table3"])
+    append_history("table3", {
+        "tier": tier(),
+        "calibration_s": machine_calibration(),
+        "cells": {f"{name}.{'+'.join(kinds)}":
+                  {"runtime_s": result.runtime, "depth": result.depth,
+                   "qc_min": result.quantum_cost_min}
+                  for (name, kinds), result in _results.items()},
+    })

@@ -11,7 +11,13 @@ Commands
 ``suite``     run a batch of (benchmark, engine) tasks over a
               crash-isolated process pool, appending one run record per
               task to a JSONL trace.
-``bench``     list the benchmark suite with tiers and provenance.
+``bench``     benchmark suite tools: ``list`` (the default) prints the
+              suite with tiers and provenance; ``diff`` compares two
+              ``BENCH_*.json`` snapshots key by key and exits nonzero
+              on wall-clock regressions beyond a threshold.
+``watch``     live-render a growing JSONL trace or ``--events`` file;
+              ``synth``/``suite --progress`` renders the same stream
+              inline without a second terminal.
 ``show``      print a benchmark's (possibly incomplete) truth table.
 ``qdimacs``   export the QBF synthesis instance for an external solver.
 ``check``     equivalence-check two ``.real`` circuit files.
@@ -72,6 +78,34 @@ _PROFILE_COLUMNS = {
 }
 
 
+class _EventOutputs:
+    """Subscribers behind ``--progress`` / ``--events FILE``.
+
+    Construct *before* the run (an unwritable events file raises
+    ``OSError`` immediately) and :meth:`close` after it, ending the
+    transient status line and detaching both subscribers.
+    """
+
+    def __init__(self, args):
+        self.renderer = None
+        self._unsubscribe = []
+        if getattr(args, "progress", False):
+            self.renderer = obs.ProgressRenderer(
+                mode="plain" if getattr(args, "plain", False) else "auto")
+            self._unsubscribe.append(obs.subscribe(self.renderer))
+        path = getattr(args, "events", None)
+        if path:
+            open(path, "a").close()
+            self._unsubscribe.append(obs.subscribe(
+                lambda event: obs.append_jsonl_line(path, event)))
+
+    def close(self) -> None:
+        for unsubscribe in self._unsubscribe:
+            unsubscribe()
+        if self.renderer is not None:
+            self.renderer.close()
+
+
 def _print_profile(result) -> None:
     """The per-depth metrics table behind ``synth --profile``."""
     keys = _PROFILE_COLUMNS.get(result.engine)
@@ -98,6 +132,11 @@ def _print_profile(result) -> None:
     if tracer.enabled and tracer.spans:
         print("\nspan tree:")
         print(tracer.format_tree())
+        print("top spans by self time:")
+        for name, aggregate in tracer.top_self(10):
+            print(f"  {name:24s} {aggregate['count']:>6d}x "
+                  f"self {aggregate['self']:8.3f}s  "
+                  f"total {aggregate['total']:8.3f}s")
 
 
 def _resolve_store(args) -> Optional[str]:
@@ -112,6 +151,18 @@ def _resolve_store(args) -> Optional[str]:
     if explicit:
         return explicit
     return os.environ.get("REPRO_STORE") or None
+
+
+def _add_progress_arguments(parser) -> None:
+    parser.add_argument("--progress", action="store_true",
+                        help="render live progress events (depth "
+                             "refutations, solutions, store hits, worker "
+                             "lifecycle) while the run executes")
+    parser.add_argument("--plain", action="store_true",
+                        help="with --progress: force line-per-event output "
+                             "even on a TTY")
+    parser.add_argument("--events", metavar="FILE",
+                        help="append every progress event to FILE as JSONL")
 
 
 def _add_store_arguments(parser) -> None:
@@ -151,14 +202,33 @@ def _cmd_synth(args) -> int:
             print(f"error: cannot write trace file {args.trace}: {exc}",
                   file=sys.stderr)
             return 1
-    if args.profile:
+    if args.profile or args.profile_json:
         obs.set_tracing(True)
     engine = "portfolio" if args.portfolio else args.engine
     engine_options = _incremental_options(engine, args.no_incremental)
-    result = synthesize(spec, kinds=kinds, engine=engine,
-                        time_limit=args.time_limit, trace=args.trace,
-                        workers=args.workers, store=_resolve_store(args),
-                        **engine_options)
+    try:
+        outputs = _EventOutputs(args)
+    except OSError as exc:
+        print(f"error: cannot write events file {args.events}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        result = synthesize(spec, kinds=kinds, engine=engine,
+                            time_limit=args.time_limit, trace=args.trace,
+                            workers=args.workers, store=_resolve_store(args),
+                            **engine_options)
+    finally:
+        outputs.close()
+    if args.profile_json:
+        payload = json.dumps(obs.get_tracer().to_dict(), indent=2,
+                             sort_keys=True)
+        if args.profile_json == "-":
+            print(payload)
+        else:
+            with open(args.profile_json, "w") as handle:
+                handle.write(payload + "\n")
+            if not args.json:
+                print(f"wrote span profile to {args.profile_json}")
     if result.store_hit and not args.json:
         print("(served from the persistent store)")
     elif result.store_resumed_from is not None and not args.json:
@@ -226,9 +296,20 @@ def _cmd_suite(args) -> int:
         print(f"  w{report.worker_id} {report.label}: "
               f"{report.status} ({report.runtime:.2f}s){retried}")
 
-    run = run_suite(tasks, workers=workers, trace=args.trace,
-                    store=_resolve_store(args),
-                    on_report=None if args.quiet else progress)
+    try:
+        outputs = _EventOutputs(args)
+    except OSError as exc:
+        print(f"error: cannot write events file {args.events}: {exc}",
+              file=sys.stderr)
+        return 1
+    # --progress renders live events (including task_finished), so the
+    # old per-report line would print everything twice.
+    on_report = None if (args.quiet or args.progress) else progress
+    try:
+        run = run_suite(tasks, workers=workers, trace=args.trace,
+                        store=_resolve_store(args), on_report=on_report)
+    finally:
+        outputs.close()
     print(run.summary())
     if args.trace:
         print(f"run records appended to {args.trace}")
@@ -239,7 +320,7 @@ def _cmd_suite(args) -> int:
     return 1 if failed or run.interrupted else 0
 
 
-def _cmd_bench(args) -> int:
+def _cmd_bench_list(args) -> int:
     print(f"{'name':14s} {'lines':>5s} {'tier':>8s} {'paperD':>6s} "
           f"{'provenance':16s} note")
     for name in sorted(SUITE):
@@ -248,6 +329,57 @@ def _cmd_bench(args) -> int:
         depth = entry.paper_depth_mct if entry.paper_depth_mct is not None else "-"
         print(f"{name:14s} {spec.n_lines:5d} {entry.tier:>8s} {depth:>6} "
               f"{entry.provenance:16s} {entry.note}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.obs.benchdiff import (diff_snapshots, format_report,
+                                     load_snapshot)
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     os.path.basename(args.current))
+    try:
+        baseline = load_snapshot(baseline_path)
+        current = load_snapshot(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = diff_snapshots(baseline, current, threshold=args.threshold,
+                            min_wall=args.min_wall,
+                            calibrated=not args.no_calibrate)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"baseline: {baseline_path}")
+        print(f"current:  {args.current}")
+        print(format_report(report, show_all=args.show_all))
+    return 1 if report["regressions"] else 0
+
+
+def _cmd_watch(args) -> int:
+    if not os.path.exists(args.trace):
+        print(f"error: no such file: {args.trace}", file=sys.stderr)
+        return 1
+    renderer = obs.ProgressRenderer(
+        mode="plain" if args.plain else "auto")
+    count = 0
+    try:
+        for obj in obs.tail_jsonl(args.trace, follow=not args.no_follow,
+                                  idle_exit=args.idle_exit):
+            count += 1
+            if obj.get("format") == obs.RUN_RECORD_FORMAT:
+                renderer.println(obs.render_record(obj))
+            elif "event" in obj:
+                renderer(obj)
+            else:
+                renderer.println(json.dumps(obj, sort_keys=True))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        renderer.close()
+    if count == 0 and args.no_follow:
+        print(f"warning: no records in {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -353,13 +485,19 @@ def _cmd_stats(args) -> int:
 
 def _cmd_trace_summary(args) -> int:
     try:
-        records = obs.read_records(args.trace)
-    except FileNotFoundError:
-        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        records, torn = obs.read_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace file {args.trace}: {exc}",
+              file=sys.stderr)
         return 1
-    except json.JSONDecodeError as exc:
-        print(f"error: {args.trace} is not JSONL: {exc}", file=sys.stderr)
+    if not records:
+        print(f"error: no records in {args.trace}"
+              + (f" ({torn} torn lines skipped)" if torn else ""),
+              file=sys.stderr)
         return 1
+    if torn:
+        print(f"warning: skipped {torn} torn line{'s' if torn != 1 else ''} "
+              f"(crash-interrupted append)", file=sys.stderr)
     print(obs.summarize_records(records))
     if args.validate:
         invalid = sum(1 for r in records if obs.validate_run_record(r))
@@ -463,8 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append a JSONL run record to FILE")
     synth.add_argument("--profile", action="store_true",
                        help="enable span tracing and print per-depth metrics")
+    synth.add_argument("--profile-json", metavar="FILE",
+                       help="write the span tree + per-name self-time "
+                            "totals as JSON ('-' for stdout); implies "
+                            "span tracing")
     synth.add_argument("--json", action="store_true",
                        help="print the run record as JSON instead of text")
+    _add_progress_arguments(synth)
     _add_store_arguments(synth)
     synth.set_defaults(func=_cmd_synth)
 
@@ -491,11 +634,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append one JSONL run record per task to FILE")
     suite.add_argument("--quiet", action="store_true",
                        help="suppress per-task progress lines")
+    _add_progress_arguments(suite)
     _add_store_arguments(suite)
     suite.set_defaults(func=_cmd_suite)
 
-    bench = sub.add_parser("bench", help="list the benchmark suite")
-    bench.set_defaults(func=_cmd_bench)
+    bench = sub.add_parser(
+        "bench", help="benchmark suite tools (list, diff)")
+    bench.set_defaults(func=_cmd_bench_list)
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    bench_list = bench_sub.add_parser("list",
+                                      help="list the benchmark suite")
+    bench_list.set_defaults(func=_cmd_bench_list)
+    bench_diff = bench_sub.add_parser(
+        "diff", help="compare two BENCH_*.json snapshots")
+    bench_diff.add_argument("current", help="path to the newer snapshot")
+    bench_diff.add_argument("baseline", nargs="?", default=None,
+                            help="baseline snapshot (default: the file of "
+                                 "the same name under --baseline-dir)")
+    bench_diff.add_argument("--baseline-dir", default="benchmarks/baselines",
+                            help="committed baseline snapshots directory")
+    bench_diff.add_argument("--threshold", type=float, default=0.25,
+                            help="relative wall-clock slowdown that counts "
+                                 "as a regression (default 0.25 = 25%%)")
+    bench_diff.add_argument("--min-wall", type=float, default=0.01,
+                            help="wall-clock keys with a smaller baseline "
+                                 "never gate (noise floor, seconds)")
+    bench_diff.add_argument("--no-calibrate", action="store_true",
+                            help="compare raw seconds, skipping machine-"
+                                 "speed normalization via calibration_s")
+    bench_diff.add_argument("--show-all", action="store_true",
+                            help="list every compared key, not just "
+                                 "wall-clock and changed ones")
+    bench_diff.add_argument("--json", action="store_true",
+                            help="print the full diff report as JSON")
+    bench_diff.set_defaults(func=_cmd_bench_diff)
+
+    watch = sub.add_parser(
+        "watch", help="live-render a growing trace or events file")
+    watch.add_argument("trace", help="JSONL file: run records, --events "
+                                     "output, or a mix")
+    watch.add_argument("--no-follow", action="store_true",
+                       help="render existing content and exit")
+    watch.add_argument("--idle-exit", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop following after this long without new data")
+    watch.add_argument("--plain", action="store_true",
+                       help="force plain line-per-event output even on a TTY")
+    watch.set_defaults(func=_cmd_watch)
 
     show = sub.add_parser("show", help="print a specification's truth table")
     _add_spec_arguments(show)

@@ -1,7 +1,7 @@
-"""repro.obs — unified instrumentation: spans, metrics, run records.
+"""repro.obs — unified instrumentation: spans, metrics, records, events.
 
 The measurement substrate every synthesis engine publishes into, in
-three layers (see ``docs/observability.md`` for the full contract):
+four layers (see ``docs/observability.md`` for the full contract):
 
 * **spans** (:mod:`repro.obs.tracer`) — hierarchical timings, a strict
   no-op until enabled via :func:`set_tracing`;
@@ -9,18 +9,46 @@ three layers (see ``docs/observability.md`` for the full contract):
   gauges (``bdd.ite_cache_hits``, ``sat.conflicts``, ...) collected per
   depth query and folded into :class:`SynthesisResult.metrics`;
 * **run records** (:mod:`repro.obs.runrecord`) — one schema-validated
-  JSON line per ``synthesize()`` call, appended to a trace file.
+  JSON line per ``synthesize()`` call, appended to a trace file;
+* **progress events** (:mod:`repro.obs.events`) — a structured live
+  stream of what a run learns *while it runs* (refuted depths = proven
+  bounds, solutions, store hits, worker lifecycle), a strict no-op
+  until something subscribes; forwarded across worker processes in
+  real time and rendered by :mod:`repro.obs.progress`.
 
 Typical use::
 
     import repro.obs as obs
 
     obs.set_tracing(True)
+    unsubscribe = obs.subscribe(print)        # live depth-by-depth events
     result = synthesize(spec, engine="bdd", trace="runs.jsonl")
+    unsubscribe()
     print(obs.get_tracer().format_tree())     # where the time went
     print(result.metrics["bdd.ite_cache_hits"])
 """
 
+from repro.obs.events import (
+    EVENT_FORMAT,
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    EventBus,
+    EventStream,
+    emit,
+    emit_forwarded,
+    event_stream,
+    events_enabled,
+    get_event_bus,
+    reset_event_bus,
+    subscribe,
+    validate_event,
+)
+from repro.obs.progress import (
+    ProgressRenderer,
+    render_event,
+    render_record,
+    tail_jsonl,
+)
 from repro.obs.metrics import (
     GAUGE_METRICS,
     MetricsRegistry,
@@ -31,6 +59,7 @@ from repro.obs.metrics import (
 from repro.obs.runrecord import (
     RUN_RECORD_FORMAT,
     RUN_RECORD_SCHEMA,
+    VOLATILE_METRIC_KEYS,
     VOLATILE_RECORD_FIELDS,
     append_jsonl_line,
     append_record,
@@ -54,19 +83,31 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "EVENT_FORMAT",
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EventBus",
+    "EventStream",
     "GAUGE_METRICS",
     "MetricsRegistry",
     "NULL_SPAN",
+    "ProgressRenderer",
     "RUN_RECORD_FORMAT",
     "RUN_RECORD_SCHEMA",
     "Span",
     "Tracer",
+    "VOLATILE_METRIC_KEYS",
     "VOLATILE_RECORD_FIELDS",
     "append_jsonl_line",
     "append_record",
     "build_run_record",
     "canonical_record",
     "default_registry",
+    "emit",
+    "emit_forwarded",
+    "event_stream",
+    "events_enabled",
+    "get_event_bus",
     "get_tracer",
     "iter_records",
     "merge_metrics",
@@ -74,9 +115,15 @@ __all__ = [
     "read_jsonl",
     "read_records",
     "read_trace",
+    "render_event",
+    "render_record",
+    "reset_event_bus",
     "set_tracing",
     "span",
+    "subscribe",
     "summarize_records",
+    "tail_jsonl",
     "tracing_enabled",
+    "validate_event",
     "validate_run_record",
 ]

@@ -1,0 +1,220 @@
+"""Benchmark snapshot comparison — the regression-tracking layer.
+
+Every benchmark under ``benchmarks/`` exports a JSON payload
+(``BENCH_*.json``) and appends a flattened keyed summary to
+``benchmarks/history.jsonl``.  This module compares two such payloads
+key by key — per-key wall-clock / conflict / quantum-cost deltas —
+and decides whether the newer one *regressed*: any wall-clock key
+slower than the baseline by more than a configurable threshold.
+Surfaced as ``python -m repro bench diff`` and gated in CI by the
+``bench-regression`` job.
+
+Key classification is by name, matching the conventions the benchmarks
+already use: keys whose final segment ends in ``_s`` (or is
+``runtime``) are **wall-clock** and gate the regression check; keys
+mentioning ``conflict``/``qc``/``depth``/counts are reported but never
+gate — answer changes are pinned by the benches' own identity
+assertions, and counter drift is information, not failure.
+
+Cross-machine comparability: wall-clock numbers from two different
+hosts are not directly comparable, so payloads may carry a
+``calibration_s`` key — the best-of-N time of a fixed, deterministic
+pure-Python workload (:func:`calibrate`).  When both snapshots carry
+it, wall-clock keys are normalized by it before the threshold test
+(``--no-calibrate`` compares raw seconds instead).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BENCH_DIFF_FORMAT", "CALIBRATION_KEY", "calibrate",
+           "classify_key", "diff_snapshots", "flatten_numeric",
+           "format_report", "load_snapshot"]
+
+BENCH_DIFF_FORMAT = "repro-bench-diff-v1"
+
+#: Snapshot key holding the machine-speed calibration time.
+CALIBRATION_KEY = "calibration_s"
+
+#: Flattened keys that never participate in the diff: pure provenance
+#: that legitimately differs between any two runs.
+_IGNORED_KEYS = frozenset({"unix_time", "cpu_count", "workers"})
+
+
+def calibrate(reps: int = 3) -> float:
+    """Best-of-``reps`` seconds for a fixed deterministic workload.
+
+    A pure-Python integer loop (no allocation-heavy paths, no I/O) that
+    takes a few hundred milliseconds on current hardware — enough to
+    measure the host's single-core Python throughput, cheap enough to
+    run inside every benchmark.  Dividing a wall-clock measurement by
+    this number yields a machine-normalized figure two hosts can
+    compare.
+    """
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(400_000):
+            acc = (acc * 1103515245 + i) & 0xFFFFFFFF
+        elapsed = time.perf_counter() - start
+        if acc >= 0 and elapsed < best:  # acc guard defeats loop elision
+            best = elapsed
+    return best
+
+
+def flatten_numeric(payload, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested dicts to dotted keys, keeping numeric leaves only.
+
+    Booleans and strings are dropped (the diff is quantitative); list
+    items are indexed (``cases.0.runtime_s``).
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        items = payload.items()
+    elif isinstance(payload, (list, tuple)):
+        items = ((str(i), v) for i, v in enumerate(payload))
+    else:
+        items = ()
+    for key, value in items:
+        dotted = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            if key not in _IGNORED_KEYS:
+                flat[dotted] = float(value)
+        elif isinstance(value, (dict, list, tuple)):
+            flat.update(flatten_numeric(value, dotted))
+    return flat
+
+
+def classify_key(key: str) -> str:
+    """``"wall"``, ``"conflicts"``, ``"qc"``, ``"depth"`` or ``"count"``."""
+    leaf = key.rsplit(".", 1)[-1].lower()
+    if leaf.endswith("_s") or leaf.endswith("_seconds") \
+            or leaf in ("runtime", "wall", "wall_clock"):
+        return "wall"
+    if "conflict" in leaf:
+        return "conflicts"
+    if leaf.startswith("qc") or "quantum_cost" in leaf:
+        return "qc"
+    if leaf == "depth" or leaf.endswith("_depth") or leaf.endswith("depths"):
+        return "depth"
+    return "count"
+
+
+def load_snapshot(path: str) -> Dict:
+    """A BENCH_*.json payload (must be a JSON object)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object, "
+                         f"got {type(payload).__name__}")
+    return payload
+
+
+def diff_snapshots(baseline: Dict,
+                   current: Dict,
+                   threshold: float = 0.25,
+                   min_wall: float = 0.01,
+                   calibrated: bool = True) -> Dict:
+    """Per-key comparison of two benchmark payloads.
+
+    Returns a JSON-ready report: ``rows`` (one per shared numeric key,
+    with baseline/current values, delta, ratio, kind and a
+    ``regressed`` flag), the keys present on only one side, and the
+    ``regressions`` list that decides the exit code.  A wall-clock key
+    regresses when ``current > baseline * (1 + threshold)``, comparing
+    calibration-normalized values when both snapshots carry
+    :data:`CALIBRATION_KEY` and ``calibrated`` is set.  Wall-clock keys
+    whose baseline is under ``min_wall`` seconds never gate — at that
+    scale the measurement is noise.
+    """
+    base_flat = flatten_numeric(baseline)
+    curr_flat = flatten_numeric(current)
+    scale = 1.0
+    base_cal = base_flat.pop(CALIBRATION_KEY, None)
+    curr_cal = curr_flat.pop(CALIBRATION_KEY, None)
+    if calibrated and base_cal and curr_cal:
+        # The current host is (curr_cal / base_cal)x slower than the
+        # baseline host; a wall-clock key only regresses beyond what
+        # that machine-speed shift explains.
+        scale = curr_cal / base_cal
+    rows: List[Dict] = []
+    regressions: List[str] = []
+    for key in sorted(set(base_flat) & set(curr_flat)):
+        base_value = base_flat[key]
+        curr_value = curr_flat[key]
+        kind = classify_key(key)
+        ratio = (curr_value / base_value) if base_value else None
+        regressed = False
+        if kind == "wall" and base_value >= min_wall:
+            regressed = curr_value > base_value * scale * (1.0 + threshold)
+        if regressed:
+            regressions.append(key)
+        rows.append({"key": key, "kind": kind,
+                     "baseline": base_value, "current": curr_value,
+                     "delta": curr_value - base_value, "ratio": ratio,
+                     "regressed": regressed})
+    return {
+        "format": BENCH_DIFF_FORMAT,
+        "threshold": threshold,
+        "min_wall": min_wall,
+        "calibration": {"baseline_s": base_cal, "current_s": curr_cal,
+                        "scale": scale,
+                        "applied": calibrated and scale != 1.0},
+        "rows": rows,
+        "only_baseline": sorted(set(base_flat) - set(curr_flat)),
+        "only_current": sorted(set(curr_flat) - set(base_flat)),
+        "regressions": regressions,
+    }
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.4g}"
+
+
+def format_report(report: Dict, show_all: bool = False) -> str:
+    """Render a diff report as a table (``repro bench diff`` output).
+
+    By default only wall-clock rows and rows that changed are shown;
+    ``show_all`` lists every compared key.
+    """
+    header = (f"{'KEY':44s} {'KIND':>9s} {'BASE':>10s} {'CURR':>10s} "
+              f"{'RATIO':>7s}")
+    lines = [header, "-" * len(header)]
+    shown = 0
+    for row in report["rows"]:
+        changed = row["baseline"] != row["current"]
+        if not (show_all or changed or row["kind"] == "wall"):
+            continue
+        shown += 1
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "-"
+        flag = "  << REGRESSED" if row["regressed"] else ""
+        lines.append(f"{row['key'][:44]:44s} {row['kind']:>9s} "
+                     f"{_fmt(row['baseline']):>10s} "
+                     f"{_fmt(row['current']):>10s} {ratio:>7s}{flag}")
+    if not shown:
+        lines.append("(no differing keys)")
+    lines.append("-" * len(header))
+    calibration = report["calibration"]
+    if calibration["applied"]:
+        lines.append(f"machine calibration applied: current host "
+                     f"{calibration['scale']:.2f}x the baseline host's "
+                     f"calibration time")
+    for key in report["only_baseline"]:
+        lines.append(f"only in baseline: {key}")
+    for key in report["only_current"]:
+        lines.append(f"only in current:  {key}")
+    count = len(report["regressions"])
+    lines.append(f"{len(report['rows'])} keys compared, {count} wall-clock "
+                 f"regression{'s' if count != 1 else ''} beyond "
+                 f"{report['threshold']:.0%}")
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Structured progress events — the live half of :mod:`repro.obs`.
+
+Run records (:mod:`repro.obs.runrecord`) describe a synthesis run
+*after* it returns; this module streams what the run learns *while it
+runs*.  The paper's iterative-deepening loop makes that stream
+genuinely informative: every refuted depth is a freshly proven lower
+bound, so a watcher of a long-running job sees monotone progress
+("depth 9 refuted — the answer is at least 10") instead of silence
+until the final answer.
+
+Every event is a flat JSON-ready dict with a fixed envelope —
+``event`` (the type), ``v`` (:data:`EVENT_SCHEMA_VERSION`), ``seq``
+(per-origin-process monotone sequence number) and ``ts`` (wall-clock
+seconds) — plus the per-type payload fields of :data:`EVENT_TYPES`.
+Events forwarded across a process boundary additionally carry the
+originating ``worker`` id.
+
+Emission is **free while nobody listens**: :func:`emit` returns before
+building the event dict when the bus has no subscribers, so the driver
+and the parallel executors emit unconditionally, exactly like the
+always-on metric counters.  Subscribers attach either as callbacks
+(:func:`subscribe` — the live renderers, the pipe forwarders, the
+``--events`` file appender) or as a bounded-queue iterator
+(:meth:`EventBus.stream` — tests and polling consumers; the queue
+drops its oldest events rather than block the emitter, and counts the
+drops).
+
+Multiprocess forwarding: forked workers inherit the parent's bus *and
+its subscribers*, which would make a child renderer print directly —
+every worker entry point therefore calls :func:`reset_event_bus`
+first, then (when the parent had subscribers at fork time) attaches a
+forwarder that ships each event over the worker's existing result pipe
+or queue; the parent re-injects them with :func:`emit_forwarded`.
+The suite scheduler, the portfolio racers and the speculative depth
+pipeline all do this, so the parent process observes worker events as
+they happen rather than at task completion.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["EVENT_FORMAT", "EVENT_SCHEMA_VERSION", "EVENT_TYPES",
+           "EventBus", "EventStream", "emit", "emit_forwarded",
+           "event_stream", "events_enabled", "get_event_bus",
+           "reset_event_bus", "subscribe", "validate_event"]
+
+EVENT_FORMAT = "repro-event-v1"
+
+#: Version stamped into every event's ``v`` field.  Consumers must
+#: ignore fields they do not know; a breaking envelope change bumps
+#: this (and the format string above).
+EVENT_SCHEMA_VERSION = 1
+
+#: Event type -> required payload fields (beyond the envelope).  The
+#: full field semantics are documented in ``docs/observability.md``.
+EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
+    # Iterative deepening (serial driver and speculative pipeline).
+    "depth_started": ("spec", "engine", "depth"),
+    "depth_refuted": ("spec", "engine", "depth", "proven_bound"),
+    "solution_found": ("spec", "engine", "depth"),
+    "run_finished": ("spec", "engine", "status"),
+    # Persistent store traffic (repro.store).
+    "store_hit": ("spec", "engine"),
+    "bound_resumed": ("spec", "engine", "bound"),
+    # Speculative depth pipelining.
+    "speculation_committed": ("spec", "engine", "depth", "decision"),
+    "speculation_wasted": ("spec", "engine", "wasted"),
+    # Process-pool lifecycle (suite scheduler, portfolio, pipeline).
+    "worker_spawned": ("worker", "role"),
+    "worker_crashed": ("worker", "role"),
+    "worker_retried": ("worker", "label"),
+    "task_finished": ("label", "status"),
+}
+
+#: Envelope fields every event carries.
+_ENVELOPE = ("event", "v", "seq", "ts")
+
+
+def validate_event(event: Dict) -> List[str]:
+    """Check an event dict; returns human-readable problems (empty = ok).
+
+    Unknown *extra* fields are allowed (the schema is extensible);
+    unknown event *types* and missing required fields are not.
+    """
+    problems: List[str] = []
+    if not isinstance(event, dict):
+        return [f"event: expected object, got {type(event).__name__}"]
+    for field in _ENVELOPE:
+        if field not in event:
+            problems.append(f"event: missing envelope field {field!r}")
+    kind = event.get("event")
+    if kind is not None:
+        required = EVENT_TYPES.get(kind)
+        if required is None:
+            problems.append(f"event: unknown type {kind!r}")
+        else:
+            for field in required:
+                if field not in event:
+                    problems.append(f"{kind}: missing field {field!r}")
+    version = event.get("v")
+    if version is not None and version != EVENT_SCHEMA_VERSION:
+        problems.append(f"event: schema version {version!r} != "
+                        f"{EVENT_SCHEMA_VERSION}")
+    return problems
+
+
+class EventStream:
+    """Bounded-queue subscriber: iterate to drain buffered events.
+
+    The queue holds at most ``maxlen`` events; when the emitter outruns
+    the consumer the *oldest* events are dropped (never blocking
+    synthesis) and ``dropped`` counts them.  Iteration is a
+    non-blocking drain: it yields everything currently buffered and
+    stops — poll again for more.  ``close()`` detaches from the bus.
+    """
+
+    def __init__(self, bus: "EventBus", maxlen: int = 1024):
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._queue: List[Dict] = []
+        self._maxlen = maxlen
+        self.dropped = 0
+        self._unsubscribe = bus.subscribe(self._push)
+
+    def _push(self, event: Dict) -> None:
+        if len(self._queue) >= self._maxlen:
+            del self._queue[0]
+            self.dropped += 1
+        self._queue.append(event)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Dict:
+        if not self._queue:
+            raise StopIteration
+        return self._queue.pop(0)
+
+    def drain(self) -> List[Dict]:
+        """Everything buffered right now, clearing the queue."""
+        out, self._queue = self._queue, []
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+
+class EventBus:
+    """Dispatches events to subscribers; one instance is process-wide.
+
+    A subscriber that raises does not break the emitting run —
+    telemetry must never change a synthesis outcome — but the failure
+    is not silent either: ``subscriber_errors`` counts them and
+    ``last_subscriber_error`` keeps the most recent exception for
+    inspection.  Broken pipes (a forwarder whose parent went away) are
+    expected during shutdown and are swallowed without counting.
+    """
+
+    def __init__(self):
+        self._subscribers: List[Callable[[Dict], None]] = []
+        self._seq = 0
+        self.subscriber_errors = 0
+        self.last_subscriber_error: Optional[BaseException] = None
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[Dict], None]) -> Callable[[], None]:
+        """Attach a callback; returns a zero-argument unsubscriber."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass  # already detached
+
+        return unsubscribe
+
+    def stream(self, maxlen: int = 1024) -> EventStream:
+        """A bounded-queue iterator subscribed to this bus."""
+        return EventStream(self, maxlen=maxlen)
+
+    @property
+    def active(self) -> bool:
+        """Whether anybody is listening (emission is a no-op otherwise)."""
+        return bool(self._subscribers)
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self, event_type: str, **fields) -> Optional[Dict]:
+        """Build and dispatch one event; no-op without subscribers.
+
+        Returns the dispatched event dict, or None when nobody listens
+        (the dict is then never built).
+        """
+        if not self._subscribers:
+            return None
+        assert event_type in EVENT_TYPES, f"unknown event {event_type!r}"
+        self._seq += 1
+        event = {"event": event_type, "v": EVENT_SCHEMA_VERSION,
+                 "seq": self._seq, "ts": time.time()}
+        event.update(fields)
+        self._dispatch(event)
+        return event
+
+    def emit_forwarded(self, event: Dict) -> None:
+        """Re-dispatch an event received from another process, as-is.
+
+        The originating process already stamped the envelope (its own
+        ``seq`` numbering and ``worker`` provenance), so the event is
+        not re-stamped — per-origin ordering stays meaningful.
+        """
+        if not self._subscribers:
+            return
+        self._dispatch(event)
+
+    def _dispatch(self, event: Dict) -> None:
+        for callback in list(self._subscribers):
+            try:
+                callback(event)
+            except (BrokenPipeError, EOFError, OSError):
+                pass  # forwarder whose peer went away mid-shutdown
+            except Exception as exc:  # noqa: BLE001 — never break the run
+                self.subscriber_errors += 1
+                self.last_subscriber_error = exc
+
+    def reset(self) -> None:
+        """Drop every subscriber and restart the sequence numbering.
+
+        Forked workers call this before attaching their pipe forwarder
+        so subscribers inherited from the parent never fire in the
+        child.
+        """
+        self._subscribers = []
+        self._seq = 0
+        self.subscriber_errors = 0
+        self.last_subscriber_error = None
+
+
+_bus = EventBus()
+
+
+def get_event_bus() -> EventBus:
+    """The process-wide default bus every emission point publishes to."""
+    return _bus
+
+
+def emit(event_type: str, **fields) -> Optional[Dict]:
+    """Emit on the default bus (no-op while nobody subscribes)."""
+    if not _bus._subscribers:
+        return None
+    return _bus.emit(event_type, **fields)
+
+
+def emit_forwarded(event: Dict) -> None:
+    """Re-dispatch a worker's event on the default bus."""
+    _bus.emit_forwarded(event)
+
+
+def subscribe(callback: Callable[[Dict], None]) -> Callable[[], None]:
+    """Subscribe a callback to the default bus; returns the unsubscriber."""
+    return _bus.subscribe(callback)
+
+
+def event_stream(maxlen: int = 1024) -> EventStream:
+    """A bounded-queue iterator on the default bus."""
+    return _bus.stream(maxlen=maxlen)
+
+
+def events_enabled() -> bool:
+    """Whether the default bus has any subscriber."""
+    return _bus.active
+
+
+def reset_event_bus() -> EventBus:
+    """Reset the default bus (forked-worker entry points; tests)."""
+    _bus.reset()
+    return _bus

@@ -1,0 +1,221 @@
+"""Live progress rendering — the human-facing half of the event stream.
+
+Two renderer modes over :mod:`repro.obs.events`:
+
+* **plain** — one line per event, append-only; safe for pipes, CI logs
+  and files;
+* **tty** — depth-by-depth activity collapses into a single transient
+  status line (rewritten in place with ``\\r``), while milestone events
+  (solutions, refuted bounds, store hits, worker lifecycle, finished
+  tasks) print as permanent lines above it.
+
+``mode="auto"`` (the default everywhere) picks ``tty`` only when the
+output stream is a real terminal, so ``--progress`` piped into a file
+degrades to plain lines instead of control-character soup.
+
+:func:`tail_jsonl` is the substrate of ``python -m repro watch``: it
+follows a growing JSONL file (run-record traces and ``--events`` files
+alike), tolerating the torn trailing line an in-flight crash-safe
+appender has not finished yet — a partial line is buffered until its
+newline arrives, never mis-parsed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, Iterator, Optional
+
+__all__ = ["ProgressRenderer", "render_event", "render_record",
+           "tail_jsonl"]
+
+
+def _origin(event: Dict) -> str:
+    """Short provenance tag: which worker (if any) an event came from."""
+    worker = event.get("worker")
+    return f"w{worker} " if worker is not None else ""
+
+
+def _subject(event: Dict) -> str:
+    spec = event.get("spec")
+    engine = event.get("engine")
+    if spec and engine:
+        return f"{spec}/{engine}"
+    return spec or engine or event.get("label", "?")
+
+
+def render_event(event: Dict) -> str:
+    """One human-readable line for any event (plain mode, watch mode)."""
+    kind = event.get("event", "?")
+    head = f"{_origin(event)}{_subject(event)}"
+    if kind == "depth_started":
+        return f"{head}: depth {event.get('depth')} ..."
+    if kind == "depth_refuted":
+        return (f"{head}: depth {event.get('depth')} refuted "
+                f"(proven bound {event.get('proven_bound')})")
+    if kind == "solution_found":
+        count = event.get("num_solutions")
+        suffix = f", {count} minimal networks" if count is not None else ""
+        return f"{head}: SOLVED at depth {event.get('depth')}{suffix}"
+    if kind == "run_finished":
+        depth = event.get("depth")
+        where = f" (D={depth})" if depth is not None else ""
+        return (f"{head}: finished — {event.get('status')}{where} "
+                f"in {event.get('runtime', 0.0):.2f}s")
+    if kind == "store_hit":
+        return f"{head}: served from the persistent store"
+    if kind == "bound_resumed":
+        return (f"{head}: resuming after proven bound "
+                f"{event.get('bound')}")
+    if kind == "speculation_committed":
+        return (f"{head}: committed depth {event.get('depth')} "
+                f"({event.get('decision')})")
+    if kind == "speculation_wasted":
+        return f"{head}: {event.get('wasted')} speculated depths wasted"
+    if kind == "worker_spawned":
+        return (f"worker w{event.get('worker')} spawned "
+                f"({event.get('role')})")
+    if kind == "worker_crashed":
+        reason = event.get("reason", "died")
+        return f"worker w{event.get('worker')} crashed ({reason})"
+    if kind == "worker_retried":
+        return (f"retrying {event.get('label')} after worker "
+                f"w{event.get('worker')} died")
+    if kind == "task_finished":
+        retried = " [retried]" if event.get("retried") else ""
+        return (f"{_origin(event)}{event.get('label')}: "
+                f"{event.get('status')} "
+                f"({event.get('runtime', 0.0):.2f}s){retried}")
+    # Unknown (newer) event type: stay useful, show the raw payload.
+    return f"{head}: {kind} {json.dumps(event, sort_keys=True)}"
+
+
+def render_record(record: Dict) -> str:
+    """One line for a ``repro-run-v1`` run record (watch mode)."""
+    depth = record.get("depth")
+    where = f" D={depth}" if depth is not None else ""
+    extras = []
+    if record.get("store_hit"):
+        extras.append("store hit")
+    if record.get("retried"):
+        extras.append("retried")
+    if record.get("worker_id") is not None:
+        extras.append(f"w{record['worker_id']}")
+    tail = f" [{', '.join(extras)}]" if extras else ""
+    return (f"record {record.get('spec')}/{record.get('engine')}: "
+            f"{record.get('status')}{where} "
+            f"({record.get('runtime', 0.0):.2f}s){tail}")
+
+
+#: Depth-by-depth chatter that the TTY mode folds into the status line.
+_TRANSIENT = frozenset({"depth_started", "speculation_committed"})
+
+
+class ProgressRenderer:
+    """Event-bus subscriber rendering live progress to a stream.
+
+    Use as ``unsubscribe = obs.subscribe(ProgressRenderer())``; call
+    :meth:`close` when the run ends to terminate the transient status
+    line.  ``mode`` is ``"plain"``, ``"tty"`` or ``"auto"`` (tty only
+    when the stream is a terminal).
+    """
+
+    def __init__(self, stream=None, mode: str = "auto"):
+        self.stream = stream if stream is not None else sys.stdout
+        if mode == "auto":
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            mode = "tty" if isatty() else "plain"
+        if mode not in ("plain", "tty"):
+            raise ValueError(f"unknown progress mode {mode!r}")
+        self.mode = mode
+        self._status: Dict[str, str] = {}   # origin key -> latest activity
+        self._status_visible = False
+        self.events_rendered = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _write(self, text: str) -> None:
+        self.stream.write(text)
+        self.stream.flush()
+
+    def _clear_status(self) -> None:
+        if self._status_visible:
+            self._write("\r\x1b[K")
+            self._status_visible = False
+
+    def _draw_status(self) -> None:
+        if self.mode != "tty" or not self._status:
+            return
+        line = "  ".join(f"[{key}]{text}" for key, text
+                         in sorted(self._status.items()))
+        self._write("\r\x1b[K" + line[:200])
+        self._status_visible = True
+
+    def _status_key(self, event: Dict) -> str:
+        worker = event.get("worker")
+        return f"w{worker}" if worker is not None else "main"
+
+    def println(self, text: str) -> None:
+        """Print a permanent line without disturbing the status line."""
+        self._clear_status()
+        self._write(text + "\n")
+        self._draw_status()
+
+    # -- subscriber interface -------------------------------------------------
+
+    def __call__(self, event: Dict) -> None:
+        self.events_rendered += 1
+        kind = event.get("event")
+        if self.mode == "tty" and kind in _TRANSIENT:
+            self._status[self._status_key(event)] = \
+                f"{_subject(event)}@d{event.get('depth')}"
+            self._draw_status()
+            return
+        if kind in ("run_finished", "task_finished"):
+            self._status.pop(self._status_key(event), None)
+        self.println(render_event(event))
+
+    def close(self) -> None:
+        """End the transient status line (leaves permanent lines intact)."""
+        self._clear_status()
+        self._status = {}
+
+
+def tail_jsonl(path: str,
+               follow: bool = True,
+               poll: float = 0.2,
+               idle_exit: Optional[float] = None) -> Iterator[Dict]:
+    """Yield JSON objects from a (possibly still growing) JSONL file.
+
+    Reads existing content first, then — with ``follow`` — polls for
+    appended lines every ``poll`` seconds.  A partial trailing line
+    (an appender mid-write, or a torn line from a crash) is buffered
+    until its newline lands; a *complete* line that still fails to
+    decode is skipped, matching :func:`repro.obs.runrecord.read_jsonl`.
+    ``idle_exit`` stops following after that many seconds without new
+    data (watch's ``--idle-exit``, and how tests bound the loop).
+    """
+    buffer = b""
+    last_data = time.monotonic()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read()
+            if chunk:
+                last_data = time.monotonic()
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+            else:
+                if not follow:
+                    return
+                if (idle_exit is not None
+                        and time.monotonic() - last_data > idle_exit):
+                    return
+                time.sleep(poll)

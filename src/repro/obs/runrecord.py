@@ -22,6 +22,7 @@ import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["RUN_RECORD_FORMAT", "RUN_RECORD_SCHEMA", "VOLATILE_RECORD_FIELDS",
+           "VOLATILE_METRIC_KEYS",
            "build_run_record", "canonical_record",
            "append_record", "append_jsonl_line", "read_jsonl",
            "iter_records", "read_records", "read_trace",
@@ -226,15 +227,40 @@ VOLATILE_RECORD_FIELDS = frozenset({
     "store_hit", "store_resumed_from",
 })
 
+#: Metric keys describing how a run was *scheduled* rather than what it
+#: computed: how many depths the speculative pipeline dispatched, how
+#: many racers a portfolio launched or cancelled.  They vary with
+#: worker timing while the answer (and every per-depth decision) stays
+#: fixed, so canonical comparison strips them like the volatile
+#: top-level fields.
+VOLATILE_METRIC_KEYS = frozenset({
+    "driver.workers",
+    "driver.speculation_dispatched",
+    "driver.speculation_wasted_depths",
+    "driver.portfolio_racers",
+    "driver.portfolio_cancelled",
+})
+
+#: Metric prefixes with the same scheduling-volatility: a cancelled
+#: portfolio loser's partial counters depend on when the cancel landed.
+_VOLATILE_METRIC_PREFIXES = ("portfolio.",)
+
 
 def canonical_record(record: Dict) -> Dict:
     """A record minus volatile fields, for byte-level run comparison.
 
-    Per-depth runtimes are zeroed (the entries themselves must match);
-    the result serializes identically for identical computations — the
-    parallel test-suite and the CI ``parallel-smoke`` job rely on this.
+    Per-depth runtimes are zeroed (the entries themselves must match)
+    and scheduling-volatile metrics are dropped; the result serializes
+    identically for identical computations — the parallel test-suite
+    and the CI ``parallel-smoke`` job rely on this.
     """
     out = {k: v for k, v in record.items() if k not in VOLATILE_RECORD_FIELDS}
+    metrics = record.get("metrics")
+    if isinstance(metrics, dict):
+        out["metrics"] = {
+            k: v for k, v in metrics.items()
+            if k not in VOLATILE_METRIC_KEYS
+            and not k.startswith(_VOLATILE_METRIC_PREFIXES)}
     out["per_depth"] = [dict(step, runtime=0.0)
                        for step in record.get("per_depth", ())]
     return out

@@ -130,6 +130,65 @@ class Tracer:
         return sum(s.duration for s in self.spans
                    if s.name == name and s.duration is not None)
 
+    def self_times(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregates: span count, total and *self* time.
+
+        Self time is a span's duration minus its direct children's —
+        the time the region spent in its own code rather than delegated
+        regions, which is what actually ranks optimization targets (a
+        parent span always "costs" as much as everything under it).
+        """
+        child_time: Dict[Optional[int], float] = {}
+        for s in self.spans:
+            if s.parent_id is not None and s.duration is not None:
+                child_time[s.parent_id] = (child_time.get(s.parent_id, 0.0)
+                                           + s.duration)
+        out: Dict[str, Dict[str, float]] = {}
+        for s in self.spans:
+            if s.duration is None:
+                continue
+            entry = out.setdefault(s.name,
+                                   {"count": 0, "total": 0.0, "self": 0.0})
+            entry["count"] += 1
+            entry["total"] += s.duration
+            entry["self"] += max(0.0,
+                                 s.duration - child_time.get(s.span_id, 0.0))
+        return out
+
+    def top_self(self, n: int = 10):
+        """The ``n`` span names with the largest summed self time.
+
+        Returns ``(name, aggregate)`` pairs sorted by descending self
+        time — the ``--profile`` top list and the sort order of
+        :meth:`to_dict`'s ``totals``.
+        """
+        ranked = sorted(self.self_times().items(),
+                        key=lambda item: item[1]["self"], reverse=True)
+        return ranked[:n]
+
+    def to_dict(self) -> Dict:
+        """Machine-readable span forest (``synth --profile-json``).
+
+        ``tree`` nests finished spans exactly as :meth:`format_tree`
+        renders them (children under their parent, siblings in start
+        order); ``totals`` lists per-name aggregates sorted by self
+        time, descending.
+        """
+        by_parent: Dict[Optional[int], List[Span]] = {}
+        for s in sorted(self.spans, key=lambda s: s.start):
+            by_parent.setdefault(s.parent_id, []).append(s)
+
+        def node(s: Span) -> Dict:
+            return {"name": s.name, "duration": s.duration,
+                    "attrs": dict(s.attrs),
+                    "children": [node(c) for c in by_parent.get(s.span_id, [])]}
+
+        return {
+            "tree": [node(s) for s in by_parent.get(None, [])],
+            "totals": [dict(aggregate, name=name)
+                       for name, aggregate in self.top_self(len(self.spans))],
+        }
+
     def format_tree(self) -> str:
         """Indented rendering of the span forest, for ``--profile`` output."""
         by_parent: Dict[Optional[int], List[Span]] = {}

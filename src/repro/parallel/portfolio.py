@@ -43,8 +43,20 @@ _STATUS_RANK = {"realized": 0, "gate_limit": 1, "timeout": 2,
                 "cancelled": 3, "error": 4}
 
 
-def _race_worker(task: SynthesisTask, cancel_event, results, racer_id: int):
+def _race_worker(task: SynthesisTask, cancel_event, results, racer_id: int,
+                 forward_events: bool = False):
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
+    # Drop subscribers inherited over the fork, then forward this
+    # racer's live events through the shared result queue so the
+    # parent sees per-engine deepening progress mid-race.
+    obs.reset_event_bus()
+    if forward_events:
+        def _forward(event):
+            payload = dict(event)
+            payload.setdefault("worker", racer_id)
+            results.put((racer_id, "event", payload))
+
+        obs.subscribe(_forward)
     token = CancelToken(cancel_event)
     try:
         result = task.run(cancel_token=token)
@@ -106,6 +118,7 @@ def portfolio_synthesize(spec: Specification,
     ctx = mp.get_context("fork")
     cancel_event = ctx.Event()
     results_queue = ctx.Queue()
+    forward_events = obs.events_enabled()
     start = time.perf_counter()
 
     def spawn(racer_id: int):
@@ -117,9 +130,12 @@ def portfolio_synthesize(spec: Specification,
                              time_limit=time_limit, use_bounds=use_bounds,
                              store_path=store_path)
         proc = ctx.Process(target=_race_worker,
-                           args=(task, cancel_event, results_queue, racer_id),
+                           args=(task, cancel_event, results_queue, racer_id,
+                                 forward_events),
                            daemon=True)
         proc.start()
+        obs.emit("worker_spawned", worker=racer_id, role="portfolio",
+                 engine=name)
         return proc
 
     with obs.span("portfolio", spec=spec.name or "anonymous",
@@ -135,6 +151,9 @@ def portfolio_synthesize(spec: Specification,
         while len(reported) < len(engines):
             try:
                 racer_id, kind, payload = results_queue.get(timeout=0.05)
+                if kind == "event":
+                    obs.emit_forwarded(payload)
+                    continue
                 reported[racer_id] = (kind, payload)
                 if (winner_id is None and kind == "ok"
                         and payload.status in _DEFINITIVE):
@@ -147,6 +166,9 @@ def portfolio_synthesize(spec: Specification,
             for racer_id, proc in list(procs.items()):
                 if racer_id not in reported and not proc.is_alive():
                     proc.join()
+                    obs.emit("worker_crashed", worker=racer_id,
+                             role="portfolio", engine=engines[racer_id],
+                             exitcode=proc.exitcode)
                     reported[racer_id] = ("error",
                                           f"racer {engines[racer_id]} died "
                                           f"(exit {proc.exitcode})")
@@ -166,10 +188,16 @@ def portfolio_synthesize(spec: Specification,
                        and time.perf_counter() < deadline):
                     try:
                         racer_id, kind, payload = results_queue.get(timeout=0.05)
+                        if kind == "event":
+                            obs.emit_forwarded(payload)
+                            continue
                         reported[racer_id] = (kind, payload)
                     except queue_module.Empty:
                         for racer_id, proc in list(procs.items()):
                             if racer_id not in reported and not proc.is_alive():
+                                obs.emit("worker_crashed", worker=racer_id,
+                                         role="portfolio",
+                                         engine=engines[racer_id])
                                 reported[racer_id] = ("error", "racer died")
                 for racer_id in launched - set(reported):
                     procs[racer_id].terminate()
@@ -183,6 +211,15 @@ def portfolio_synthesize(spec: Specification,
             if proc.is_alive():
                 proc.terminate()
                 proc.join()
+        # Forward any racer events still sitting in the queue so the
+        # losers' final deepening steps are not silently dropped.
+        while True:
+            try:
+                racer_id, kind, payload = results_queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if kind == "event":
+                obs.emit_forwarded(payload)
 
     if winner_id is None:
         # Nobody was definitive (all timed out / errored): pick the
@@ -228,4 +265,7 @@ def portfolio_synthesize(spec: Specification,
             extra["store_resumed_from"] = final.store_resumed_from
         obs.append_record(trace, obs.build_run_record(final, library,
                                                       extra=extra))
+    obs.emit("run_finished", spec=final.spec_name, engine="portfolio",
+             status=final.status, depth=final.depth, runtime=final.runtime,
+             winner_engine=engines[winner_id])
     return final

@@ -22,6 +22,15 @@ records (with ``worker_id``/``retried``/``workers``/``cpu_count``
 provenance) are appended to the trace file — in task order, not
 completion order, so parallel and serial traces compare line by line —
 and each worker's metrics are published into the parent registry.
+
+Live telemetry (:mod:`repro.obs.events`): when the parent bus has
+subscribers at pool-creation time, each worker forwards its progress
+events (depth refutations, store hits, ...) over its result pipe *as
+they happen*, and the parent re-dispatches them — so a ``--progress``
+renderer shows per-worker deepening long before the task's run record
+lands.  The scheduler itself emits the pool-lifecycle events
+(``worker_spawned``/``worker_crashed``/``worker_retried``/
+``task_finished``).
 """
 
 from __future__ import annotations
@@ -42,8 +51,20 @@ from repro.parallel.tasks import SynthesisTask, default_workers
 __all__ = ["SuiteRun", "TaskReport", "run_suite"]
 
 
-def _suite_worker(worker_id: int, conn, cancel_event):
+def _suite_worker(worker_id: int, conn, cancel_event,
+                  forward_events: bool = False):
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
+    # The fork copied the parent's event bus *with its subscribers*
+    # (renderers, file appenders) — drop them so worker events reach
+    # the parent exactly once, through the pipe forwarder below.
+    obs.reset_event_bus()
+    if forward_events:
+        def _forward(event):
+            payload = dict(event)
+            payload.setdefault("worker", worker_id)
+            conn.send(("event", payload))
+
+        obs.subscribe(_forward)
     token = CancelToken(cancel_event)
     while True:
         message = conn.recv()
@@ -114,17 +135,20 @@ class SuiteRun:
 class _Worker:
     """Parent-side handle: process, pipe, and the task it holds."""
 
-    def __init__(self, ctx, worker_id: int, cancel_event):
+    def __init__(self, ctx, worker_id: int, cancel_event,
+                 forward_events: bool = False):
         self.id = worker_id
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
         self.proc = ctx.Process(target=_suite_worker,
-                                args=(worker_id, child_conn, cancel_event),
+                                args=(worker_id, child_conn, cancel_event,
+                                      forward_events),
                                 daemon=True)
         self.proc.start()
         child_conn.close()
         self.task_index: Optional[int] = None
         self.assigned_at = 0.0
+        obs.emit("worker_spawned", worker=worker_id, role="suite")
 
     @property
     def idle(self) -> bool:
@@ -188,7 +212,11 @@ def run_suite(tasks: Sequence[SynthesisTask],
     reports: Dict[int, TaskReport] = {}
     attempts = [0] * len(tasks)
     pending = deque(range(len(tasks)))
-    pool = [_Worker(ctx, wid, cancel_event) for wid in range(pool_size)]
+    # Workers forward their live events over the result pipe only when
+    # the parent actually listens; decided once, at fork time.
+    forward_events = obs.events_enabled()
+    pool = [_Worker(ctx, wid, cancel_event, forward_events)
+            for wid in range(pool_size)]
     next_worker_id = pool_size
     interrupted = False
     merged_metrics: Dict[str, float] = {}
@@ -214,11 +242,20 @@ def run_suite(tasks: Sequence[SynthesisTask],
                 extra["store_resumed_from"] = report.result.store_resumed_from
             report.record = obs.build_run_record(
                 report.result, tasks[index].resolved_library(), extra=extra)
+        obs.emit("task_finished", label=report.label, status=report.status,
+                 worker=report.worker_id, retried=report.retried,
+                 runtime=report.runtime)
         if on_report is not None:
             on_report(report)
 
     def handle_message(worker: _Worker) -> None:
-        index, kind, payload, span_tree, runtime = worker.conn.recv()
+        message = worker.conn.recv()
+        if message[0] == "event":
+            # A live event forwarded from inside the worker's run —
+            # re-dispatch to the parent's subscribers as it happens.
+            obs.emit_forwarded(message[1])
+            return
+        index, kind, payload, span_tree, runtime = message
         worker.task_index = None
         base = dict(label=tasks[index].resolved_label(),
                     worker_id=worker.id, retried=attempts[index],
@@ -236,13 +273,18 @@ def run_suite(tasks: Sequence[SynthesisTask],
         exitcode = worker.proc.exitcode
         worker.conn.close()
         worker.proc.join()
-        pool[worker_slot] = _Worker(ctx, next_worker_id, cancel_event)
+        obs.emit("worker_crashed", worker=worker.id, role="suite",
+                 exitcode=exitcode)
+        pool[worker_slot] = _Worker(ctx, next_worker_id, cancel_event,
+                                    forward_events)
         next_worker_id += 1
         if index is None:
             return
         if attempts[index] == 0:
             attempts[index] = 1
             pending.appendleft(index)  # retry before new work
+            obs.emit("worker_retried", worker=worker.id,
+                     label=tasks[index].resolved_label())
         else:
             finish(index, TaskReport(
                 label=tasks[index].resolved_label(), status="error",
@@ -288,6 +330,8 @@ def run_suite(tasks: Sequence[SynthesisTask],
                         worker.proc.terminate()
                         worker.proc.join()
                         worker.conn.close()
+                        obs.emit("worker_crashed", worker=worker.id,
+                                 role="suite", reason="hard_deadline")
                         finish(index, TaskReport(
                             label=tasks[index].resolved_label(),
                             status="error",
@@ -296,7 +340,8 @@ def run_suite(tasks: Sequence[SynthesisTask],
                                   f"{hard_deadline_grace}s grace)",
                             worker_id=worker.id,
                             runtime=now - worker.assigned_at))
-                        pool[slot] = _Worker(ctx, next_worker_id, cancel_event)
+                        pool[slot] = _Worker(ctx, next_worker_id,
+                                             cancel_event, forward_events)
                         next_worker_id += 1
     except KeyboardInterrupt:
         # Graceful drain: cancel every engine cooperatively, collect

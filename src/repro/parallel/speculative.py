@@ -53,6 +53,10 @@ def _depth_server(engine_name: str, spec, library, engine_options,
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     from repro.synth.driver import ENGINES, engine_session
 
+    # Depth servers answer bare decide() calls — the deepening loop
+    # (and thus all event emission) lives in the parent, so inherited
+    # parent subscribers must simply be dropped.
+    obs.reset_event_bus()
     token = CancelToken(cancel_event)
     engine = ENGINES[engine_name](spec, library, cancel_token=token,
                                   **engine_options)
@@ -129,6 +133,9 @@ def speculative_synthesize(spec: Specification,
             hit.runtime = time.perf_counter() - start
             if trace is not None:
                 obs.append_record(trace, hit_trace_record(entry, hit))
+            obs.emit("run_finished", spec=hit.spec_name, engine=hit.engine,
+                     status=hit.status, depth=hit.depth, runtime=hit.runtime,
+                     store_hit=True)
             return hit
 
     result = SynthesisResult(engine=engine, spec_name=spec.name or "anonymous",
@@ -141,7 +148,7 @@ def speculative_synthesize(spec: Specification,
     cancel_event = ctx.Event()
     conns = []
     procs = []
-    for _ in range(workers):
+    for server_id in range(workers):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(target=_depth_server,
                            args=(engine, spec, library, engine_options,
@@ -151,6 +158,8 @@ def speculative_synthesize(spec: Specification,
         child_conn.close()
         conns.append(parent_conn)
         procs.append(proc)
+        obs.emit("worker_spawned", worker=server_id, role="speculative",
+                 engine=engine)
 
     idle = list(range(workers))
     busy: Dict[int, int] = {}           # worker index -> depth in flight
@@ -180,6 +189,9 @@ def speculative_synthesize(spec: Specification,
                     conns[worker].send((next_depth, budget))
                     busy[worker] = next_depth
                     dispatched.add(next_depth)
+                    obs.emit("depth_started", spec=result.spec_name,
+                             engine=engine, depth=next_depth, worker=worker,
+                             speculative=True)
                     next_depth += 1
 
                 if not busy:
@@ -220,6 +232,9 @@ def speculative_synthesize(spec: Specification,
                                   detail=dict(outcome.detail),
                                   metrics=dict(outcome.metrics),
                                   timed_out=outcome.status == "unknown"))
+                    obs.emit("speculation_committed", spec=result.spec_name,
+                             engine=engine, depth=commit,
+                             decision=outcome.status)
                     if outcome.status == "unknown":
                         result.status = "timeout"
                         settled = True
@@ -232,8 +247,13 @@ def speculative_synthesize(spec: Specification,
                         result.quantum_cost_min = outcome.quantum_cost_min
                         result.quantum_cost_max = outcome.quantum_cost_max
                         result.solutions_truncated = outcome.solutions_truncated
+                        obs.emit("solution_found", spec=result.spec_name,
+                                 engine=engine, depth=commit,
+                                 num_solutions=outcome.num_solutions)
                         settled = True
                         break
+                    obs.emit("depth_refuted", spec=result.spec_name,
+                             engine=engine, depth=commit, proven_bound=commit)
                     commit += 1  # UNSAT: the pointer moves on
                 if settled:
                     final_depth = result.depth if result.realized else commit
@@ -269,6 +289,8 @@ def speculative_synthesize(spec: Specification,
     result.metrics["driver.workers"] = workers
     result.workers = workers
     result.speculation_wasted_depths = wasted
+    obs.emit("speculation_wasted", spec=result.spec_name, engine=engine,
+             wasted=wasted, dispatched=len(dispatched))
     obs.publish(result.metrics)
     if store_obj is not None:
         store_commit(store_obj, key, result, library, start_depth)
@@ -280,4 +302,7 @@ def speculative_synthesize(spec: Specification,
             extra["store_resumed_from"] = result.store_resumed_from
         obs.append_record(trace, obs.build_run_record(result, library,
                                                       extra=extra))
+    obs.emit("run_finished", spec=result.spec_name, engine=engine,
+             status=result.status, depth=result.depth,
+             runtime=result.runtime)
     return result

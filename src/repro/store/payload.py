@@ -106,12 +106,16 @@ def store_lookup(store: SynthesisStore, key: str, spec: Specification,
         entry = store.get(key)
         if entry is not None:
             obs.publish({"store.hits": 1})
+            obs.emit("store_hit", spec=spec.name or "anonymous",
+                     engine=engine, key=key)
             return result_from_entry(entry, spec), entry, start_depth
         obs.publish({"store.misses": 1})
         bound = store.proven_bound(key)
         if bound is not None and bound + 1 > start_depth:
             store.counters["bound_resumes"] += 1
             obs.publish({"store.bound_resumes": 1})
+            obs.emit("bound_resumed", spec=spec.name or "anonymous",
+                     engine=engine, bound=bound, resumed_from=bound + 1)
             return None, {}, bound + 1
     return None, {}, start_depth
 

@@ -274,6 +274,9 @@ def synthesize(spec: Specification,
             hit.runtime = time.perf_counter() - start
             if trace is not None:
                 obs.append_record(trace, hit_trace_record(entry, hit))
+            obs.emit("run_finished", spec=hit.spec_name, engine=hit.engine,
+                     status=hit.status, depth=hit.depth, runtime=hit.runtime,
+                     store_hit=True)
             return hit
 
     if isinstance(engine, str):
@@ -307,6 +310,8 @@ def synthesize(spec: Specification,
                     result.status = "timeout"
                     break
             step_start = time.perf_counter()
+            obs.emit("depth_started", spec=result.spec_name,
+                     engine=instance.name, depth=depth)
             try:
                 with obs.span("depth", depth=depth, engine=instance.name):
                     outcome: DepthOutcome = instance.decide(
@@ -334,7 +339,13 @@ def synthesize(spec: Specification,
                 result.quantum_cost_min = outcome.quantum_cost_min
                 result.quantum_cost_max = outcome.quantum_cost_max
                 result.solutions_truncated = outcome.solutions_truncated
+                obs.emit("solution_found", spec=result.spec_name,
+                         engine=instance.name, depth=depth,
+                         num_solutions=outcome.num_solutions)
                 break
+            # UNSAT at this depth: a freshly proven lower bound.
+            obs.emit("depth_refuted", spec=result.spec_name,
+                     engine=instance.name, depth=depth, proven_bound=depth)
 
     result.runtime = time.perf_counter() - start
     _aggregate_metrics(result)
@@ -351,6 +362,9 @@ def synthesize(spec: Specification,
         obs.append_record(trace,
                           obs.build_run_record(result, library_obj,
                                                extra=extra))
+    obs.emit("run_finished", spec=result.spec_name, engine=instance.name,
+             status=result.status, depth=result.depth,
+             runtime=result.runtime)
     return result
 
 

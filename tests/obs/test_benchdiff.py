@@ -1,0 +1,108 @@
+"""Benchmark snapshot diffing: flattening, classification, the gate."""
+
+import json
+
+import pytest
+
+from repro.obs.benchdiff import (calibrate, classify_key, diff_snapshots,
+                                 flatten_numeric, format_report,
+                                 load_snapshot)
+
+
+def test_flatten_nested_dicts_and_lists():
+    payload = {"a": {"b": 1, "runtime_s": 0.5}, "top": 2,
+               "cases": [{"x": 1}, {"x": 2}]}
+    flat = flatten_numeric(payload)
+    assert flat == {"a.b": 1.0, "a.runtime_s": 0.5, "top": 2.0,
+                    "cases.0.x": 1.0, "cases.1.x": 2.0}
+
+
+def test_flatten_drops_bools_strings_and_provenance():
+    flat = flatten_numeric({"ok": True, "python": "3.11", "n": 3,
+                            "unix_time": 1.0, "cpu_count": 8, "workers": 4,
+                            "inner": {"workers": 2, "real": 1.5}})
+    assert flat == {"n": 3.0, "inner.real": 1.5}
+
+
+@pytest.mark.parametrize("key,kind", [
+    ("runtime_s", "wall"),
+    ("cases.3_17.cold_s", "wall"),
+    ("warm_total_seconds", "wall"),
+    ("overhead.runtime", "wall"),
+    ("sat.conflicts", "conflicts"),
+    ("qc_min", "qc"),
+    ("quantum_cost_max", "qc"),
+    ("depth", "depth"),
+    ("wasted_depths", "depth"),
+    ("num_solutions", "count"),
+])
+def test_classify_key(key, kind):
+    assert classify_key(key) == kind
+
+
+def test_diff_flags_wall_regressions_only():
+    baseline = {"runtime_s": 1.0, "conflicts": 100}
+    current = {"runtime_s": 1.30, "conflicts": 500}
+    report = diff_snapshots(baseline, current, threshold=0.25)
+    assert report["regressions"] == ["runtime_s"]
+    by_key = {row["key"]: row for row in report["rows"]}
+    assert by_key["runtime_s"]["regressed"]
+    # Counter drift is reported, never gated.
+    assert not by_key["conflicts"]["regressed"]
+    assert by_key["conflicts"]["ratio"] == pytest.approx(5.0)
+
+
+def test_diff_within_threshold_passes():
+    report = diff_snapshots({"runtime_s": 1.0}, {"runtime_s": 1.2},
+                            threshold=0.25)
+    assert report["regressions"] == []
+
+
+def test_diff_min_wall_floor_ignores_noise_scale_keys():
+    report = diff_snapshots({"fast_s": 0.001}, {"fast_s": 0.009},
+                            threshold=0.25, min_wall=0.01)
+    assert report["regressions"] == []
+
+
+def test_diff_calibration_normalizes_across_hosts():
+    baseline = {"runtime_s": 1.0, "calibration_s": 0.1}
+    slower_host = {"runtime_s": 2.0, "calibration_s": 0.2}
+    assert diff_snapshots(baseline, slower_host)["regressions"] == []
+    # Same numbers compared raw do regress.
+    report = diff_snapshots(baseline, slower_host, calibrated=False)
+    assert report["regressions"] == ["runtime_s"]
+    # The calibration key itself never shows up as a compared row.
+    assert all(r["key"] != "calibration_s" for r in report["rows"])
+
+
+def test_diff_reports_one_sided_keys():
+    report = diff_snapshots({"old_s": 1.0, "both": 2},
+                            {"new_s": 1.0, "both": 2})
+    assert report["only_baseline"] == ["old_s"]
+    assert report["only_current"] == ["new_s"]
+
+
+def test_format_report_marks_regressions():
+    report = diff_snapshots({"runtime_s": 1.0}, {"runtime_s": 9.0})
+    text = format_report(report)
+    assert "REGRESSED" in text
+    assert "1 wall-clock regression" in text
+    clean = format_report(diff_snapshots({"runtime_s": 1.0},
+                                         {"runtime_s": 1.0}))
+    assert "REGRESSED" not in clean
+    assert "0 wall-clock regressions" in clean
+
+
+def test_calibrate_is_positive_and_finite():
+    value = calibrate(reps=1)
+    assert 0.0 < value < 60.0
+
+
+def test_load_snapshot_requires_an_object(tmp_path):
+    good = tmp_path / "ok.json"
+    good.write_text(json.dumps({"runtime_s": 1.0}))
+    assert load_snapshot(str(good)) == {"runtime_s": 1.0}
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError):
+        load_snapshot(str(bad))

@@ -1,0 +1,158 @@
+"""Event bus: envelope, ordering, bounded streams, fault isolation."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.events import EVENT_SCHEMA_VERSION, EVENT_TYPES, EventBus
+
+
+@pytest.fixture(autouse=True)
+def _clean_bus():
+    obs.reset_event_bus()
+    yield
+    obs.reset_event_bus()
+
+
+def test_emit_without_subscribers_is_a_noop():
+    assert not obs.events_enabled()
+    assert obs.emit("depth_started", spec="s", engine="sat", depth=1) is None
+
+
+def test_emit_stamps_envelope_and_monotone_seq():
+    seen = []
+    unsubscribe = obs.subscribe(seen.append)
+    assert obs.events_enabled()
+    obs.emit("depth_started", spec="s", engine="sat", depth=0)
+    obs.emit("depth_refuted", spec="s", engine="sat", depth=0,
+             proven_bound=0)
+    unsubscribe()
+    obs.emit("solution_found", spec="s", engine="sat", depth=1)  # detached
+    assert [e["event"] for e in seen] == ["depth_started", "depth_refuted"]
+    assert [e["seq"] for e in seen] == [1, 2]
+    for event in seen:
+        assert event["v"] == EVENT_SCHEMA_VERSION
+        assert event["ts"] > 0
+        assert obs.validate_event(event) == []
+
+
+def test_every_declared_type_emits_schema_valid():
+    seen = []
+    obs.subscribe(seen.append)
+    for kind, required in EVENT_TYPES.items():
+        obs.emit(kind, **{field: 1 for field in required})
+    assert len(seen) == len(EVENT_TYPES)
+    for event in seen:
+        assert obs.validate_event(event) == []
+
+
+def test_unknown_type_is_rejected():
+    obs.subscribe(lambda e: None)
+    with pytest.raises(AssertionError):
+        obs.emit("no_such_event", spec="s")
+
+
+def test_validate_event_reports_problems():
+    assert obs.validate_event("nope") == \
+        ["event: expected object, got str"]
+    problems = obs.validate_event({})
+    assert any("missing envelope" in p for p in problems)
+    bad_type = {"event": "bogus", "v": 1, "seq": 1, "ts": 0.0}
+    assert any("unknown type" in p for p in obs.validate_event(bad_type))
+    missing = {"event": "depth_refuted", "v": 1, "seq": 1, "ts": 0.0,
+               "spec": "s", "engine": "sat", "depth": 3}
+    assert obs.validate_event(missing) == \
+        ["depth_refuted: missing field 'proven_bound'"]
+    wrong_v = {"event": "store_hit", "v": 99, "seq": 1, "ts": 0.0,
+               "spec": "s", "engine": "sat"}
+    assert any("schema version" in p for p in obs.validate_event(wrong_v))
+
+
+def test_extra_fields_are_allowed():
+    event = {"event": "store_hit", "v": 1, "seq": 1, "ts": 0.0,
+             "spec": "s", "engine": "sat", "key": "abc", "worker": 3}
+    assert obs.validate_event(event) == []
+
+
+def test_stream_drains_in_order_and_stops():
+    stream = obs.event_stream()
+    obs.emit("depth_started", spec="s", engine="bdd", depth=0)
+    obs.emit("depth_refuted", spec="s", engine="bdd", depth=0,
+             proven_bound=0)
+    assert len(stream) == 2
+    kinds = [event["event"] for event in stream]
+    assert kinds == ["depth_started", "depth_refuted"]
+    with pytest.raises(StopIteration):
+        next(stream)
+    stream.close()
+
+
+def test_stream_bounded_queue_drops_oldest():
+    stream = obs.event_stream(maxlen=3)
+    for depth in range(5):
+        obs.emit("depth_started", spec="s", engine="sat", depth=depth)
+    assert stream.dropped == 2
+    assert [event["depth"] for event in stream.drain()] == [2, 3, 4]
+    stream.close()
+    assert not obs.events_enabled()
+
+
+def test_stream_rejects_silly_maxlen():
+    with pytest.raises(ValueError):
+        obs.event_stream(maxlen=0)
+
+
+def test_raising_subscriber_never_breaks_emission():
+    def boom(event):
+        raise RuntimeError("subscriber bug")
+
+    seen = []
+    obs.subscribe(boom)
+    obs.subscribe(seen.append)
+    event = obs.emit("task_finished", label="t", status="realized")
+    assert event is not None
+    assert len(seen) == 1  # the healthy subscriber still got it
+    bus = obs.get_event_bus()
+    assert bus.subscriber_errors == 1
+    assert isinstance(bus.last_subscriber_error, RuntimeError)
+
+
+def test_broken_pipe_subscriber_is_swallowed_silently():
+    def gone(event):
+        raise BrokenPipeError()
+
+    obs.subscribe(gone)
+    obs.emit("task_finished", label="t", status="realized")
+    assert obs.get_event_bus().subscriber_errors == 0
+
+
+def test_emit_forwarded_preserves_origin_stamps():
+    seen = []
+    obs.subscribe(seen.append)
+    origin = {"event": "depth_refuted", "v": 1, "seq": 41, "ts": 123.0,
+              "spec": "s", "engine": "sat", "depth": 4, "proven_bound": 4,
+              "worker": 2}
+    obs.emit_forwarded(dict(origin))
+    assert seen == [origin]  # not re-stamped
+    obs.emit("store_hit", spec="s", engine="sat")
+    assert seen[1]["seq"] == 1  # local numbering untouched by forwards
+
+
+def test_reset_drops_subscribers_and_seq():
+    seen = []
+    obs.subscribe(seen.append)
+    obs.emit("store_hit", spec="s", engine="sat")
+    obs.reset_event_bus()
+    assert not obs.events_enabled()
+    obs.emit("store_hit", spec="s", engine="sat")  # no-op now
+    assert len(seen) == 1
+    obs.subscribe(seen.append)
+    obs.emit("store_hit", spec="s", engine="sat")
+    assert seen[-1]["seq"] == 1  # numbering restarted
+
+
+def test_unsubscribe_is_idempotent():
+    bus = EventBus()
+    unsubscribe = bus.subscribe(lambda e: None)
+    unsubscribe()
+    unsubscribe()  # second call must not raise
+    assert not bus.active

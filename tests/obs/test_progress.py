@@ -1,0 +1,154 @@
+"""Progress rendering: per-event lines, TTY vs plain modes, tailing."""
+
+import io
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.progress import (ProgressRenderer, render_event,
+                                render_record, tail_jsonl)
+
+
+def _event(kind, **fields):
+    event = {"event": kind, "v": 1, "seq": 1, "ts": 0.0}
+    event.update(fields)
+    return event
+
+
+@pytest.mark.parametrize("kind,fields,expect", [
+    ("depth_started", dict(spec="3_17", engine="sat", depth=4),
+     "3_17/sat: depth 4"),
+    ("depth_refuted", dict(spec="3_17", engine="sat", depth=4,
+                           proven_bound=4), "proven bound 4"),
+    ("solution_found", dict(spec="3_17", engine="bdd", depth=6,
+                            num_solutions=7), "SOLVED at depth 6"),
+    ("run_finished", dict(spec="3_17", engine="bdd", status="realized",
+                          depth=6, runtime=1.5), "realized"),
+    ("store_hit", dict(spec="3_17", engine="bdd"), "persistent store"),
+    ("bound_resumed", dict(spec="3_17", engine="sat", bound=5),
+     "proven bound 5"),
+    ("speculation_committed", dict(spec="3_17", engine="sat", depth=3,
+                                   decision="unsat"), "committed depth 3"),
+    ("speculation_wasted", dict(spec="3_17", engine="sat", wasted=2),
+     "2 speculated depths wasted"),
+    ("worker_spawned", dict(worker=1, role="suite"), "w1 spawned"),
+    ("worker_crashed", dict(worker=1, role="suite"), "w1 crashed"),
+    ("worker_retried", dict(worker=1, label="3_17/sat/mct"), "retrying"),
+    ("task_finished", dict(label="3_17/sat/mct", status="realized",
+                           runtime=0.5, worker=0), "realized"),
+])
+def test_render_event_lines(kind, fields, expect):
+    assert expect in render_event(_event(kind, **fields))
+
+
+def test_render_event_worker_provenance_prefix():
+    line = render_event(_event("depth_refuted", spec="s", engine="sat",
+                               depth=2, proven_bound=2, worker=3))
+    assert line.startswith("w3 s/sat")
+
+
+def test_render_unknown_event_shows_raw_payload():
+    line = render_event(_event("brand_new_kind", spec="s"))
+    assert "brand_new_kind" in line
+
+
+def test_render_record_line():
+    record = {"spec": "3_17", "engine": "bdd", "status": "realized",
+              "depth": 6, "runtime": 0.25, "store_hit": True,
+              "worker_id": 1}
+    line = render_record(record)
+    assert "3_17/bdd" in line and "D=6" in line
+    assert "store hit" in line and "w1" in line
+
+
+class _FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def test_auto_mode_picks_plain_for_pipes_tty_for_terminals():
+    assert ProgressRenderer(stream=io.StringIO()).mode == "plain"
+    assert ProgressRenderer(stream=_FakeTty()).mode == "tty"
+    with pytest.raises(ValueError):
+        ProgressRenderer(stream=io.StringIO(), mode="fancy")
+
+
+def test_plain_mode_appends_one_line_per_event():
+    stream = io.StringIO()
+    renderer = ProgressRenderer(stream=stream, mode="plain")
+    renderer(_event("depth_started", spec="s", engine="sat", depth=0))
+    renderer(_event("depth_refuted", spec="s", engine="sat", depth=0,
+                    proven_bound=0))
+    renderer.close()
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "\r" not in stream.getvalue()
+    assert renderer.events_rendered == 2
+
+
+def test_tty_mode_folds_transient_chatter_into_status_line():
+    stream = _FakeTty()
+    renderer = ProgressRenderer(stream=stream)
+    renderer(_event("depth_started", spec="s", engine="sat", depth=0,
+                    worker=0))
+    renderer(_event("depth_started", spec="s", engine="sat", depth=1,
+                    worker=0))
+    transient = stream.getvalue()
+    assert "\r\x1b[K" in transient        # rewritten in place
+    assert "\n" not in transient          # nothing permanent yet
+    renderer(_event("depth_refuted", spec="s", engine="sat", depth=1,
+                    proven_bound=1, worker=0))
+    assert "refuted" in stream.getvalue()
+    assert stream.getvalue().count("\n") == 1
+    renderer.close()
+    assert stream.getvalue().endswith("\x1b[K")  # status line cleared
+
+
+def test_tty_run_finished_retires_the_origin_status():
+    stream = _FakeTty()
+    renderer = ProgressRenderer(stream=stream)
+    renderer(_event("depth_started", spec="s", engine="sat", depth=0,
+                    worker=0))
+    renderer(_event("run_finished", spec="s", engine="sat",
+                    status="realized", runtime=0.1, worker=0))
+    assert renderer._status == {}
+
+
+def test_println_inserts_permanent_line_between_status_redraws():
+    stream = _FakeTty()
+    renderer = ProgressRenderer(stream=stream)
+    renderer(_event("depth_started", spec="s", engine="sat", depth=0))
+    renderer.println("hello")
+    assert "hello\n" in stream.getvalue()
+    # The transient status line is redrawn after the insertion.
+    assert stream.getvalue().rstrip().endswith("@d0")
+
+
+def test_tail_jsonl_reads_existing_content(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"a": 1}\n{"a": 2}\n')
+    assert list(tail_jsonl(str(path), follow=False)) == [{"a": 1}, {"a": 2}]
+
+
+def test_tail_jsonl_buffers_partial_trailing_line(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"a": 1}\n{"a": 2')  # appender mid-write
+    assert list(tail_jsonl(str(path), follow=False)) == [{"a": 1}]
+
+
+def test_tail_jsonl_skips_complete_garbage_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"a": 1}\nnot json at all\n{"a": 2}\n')
+    assert list(tail_jsonl(str(path), follow=False)) == [{"a": 1}, {"a": 2}]
+
+
+def test_tail_jsonl_follow_sees_appended_data_then_idles_out(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"a": 1}\n')
+    tail = tail_jsonl(str(path), follow=True, poll=0.01, idle_exit=0.3)
+    assert next(tail) == {"a": 1}
+    with open(path, "a") as handle:
+        handle.write(json.dumps({"a": 2}) + "\n")
+    assert next(tail) == {"a": 2}
+    assert list(tail) == []  # idle_exit bounds the final wait
