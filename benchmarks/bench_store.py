@@ -32,7 +32,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from _tables import append_history, machine_calibration, print_table
 from repro.functions import get_spec
-from repro.store import SynthesisStore, store_key
+from repro.store import SynthesisStore, derive_store_key
 from repro.core.library import GateLibrary
 from repro.synth import synthesize
 
@@ -149,7 +149,7 @@ def test_timeout_interrupted_run_resumes_from_banked_bound():
             "could not interrupt the run — benchmark too fast to cut"
         unsat_prefix = sum(1 for s in interrupted.per_depth
                            if s.decision == "unsat")
-        key = store_key(spec, library, "sat")
+        key = derive_store_key(spec, library, "sat").bounds_key
         banked = SynthesisStore(root).proven_bound(key)
         assert banked == unsat_prefix - 1 if unsat_prefix else banked is None
 

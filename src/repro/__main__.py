@@ -172,6 +172,11 @@ def _add_store_arguments(parser) -> None:
     parser.add_argument("--no-store", action="store_true",
                         help="ignore $REPRO_STORE and run without the "
                              "persistent store")
+    parser.add_argument("--no-orbit", action="store_true",
+                        help="address the store by the literal spec digest "
+                             "instead of canonicalizing over line "
+                             "relabelings, negation conjugations and the "
+                             "functional inverse")
 
 
 def _incremental_options(engine: str, no_incremental: bool) -> dict:
@@ -216,7 +221,7 @@ def _cmd_synth(args) -> int:
         result = synthesize(spec, kinds=kinds, engine=engine,
                             time_limit=args.time_limit, trace=args.trace,
                             workers=args.workers, store=_resolve_store(args),
-                            **engine_options)
+                            orbit=not args.no_orbit, **engine_options)
     finally:
         outputs.close()
     if args.profile_json:
@@ -286,6 +291,7 @@ def _cmd_suite(args) -> int:
     kinds = tuple(args.kinds.split("+"))
     tasks = [SynthesisTask(spec=get_spec(name), engine=engine, kinds=kinds,
                            time_limit=args.time_limit,
+                           orbit=not args.no_orbit,
                            engine_options=_incremental_options(
                                engine, args.no_incremental))
              for name in names for engine in engines]

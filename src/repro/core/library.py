@@ -124,7 +124,7 @@ def theorem1_count(n_lines: int, kind: str) -> int:
 class GateLibrary:
     """A named, deterministically ordered gate set for one circuit width."""
 
-    __slots__ = ("name", "n_lines", "gates")
+    __slots__ = ("name", "n_lines", "gates", "_orbit_closure")
 
     #: mnemonic -> enumeration function, in canonical concatenation order
     _KINDS = {
@@ -138,6 +138,7 @@ class GateLibrary:
     def __init__(self, name: str, n_lines: int, gates: Iterable[Gate]):
         self.name = name
         self.n_lines = n_lines
+        self._orbit_closure = None
         self.gates: Tuple[Gate, ...] = tuple(gates)
         if not self.gates:
             raise ValueError("empty gate library")
@@ -205,6 +206,67 @@ class GateLibrary:
     def padded_size(self) -> int:
         """``2**select_bits()`` — codes >= ``size()`` act as the identity."""
         return 1 << self.select_bits()
+
+    # -- orbit closure (equivalence-orbit store keys) -------------------------
+
+    def _maps_into_itself(self, transform, gate_set) -> bool:
+        from repro.core.transform import UnsupportedTransform, conjugate_gate
+        for gate in self.gates:
+            try:
+                if conjugate_gate(gate, transform) not in gate_set:
+                    return False
+            except UnsupportedTransform:
+                return False
+        return True
+
+    def orbit_closure(self) -> frozenset:
+        """Which orbit-transform arms map this gate set onto itself.
+
+        A subset of ``{"permute", "negate", "invert"}``, decided by the
+        library *content* against the group generators: adjacent line
+        transpositions for ``permute``, single-line negation masks for
+        ``negate`` and the gate-wise inverse for ``invert``.  Each
+        generator's conjugation is injective, so mapping the finite
+        gate set into itself makes it a bijection — generator closure
+        implies closure under the whole generated group.
+
+        Examples: MCT libraries are permutation- and inverse-closed but
+        not negation-closed (a negated control needs a mixed-polarity
+        gate); MPMCT adds negation closure; a Peres-only library is
+        only permutation-closed (its gate-wise inverse is the inverse
+        Peres).
+        """
+        if self._orbit_closure is not None:
+            return self._orbit_closure
+        from repro.core.transform import LineTransform
+        n = self.n_lines
+        gate_set = set(self.gates)
+        arms = set()
+        swaps = [LineTransform(n, tuple(
+                     i + 1 if j == i else i if j == i + 1 else j
+                     for j in range(n)))
+                 for i in range(n - 1)]
+        if all(self._maps_into_itself(t, gate_set) for t in swaps):
+            arms.add("permute")
+        negations = [LineTransform(n, range(n), 1 << line)
+                     for line in range(n)]
+        if all(self._maps_into_itself(t, gate_set) for t in negations):
+            arms.add("negate")
+        if all(g.inverse() in gate_set for g in self.gates):
+            arms.add("invert")
+        self._orbit_closure = frozenset(arms)
+        return self._orbit_closure
+
+    def closed_under_orbit(self) -> bool:
+        """Can the store canonicalize specs over this library's orbit?
+
+        Requires the ``permute`` and ``invert`` arms; when ``negate``
+        is additionally closed the orbit grows by the ``2^n`` negation
+        masks.  Non-closed libraries (e.g. Peres-only) silently degrade
+        to literal store keys.
+        """
+        closure = self.orbit_closure()
+        return "permute" in closure and "invert" in closure
 
     def __iter__(self) -> Iterator[Gate]:
         return iter(self.gates)

@@ -1,0 +1,282 @@
+"""Signed line permutations and equivalence-orbit transforms.
+
+The synthesis answer for a reversible function is largely determined by
+its *equivalence orbit*: relabeling circuit lines, conjugating by line
+negations or taking the functional inverse maps every minimal network of
+one function bijectively onto the minimal networks of the other, so the
+minimal gate count, the solution count and the quantum-cost range are
+orbit invariants.  The persistent store exploits this
+(:mod:`repro.store.orbit`): one entry serves the whole orbit, replayed
+through the transforms defined here.
+
+Two transform classes:
+
+* :class:`LineTransform` — a signed line permutation ``S = (pi, m)``:
+  output bit ``pi[i]`` equals input bit ``i`` XOR ``m_i``.  These form a
+  group (the hyperoctahedral group, order ``n! * 2^n``) under
+  composition.
+* :class:`OrbitTransform` — a signed permutation plus an optional
+  functional-inverse arm.  It acts on truth tables by *conjugation*,
+  ``T -> S o T^e o S^-1`` with ``e in {+1, -1}``, and on circuits by
+  gate-wise conjugation (plus :meth:`Circuit.inverse` for the inverse
+  arm).
+
+Conjugating by the **same** signed permutation on both sides is what
+keeps gate counts invariant.  Independent input/output negations (the
+full ``n! * 2^(2n)`` NPN group) do *not*: e.g. the identity and the
+constant-XOR function ``x -> x ^ a`` are related by an output-only
+negation but have minimal MCT gate counts 0 and ``popcount(a)`` — a
+polarity mask pushed through a cascade of XOR targets leaves a residual
+NOT layer behind.  The store therefore canonicalizes over conjugation
+and inverse only (order ``n! * 2^n * 2``); see ``docs/store.md``.
+
+Gate conjugation rules (``conjugate_gate``):
+
+* **Toffoli** — controls and target relabel through ``pi``; a control
+  ``c`` flips polarity iff ``m_c = 1``; a mask on the target is
+  transparent (a NOT commutes through an XOR target).  Always
+  representable as a mixed-polarity Toffoli.
+* **Fredkin** — controls relabel; a mask on a control would need a
+  negative-control Fredkin (not in the gate set) and a mask on exactly
+  one target turns the swap into a swap-with-negation — both raise
+  :class:`UnsupportedTransform`.  Equal masks on both targets cancel.
+* **Peres / inverse Peres** — a mask on target ``a`` (the CNOT target,
+  which also feeds the Toffoli part) exchanges Peres and inverse Peres;
+  a mask on ``b`` is transparent; a mask on the control is unsupported.
+
+Whether a whole *library* tolerates these transforms is a property of
+its content — :meth:`repro.core.library.GateLibrary.orbit_closure`
+checks the group generators against the gate set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, Gate, InversePeres, Peres, Toffoli
+from repro.core.truth_table import invert_permutation
+
+__all__ = ["LineTransform", "OrbitTransform", "UnsupportedTransform",
+           "conjugate_gate"]
+
+
+class UnsupportedTransform(ValueError):
+    """Conjugating this gate leaves the representable gate classes."""
+
+
+class LineTransform:
+    """A signed line permutation: relabel lines and negate a subset.
+
+    ``apply(x)`` computes the state whose bit ``perm[i]`` is bit ``i``
+    of ``x`` XOR bit ``i`` of ``mask`` — negate first, then relabel.
+    """
+
+    __slots__ = ("n", "perm", "mask")
+
+    def __init__(self, n: int, perm: Sequence[int], mask: int = 0):
+        perm = tuple(perm)
+        if sorted(perm) != list(range(n)):
+            raise ValueError(f"perm {perm} is not a permutation of 0..{n - 1}")
+        if not 0 <= mask < (1 << n):
+            raise ValueError(f"mask {mask:#x} out of range for {n} lines")
+        self.n = n
+        self.perm = perm
+        self.mask = mask
+
+    @classmethod
+    def identity(cls, n: int) -> "LineTransform":
+        return cls(n, range(n), 0)
+
+    def is_identity(self) -> bool:
+        return self.mask == 0 and self.perm == tuple(range(self.n))
+
+    def apply(self, state: int) -> int:
+        state ^= self.mask
+        out = 0
+        for i, p in enumerate(self.perm):
+            out |= ((state >> i) & 1) << p
+        return out
+
+    def table(self) -> Tuple[int, ...]:
+        return tuple(self.apply(x) for x in range(1 << self.n))
+
+    def compose(self, other: "LineTransform") -> "LineTransform":
+        """``self o other`` — apply ``other`` first."""
+        if self.n != other.n:
+            raise ValueError("width mismatch")
+        perm = tuple(self.perm[p] for p in other.perm)
+        mask = 0
+        for i in range(self.n):
+            bit = ((other.mask >> i) & 1) ^ ((self.mask >> other.perm[i]) & 1)
+            mask |= bit << i
+        return LineTransform(self.n, perm, mask)
+
+    def inverse(self) -> "LineTransform":
+        inv = [0] * self.n
+        mask = 0
+        for i, p in enumerate(self.perm):
+            inv[p] = i
+            mask |= ((self.mask >> i) & 1) << p
+        return LineTransform(self.n, inv, mask)
+
+    def _key(self):
+        return (self.n, self.perm, self.mask)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LineTransform) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"LineTransform(n={self.n}, perm={self.perm}, mask={self.mask:#x})"
+
+
+def _negated(line: int, gate_negatives, mask: int) -> bool:
+    return (line in gate_negatives) != bool((mask >> line) & 1)
+
+
+def conjugate_gate(gate: Gate, transform: LineTransform) -> Gate:
+    """The gate ``g'`` with ``g'(y) = S(g(S^-1(y)))`` for all ``y``.
+
+    Raises :class:`UnsupportedTransform` when ``g'`` falls outside the
+    gate classes of :mod:`repro.core.gates` (see the module docstring
+    for the per-kind rules).
+    """
+    perm, mask = transform.perm, transform.mask
+    cls = gate.__class__
+    if cls is Toffoli:
+        negatives = gate.negative_controls
+        new_negatives = [perm[c] for c in gate.controls
+                         if _negated(c, negatives, mask)]
+        return Toffoli([perm[c] for c in gate.controls], perm[gate.target],
+                       negative_controls=new_negatives)
+    if cls is Fredkin:
+        if any((mask >> c) & 1 for c in gate.controls):
+            raise UnsupportedTransform(
+                f"{gate!r}: negating a Fredkin control needs a "
+                f"negative-control Fredkin")
+        a, b = gate.targets
+        if ((mask >> a) & 1) != ((mask >> b) & 1):
+            raise UnsupportedTransform(
+                f"{gate!r}: negating one swap target is not a Fredkin")
+        return Fredkin([perm[c] for c in gate.controls], perm[a], perm[b])
+    if cls in (Peres, InversePeres):
+        c = gate.control
+        a, b = gate.targets
+        if (mask >> c) & 1:
+            raise UnsupportedTransform(
+                f"{gate!r}: negating a Peres control is not representable")
+        flipped = bool((mask >> a) & 1)
+        out_cls = ((InversePeres if cls is Peres else Peres) if flipped
+                   else cls)
+        return out_cls(perm[c], perm[a], perm[b])
+    raise UnsupportedTransform(f"cannot conjugate gate kind {gate.kind!r}")
+
+
+class OrbitTransform:
+    """A signed-permutation conjugation with an optional inverse arm.
+
+    Acting on a truth table ``T``: first take ``T^-1`` when ``invert``
+    is set, then conjugate — ``x -> S(T(S^-1(x)))``.  The action on a
+    circuit realizing ``T`` produces a circuit realizing the
+    transformed table, with the *same gate count* (conjugation maps the
+    cascade gate by gate; the inverse arm reverses it through
+    :meth:`Circuit.inverse`).
+    """
+
+    __slots__ = ("line", "invert")
+
+    def __init__(self, line: LineTransform, invert: bool = False):
+        self.line = line
+        self.invert = bool(invert)
+
+    @classmethod
+    def identity(cls, n: int) -> "OrbitTransform":
+        return cls(LineTransform.identity(n), False)
+
+    @property
+    def n(self) -> int:
+        return self.line.n
+
+    def is_identity(self) -> bool:
+        return not self.invert and self.line.is_identity()
+
+    # -- group structure ------------------------------------------------------
+
+    def compose(self, other: "OrbitTransform") -> "OrbitTransform":
+        """``self o other`` as actions on tables (apply ``other`` first).
+
+        ``(S2, e2) o (S1, e1) = (S2 o S1, e1 * e2)``: the inverse arms
+        commute with conjugation, so they simply cancel in pairs.
+        """
+        return OrbitTransform(self.line.compose(other.line),
+                              self.invert != other.invert)
+
+    def inverse(self) -> "OrbitTransform":
+        return OrbitTransform(self.line.inverse(), self.invert)
+
+    # -- actions --------------------------------------------------------------
+
+    def apply_to_table(self, table: Sequence[int]) -> Tuple[int, ...]:
+        base = invert_permutation(table) if self.invert else tuple(table)
+        rows = len(base)
+        out = [0] * rows
+        apply = self.line.apply
+        for x in range(rows):
+            out[apply(x)] = apply(base[x])
+        return tuple(out)
+
+    def apply_to_spec(self, spec) -> "Specification":
+        """Transform a completely specified :class:`Specification`."""
+        from repro.core.spec import Specification
+        return Specification.from_permutation(
+            self.apply_to_table(spec.permutation()), name=spec.name)
+
+    def apply_to_circuit(self, circuit: Circuit) -> Circuit:
+        """A circuit realizing the transformed table, same gate count.
+
+        Identity transforms return the original object unchanged, so
+        same-frame store hits keep replaying the stored circuits byte
+        for byte.
+        """
+        if self.is_identity():
+            return circuit
+        base = circuit.inverse() if self.invert else circuit
+        return Circuit(circuit.n_lines,
+                       [conjugate_gate(g, self.line) for g in base.gates])
+
+    # -- serialization --------------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        return {"perm": list(self.line.perm), "mask": self.line.mask,
+                "invert": self.invert}
+
+    @classmethod
+    def from_payload(cls, payload: Dict, n: int) -> Optional["OrbitTransform"]:
+        """Rebuild from :meth:`to_payload` output; None when malformed."""
+        try:
+            perm = tuple(int(p) for p in payload["perm"])
+            mask = int(payload["mask"])
+            invert = bool(payload["invert"])
+            if len(perm) != n:
+                return None
+            return cls(LineTransform(n, perm, mask), invert)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _key(self):
+        return (self.line._key(), self.invert)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, OrbitTransform)
+                and self._key() == other._key())
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        arm = ", invert" if self.invert else ""
+        return (f"OrbitTransform(perm={self.line.perm}, "
+                f"mask={self.line.mask:#x}{arm})")

@@ -26,7 +26,7 @@ __all__ = [
 
 def popcount(value: int) -> int:
     """Number of set bits."""
-    return bin(value).count("1")
+    return value.bit_count()
 
 
 def is_permutation(table: Sequence[int]) -> bool:

@@ -63,6 +63,7 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "run_finished": ("spec", "engine", "status"),
     # Persistent store traffic (repro.store).
     "store_hit": ("spec", "engine"),
+    "orbit_hit": ("spec", "engine"),
     "bound_resumed": ("spec", "engine", "bound"),
     # Speculative depth pipelining.
     "speculation_committed": ("spec", "engine", "depth", "decision"),

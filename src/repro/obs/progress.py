@@ -65,6 +65,9 @@ def render_event(event: Dict) -> str:
                 f"in {event.get('runtime', 0.0):.2f}s")
     if kind == "store_hit":
         return f"{head}: served from the persistent store"
+    if kind == "orbit_hit":
+        return (f"{head}: replayed from an orbit-equivalent entry "
+                f"({event.get('mode', '?')} mode)")
     if kind == "bound_resumed":
         return (f"{head}: resuming after proven bound "
                 f"{event.get('bound')}")

@@ -77,6 +77,7 @@ def portfolio_synthesize(spec: Specification,
                          trace: Optional[str] = None,
                          workers: int = 0,
                          store: Optional[object] = None,
+                         orbit: bool = True,
                          engine_options: Optional[Dict] = None,
                          grace: float = 5.0):
     """Race ``engines`` on ``spec``; return the first complete result.
@@ -128,7 +129,7 @@ def portfolio_synthesize(spec: Specification,
         task = SynthesisTask(spec=spec, engine=name, library=library,
                              engine_options=options, max_gates=max_gates,
                              time_limit=time_limit, use_bounds=use_bounds,
-                             store_path=store_path)
+                             store_path=store_path, orbit=orbit)
         proc = ctx.Process(target=_race_worker,
                            args=(task, cancel_event, results_queue, racer_id,
                                  forward_events),

@@ -88,6 +88,7 @@ def speculative_synthesize(spec: Specification,
                            trace: Optional[str] = None,
                            workers: int = 2,
                            store: Optional[object] = None,
+                           orbit: bool = True,
                            engine_options: Optional[Dict] = None,
                            window: Optional[int] = None) -> SynthesisResult:
     """Iterative deepening with depths decided speculatively in parallel.
@@ -121,12 +122,14 @@ def speculative_synthesize(spec: Specification,
     key = None
     store_start_depth = start_depth
     if store is not None:
-        from repro.store import open_store, store_key
+        from repro.store import open_store
+        from repro.store.orbit import derive_store_key
         from repro.store.payload import (hit_trace_record, store_commit,
                                          store_lookup)
         store_obj = open_store(store)
-        key = store_key(spec, library, engine, max_gates=max_gates,
-                        use_bounds=use_bounds, engine_options=engine_options)
+        key = derive_store_key(spec, library, engine, max_gates=max_gates,
+                               use_bounds=use_bounds,
+                               engine_options=engine_options, orbit=orbit)
         hit, entry, start_depth = store_lookup(
             store_obj, key, spec, engine, start_depth)
         if hit is not None:
@@ -293,7 +296,7 @@ def speculative_synthesize(spec: Specification,
              wasted=wasted, dispatched=len(dispatched))
     obs.publish(result.metrics)
     if store_obj is not None:
-        store_commit(store_obj, key, result, library, start_depth)
+        store_commit(store_obj, key, result, library, start_depth, spec=spec)
     if trace is not None:
         extra = {"workers": workers,
                  "cpu_count": os.cpu_count() or 1,

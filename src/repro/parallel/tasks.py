@@ -51,6 +51,9 @@ class SynthesisTask:
     #: pickling, and each worker opens its own handle onto the shared
     #: directory (commits are first-writer-wins, so sharing is safe).
     store_path: Optional[str] = None
+    #: Orbit-canonicalized store addressing (the CLI's ``--no-orbit``
+    #: turns it off); ignored without ``store_path``.
+    orbit: bool = True
     #: Fault injection (tests only): SIGKILL the worker on first run.
     crash_once_file: Optional[str] = None
 
@@ -92,4 +95,5 @@ class SynthesisTask:
                           time_limit=self.time_limit,
                           use_bounds=self.use_bounds,
                           store=self.store_path,
+                          orbit=self.orbit,
                           **options)

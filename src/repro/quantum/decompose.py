@@ -78,7 +78,7 @@ def _mct_positive(controls: Sequence[int], target: int,
                 for bit in range(leader):
                     if (pattern >> bit) & 1:
                         sequence.append(cnot(controls[bit], controls[leader]))
-        sign = 1 if bin(pattern).count("1") % 2 == 1 else -1
+        sign = 1 if pattern.bit_count() % 2 == 1 else -1
         sequence.append(controlled_root(controls[leader], target, sign * root))
         last_pattern = pattern
     # No restoration needed: each leader block of the Gray sequence ends

@@ -23,10 +23,20 @@ and GC policy, and ``python -m repro cache`` for the maintenance CLI.
 
 from repro.store.digest import (
     KEY_FORMAT,
+    ORBIT_KEY_FORMAT,
     VOLATILE_OPTIONS,
     key_payload,
     library_payload,
+    payload_digest,
     store_key,
+)
+from repro.store.orbit import (
+    OrbitKey,
+    canonicalize,
+    derive_store_key,
+    fingerprint,
+    find_witness,
+    orbit_mode,
 )
 from repro.store.payload import (
     entry_from_result,
@@ -43,14 +53,22 @@ from repro.store.store import (
 
 __all__ = [
     "KEY_FORMAT",
+    "ORBIT_KEY_FORMAT",
+    "OrbitKey",
     "STORE_ENTRY_FORMAT",
     "SynthesisStore",
     "VOLATILE_OPTIONS",
+    "canonicalize",
+    "derive_store_key",
     "entry_from_result",
+    "fingerprint",
+    "find_witness",
     "hit_trace_record",
     "key_payload",
     "library_payload",
     "open_store",
+    "orbit_mode",
+    "payload_digest",
     "result_from_entry",
     "store_commit",
     "store_key",

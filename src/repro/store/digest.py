@@ -32,10 +32,17 @@ from typing import Dict, List, Mapping, Optional, Union
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
 
-__all__ = ["KEY_FORMAT", "VOLATILE_OPTIONS", "gate_payload",
-           "library_payload", "key_payload", "store_key"]
+__all__ = ["KEY_FORMAT", "ORBIT_KEY_FORMAT", "VOLATILE_OPTIONS",
+           "gate_payload", "library_payload", "key_payload",
+           "payload_digest", "store_key"]
 
 KEY_FORMAT = "repro-store-key-v1"
+
+#: Format tag of orbit-canonicalized keys (:mod:`repro.store.orbit`).
+#: A distinct tag keeps the two key spaces disjoint: entries committed
+#: under literal keys are never misread through an orbit witness and
+#: vice versa.
+ORBIT_KEY_FORMAT = "repro-store-key-orbit-v1"
 
 #: Engine options that change how a run is *executed or observed* but
 #: never which minimal networks it finds; they are excluded from the
@@ -108,10 +115,17 @@ def store_key(spec: Specification,
     payload = key_payload(spec, library, engine, max_gates=max_gates,
                           use_bounds=use_bounds,
                           engine_options=engine_options)
-    # sort_keys + tight separators: one canonical byte string per
-    # payload.  ``default=repr`` keeps exotic option values addressable
-    # (their repr had better be deterministic; the documented option
-    # surface is plain scalars).
+    return payload_digest(payload)
+
+
+def payload_digest(payload: Dict) -> str:
+    """SHA-256 hex digest of a key payload's canonical JSON bytes.
+
+    sort_keys + tight separators: one canonical byte string per
+    payload.  ``default=repr`` keeps exotic option values addressable
+    (their repr had better be deterministic; the documented option
+    surface is plain scalars).
+    """
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                       default=repr).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,366 @@
+"""Equivalence-orbit canonicalization of store keys.
+
+The literal store key (:func:`repro.store.digest.store_key`) addresses
+one truth table.  But the synthesis *answer* — minimal depth, solution
+count, quantum-cost range, and the solution set up to conjugation — is
+shared by the function's whole equivalence orbit under
+
+* **line permutation** (relabel the circuit lines),
+* **line negation**, conjugating by the *same* polarity mask on the
+  input and output side (independent input/output masks would change
+  gate counts — see :mod:`repro.core.transform`), and
+* the **functional inverse** (reverse the cascade, invert each gate);
+
+a group of order ``n! * 2^n * 2``.  This module maps a completely
+specified spec to a canonical orbit representative and derives the
+store key from *that*, so two relabeled/negated/inverted variants of
+one function share a cache entry.  A **witness transform** records how
+to rotate the stored circuits back into each caller's frame
+(:func:`repro.store.payload.store_lookup` replays and re-verifies
+them).
+
+Three modes, chosen by :func:`derive_store_key`:
+
+``exact`` (``n <= EXACT_MAX_LINES``)
+    Full lex-min search over the orbit with early-abort comparison:
+    every member canonicalizes to the identical representative, and the
+    witness is computed up front.  Signed-permutation lookup maps are
+    cached per width, so canonicalization costs well under a
+    millisecond for the paper's 3-line benchmarks.
+
+``bucket`` (``EXACT_MAX_LINES < n <= BUCKET_MAX_LINES``)
+    Exhausting ``n! * 2^n`` transforms is no longer cheap, so the key
+    is built from an orbit-invariant **fingerprint** (permutation cycle
+    type, sorted per-line toggle counts, displacement popcount
+    spectrum) and the witness is found *at hit time* by a pruned,
+    budget-bounded search between the stored and requesting tables
+    (:func:`find_witness`).  Distinct orbits may share a bucket; a
+    failed witness search simply degrades the lookup to a miss — never
+    a wrong answer.  The proven-bound ledger keeps using the literal
+    key in this mode (a bucket collision must not leak a depth bound
+    across orbits).
+
+``literal``
+    Byte-identical to :func:`store_key` — used for ``n`` beyond
+    ``BUCKET_MAX_LINES``, incompletely specified specs, libraries that
+    are not orbit-closed (:meth:`GateLibrary.closed_under_orbit`, e.g.
+    Peres-only) and ``orbit=False``, so existing stores keep working
+    unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.core.transform import LineTransform, OrbitTransform
+from repro.core.truth_table import invert_permutation
+from repro.store.digest import (ORBIT_KEY_FORMAT, key_payload,
+                                payload_digest, store_key)
+
+__all__ = ["BUCKET_MAX_LINES", "DEFAULT_MATCH_BUDGET", "EXACT_MAX_LINES",
+           "OrbitKey", "canonicalize", "derive_store_key", "find_witness",
+           "fingerprint", "orbit_mode", "spec_cells", "table_from_cells"]
+
+#: Widest function canonicalized by exhaustive lex-min search.
+EXACT_MAX_LINES = 4
+
+#: Widest function addressed by fingerprint buckets; beyond this the
+#: key falls back to the literal digest.
+BUCKET_MAX_LINES = 6
+
+#: Work cap (table-entry comparisons) for the hit-time witness search
+#: in bucket mode.  Exceeding it turns the lookup into a miss; the cap
+#: keeps a pathological (highly symmetric) 6-line lookup bounded.
+DEFAULT_MATCH_BUDGET = 250_000
+
+
+@dataclass
+class OrbitKey:
+    """Everything the store needs to address one synthesis request.
+
+    ``key`` addresses the result store; ``bounds_key`` the proven-bound
+    ledger (these differ only in bucket mode, where the fingerprint may
+    collide across orbits and depth bounds must not leak).  ``witness``
+    (exact mode) maps the canonical representative's frame to the
+    caller's: ``caller_table == witness(canonical_table)``.
+    """
+
+    key: str
+    bounds_key: str
+    mode: str  # "literal" | "exact" | "bucket"
+    witness: Optional[OrbitTransform] = None
+    subgroup: Tuple[str, ...] = ()
+    canon_time: float = 0.0
+
+
+def orbit_mode(spec: Specification, library: GateLibrary,
+               orbit: bool = True) -> str:
+    """Which canonicalization mode a request is eligible for."""
+    if not orbit or not spec.is_completely_specified() \
+            or not library.closed_under_orbit():
+        return "literal"
+    if spec.n_lines <= EXACT_MAX_LINES:
+        return "exact"
+    if spec.n_lines <= BUCKET_MAX_LINES:
+        return "bucket"
+    return "literal"
+
+
+# -- spec cells (entry metadata) ----------------------------------------------
+
+def spec_cells(table: Sequence[int], n: int) -> str:
+    """The row-major cell string of a complete table (cf. canonical_bytes)."""
+    return "".join(str((table[i] >> line) & 1)
+                   for i in range(1 << n) for line in range(n))
+
+
+def table_from_cells(cells: str, n: int) -> Optional[Tuple[int, ...]]:
+    """Invert :func:`spec_cells`; None when the string is malformed."""
+    rows = 1 << n
+    if len(cells) != rows * n or set(cells) - {"0", "1"}:
+        return None
+    return tuple(sum((cells[i * n + line] == "1") << line
+                     for line in range(n))
+                 for i in range(rows))
+
+
+# -- orbit-invariant fingerprint ----------------------------------------------
+
+def _line_toggle_counts(table: Sequence[int], n: int) -> List[int]:
+    """Per-line count of inputs whose output toggles that line.
+
+    Conjugating by a mask cancels it out of ``x ^ T(x)``, so the counts
+    are negation-invariant; a line permutation permutes them and the
+    inverse arm preserves them — which makes the *sorted* counts a
+    fingerprint component and the raw counts a pruning table for
+    :func:`find_witness` (line ``i`` can only map to a line with the
+    same count).
+    """
+    counts = [0] * n
+    for x, out in enumerate(table):
+        diff = x ^ out
+        while diff:
+            low = diff & -diff
+            counts[low.bit_length() - 1] += 1
+            diff ^= low
+    return counts
+
+
+def fingerprint(table: Sequence[int], n: int) -> Tuple:
+    """An orbit invariant of a complete truth table.
+
+    Components (each invariant under conjugation by signed line
+    permutations and under the functional inverse):
+
+    * the sorted cycle type of the ``2^n``-point permutation,
+    * the sorted per-line toggle counts,
+    * the histogram of ``popcount(x ^ T(x))`` over all inputs.
+    """
+    rows = 1 << n
+    seen = bytearray(rows)
+    cycles: List[int] = []
+    for start in range(rows):
+        if seen[start]:
+            continue
+        length = 0
+        x = start
+        while not seen[x]:
+            seen[x] = 1
+            x = table[x]
+            length += 1
+        cycles.append(length)
+    cycles.sort()
+    displacement = [0] * (n + 1)
+    for x, out in enumerate(table):
+        displacement[(x ^ out).bit_count()] += 1
+    return (n, tuple(cycles), tuple(sorted(_line_toggle_counts(table, n))),
+            tuple(displacement))
+
+
+# -- exact canonicalization ---------------------------------------------------
+
+#: (n, use_negation) -> [(perm, mask, lmap, linv)] for every signed
+#: permutation, in deterministic enumeration order.  The maps depend
+#: only on the width, so they are shared across all canonicalizations.
+_SIGNED_MAPS: Dict[Tuple[int, bool], List] = {}
+
+
+def _signed_maps(n: int, use_negation: bool) -> List:
+    cached = _SIGNED_MAPS.get((n, use_negation))
+    if cached is not None:
+        return cached
+    rows = 1 << n
+    maps = []
+    for perm in itertools.permutations(range(n)):
+        pmap = [0] * rows
+        for x in range(rows):
+            y = 0
+            for i in range(n):
+                y |= ((x >> i) & 1) << perm[i]
+            pmap[x] = y
+        for mask in range(rows) if use_negation else (0,):
+            # L(x) = P(x ^ mask): negate first, then relabel.
+            lmap = [pmap[x ^ mask] for x in range(rows)]
+            linv = [0] * rows
+            for x, y in enumerate(lmap):
+                linv[y] = x
+            maps.append((perm, mask, lmap, linv))
+    _SIGNED_MAPS[(n, use_negation)] = maps
+    return maps
+
+
+def canonicalize(table: Sequence[int], n: int, use_negation: bool
+                 ) -> Tuple[Tuple[int, ...], OrbitTransform]:
+    """The lex-min orbit representative and the witness back to ``table``.
+
+    Returns ``(canonical, witness)`` with
+    ``witness.apply_to_table(canonical) == tuple(table)``.  The search
+    enumerates every orbit element ``S o T^e o S^-1`` in a fixed order
+    (forward arm first, then the inverse; signed permutations in
+    enumeration order) and keeps the lexicographically smallest table —
+    comparisons abort at the first differing entry, so the common case
+    touches one or two entries per candidate.
+    """
+    rows = 1 << n
+    table = tuple(table)
+    best: Optional[Tuple[int, ...]] = None
+    best_transform = None
+    for invert in (False, True):
+        base = invert_permutation(table) if invert else table
+        for perm, mask, lmap, linv in _signed_maps(n, use_negation):
+            if best is None:
+                best = tuple(lmap[base[linv[y]]] for y in range(rows))
+                best_transform = (perm, mask, invert)
+                continue
+            for y in range(rows):
+                value = lmap[base[linv[y]]]
+                if value > best[y]:
+                    break
+                if value < best[y]:
+                    best = tuple(lmap[base[linv[y]]] for y in range(rows))
+                    best_transform = (perm, mask, invert)
+                    break
+    perm, mask, invert = best_transform
+    # best == W(table) with W = (S, invert); the stored witness maps the
+    # canonical frame back to the caller's: table == W^-1(best).
+    witness = OrbitTransform(LineTransform(n, perm, mask), invert).inverse()
+    return best, witness
+
+
+# -- bucket-mode witness search -----------------------------------------------
+
+def find_witness(stored: Sequence[int], caller: Sequence[int], n: int,
+                 use_negation: bool,
+                 budget: int = DEFAULT_MATCH_BUDGET
+                 ) -> Optional[OrbitTransform]:
+    """A transform ``W`` with ``caller == W(stored)``, or None.
+
+    Deterministic pruned search used by bucket-mode hits: candidate
+    line permutations must match the per-line toggle counts, and each
+    (permutation, mask, arm) candidate is checked entry by entry with
+    early abort.  The work is capped by ``budget`` comparisons — on
+    exhaustion (or a genuine cross-orbit bucket collision) the caller
+    treats the lookup as a miss, which is always sound.
+    """
+    rows = 1 << n
+    stored = tuple(stored)
+    caller = tuple(caller)
+    toggles_caller = _line_toggle_counts(caller, n)
+    ops = 0
+    for invert in (False, True):
+        base = invert_permutation(stored) if invert else stored
+        toggles_base = _line_toggle_counts(base, n)
+        for perm in itertools.permutations(range(n)):
+            if any(toggles_caller[perm[i]] != toggles_base[i]
+                   for i in range(n)):
+                continue
+            pmap = [0] * rows
+            for x in range(rows):
+                y = 0
+                for i in range(n):
+                    y |= ((x >> i) & 1) << perm[i]
+                pmap[x] = y
+            ops += rows
+            for mask in range(rows) if use_negation else (0,):
+                matched = True
+                for x in range(rows):
+                    ops += 1
+                    # caller(L(x)) == L(base(x)) with L(x) = P(x ^ m)
+                    if caller[pmap[x ^ mask]] != pmap[base[x] ^ mask]:
+                        matched = False
+                        break
+                if matched:
+                    return OrbitTransform(LineTransform(n, perm, mask),
+                                          invert)
+                if ops > budget:
+                    return None
+            if ops > budget:
+                return None
+    return None
+
+
+# -- key derivation -----------------------------------------------------------
+
+def _canonical_table_digest(table: Sequence[int], n: int) -> str:
+    blob = (f"repro-orbit-canon-v1:{n}:"
+            + ",".join(str(v) for v in table)).encode("ascii")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def derive_store_key(spec: Specification,
+                     library: GateLibrary,
+                     engine: Union[str, object],
+                     max_gates: Optional[int] = None,
+                     use_bounds: bool = False,
+                     engine_options: Optional[Mapping] = None,
+                     orbit: bool = True) -> OrbitKey:
+    """The orbit-aware store address for one synthesis configuration.
+
+    With ``orbit=False`` (or whenever :func:`orbit_mode` degrades) the
+    returned key is byte-identical to :func:`store_key`; otherwise the
+    key addresses the whole equivalence orbit, with the literal payload
+    fields (library content, engine, options, depth-range arguments)
+    unchanged so only same-configuration requests can ever share an
+    entry.
+    """
+    start = time.perf_counter()
+    literal = store_key(spec, library, engine, max_gates=max_gates,
+                        use_bounds=use_bounds, engine_options=engine_options)
+    mode = orbit_mode(spec, library, orbit=orbit)
+    if mode == "literal":
+        return OrbitKey(key=literal, bounds_key=literal, mode="literal",
+                        canon_time=time.perf_counter() - start)
+    closure = library.orbit_closure()
+    use_negation = "negate" in closure
+    subgroup = tuple(sorted(
+        {"permute", "invert"} | ({"negate"} if use_negation else set())))
+    n = spec.n_lines
+    table = spec.permutation()
+    payload = key_payload(spec, library, engine, max_gates=max_gates,
+                          use_bounds=use_bounds,
+                          engine_options=engine_options)
+    payload["format"] = ORBIT_KEY_FORMAT
+    witness = None
+    if mode == "exact":
+        canonical, witness = canonicalize(table, n, use_negation)
+        payload["spec"] = _canonical_table_digest(canonical, n)
+        payload["orbit"] = {"mode": "exact", "subgroup": list(subgroup)}
+        key = payload_digest(payload)
+        bounds_key = key
+    else:
+        payload["spec"] = None
+        payload["orbit"] = {"mode": "bucket", "subgroup": list(subgroup),
+                            "fingerprint": [list(part) if isinstance(part, tuple)
+                                            else part
+                                            for part in fingerprint(table, n)]}
+        key = payload_digest(payload)
+        bounds_key = literal
+    return OrbitKey(key=key, bounds_key=bounds_key, mode=mode,
+                    witness=witness, subgroup=subgroup,
+                    canon_time=time.perf_counter() - start)

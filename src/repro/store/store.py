@@ -81,6 +81,7 @@ class SynthesisStore:
         self.counters: Dict[str, int] = {
             "hits": 0, "misses": 0, "commits": 0, "commit_races": 0,
             "bounds_banked": 0, "bound_resumes": 0, "quarantined": 0,
+            "orbit_hits": 0, "orbit_mismatches": 0,
         }
 
     # -- result store ---------------------------------------------------------

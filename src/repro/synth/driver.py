@@ -172,6 +172,7 @@ def synthesize(spec: Specification,
                trace: Optional[str] = None,
                workers: int = 1,
                store: Optional[Union[str, object]] = None,
+               orbit: bool = True,
                **engine_options) -> SynthesisResult:
     """Exact synthesis: minimal number of library gates realizing ``spec``.
 
@@ -219,6 +220,17 @@ def synthesize(spec: Specification,
     be an engine *name*; an instance carries state the digest cannot
     faithfully address, so combining the two raises :class:`ValueError`.
 
+    ``orbit`` (default True) canonicalizes the store address over the
+    spec's equivalence orbit (:mod:`repro.store.orbit`): line
+    relabelings, negation conjugations and the functional inverse all
+    share one cache entry, replayed back into the caller's frame
+    through a recorded witness transform and re-verified gate for gate.
+    It silently degrades to the literal key for incompletely specified
+    functions, libraries not closed under the orbit group and wide
+    specs; ``orbit=False`` (the CLI's ``--no-orbit``) forces literal
+    addressing.  Cold-run results and records are identical either way
+    — only the cache address changes.
+
     **Parallel execution** (:mod:`repro.parallel`):
 
     * ``engine="portfolio"`` races every registered engine on the spec
@@ -242,14 +254,15 @@ def synthesize(spec: Specification,
             spec, resolved, max_gates=max_gates, time_limit=time_limit,
             use_bounds=use_bounds, trace=trace,
             workers=0 if workers <= 1 else workers,
-            store=store, engine_options=engine_options)
+            store=store, orbit=orbit, engine_options=engine_options)
     if workers > 1 and isinstance(engine, str) and engine in STATELESS_ENGINES:
         from repro.parallel.speculative import speculative_synthesize
         resolved = _resolve_library(spec, library, kinds, engine)
         return speculative_synthesize(
             spec, resolved, engine, max_gates=max_gates,
             time_limit=time_limit, use_bounds=use_bounds, trace=trace,
-            workers=workers, store=store, engine_options=engine_options)
+            workers=workers, store=store, orbit=orbit,
+            engine_options=engine_options)
 
     library = _resolve_library(spec, library, kinds, engine)
     start_depth, limit = plan_depth_range(spec, library, max_gates, use_bounds)
@@ -259,12 +272,14 @@ def synthesize(spec: Specification,
     store_start_depth = start_depth
     start = time.perf_counter()
     if store is not None:
-        from repro.store import open_store, store_key
+        from repro.store import open_store
+        from repro.store.orbit import derive_store_key
         from repro.store.payload import (hit_trace_record, store_commit,
                                          store_lookup)
         store_obj = open_store(store)
-        key = store_key(spec, library, engine, max_gates=max_gates,
-                        use_bounds=use_bounds, engine_options=engine_options)
+        key = derive_store_key(spec, library, engine, max_gates=max_gates,
+                               use_bounds=use_bounds,
+                               engine_options=engine_options, orbit=orbit)
         hit, entry, start_depth = store_lookup(
             store_obj, key, spec, engine, start_depth)
         if hit is not None:
@@ -354,7 +369,7 @@ def synthesize(spec: Specification,
         # Bank what this run proved — a definitive answer for the result
         # store, and the contiguous UNSAT prefix for the ledger even on
         # timeout/cancellation.
-        store_commit(store_obj, key, result, library, start_depth)
+        store_commit(store_obj, key, result, library, start_depth, spec=spec)
     if trace is not None:
         library_obj = getattr(instance, "library", library)
         extra = ({"store_resumed_from": result.store_resumed_from}

@@ -1,6 +1,6 @@
 """Equivalence checking for reversible circuits.
 
-A companion the paper's group published separately ("Equivalence Checking
+A companion paper the paper's group published separately ("Equivalence Checking
 of Reversible Circuits"): since reversible circuits are permutations,
 two circuits are equivalent iff their permutations coincide — checkable
 exhaustively for small widths or symbolically on BDDs (build both output

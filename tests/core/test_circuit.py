@@ -37,6 +37,36 @@ def test_permutation_always_bijective(rng):
         assert is_permutation(Circuit(4, gates).permutation())
 
 
+def test_permutation_matches_scalar_simulate(rng):
+    """The bit-parallel column evaluation equals the simulate() reference."""
+    from repro.core.gates import InversePeres
+    from repro.core.library import mcf_gates, mpmct_gates
+
+    for n in (1, 2, 3, 4, 5):
+        pool = list(mpmct_gates(n)) + list(mcf_gates(n))
+        if n >= 3:
+            pool += [Peres(0, 1, 2), InversePeres(2, 0, 1)]
+        for _ in range(10):
+            gates = [pool[rng.randrange(len(pool))]
+                     for _ in range(rng.randrange(8))]
+            circuit = Circuit(n, gates)
+            assert circuit.permutation() \
+                == tuple(circuit.simulate(x) for x in range(1 << n))
+
+
+def test_permutation_scalar_fallback_for_unknown_gate_classes():
+    class Swap01(Toffoli):  # subclass: not dispatched bit-parallel
+        def apply(self, state):
+            a, b = state & 1, (state >> 1) & 1
+            if a != b:
+                state ^= 0b11
+            return state
+
+    circuit = Circuit(2, [Swap01((), 0)])
+    assert circuit.permutation() \
+        == tuple(circuit.simulate(x) for x in range(4))
+
+
 def test_inverse_composes_to_identity(rng):
     gates = [Toffoli((0,), 1), Peres(1, 2, 0), Fredkin((0,), 1, 2),
              Toffoli((), 2), Peres(2, 0, 1)]

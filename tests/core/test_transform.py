@@ -1,0 +1,174 @@
+"""Signed line permutations, gate conjugation and library closure."""
+
+import itertools
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Fredkin, InversePeres, Peres, Toffoli
+from repro.core.library import GateLibrary
+from repro.core.transform import (LineTransform, OrbitTransform,
+                                  UnsupportedTransform, conjugate_gate)
+from repro.core.truth_table import invert_permutation
+
+
+def _all_line_transforms(n):
+    for perm in itertools.permutations(range(n)):
+        for mask in range(1 << n):
+            yield LineTransform(n, perm, mask)
+
+
+# -- LineTransform algebra ----------------------------------------------------
+
+def test_apply_negates_then_relabels():
+    # output bit perm[i] = input bit i XOR mask_i
+    t = LineTransform(3, (2, 0, 1), mask=0b001)
+    # input 0b011: negate -> 0b010; bit0->bit2, bit1->bit0, bit2->bit1
+    assert t.apply(0b011) == 0b001
+
+
+def test_compose_matches_table_composition():
+    for t1 in _all_line_transforms(2):
+        for t2 in _all_line_transforms(2):
+            composed = t2.compose(t1)
+            expected = tuple(t2.apply(t1.apply(x)) for x in range(4))
+            assert composed.table() == expected
+
+
+def test_inverse_is_a_two_sided_identity():
+    for t in _all_line_transforms(3):
+        inv = t.inverse()
+        assert t.compose(inv).is_identity()
+        assert inv.compose(t).is_identity()
+
+
+def test_invalid_perm_and_mask_rejected():
+    with pytest.raises(ValueError):
+        LineTransform(3, (0, 0, 1))
+    with pytest.raises(ValueError):
+        LineTransform(2, (0, 1), mask=4)
+
+
+# -- gate conjugation ---------------------------------------------------------
+
+def _check_conjugation(gate, transform):
+    """conjugate_gate must satisfy g'(y) = S(g(S^-1(y))) pointwise."""
+    conjugated = conjugate_gate(gate, transform)
+    inverse = transform.inverse()
+    for y in range(1 << transform.n):
+        assert conjugated.apply(y) == transform.apply(
+            gate.apply(inverse.apply(y)))
+
+
+def test_toffoli_conjugation_exhaustive():
+    gates = [Toffoli((0, 1), 2), Toffoli((0,), 1, negative_controls=(0,)),
+             Toffoli((), 0), Toffoli((1, 2), 0, negative_controls=(2,))]
+    for gate in gates:
+        for transform in _all_line_transforms(3):
+            _check_conjugation(gate, transform)
+
+
+def test_fredkin_conjugation_supported_cases():
+    gate = Fredkin((2,), 0, 1)
+    for transform in _all_line_transforms(3):
+        a_bit = (transform.mask >> 0) & 1
+        b_bit = (transform.mask >> 1) & 1
+        c_bit = (transform.mask >> 2) & 1
+        if c_bit or a_bit != b_bit:
+            with pytest.raises(UnsupportedTransform):
+                conjugate_gate(gate, transform)
+        else:
+            _check_conjugation(gate, transform)
+
+
+def test_peres_conjugation_swaps_classes_on_target_a_mask():
+    for cls in (Peres, InversePeres):
+        gate = cls(0, 1, 2)
+        for transform in _all_line_transforms(3):
+            c_bit = (transform.mask >> 0) & 1
+            a_bit = (transform.mask >> 1) & 1
+            if c_bit:
+                with pytest.raises(UnsupportedTransform):
+                    conjugate_gate(gate, transform)
+                continue
+            conjugated = conjugate_gate(gate, transform)
+            _check_conjugation(gate, transform)
+            if a_bit:
+                assert conjugated.__class__ is not gate.__class__
+            else:
+                assert conjugated.__class__ is gate.__class__
+
+
+# -- OrbitTransform -----------------------------------------------------------
+
+def test_orbit_compose_and_inverse_match_table_actions():
+    table = (7, 1, 4, 3, 0, 2, 6, 5)
+    w1 = OrbitTransform(LineTransform(3, (1, 2, 0), mask=0b010), invert=True)
+    w2 = OrbitTransform(LineTransform(3, (2, 0, 1), mask=0b101))
+    composed = w2.compose(w1)
+    assert composed.apply_to_table(table) \
+        == w2.apply_to_table(w1.apply_to_table(table))
+    assert w1.inverse().apply_to_table(w1.apply_to_table(table)) == table
+
+
+def test_inverse_arm_inverts_the_table():
+    table = (7, 1, 4, 3, 0, 2, 6, 5)
+    w = OrbitTransform(LineTransform.identity(3), invert=True)
+    assert w.apply_to_table(table) == invert_permutation(table)
+
+
+def test_apply_to_circuit_realizes_transformed_table_same_count():
+    circuit = Circuit(3, [Toffoli((0, 1), 2), Peres(0, 1, 2),
+                          Fredkin((), 0, 1)])
+    table = circuit.permutation()
+    w = OrbitTransform(LineTransform(3, (1, 0, 2)), invert=True)
+    transformed = w.apply_to_circuit(circuit)
+    assert len(transformed) == len(circuit)
+    assert transformed.permutation() == w.apply_to_table(table)
+
+
+def test_identity_transform_returns_the_same_circuit_object():
+    circuit = Circuit(3, [Toffoli((0,), 1)])
+    assert OrbitTransform.identity(3).apply_to_circuit(circuit) is circuit
+
+
+def test_payload_round_trip_and_malformed():
+    w = OrbitTransform(LineTransform(3, (2, 1, 0), mask=0b011), invert=True)
+    assert OrbitTransform.from_payload(w.to_payload(), 3) == w
+    assert OrbitTransform.from_payload({}, 3) is None
+    assert OrbitTransform.from_payload({"perm": [0, 1], "mask": 0,
+                                        "invert": False}, 3) is None
+
+
+# -- library closure ----------------------------------------------------------
+
+@pytest.mark.parametrize("kinds,expected", [
+    (("mct",), {"permute", "invert"}),
+    (("mpmct",), {"permute", "negate", "invert"}),
+    (("mct", "mcf"), {"permute", "invert"}),
+    (("peres",), {"permute"}),
+    (("peres", "inverse_peres"), {"permute", "invert"}),
+    (("mct", "peres"), {"permute"}),
+])
+def test_orbit_closure_by_library_content(kinds, expected):
+    library = GateLibrary.from_kinds(3, kinds)
+    assert set(library.orbit_closure()) == expected
+
+
+def test_closed_under_orbit_requires_permute_and_invert():
+    assert GateLibrary.from_kinds(3, ("mct",)).closed_under_orbit()
+    assert GateLibrary.from_kinds(3, ("mpmct",)).closed_under_orbit()
+    assert not GateLibrary.from_kinds(3, ("peres",)).closed_under_orbit()
+    assert not GateLibrary.from_kinds(3, ("mct", "peres")).closed_under_orbit()
+    assert GateLibrary.from_kinds(
+        3, ("peres", "inverse_peres")).closed_under_orbit()
+
+
+def test_closure_generators_actually_conjugate_into_the_set():
+    # Spot-check the meaning of closure: every MCT gate conjugated by a
+    # swap stays an MCT gate of the same library.
+    library = GateLibrary.from_kinds(3, ("mct",))
+    swap = LineTransform(3, (1, 0, 2))
+    gate_set = set(library.gates)
+    for gate in library.gates:
+        assert conjugate_gate(gate, swap) in gate_set

@@ -20,7 +20,7 @@ from repro.functions import get_spec
 from repro.parallel import SynthesisTask, run_suite
 from repro.parallel.portfolio import portfolio_synthesize
 from repro.parallel.speculative import speculative_synthesize
-from repro.store import open_store, store_key
+from repro.store import derive_store_key, open_store
 from repro.synth import synthesize
 
 
@@ -99,7 +99,7 @@ def test_bound_resumed_event(tmp_path):
     spec = get_spec("3_17")
     from repro.core.library import GateLibrary
     library = GateLibrary.from_kinds(spec.n_lines, ("mct",))
-    key = store_key(spec, library, "sat")
+    key = derive_store_key(spec, library, "sat").bounds_key
     handle = open_store(store_dir)
     handle.bank_bound(key, 3)  # depths 0..3 proven UNSAT by a past run
 

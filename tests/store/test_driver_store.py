@@ -8,7 +8,7 @@ import repro.obs as obs
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
 from repro.functions import get_spec
-from repro.store import SynthesisStore, store_key
+from repro.store import SynthesisStore, derive_store_key
 from repro.synth.bdd_engine import DepthOutcome
 from repro.synth.driver import ENGINES, synthesize
 
@@ -96,7 +96,8 @@ def test_interrupted_run_banks_bound_and_next_run_resumes(tmp_path,
     assert first.status == "timeout"
     assert [s.decision for s in first.per_depth] \
         == ["unsat", "unsat", "unsat", "unknown"]
-    key = store_key(_spec(), GateLibrary.from_kinds(3, ("mct",)), stub_engine)
+    key = derive_store_key(_spec(), GateLibrary.from_kinds(3, ("mct",)),
+                           stub_engine).bounds_key
     assert SynthesisStore(root).proven_bound(key) == 2
     second = synthesize(_spec(), engine=stub_engine, store=root)
     assert second.store_resumed_from == 2
@@ -109,7 +110,8 @@ def test_resumed_run_finds_the_identical_circuits(tmp_path, stub_engine):
     root = str(tmp_path / "store")
     baseline = synthesize(_spec(), engine="sat")
     store = SynthesisStore(root)
-    key = store_key(_spec(), GateLibrary.from_kinds(3, ("mct",)), "sat")
+    key = derive_store_key(_spec(), GateLibrary.from_kinds(3, ("mct",)),
+                           "sat").bounds_key
     store.bank_bound(key, 2)  # as a timed-out run would have
     resumed = synthesize(_spec(), engine="sat", store=root)
     assert resumed.store_resumed_from == 2
@@ -133,8 +135,8 @@ def test_gate_limit_answers_are_cached_too(tmp_path):
     assert cold.status == warm.status == "gate_limit"
     assert warm.store_hit
     store = SynthesisStore(root)
-    key = store_key(_spec(), GateLibrary.from_kinds(3, ("mct",)), "bdd",
-                    max_gates=2)
+    key = derive_store_key(_spec(), GateLibrary.from_kinds(3, ("mct",)),
+                           "bdd", max_gates=2).bounds_key
     assert store.proven_bound(key) == 2
 
 
@@ -160,6 +162,130 @@ def test_speculative_pipeline_uses_the_store(tmp_path):
     # The serial run shares the same key: hits across execution modes.
     serial = synthesize(_spec(), engine="sat", store=root)
     assert serial.store_hit
+
+
+def _variant(w, name="variant"):
+    return Specification.from_permutation(
+        w.apply_to_table(_spec().permutation()), name=name)
+
+
+def test_relabeled_variant_hits_via_orbit(tmp_path):
+    from repro.core.transform import LineTransform, OrbitTransform
+    from repro.verify import circuit_realizes
+
+    registry = obs.default_registry()
+    registry.reset()
+    root = str(tmp_path / "store")
+    cold = synthesize(_spec(), engine="bdd", store=root)
+    relabeled = _variant(OrbitTransform(LineTransform(3, (2, 0, 1))))
+    warm = synthesize(relabeled, engine="bdd", store=root)
+    assert warm.store_hit
+    assert warm.depth == cold.depth
+    assert warm.num_solutions == cold.num_solutions
+    # Replayed circuits realize the *caller's* spec, not the stored one.
+    assert all(circuit_realizes(c, relabeled) for c in warm.circuits)
+    snapshot = registry.snapshot()
+    assert snapshot["store.hits"] == 1
+    assert snapshot["store.orbit_hits"] == 1
+
+
+def test_inverse_variant_hits_via_orbit(tmp_path):
+    from repro.core.transform import LineTransform, OrbitTransform
+    from repro.verify import circuit_realizes
+
+    root = str(tmp_path / "store")
+    cold = synthesize(_spec(), engine="bdd", store=root)
+    inverse = _variant(OrbitTransform(LineTransform.identity(3), invert=True))
+    warm = synthesize(inverse, engine="bdd", store=root)
+    assert warm.store_hit
+    assert warm.depth == cold.depth
+    assert all(circuit_realizes(c, inverse) for c in warm.circuits)
+
+
+def test_negated_variant_hits_only_under_negation_closed_library(tmp_path):
+    from repro.core.transform import LineTransform, OrbitTransform
+    from repro.verify import circuit_realizes
+
+    w = OrbitTransform(LineTransform(3, (0, 1, 2), mask=0b011))
+    negated = _variant(w)
+
+    # mct is not closed under line negation: the orbit subgroup excludes
+    # it, so the negated variant is a genuine miss.
+    mct_root = str(tmp_path / "mct")
+    synthesize(_spec(), engine="bdd", store=mct_root)
+    assert not synthesize(negated, engine="bdd", store=mct_root).store_hit
+
+    # mpmct has negative controls: the same variant replays from cache.
+    mpmct_root = str(tmp_path / "mpmct")
+    library = GateLibrary.from_kinds(3, ("mpmct",))
+    synthesize(_spec(), library=library, engine="bdd", store=mpmct_root)
+    warm = synthesize(negated, library=GateLibrary.from_kinds(3, ("mpmct",)),
+                      engine="bdd", store=mpmct_root)
+    assert warm.store_hit
+    assert all(circuit_realizes(c, negated) for c in warm.circuits)
+
+
+def test_no_orbit_flag_isolates_the_key_spaces(tmp_path):
+    root = str(tmp_path / "store")
+    synthesize(_spec(), engine="bdd", store=root)           # canonical key
+    literal = synthesize(_spec(), engine="bdd", store=root, orbit=False)
+    assert not literal.store_hit                            # different key
+    again = synthesize(_spec(), engine="bdd", store=root, orbit=False)
+    assert again.store_hit                                  # literal warm
+
+
+def test_cold_record_identical_with_orbit_on_and_off(tmp_path):
+    """Canonicalizing the *address* must not change the *answer*."""
+    t_on = str(tmp_path / "on.jsonl")
+    t_off = str(tmp_path / "off.jsonl")
+    synthesize(_spec(), engine="bdd", store=str(tmp_path / "a"), trace=t_on)
+    synthesize(_spec(), engine="bdd", store=str(tmp_path / "b"), trace=t_off,
+               orbit=False)
+    (on,), _ = obs.read_trace(t_on)
+    (off,), _ = obs.read_trace(t_off)
+    assert _canonical_bytes(on) == _canonical_bytes(off)
+
+
+def test_orbit_hit_event_is_emitted(tmp_path):
+    from repro.core.transform import LineTransform, OrbitTransform
+
+    obs.reset_event_bus()
+    try:
+        root = str(tmp_path / "store")
+        synthesize(_spec(), engine="bdd", store=root)
+        stream = obs.event_stream()
+        synthesize(_variant(OrbitTransform(LineTransform(3, (1, 2, 0)))),
+                   engine="bdd", store=root)
+        events = stream.drain()
+        stream.close()
+        orbit_hits = [e for e in events if e["event"] == "orbit_hit"]
+        assert len(orbit_hits) == 1
+        assert orbit_hits[0]["mode"] == "exact"
+        assert [e for e in events if e["event"] == "store_hit"]
+    finally:
+        obs.reset_event_bus()
+
+
+def test_bucket_mode_orbit_hit_at_five_lines(tmp_path):
+    from repro.core.circuit import Circuit
+    from repro.core.gates import Toffoli
+    from repro.core.transform import LineTransform, OrbitTransform
+    from repro.verify import circuit_realizes
+
+    registry = obs.default_registry()
+    registry.reset()
+    table = Circuit(5, [Toffoli((0,), 1), Toffoli((2, 3), 4)]).permutation()
+    spec = Specification.from_permutation(table, name="bucket-base")
+    root = str(tmp_path / "store")
+    cold = synthesize(spec, engine="sat", store=root)
+    w = OrbitTransform(LineTransform(5, (4, 3, 2, 1, 0)))
+    variant = Specification.from_permutation(w.apply_to_table(table),
+                                             name="bucket-variant")
+    warm = synthesize(variant, engine="sat", store=root)
+    assert warm.store_hit
+    assert warm.depth == cold.depth
+    assert all(circuit_realizes(c, variant) for c in warm.circuits)
+    assert registry.snapshot()["store.orbit_hits"] == 1
 
 
 def test_suite_second_run_is_all_hits(tmp_path):

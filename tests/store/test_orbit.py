@@ -1,0 +1,211 @@
+"""Orbit canonicalization: keys, witnesses, fingerprints, mode choice."""
+
+import pytest
+
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.core.transform import LineTransform, OrbitTransform
+from repro.core.truth_table import random_permutation
+from repro.store import derive_store_key, store_key
+from repro.store.orbit import (BUCKET_MAX_LINES, EXACT_MAX_LINES,
+                               canonicalize, find_witness, fingerprint,
+                               orbit_mode, spec_cells, table_from_cells)
+
+PERM_3_17 = (7, 1, 4, 3, 0, 2, 6, 5)
+
+
+def _spec(table, name="s"):
+    return Specification.from_permutation(table, name=name)
+
+
+def _some_transforms(n, use_negation=True):
+    """A few orbit elements inside the allowed subgroup."""
+    yield OrbitTransform.identity(n)
+    yield OrbitTransform(LineTransform(n, tuple(reversed(range(n)))))
+    yield OrbitTransform(LineTransform.identity(n), invert=True)
+    perm = tuple((i + 1) % n for i in range(n))
+    yield OrbitTransform(LineTransform(n, perm, mask=1 if use_negation else 0),
+                         invert=True)
+
+
+# -- spec cells ---------------------------------------------------------------
+
+def test_spec_cells_round_trip():
+    for n, table in ((3, PERM_3_17), (4, random_permutation(4, 7))):
+        assert table_from_cells(spec_cells(table, n), n) == tuple(table)
+
+
+def test_table_from_cells_rejects_malformed():
+    assert table_from_cells("01", 3) is None
+    assert table_from_cells("x" * 24, 3) is None
+    # right length but not meaningful content is still decoded — the
+    # caller's witness search is what rejects non-matching tables
+    assert table_from_cells("0" * 24, 3) == (0,) * 8
+
+
+# -- canonicalization ---------------------------------------------------------
+
+@pytest.mark.parametrize("use_negation", [False, True])
+def test_orbit_members_share_the_canonical_representative(use_negation):
+    canonical, _ = canonicalize(PERM_3_17, 3, use_negation)
+    for w in _some_transforms(3, use_negation):
+        variant = w.apply_to_table(PERM_3_17)
+        other, _ = canonicalize(variant, 3, use_negation)
+        assert other == canonical
+
+
+def test_witness_maps_canonical_back_to_the_input():
+    for use_negation in (False, True):
+        for w in _some_transforms(3):
+            variant = w.apply_to_table(PERM_3_17)
+            canonical, witness = canonicalize(variant, 3, use_negation)
+            assert witness.apply_to_table(canonical) == variant
+
+
+def test_canonical_representative_is_an_orbit_minimum():
+    canonical, _ = canonicalize(PERM_3_17, 3, True)
+    for w in _some_transforms(3):
+        assert canonical <= w.apply_to_table(PERM_3_17)
+
+
+# -- fingerprint --------------------------------------------------------------
+
+def test_fingerprint_is_orbit_invariant():
+    table = random_permutation(5, 42)
+    base = fingerprint(table, 5)
+    for w in _some_transforms(5):
+        assert fingerprint(w.apply_to_table(table), 5) == base
+
+
+def test_fingerprint_separates_most_functions():
+    a = fingerprint(random_permutation(4, 1), 4)
+    b = fingerprint(random_permutation(4, 2), 4)
+    assert a != b  # not guaranteed in general, but holds for these seeds
+
+
+# -- witness search (bucket mode) --------------------------------------------
+
+def test_find_witness_recovers_a_transform():
+    table = random_permutation(5, 471)
+    for w in _some_transforms(5):
+        variant = w.apply_to_table(table)
+        found = find_witness(table, variant, 5, use_negation=True)
+        assert found is not None
+        assert found.apply_to_table(table) == variant
+
+
+def test_find_witness_cross_orbit_returns_none():
+    a = random_permutation(5, 3)
+    b = random_permutation(5, 4)
+    assert find_witness(a, b, 5, use_negation=True) is None
+
+
+def test_find_witness_budget_exhaustion_returns_none():
+    table = random_permutation(6, 9)
+    w = OrbitTransform(LineTransform(6, (5, 4, 3, 2, 1, 0), mask=0b111111))
+    variant = w.apply_to_table(table)
+    assert find_witness(table, variant, 6, use_negation=True, budget=1) is None
+
+
+# -- mode selection and key derivation ----------------------------------------
+
+def test_orbit_mode_by_width_and_library():
+    mct3 = GateLibrary.from_kinds(3, ("mct",))
+    assert orbit_mode(_spec(PERM_3_17), mct3) == "exact"
+    n5 = _spec(random_permutation(5, 1))
+    assert orbit_mode(n5, GateLibrary.from_kinds(5, ("mct",))) == "bucket"
+    n7 = _spec(random_permutation(7, 1))
+    assert orbit_mode(n7, GateLibrary.from_kinds(7, ("mct",))) == "literal"
+    peres3 = GateLibrary.from_kinds(3, ("peres",))
+    assert orbit_mode(_spec(PERM_3_17), peres3) == "literal"
+    assert orbit_mode(_spec(PERM_3_17), mct3, orbit=False) == "literal"
+
+
+def test_dont_care_specs_degrade_to_literal():
+    from repro.functions import get_spec
+    spec = get_spec("decod24-v0")  # incompletely specified benchmark
+    assert not spec.is_completely_specified()
+    library = GateLibrary.from_kinds(spec.n_lines, ("mct",))
+    key = derive_store_key(spec, library, "bdd")
+    assert key.mode == "literal"
+    assert key.key == store_key(spec, library, "bdd")
+
+
+def test_literal_mode_key_is_byte_identical_to_store_key():
+    spec = _spec(PERM_3_17)
+    library = GateLibrary.from_kinds(3, ("mct",))
+    literal = store_key(spec, library, "bdd", max_gates=5)
+    key = derive_store_key(spec, library, "bdd", max_gates=5, orbit=False)
+    assert key.mode == "literal"
+    assert key.key == literal and key.bounds_key == literal
+
+
+def test_exact_keys_shared_across_the_orbit():
+    library = GateLibrary.from_kinds(3, ("mct",))
+    base = derive_store_key(_spec(PERM_3_17), library, "bdd")
+    assert base.mode == "exact"
+    assert base.bounds_key == base.key
+    assert base.witness is not None
+    # mct is not negation-closed: stay inside the permute+invert subgroup
+    for w in _some_transforms(3, use_negation=False):
+        variant = derive_store_key(
+            _spec(w.apply_to_table(PERM_3_17)), library, "bdd")
+        assert variant.key == base.key
+
+
+def test_exact_keys_differ_across_engines_and_options():
+    library = GateLibrary.from_kinds(3, ("mct",))
+    spec = _spec(PERM_3_17)
+    a = derive_store_key(spec, library, "bdd")
+    b = derive_store_key(spec, library, "sat")
+    c = derive_store_key(spec, library, "bdd", max_gates=2)
+    assert len({a.key, b.key, c.key}) == 3
+
+
+def test_negation_subgroup_follows_library_closure():
+    spec = _spec(PERM_3_17)
+    mct = derive_store_key(spec, GateLibrary.from_kinds(3, ("mct",)), "bdd")
+    mpmct = derive_store_key(spec, GateLibrary.from_kinds(3, ("mpmct",)),
+                             "bdd")
+    assert "negate" not in mct.subgroup
+    assert "negate" in mpmct.subgroup
+    # A negated variant only shares the key under the negation-closed
+    # library.
+    w = OrbitTransform(LineTransform(3, (0, 1, 2), mask=0b101))
+    negated = _spec(w.apply_to_table(PERM_3_17))
+    assert derive_store_key(negated, GateLibrary.from_kinds(3, ("mpmct",)),
+                            "bdd").key == mpmct.key
+    assert derive_store_key(negated, GateLibrary.from_kinds(3, ("mct",)),
+                            "bdd").key != mct.key
+
+
+def test_bucket_mode_uses_literal_bounds_key():
+    library = GateLibrary.from_kinds(5, ("mct",))
+    spec = _spec(random_permutation(5, 8))
+    key = derive_store_key(spec, library, "sat")
+    assert key.mode == "bucket"
+    assert key.bounds_key == store_key(spec, library, "sat")
+    assert key.bounds_key != key.key
+    # orbit members share the bucket key but never the bounds key
+    w = OrbitTransform(LineTransform(5, (4, 0, 1, 2, 3)))
+    variant = _spec(w.apply_to_table(spec.permutation()))
+    vkey = derive_store_key(variant, library, "sat")
+    assert vkey.key == key.key
+    assert vkey.bounds_key != key.bounds_key
+
+
+def test_orbit_and_literal_key_spaces_are_disjoint():
+    library = GateLibrary.from_kinds(3, ("mct",))
+    spec = _spec(PERM_3_17)
+    orbit_key = derive_store_key(spec, library, "bdd")
+    assert orbit_key.key != store_key(spec, library, "bdd")
+
+
+def test_mode_boundaries():
+    assert EXACT_MAX_LINES == 4
+    lib4 = GateLibrary.from_kinds(4, ("mct",))
+    assert derive_store_key(_spec(random_permutation(4, 2)), lib4,
+                            "bdd").mode == "exact"
+    libmax = GateLibrary.from_kinds(BUCKET_MAX_LINES, ("mct",))
+    spec = _spec(random_permutation(BUCKET_MAX_LINES, 2))
+    assert derive_store_key(spec, libmax, "sat").mode == "bucket"

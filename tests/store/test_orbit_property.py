@@ -1,0 +1,100 @@
+"""Randomized orbit properties, seeded from ``REPRO_TEST_SEED``.
+
+Set the environment variable to re-run a failing seed deterministically:
+``REPRO_TEST_SEED=1234 pytest tests/store/test_orbit_property.py``.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Toffoli
+from repro.core.library import GateLibrary
+from repro.core.spec import Specification
+from repro.core.transform import LineTransform, OrbitTransform
+from repro.core.truth_table import random_permutation
+from repro.store.orbit import canonicalize, find_witness, fingerprint
+from repro.verify import circuit_realizes
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def _random_orbit_transform(rng, n, use_negation):
+    perm = list(range(n))
+    rng.shuffle(perm)
+    mask = rng.randrange(1 << n) if use_negation else 0
+    return OrbitTransform(LineTransform(n, perm, mask),
+                          invert=rng.random() < 0.5)
+
+
+def _random_mct_circuit(rng, n, length):
+    gates = []
+    for _ in range(length):
+        target = rng.randrange(n)
+        others = [l for l in range(n) if l != target]
+        controls = rng.sample(others, rng.randrange(len(others) + 1))
+        gates.append(Toffoli(controls, target))
+    return Circuit(n, gates)
+
+
+@pytest.mark.parametrize("trial", range(20))
+@pytest.mark.parametrize("use_negation", [False, True])
+def test_random_orbit_members_canonicalize_identically(trial, use_negation):
+    rng = random.Random(BASE_SEED * 1000 + trial)
+    n = rng.choice((3, 4))
+    table = random_permutation(n, rng.randrange(1 << 30))
+    canonical, witness = canonicalize(table, n, use_negation)
+    assert witness.apply_to_table(canonical) == table
+    for _ in range(3):
+        w = _random_orbit_transform(rng, n, use_negation)
+        variant = w.apply_to_table(table)
+        other, other_witness = canonicalize(variant, n, use_negation)
+        assert other == canonical
+        assert other_witness.apply_to_table(canonical) == variant
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_random_conjugated_replay_realizes_the_variant_spec(trial):
+    """The store's replay path, in miniature: a circuit realizing T,
+    conjugated through W_variant o W_stored^-1, realizes W(T) at the
+    identical gate count."""
+    rng = random.Random(BASE_SEED * 2000 + trial)
+    n = rng.choice((3, 4))
+    circuit = _random_mct_circuit(rng, n, rng.randrange(1, 6))
+    table = circuit.permutation()
+    canonical, stored_witness = canonicalize(table, n, use_negation=False)
+    w = _random_orbit_transform(rng, n, use_negation=False)
+    variant_table = w.apply_to_table(table)
+    _, variant_witness = canonicalize(variant_table, n, use_negation=False)
+    replay = variant_witness.compose(stored_witness.inverse())
+    replayed = replay.apply_to_circuit(circuit)
+    assert len(replayed) == len(circuit)
+    spec = Specification.from_permutation(variant_table, name="variant")
+    assert circuit_realizes(replayed, spec)
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_random_fingerprints_are_invariant_and_witnesses_found(trial):
+    rng = random.Random(BASE_SEED * 3000 + trial)
+    n = 5
+    table = random_permutation(n, rng.randrange(1 << 30))
+    base = fingerprint(table, n)
+    w = _random_orbit_transform(rng, n, use_negation=True)
+    variant = w.apply_to_table(table)
+    assert fingerprint(variant, n) == base
+    found = find_witness(table, variant, n, use_negation=True)
+    assert found is not None
+    assert found.apply_to_table(table) == variant
+
+
+def test_conjugated_gates_stay_inside_closed_libraries():
+    rng = random.Random(BASE_SEED * 4000)
+    library = GateLibrary.from_kinds(3, ("mpmct",))
+    gate_set = set(library.gates)
+    from repro.core.transform import conjugate_gate
+    for _ in range(50):
+        w = _random_orbit_transform(rng, 3, use_negation=True)
+        gate = rng.choice(library.gates)
+        assert conjugate_gate(gate, w.line) in gate_set
