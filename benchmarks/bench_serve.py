@@ -1,0 +1,290 @@
+"""Serve daemon: coalescing and store-first answering — identity-pinned.
+
+Two claims are measured, with correctness asserted before any speed
+number is reported (``docs/serving.md``):
+
+* **request coalescing** — 8 clients submit the *same* configuration
+  concurrently against a fresh daemon; exactly one synthesis runs, the
+  other seven attach as followers, every reply's canonical run record
+  is byte-identical to a serial ``repro synth`` of that spec, and the
+  8-way wall clock stays within ``MAX_CONCURRENT_RATIO``× the
+  single-request wall clock (the ISSUE's acceptance bar is 2×);
+* **store-first under load** — once the daemon's store holds the
+  answer, a concurrent mix of repeats and orbit variants is served
+  entirely from the store: zero syntheses, every reply's circuits
+  verified in the requester's own frame.
+
+Exports ``BENCH_serve.json`` (honoring ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE=0``).
+
+Run:  cd benchmarks && PYTHONPATH=../src python -m pytest bench_serve.py -q -s
+ or:  PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _tables import append_history, machine_calibration, print_table
+
+import repro.obs as obs
+from repro.core.library import GateLibrary
+from repro.core.realfmt import parse_real
+from repro.core.spec import Specification
+from repro.core.transform import LineTransform, OrbitTransform
+from repro.functions import get_spec
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.synth import synthesize
+from repro.verify import circuit_realizes
+
+#: The coalescing workload: slow enough for 7 followers to attach while
+#: the leader's run is still deepening, fast enough for CI.
+COALESCE_BENCH = "decod24-v3"
+COALESCE_ENGINE = "sat"
+
+#: Store-first workload: the all-minimal-networks BDD answer for 3_17,
+#: replayed into relabeled/negated/inverted frames.
+STORE_BENCH = "3_17"
+STORE_ENGINE = "bdd"
+STORE_KINDS = "mpmct"
+
+CLIENTS = 8
+
+#: Acceptance ceiling: 8 concurrent identical requests must finish
+#: within this factor of one request's wall clock.
+MAX_CONCURRENT_RATIO = 2.0
+
+TIME_LIMIT = 120.0
+
+_payload = {}
+
+
+def _json_path():
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, "BENCH_serve.json")
+
+
+def _fresh_server(root, **overrides):
+    obs.reset_event_bus()
+    obs.default_registry().reset()
+    config = ServeConfig(port=0, store=root, max_concurrency=2,
+                         drain_grace=1.0, **overrides)
+    thread = ServerThread(config)
+    return thread, thread.start()
+
+
+def _canonical(record):
+    return json.dumps(obs.canonical_record(record), sort_keys=True)
+
+
+def test_eight_identical_requests_cost_one_synthesis():
+    spec = get_spec(COALESCE_BENCH)
+    library = GateLibrary.from_kinds(spec.n_lines, ("mct",))
+    serial = synthesize(spec, kinds=("mct",), engine=COALESCE_ENGINE,
+                        time_limit=TIME_LIMIT)
+    assert serial.realized
+    expected = _canonical(obs.build_run_record(serial, library))
+
+    request = dict(benchmark=COALESCE_BENCH, engine=COALESCE_ENGINE,
+                   time_limit=TIME_LIMIT)
+
+    # Single-request wall clock: fresh daemon, fresh store, one client.
+    root = tempfile.mkdtemp(prefix="bench-serve-single-")
+    thread, server = _fresh_server(root)
+    try:
+        start = time.perf_counter()
+        with ServeClient(server.addresses[0], timeout=TIME_LIMIT) as client:
+            reply = client.synth_wait(**request)
+        single_s = time.perf_counter() - start
+        assert reply["status"] == "realized"
+        assert _canonical(reply["record"]) == expected
+    finally:
+        thread.shutdown()
+        shutil.rmtree(root, ignore_errors=True)
+
+    # 8 concurrent identical requests: fresh daemon again.
+    root = tempfile.mkdtemp(prefix="bench-serve-coalesce-")
+    thread, server = _fresh_server(root)
+    try:
+        address = server.addresses[0]
+        replies = [None] * CLIENTS
+        barrier = threading.Barrier(CLIENTS + 1)
+
+        def submit(slot):
+            with ServeClient(address, timeout=TIME_LIMIT) as client:
+                barrier.wait()
+                replies[slot] = client.synth_wait(**request)
+
+        workers = [threading.Thread(target=submit, args=(slot,))
+                   for slot in range(CLIENTS)]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for worker in workers:
+            worker.join(timeout=300)
+        concurrent_s = time.perf_counter() - start
+
+        with ServeClient(address, timeout=30.0) as client:
+            stats = client.stats()
+    finally:
+        thread.shutdown()
+        shutil.rmtree(root, ignore_errors=True)
+
+    # Correctness first: one synthesis, every reply the serial record.
+    assert stats["serve"]["serve.syntheses"] == 1, \
+        f"expected 1 synthesis for {CLIENTS} identical requests: " \
+        f"{stats['serve']}"
+    followers = stats["serve"].get("serve.coalesced_followers", 0)
+    store_hits = stats["serve"].get("serve.store_hits", 0)
+    assert followers + store_hits == CLIENTS - 1
+    for reply in replies:
+        assert reply is not None and reply["status"] == "realized"
+        assert _canonical(reply["record"]) == expected, \
+            "a daemon reply diverged from the serial repro synth record"
+
+    ratio = concurrent_s / single_s if single_s else float("inf")
+    assert ratio <= MAX_CONCURRENT_RATIO, \
+        f"{CLIENTS} coalesced requests took {ratio:.2f}x one request " \
+        f"(ceiling {MAX_CONCURRENT_RATIO}x)"
+    _payload["coalesce"] = {
+        "benchmark": COALESCE_BENCH, "engine": COALESCE_ENGINE,
+        "clients": CLIENTS, "single_s": single_s,
+        "concurrent_s": concurrent_s, "ratio": ratio,
+        "syntheses": stats["serve"]["serve.syntheses"],
+        "coalesced_followers": followers, "store_hits": store_hits,
+    }
+
+
+def test_store_first_serves_orbit_mix_with_zero_syntheses():
+    base = get_spec(STORE_BENCH)
+    variants = [
+        OrbitTransform(LineTransform(3, (2, 0, 1))),
+        OrbitTransform(LineTransform(3, (1, 2, 0), mask=0b110)),
+        OrbitTransform(LineTransform.identity(3), invert=True),
+        OrbitTransform(LineTransform(3, (2, 0, 1), mask=0b011), invert=True),
+    ]
+
+    def variant_spec(index):
+        transform = variants[index % len(variants)]
+        return Specification.from_permutation(
+            transform.apply_to_table(base.permutation()),
+            name=f"{STORE_BENCH}~v{index}")
+
+    root = tempfile.mkdtemp(prefix="bench-serve-store-")
+    thread, server = _fresh_server(root)
+    try:
+        address = server.addresses[0]
+        with ServeClient(address, timeout=TIME_LIMIT) as client:
+            warm = client.synth_wait(benchmark=STORE_BENCH,
+                                     engine=STORE_ENGINE, kinds=STORE_KINDS)
+            assert warm["status"] == "realized"
+
+        replies = [None] * CLIENTS
+        specs = [base if slot % 2 == 0 else variant_spec(slot)
+                 for slot in range(CLIENTS)]
+        barrier = threading.Barrier(CLIENTS + 1)
+
+        def submit(slot):
+            spec = specs[slot]
+            request = (dict(benchmark=STORE_BENCH)
+                       if slot % 2 == 0
+                       else dict(perm=list(spec.permutation()),
+                                 name=spec.name))
+            with ServeClient(address, timeout=TIME_LIMIT) as client:
+                barrier.wait()
+                replies[slot] = client.synth_wait(
+                    engine=STORE_ENGINE, kinds=STORE_KINDS, **request)
+
+        workers = [threading.Thread(target=submit, args=(slot,))
+                   for slot in range(CLIENTS)]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for worker in workers:
+            worker.join(timeout=300)
+        mixed_s = time.perf_counter() - start
+
+        with ServeClient(address, timeout=30.0) as client:
+            stats = client.stats()
+    finally:
+        thread.shutdown()
+        shutil.rmtree(root, ignore_errors=True)
+
+    # One synthesis total (the warm-up); the mixed phase was all store.
+    assert stats["serve"]["serve.syntheses"] == 1, stats["serve"]
+    assert stats["serve"]["serve.store_hits"] == CLIENTS
+    for slot, reply in enumerate(replies):
+        assert reply is not None and reply["served"] == "store", reply
+        assert reply["circuits"], "store hit replayed no circuits"
+        for text in reply["circuits"]:
+            circuit, _ = parse_real(text)
+            assert circuit_realizes(circuit, specs[slot]), \
+                f"slot {slot}: replayed circuit wrong in its own frame"
+    _payload["store_first"] = {
+        "benchmark": STORE_BENCH, "engine": STORE_ENGINE,
+        "kinds": STORE_KINDS, "clients": CLIENTS,
+        "orbit_variants": CLIENTS // 2, "mixed_s": mixed_s,
+        "per_reply_s": mixed_s / CLIENTS,
+        "store_hits": stats["serve"]["serve.store_hits"],
+    }
+
+
+def _export():
+    if not _payload:
+        return
+    _payload.update({
+        "bench": "serve",
+        "clients": CLIENTS,
+        "max_concurrent_ratio": MAX_CONCURRENT_RATIO,
+        "time_limit_s": TIME_LIMIT,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "calibration_s": machine_calibration(),
+    })
+    path = _json_path()
+    if path:
+        with open(path, "w") as handle:
+            json.dump(_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    append_history("serve", _payload)
+    rows = []
+    coalesce = _payload.get("coalesce")
+    if coalesce:
+        rows.append(
+            f"{'coalesce ' + coalesce['benchmark']:22s} "
+            f"{coalesce['single_s']:8.3f}s {coalesce['concurrent_s']:8.3f}s "
+            f"{coalesce['ratio']:7.2f}x  {coalesce['syntheses']} synth")
+    store_first = _payload.get("store_first")
+    if store_first:
+        rows.append(
+            f"{'store-mix ' + store_first['benchmark']:22s} "
+            f"{'-':>9s} {store_first['mixed_s']:8.3f}s "
+            f"{'-':>8s}  {store_first['store_hits']} hits")
+    if rows:
+        header = (f"{'PHASE':22s} {'1 CLIENT':>9s} {'8 CLIENTS':>9s} "
+                  f"{'RATIO':>8s}  OUTCOME")
+        print_table("SERVE DAEMON — identical records asserted, then speed",
+                    header, rows,
+                    "Coalesce = one synthesis answers 8 equivalent clients; "
+                    "store-mix = repeats + orbit variants, engines idle.")
+
+
+def teardown_module(module):
+    _export()
+
+
+if __name__ == "__main__":
+    test_eight_identical_requests_cost_one_synthesis()
+    test_store_first_serves_orbit_mix_with_zero_syntheses()
+    _export()

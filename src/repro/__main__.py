@@ -30,6 +30,12 @@ Commands
               ``docs/observability.md``) into a table.
 ``cache``     inspect and maintain the persistent synthesis store
               (``stats``/``ls``/``gc``/``clear`` — see ``docs/store.md``).
+``serve``     run the synthesis daemon: store-first answering, request
+              coalescing over orbit-equivalent specs, warm engine
+              sessions, admission control and streamed progress over a
+              TCP or unix socket (see ``docs/serving.md``).
+``request``   submit one synthesis request to a running daemon (or ask
+              it for ``--stats`` / ``--shutdown``).
 
 ``synth`` and ``suite`` accept ``--store DIR`` (default: the
 ``REPRO_STORE`` environment variable) to serve repeat configurations
@@ -521,7 +527,8 @@ def _cmd_cache(args) -> int:
         return 2
     store = open_store(root)
     if args.action == "stats":
-        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+        payload = store.stats_payload() if args.json else store.stats()
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     if args.action == "ls":
         print(f"{'KEY':16s} {'SPEC':14s} {'ENGINE':7s} {'STATUS':10s} "
@@ -551,6 +558,106 @@ def _cmd_cache(args) -> int:
         print(f"cleared store at {store.root}")
         return 0
     raise AssertionError(f"unhandled cache action {args.action!r}")
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, SynthesisServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=None if args.socket else args.port,
+        socket_path=args.socket,
+        store=_resolve_store(args),
+        max_concurrency=max(1, args.max_concurrency),
+        queue_limit=max(0, args.queue_limit),
+        pool_size=max(0, args.pool_size),
+        drain_grace=max(0.0, args.drain_grace),
+        orbit=not getattr(args, "no_orbit", False),
+    )
+    server = SynthesisServer(config)
+
+    def announce(ready_server) -> None:
+        store_line = (config.store if config.store
+                      else "(ephemeral, discarded on exit)")
+        print(f"repro serve listening on {ready_server.describe_address()}",
+              flush=True)
+        print(f"  store: {store_line}", flush=True)
+        print(f"  max_concurrency={config.max_concurrency} "
+              f"queue_limit={config.queue_limit} "
+              f"pool_size={config.pool_size}", flush=True)
+
+    try:
+        asyncio.run(server.run(ready=announce))
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; a second ^C lands here
+    print("repro serve: drained, exiting", flush=True)
+    return 0
+
+
+def _cmd_request(args) -> int:
+    from repro.serve import ServeClient
+
+    try:
+        client = ServeClient(args.connect, timeout=args.timeout)
+    except (ConnectionError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            ok = client.shutdown()
+            print("daemon draining" if ok else "shutdown refused")
+            return 0 if ok else 1
+        request = {"engine": args.engine, "kinds": args.kinds,
+                   "stream": bool(args.stream),
+                   "orbit": not args.no_orbit}
+        if args.benchmark:
+            request["benchmark"] = args.benchmark
+        else:
+            request["perm"] = [int(v) for v in args.perm.split(",")]
+            if args.name:
+                request["name"] = args.name
+        for key, value in (("max_gates", args.max_gates),
+                           ("time_limit", args.time_limit),
+                           ("deadline", args.deadline)):
+            if value is not None:
+                request[key] = value
+        if args.use_bounds:
+            request["use_bounds"] = True
+        final = None
+        try:
+            for frame in client.synth(**request):
+                if frame.get("type") == "event":
+                    payload = frame["payload"]
+                    print(f"  [{payload.get('event', '?')}] "
+                          + " ".join(f"{k}={v}" for k, v in payload.items()
+                                     if k not in ("event", "ts", "seq", "v")),
+                          flush=True)
+                else:
+                    final = frame
+        except ConnectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if final is None or final.get("type") == "error":
+        code = final.get("code", "?") if final else "connection-lost"
+        message = final.get("message", "") if final else ""
+        print(f"error [{code}]: {message}", file=sys.stderr)
+        return 1
+    record = final["record"]
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if final.get("status") == "realized" else 1
+    print(f"{record.get('spec', '?')}: {final.get('status')} "
+          f"(depth {final.get('depth')}, served: {final.get('served')}"
+          f"{', coalesced' if final.get('coalesced') else ''})")
+    for text in final.get("circuits", []):
+        print()
+        print(text.rstrip("\n"))
+    return 0 if final.get("status") == "realized" else 1
 
 
 def _cmd_decompose(args) -> int:
@@ -749,7 +856,80 @@ def build_parser() -> argparse.ArgumentParser:
                        help="store directory (default: $REPRO_STORE)")
     cache.add_argument("--max-bytes", type=int, default=None,
                        help="size budget for gc")
+    cache.add_argument("--json", action="store_true",
+                       help="with stats: print the versioned "
+                            "repro-cache-stats-v1 payload (the same "
+                            "document the serve daemon's stats RPC "
+                            "embeds as its store section)")
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the synthesis daemon (see docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7077,
+                       help="TCP port; 0 picks a free one (default 7077)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="serve on a unix socket instead of TCP")
+    serve.add_argument("--max-concurrency", type=int, default=2,
+                       help="synthesis jobs running at once (default 2; "
+                            "the engines are GIL-bound — the win is "
+                            "coalescing and warm state, not CPU fan-out)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="jobs allowed to wait before requests are "
+                            "rejected with queue_full (default 32)")
+    serve.add_argument("--pool-size", type=int, default=8,
+                       help="warm engine sessions kept across requests "
+                            "(default 8; 0 disables the pool)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       help="seconds in-flight runs get to finish on "
+                            "SIGTERM before cooperative cancellation "
+                            "(default 5)")
+    _add_store_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    request = sub.add_parser(
+        "request", help="submit one request to a running serve daemon")
+    request.add_argument("--connect", metavar="ADDR", required=True,
+                         help="daemon address: host:port or a unix "
+                              "socket path")
+    group = request.add_mutually_exclusive_group(required=True)
+    group.add_argument("--benchmark", "-b", choices=sorted(SUITE),
+                       help="benchmark name from the suite")
+    group.add_argument("--perm", "-p",
+                       help="explicit permutation, e.g. 7,1,4,3,0,2,6,5")
+    group.add_argument("--stats", action="store_true",
+                       help="print the daemon's stats payload and exit")
+    group.add_argument("--shutdown", action="store_true",
+                       help="ask the daemon to drain and exit")
+    request.add_argument("--name", default=None,
+                         help="spec name for --perm requests")
+    request.add_argument("--kinds", default="mct",
+                         help="gate library, e.g. mct, mct+mcf")
+    request.add_argument("--engine", default="bdd",
+                         choices=("bdd", "qbf", "sat", "sword"))
+    request.add_argument("--max-gates", type=int, default=None)
+    request.add_argument("--time-limit", type=float, default=None,
+                         help="engine time budget in seconds")
+    request.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds; the "
+                              "daemon replies deadline_exceeded when "
+                              "the answer is not ready in time")
+    request.add_argument("--use-bounds", action="store_true",
+                         help="start deepening from the proven lower "
+                              "bound")
+    request.add_argument("--no-orbit", action="store_true",
+                         help="address the daemon's store by the "
+                              "literal digest (disables coalescing "
+                              "with orbit-equivalent requests)")
+    request.add_argument("--stream", action="store_true",
+                         help="print live progress events while the "
+                              "daemon works")
+    request.add_argument("--json", action="store_true",
+                         help="print the full run record as JSON")
+    request.add_argument("--timeout", type=float, default=300.0,
+                         help="client socket timeout in seconds")
+    request.set_defaults(func=_cmd_request)
     return parser
 
 

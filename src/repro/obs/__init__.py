@@ -34,8 +34,10 @@ from repro.obs.events import (
     EVENT_TYPES,
     EventBus,
     EventStream,
+    current_scope,
     emit,
     emit_forwarded,
+    event_scope,
     event_stream,
     events_enabled,
     get_event_bus,
@@ -102,9 +104,11 @@ __all__ = [
     "append_record",
     "build_run_record",
     "canonical_record",
+    "current_scope",
     "default_registry",
     "emit",
     "emit_forwarded",
+    "event_scope",
     "event_stream",
     "events_enabled",
     "get_event_bus",

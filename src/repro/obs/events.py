@@ -25,6 +25,13 @@ always-on metric counters.  Subscribers attach either as callbacks
 drops its oldest events rather than block the emitter, and counts the
 drops).
 
+Concurrent emitters in one process — the serve daemon runs one
+synthesis per worker thread — share the bus safely: sequence numbers
+are lock-allocated, and :func:`event_scope` tags each context's events
+with a ``scope`` field so one subscriber can demultiplex interleaved
+runs.
+
+
 Multiprocess forwarding: forked workers inherit the parent's bus *and
 its subscribers*, which would make a child renderer print directly —
 every worker entry point therefore calls :func:`reset_event_bus`
@@ -38,13 +45,17 @@ they happen rather than at task completion.
 
 from __future__ import annotations
 
+import contextvars
+import threading
 import time
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["EVENT_FORMAT", "EVENT_SCHEMA_VERSION", "EVENT_TYPES",
-           "EventBus", "EventStream", "emit", "emit_forwarded",
-           "event_stream", "events_enabled", "get_event_bus",
-           "reset_event_bus", "subscribe", "validate_event"]
+           "EventBus", "EventStream", "current_scope", "emit",
+           "emit_forwarded", "event_scope", "event_stream",
+           "events_enabled", "get_event_bus", "reset_event_bus",
+           "subscribe", "validate_event"]
 
 EVENT_FORMAT = "repro-event-v1"
 
@@ -107,6 +118,36 @@ def validate_event(event: Dict) -> List[str]:
     return problems
 
 
+#: Per-task scope tag attached to every event emitted while a scope is
+#: active.  ``contextvars`` makes the tag local to the emitting thread
+#: or asyncio task, so concurrent syntheses in one process (the serve
+#: daemon's worker threads) can be demultiplexed by consumers without
+#: any coordination between the emitters.
+_scope_var: contextvars.ContextVar[Optional[str]] = \
+    contextvars.ContextVar("repro_event_scope", default=None)
+
+
+def current_scope() -> Optional[str]:
+    """The scope tag events emitted from this context will carry."""
+    return _scope_var.get()
+
+
+@contextmanager
+def event_scope(tag: Optional[str]):
+    """Tag every event emitted inside the block with ``scope=tag``.
+
+    Scopes nest (the innermost wins) and are context-local: two threads
+    — or two asyncio tasks — each running a synthesis under their own
+    scope never see each other's tag.  A ``None`` tag clears the scope
+    for the block.
+    """
+    token = _scope_var.set(tag)
+    try:
+        yield tag
+    finally:
+        _scope_var.reset(token)
+
+
 class EventStream:
     """Bounded-queue subscriber: iterate to drain buffered events.
 
@@ -160,9 +201,19 @@ class EventBus:
     ``last_subscriber_error`` keeps the most recent exception for
     inspection.  Broken pipes (a forwarder whose parent went away) are
     expected during shutdown and are swallowed without counting.
+
+    Subscribe, unsubscribe and emit are safe to call concurrently from
+    multiple threads (the serve daemon runs one synthesis per worker
+    thread): sequence numbers are allocated under a lock so they stay
+    unique and monotone, and dispatch iterates a snapshot of the
+    subscriber list.  Callbacks themselves run on the *emitting*
+    thread, outside the lock — a subscriber shared between concurrent
+    runs must do its own locking or demultiplex on the event's
+    ``scope`` tag (see :func:`event_scope`).
     """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._subscribers: List[Callable[[Dict], None]] = []
         self._seq = 0
         self.subscriber_errors = 0
@@ -172,13 +223,15 @@ class EventBus:
 
     def subscribe(self, callback: Callable[[Dict], None]) -> Callable[[], None]:
         """Attach a callback; returns a zero-argument unsubscriber."""
-        self._subscribers.append(callback)
+        with self._lock:
+            self._subscribers.append(callback)
 
         def unsubscribe() -> None:
-            try:
-                self._subscribers.remove(callback)
-            except ValueError:
-                pass  # already detached
+            with self._lock:
+                try:
+                    self._subscribers.remove(callback)
+                except ValueError:
+                    pass  # already detached
 
         return unsubscribe
 
@@ -202,11 +255,17 @@ class EventBus:
         if not self._subscribers:
             return None
         assert event_type in EVENT_TYPES, f"unknown event {event_type!r}"
-        self._seq += 1
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            subscribers = list(self._subscribers)
         event = {"event": event_type, "v": EVENT_SCHEMA_VERSION,
-                 "seq": self._seq, "ts": time.time()}
+                 "seq": seq, "ts": time.time()}
+        scope = _scope_var.get()
+        if scope is not None:
+            event["scope"] = scope
         event.update(fields)
-        self._dispatch(event)
+        self._dispatch(event, subscribers)
         return event
 
     def emit_forwarded(self, event: Dict) -> None:
@@ -218,10 +277,17 @@ class EventBus:
         """
         if not self._subscribers:
             return
-        self._dispatch(event)
+        with self._lock:
+            subscribers = list(self._subscribers)
+        self._dispatch(event, subscribers)
 
-    def _dispatch(self, event: Dict) -> None:
-        for callback in list(self._subscribers):
+    def _dispatch(self, event: Dict,
+                  subscribers: Optional[List[Callable[[Dict], None]]] = None,
+                  ) -> None:
+        if subscribers is None:
+            with self._lock:
+                subscribers = list(self._subscribers)
+        for callback in subscribers:
             try:
                 callback(event)
             except (BrokenPipeError, EOFError, OSError):
@@ -235,8 +301,10 @@ class EventBus:
 
         Forked workers call this before attaching their pipe forwarder
         so subscribers inherited from the parent never fire in the
-        child.
+        child.  The lock is replaced first: a fork can snapshot the
+        parent mid-emit, leaving the inherited lock held forever.
         """
+        self._lock = threading.Lock()
         self._subscribers = []
         self._seq = 0
         self.subscriber_errors = 0

@@ -20,6 +20,7 @@ per-depth figures into a whole-run dict — applies the right rule.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Mapping, Optional
 
 __all__ = ["GAUGE_METRICS", "MetricsRegistry", "default_registry",
@@ -41,6 +42,9 @@ GAUGE_METRICS = frozenset({
     "qbf.expanded_clauses",
     "qbf.expanded_universals",
     "sword.transpositions",
+    "serve.queue_depth",
+    "serve.active_jobs",
+    "serve.pool_sessions",
 })
 
 
@@ -61,38 +65,53 @@ class MetricsRegistry:
     Values are plain numbers; the registry itself stays out of hot loops
     — engines keep raw integer attributes and publish once per depth
     query, so registry cost never shows up in synthesis runtime.
+
+    Updates are lock-protected so concurrent syntheses in one process
+    (the serve daemon's worker threads) never lose increments to a
+    read-modify-write race; engines still publish at most once per
+    depth, so contention on the lock is negligible.
     """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._values: Dict[str, float] = {}
 
     def inc(self, name: str, amount: float = 1) -> None:
         """Add to a counter metric."""
-        self._values[name] = self._values.get(name, 0) + amount
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set a gauge metric to the latest observed value."""
-        self._values[name] = value
+        with self._lock:
+            self._values[name] = value
 
     def gauge_max(self, name: str, value: float) -> None:
         """Raise a gauge metric to ``value`` if it is the new peak."""
-        current = self._values.get(name)
-        if current is None or value > current:
-            self._values[name] = value
+        with self._lock:
+            current = self._values.get(name)
+            if current is None or value > current:
+                self._values[name] = value
 
     def publish(self, metrics: Mapping[str, float]) -> None:
         """Fold a per-depth metrics dict in (sum counters, max gauges)."""
-        merge_metrics(self._values, metrics)
+        with self._lock:
+            merge_metrics(self._values, metrics)
 
     def get(self, name: str, default: Optional[float] = None):
-        return self._values.get(name, default)
+        with self._lock:
+            return self._values.get(name, default)
 
     def snapshot(self) -> Dict[str, float]:
-        """A copy of every metric currently held."""
-        return dict(self._values)
+        """A consistent copy of every metric currently held."""
+        with self._lock:
+            return dict(self._values)
 
     def reset(self) -> None:
-        self._values.clear()
+        # Fresh lock first: a fork can inherit a lock snapshotted in the
+        # held state from another thread mid-update.
+        self._lock = threading.Lock()
+        self._values = {}
 
     def __len__(self) -> int:
         return len(self._values)

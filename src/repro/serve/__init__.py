@@ -1,0 +1,43 @@
+"""``repro.serve`` — the synthesis daemon (``repro serve``).
+
+A long-lived asyncio front-end over the synthesis core: clients speak
+newline-delimited JSON (``repro-serve-v1``, :mod:`repro.serve.protocol`)
+over TCP or a unix socket.  The daemon answers from the persistent
+store first, coalesces concurrent orbit-equivalent requests onto one
+in-flight run (:mod:`repro.serve.coalescer`), keeps interrupted engine
+sessions warm across requests (:mod:`repro.serve.pool`), applies
+admission control with explicit rejection, and streams per-request
+``repro-event-v1`` progress.  See ``docs/serving.md``.
+"""
+
+from repro.serve.client import ServeClient, parse_address
+from repro.serve.coalescer import Job, JobTable, Waiter
+from repro.serve.pool import SessionPool
+from repro.serve.protocol import (ERROR_CODES, MAX_FRAME_BYTES, ProtocolError,
+                                  SERVE_FORMAT, SERVE_PROTOCOL_VERSION,
+                                  SynthRequest, decode_frame, encode_frame,
+                                  parse_synth_request)
+from repro.serve.server import (SERVE_STATS_FORMAT, ServeConfig, ServerThread,
+                                SynthesisServer)
+
+__all__ = [
+    "ERROR_CODES",
+    "Job",
+    "JobTable",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "SERVE_FORMAT",
+    "SERVE_PROTOCOL_VERSION",
+    "SERVE_STATS_FORMAT",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "SessionPool",
+    "SynthRequest",
+    "SynthesisServer",
+    "Waiter",
+    "decode_frame",
+    "encode_frame",
+    "parse_address",
+    "parse_synth_request",
+]

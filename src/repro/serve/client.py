@@ -1,0 +1,145 @@
+"""Blocking ``repro-serve-v1`` client (CLI, tests, benchmarks).
+
+A thin synchronous wrapper over a socket: connect, send one frame per
+line, read replies until the terminal frame for the request id arrives.
+``synth`` yields every frame (events included) so callers can stream;
+the convenience wrappers collect just the terminal reply.
+
+Addresses are ``host:port`` for TCP or a filesystem path (containing a
+``/`` or ending in ``.sock``) for a unix socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.serve.protocol import MAX_FRAME_BYTES, ProtocolError, encode_frame
+
+__all__ = ["ServeClient", "parse_address"]
+
+#: Reply types that end a request (anything else is a progress frame).
+_TERMINAL = ("result", "error", "stats", "pong", "ok")
+
+
+def parse_address(address: str) -> Tuple[str, Union[str, Tuple[str, int]]]:
+    """``("unix", path)`` or ``("tcp", (host, port))`` for an address."""
+    if "/" in address or address.endswith(".sock"):
+        return "unix", address
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"address must be host:port or a unix socket path, got "
+            f"{address!r}")
+    return "tcp", (host or "127.0.0.1", int(port))
+
+
+class ServeClient:
+    """One connection to a ``repro serve`` daemon."""
+
+    def __init__(self, address: str, timeout: Optional[float] = 300.0,
+                 connect_retries: int = 0, retry_delay: float = 0.1):
+        self.address = address
+        self.timeout = timeout
+        self._sock = self._connect(connect_retries, retry_delay)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self.hello = self._read_frame()
+        if self.hello.get("type") != "hello":
+            raise ProtocolError(
+                f"expected hello, got {self.hello.get('type')!r}")
+
+    def _connect(self, retries: int, delay: float) -> socket.socket:
+        family, target = parse_address(self.address)
+        last_error: Optional[Exception] = None
+        for attempt in range(retries + 1):
+            try:
+                if family == "unix":
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self.timeout)
+                    sock.connect(target)
+                else:
+                    sock = socket.create_connection(target,
+                                                    timeout=self.timeout)
+                return sock
+            except OSError as exc:
+                last_error = exc
+                if attempt < retries:
+                    time.sleep(delay)
+        raise ConnectionError(
+            f"cannot connect to {self.address}: {last_error}")
+
+    # -- frame plumbing -------------------------------------------------------
+
+    def _read_frame(self) -> Dict:
+        line = self._file.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ConnectionError(f"connection to {self.address} closed")
+        return json.loads(line.decode("utf-8"))
+
+    def _send(self, frame: Dict) -> object:
+        self._next_id += 1
+        frame.setdefault("id", self._next_id)
+        self._sock.sendall(encode_frame(frame))
+        return frame["id"]
+
+    def _await(self, request_id: object) -> Dict:
+        for frame in self._frames_for(request_id):
+            if frame.get("type") in _TERMINAL:
+                return frame
+        raise ConnectionError("connection closed before reply")
+
+    def _frames_for(self, request_id: object) -> Iterator[Dict]:
+        while True:
+            frame = self._read_frame()
+            if frame.get("id") != request_id:
+                continue  # another request multiplexed on this connection
+            yield frame
+            if frame.get("type") in _TERMINAL:
+                return
+
+    # -- operations -----------------------------------------------------------
+
+    def synth(self, **request) -> Iterator[Dict]:
+        """Submit a synth request; yield every frame for it (events +
+        the terminal result/error).  Keyword args are wire fields:
+        ``benchmark=/perm=/rows=``, ``engine=``, ``kinds=``,
+        ``stream=True``, ``time_limit=``, ``deadline=``, ...
+        """
+        request_id = self._send({"op": "synth", **request})
+        return self._frames_for(request_id)
+
+    def synth_wait(self, **request) -> Dict:
+        """Submit a synth request and return just the terminal frame."""
+        for frame in self.synth(**request):
+            if frame.get("type") in _TERMINAL:
+                return frame
+        raise ConnectionError("connection closed before reply")
+
+    def stats(self) -> Dict:
+        """The daemon's stats payload (serve + pool + store sections)."""
+        reply = self._await(self._send({"op": "stats"}))
+        if reply.get("type") != "stats":
+            raise ProtocolError(f"stats failed: {reply}")
+        return reply["payload"]
+
+    def ping(self) -> bool:
+        return self._await(self._send({"op": "ping"})).get("type") == "pong"
+
+    def shutdown(self) -> bool:
+        """Ask the daemon to drain and exit."""
+        return self._await(self._send({"op": "shutdown"})).get("type") == "ok"
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

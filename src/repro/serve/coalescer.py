@@ -1,0 +1,154 @@
+"""Request coalescing: one in-flight synthesis per orbit-equivalence class.
+
+The daemon keys every ``synth`` request by the orbit-canonical store
+digest (:func:`repro.store.derive_store_key` — PR 7): two concurrent
+requests whose specs are line relabelings, negation conjugations or
+inverses of each other share a digest, so the second *attaches* to the
+first's job as a **follower** instead of starting its own run.  When
+the leader's synthesis commits to the store, each follower is answered
+by a store lookup under its *own* orbit key — the stored circuits are
+conjugated into the follower's frame by the recorded witness transform
+and re-verified gate for gate before the reply leaves the server
+(exactly the PR 7 hit path a serial CLI run would take).
+
+This module is the bookkeeping half — jobs, waiters, attach/detach —
+with no asyncio in sight so tests can drive it directly.  The server
+owns scheduling: it calls :meth:`JobTable.lease` on the event loop
+thread (the only mutator), runs jobs on worker threads, and routes
+each job's progress events to its waiters via the job's event scope.
+
+A job whose every waiter detached (expired deadlines, dropped
+connections) has nobody left to answer: ``detach`` reports that, and
+the server fires the job's cancel event — the engine stops
+cooperatively within milliseconds and the partial deepening still
+lands in the bounds ledger.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.protocol import SynthRequest
+
+__all__ = ["Job", "JobTable", "Waiter"]
+
+
+@dataclass
+class Waiter:
+    """One client request waiting on a job's outcome."""
+
+    request: SynthRequest
+    connection: object
+    #: This request's own orbit key (followers replay the committed
+    #: entry under it, conjugating into their own frame).
+    key: object = None
+    #: Event-loop timer for the per-request deadline, if any.
+    deadline_handle: object = None
+    answered: bool = False
+    #: Per-request event scope: store-probe / follower-replay events
+    #: stream under this tag (job events stream under the job's scope).
+    scope: str = ""
+    started_ts: float = 0.0
+
+    def cancel_deadline(self) -> None:
+        if self.deadline_handle is not None:
+            self.deadline_handle.cancel()
+            self.deadline_handle = None
+
+
+@dataclass(eq=False)  # identity semantics: jobs live in the server's sets
+class Job:
+    """One in-flight (or queued) synthesis, shared by its waiters.
+
+    The first waiter is the **leader**: the run synthesizes *its*
+    literal spec, so the committed record is identical to what a serial
+    run of that spec would produce.  ``cancel_event`` is the
+    :class:`threading.Event` behind the run's ``CancelToken``.
+    """
+
+    digest: str
+    key: object                      # the leader's OrbitKey
+    leader: SynthRequest = None
+    waiters: List[Waiter] = field(default_factory=list)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    started: bool = False
+    done: bool = False
+    #: Event-scope tag every event of this run carries (set by the
+    #: worker thread via ``obs.event_scope``); unique per job.
+    scope: str = ""
+    #: Literal store digest of the leader's configuration — the warm
+    #: session-pool key (sessions are spec-specific; see serve.pool).
+    literal_key: str = ""
+    #: The leader's :class:`~repro.core.library.GateLibrary` (reused
+    #: for the reply record so no re-derivation races the answer path).
+    library: object = None
+
+    @property
+    def time_limit(self) -> Optional[float]:
+        """The engine time budget: the leader's requested limit."""
+        return self.leader.time_limit if self.leader else None
+
+
+class JobTable:
+    """In-flight jobs by orbit digest.  Event-loop-thread only.
+
+    All mutation happens on the server's event loop; worker threads
+    only ever read a job's ``cancel_event`` / ``scope``, which are
+    immutable after creation.
+    """
+
+    def __init__(self):
+        self._jobs: Dict[str, Job] = {}
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def get(self, digest: str) -> Optional[Job]:
+        return self._jobs.get(digest)
+
+    def lease(self, digest: str, key: object,
+              request: SynthRequest) -> Tuple[Job, bool]:
+        """The job for ``digest``, creating it with ``request`` as leader.
+
+        Returns ``(job, created)``; ``created=False`` means the caller
+        coalesced onto an existing run and should attach as a follower.
+        """
+        job = self._jobs.get(digest)
+        if job is not None:
+            return job, False
+        self._sequence += 1
+        job = Job(digest=digest, key=key, leader=request,
+                  scope=f"job-{self._sequence}-{digest[:12]}")
+        self._jobs[digest] = job
+        return job, True
+
+    def attach(self, job: Job, waiter: Waiter) -> None:
+        job.waiters.append(waiter)
+
+    def detach(self, job: Job, waiter: Waiter) -> bool:
+        """Remove a waiter; returns True when the job has nobody left.
+
+        The server reacts to an orphaned job by firing its cancel
+        event (running) or dropping it from its queue (pending).
+        """
+        waiter.cancel_deadline()
+        try:
+            job.waiters.remove(waiter)
+        except ValueError:
+            pass  # already detached (answered and deadline raced)
+        return not job.waiters and not job.done
+
+    def finish(self, job: Job) -> List[Waiter]:
+        """Mark done and take the waiters to answer; drops the job."""
+        job.done = True
+        self._jobs.pop(job.digest, None)
+        waiters, job.waiters = list(job.waiters), []
+        for waiter in waiters:
+            waiter.cancel_deadline()
+        return waiters
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())

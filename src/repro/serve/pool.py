@@ -1,0 +1,107 @@
+"""Warm engine-session pool: hot solver state kept alive across requests.
+
+PR 4's engine sessions amortize solver warm-up across the *depths* of
+one run; the daemon extends the amortization across *requests*.  A run
+that ends without a definitive answer (timeout, cancelled deadline)
+parks its engine here with the deepening session still open —
+``synthesize(warm_instance=...)`` then resumes a later request for the
+same configuration from the hot solver instead of re-encoding depths
+the session has already internalized.
+
+Sessions are **configuration-specific**: the SAT/QBF encodings bake the
+spec's truth-table rows in, so the pool keys on the literal store
+digest (:func:`repro.store.store_key` over spec, library, engine and
+answer-affecting options) — exactly the identity under which resuming
+is sound.  Note this is finer than "engine/library/n": two different
+specs never share a warm session.
+
+Definitive results are *not* pooled: a repeat of a realized
+configuration is a store hit and never reaches an engine, so its
+session would only hold memory hostage.  Eviction (LRU) and
+:meth:`clear` call ``end_session()`` so solver state is released
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+__all__ = ["SessionPool"]
+
+
+class SessionPool:
+    """LRU pool of engines with open deepening sessions, by config key.
+
+    Thread-safe; the daemon's worker threads check engines out and in
+    around each run.  ``take`` removes the engine from the pool (a
+    session must never be driven by two runs at once); ``put`` parks it
+    back, evicting the least-recently-used entry beyond ``capacity``.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.capacity = max(0, capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def take(self, key: str) -> Optional[object]:
+        """Check out the warm engine for ``key``, or None on a miss."""
+        with self._lock:
+            instance = self._entries.pop(key, None)
+            if instance is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return instance
+
+    def put(self, key: str, instance: object) -> None:
+        """Park an engine (open session included) under ``key``.
+
+        A same-key entry is replaced (the newer session has seen at
+        least as much deepening); beyond capacity the oldest entry is
+        evicted and its session closed.
+        """
+        if self.capacity == 0:
+            self._release(instance)
+            return
+        evicted = []
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None and previous is not instance:
+                evicted.append(previous)
+            self._entries[key] = instance
+            while len(self._entries) > self.capacity:
+                _, oldest = self._entries.popitem(last=False)
+                evicted.append(oldest)
+                self.evictions += 1
+        for engine in evicted:
+            self._release(engine)
+
+    def clear(self) -> None:
+        """Close every pooled session (daemon shutdown)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for engine in entries:
+            self._release(engine)
+
+    @staticmethod
+    def _release(instance: object) -> None:
+        end = getattr(instance, "end_session", None)
+        if end is not None:
+            end()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"sessions": len(self._entries),
+                    "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}

@@ -1,0 +1,261 @@
+"""The ``repro-serve-v1`` wire protocol: newline-delimited JSON frames.
+
+One frame per line, UTF-8 JSON, over TCP or a unix socket.  The client
+speaks *requests* (``op``), the server *replies* (``type``); every
+request carries a client-chosen ``id`` echoed on everything sent back
+for it, so one connection can multiplex requests freely.
+
+Requests::
+
+    {"op": "synth", "id": 1, "benchmark": "3_17", "engine": "bdd",
+     "kinds": "mct", "stream": true, "time_limit": 60.0, "deadline": 90.0}
+    {"op": "synth", "id": 2, "perm": [7,1,4,3,0,2,6,5], "name": "3_17"}
+    {"op": "synth", "id": 3, "rows": [[0,1,null], ...], "name": "partial"}
+    {"op": "stats", "id": 4}
+    {"op": "ping", "id": 5}
+    {"op": "shutdown", "id": 6}
+
+Replies::
+
+    {"type": "hello", "format": "repro-serve-v1", "v": 1, ...}
+    {"type": "event", "id": 1, "payload": {<repro-event-v1 event>}}
+    {"type": "result", "id": 1, "status": "realized", "depth": 6,
+     "record": {<run record>}, "circuits": ["<.real text>", ...],
+     "served": "synthesis" | "store" | "follower", "coalesced": false, ...}
+    {"type": "error", "id": 1, "code": "queue_full", "message": "..."}
+    {"type": "stats", "id": 4, "payload": {...}}
+    {"type": "pong", "id": 5}
+    {"type": "ok", "id": 6}
+
+``served`` names how the answer was produced: ``"store"`` (persistent
+store hit, no engine), ``"synthesis"`` (this request led the run) or
+``"follower"`` (coalesced onto another request's run and replayed into
+this request's frame).  The ``record`` is a schema-valid
+``repro-run-v1`` run record whose canonical form is byte-identical to
+what a serial ``repro synth`` of the same request would produce.
+
+Consumers must ignore unknown fields; a breaking change bumps the
+format string and version.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.spec import Specification
+from repro.functions import SUITE, get_spec
+from repro.synth.driver import ENGINES
+
+__all__ = ["ERROR_CODES", "MAX_FRAME_BYTES", "ProtocolError",
+           "SERVE_FORMAT", "SERVE_PROTOCOL_VERSION", "SynthRequest",
+           "decode_frame", "encode_frame", "error_frame", "event_frame",
+           "hello_frame", "ok_frame", "parse_synth_request", "pong_frame",
+           "result_frame", "stats_frame"]
+
+SERVE_FORMAT = "repro-serve-v1"
+SERVE_PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded frame; a line longer than this is a
+#: protocol error (it would otherwise buffer unbounded in the reader).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Error codes an ``error`` reply may carry (``docs/serving.md``).
+ERROR_CODES = frozenset({
+    "bad_request",        # malformed frame / unknown benchmark / bad spec
+    "queue_full",         # admission control rejected the request
+    "deadline_exceeded",  # the per-request deadline expired first
+    "shutting_down",      # daemon is draining; retry elsewhere/later
+    "internal",           # synthesis raised; message has the summary
+})
+
+
+class ProtocolError(ValueError):
+    """A frame the server cannot act on; ``code`` is from ERROR_CODES."""
+
+    def __init__(self, message: str, code: str = "bad_request"):
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(frame: Dict) -> bytes:
+    """One wire line for ``frame`` (compact JSON + newline)."""
+    return (json.dumps(frame, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_frame(data: bytes) -> Dict:
+    """Parse one wire line into a frame dict."""
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        frame = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}")
+    return frame
+
+
+@dataclass
+class SynthRequest:
+    """A validated ``synth`` request, ready for the server to run.
+
+    ``engine_options`` holds exactly the answer-affecting options the
+    driver forwards to the engine constructor — they participate in the
+    store key and the warm-pool key, so two requests with equal
+    ``(spec, kinds, engine, max_gates, use_bounds, engine_options)``
+    are the same configuration.
+    """
+
+    request_id: object
+    spec: Specification
+    engine: str = "bdd"
+    kinds: Tuple[str, ...] = ("mct",)
+    max_gates: Optional[int] = None
+    use_bounds: bool = False
+    time_limit: Optional[float] = None
+    deadline: Optional[float] = None
+    stream: bool = False
+    orbit: bool = True
+    engine_options: Dict[str, object] = field(default_factory=dict)
+
+
+def _parse_spec(frame: Dict) -> Specification:
+    given = [key for key in ("benchmark", "perm", "rows") if key in frame]
+    if len(given) != 1:
+        raise ProtocolError(
+            "a synth request needs exactly one of 'benchmark', 'perm' "
+            f"or 'rows' (got {given or 'none'})")
+    name = frame.get("name")
+    if name is not None and not isinstance(name, str):
+        raise ProtocolError("'name' must be a string")
+    if "benchmark" in frame:
+        benchmark = frame["benchmark"]
+        if benchmark not in SUITE:
+            raise ProtocolError(f"unknown benchmark {benchmark!r}")
+        return get_spec(benchmark)
+    if "perm" in frame:
+        perm = frame["perm"]
+        if (not isinstance(perm, list)
+                or not all(isinstance(v, int) for v in perm)):
+            raise ProtocolError("'perm' must be a list of integers")
+        try:
+            return Specification.from_permutation(perm, name=name or "request")
+        except (ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad permutation: {exc}") from None
+    rows = frame["rows"]
+    if not isinstance(rows, list) or not rows:
+        raise ProtocolError("'rows' must be a non-empty list of rows")
+    n_lines = (len(rows) - 1).bit_length()
+    cleaned: List[List[Optional[int]]] = []
+    for row in rows:
+        if (not isinstance(row, list)
+                or not all(v in (0, 1, None) for v in row)):
+            raise ProtocolError("each row must be a list of 0/1/null")
+        cleaned.append(list(row))
+    try:
+        return Specification(n_lines, cleaned, name=name or "request")
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(f"bad truth table: {exc}") from None
+
+
+def parse_synth_request(frame: Dict) -> SynthRequest:
+    """Validate a ``synth`` frame into a :class:`SynthRequest`."""
+    spec = _parse_spec(frame)
+    engine = frame.get("engine", "bdd")
+    if engine not in ENGINES:
+        raise ProtocolError(
+            f"unknown engine {engine!r}; available: {sorted(ENGINES)} "
+            "(the daemon runs single-process engines — no portfolio)")
+    kinds = frame.get("kinds", "mct")
+    if isinstance(kinds, str):
+        kinds = tuple(k for k in kinds.split("+") if k)
+    elif isinstance(kinds, list) and all(isinstance(k, str) for k in kinds):
+        kinds = tuple(kinds)
+    else:
+        raise ProtocolError("'kinds' must be a string like 'mct+mcf' "
+                            "or a list of strings")
+    if not kinds:
+        raise ProtocolError("'kinds' must name at least one gate kind")
+    max_gates = frame.get("max_gates")
+    if max_gates is not None and not isinstance(max_gates, int):
+        raise ProtocolError("'max_gates' must be an integer")
+    numbers = {}
+    for key in ("time_limit", "deadline"):
+        value = frame.get(key)
+        if value is not None:
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ProtocolError(f"'{key}' must be a positive number")
+            value = float(value)
+        numbers[key] = value
+    engine_options: Dict[str, object] = {}
+    if frame.get("incremental") is False:
+        from repro.synth.driver import INCREMENTAL_ENGINES
+        if engine in INCREMENTAL_ENGINES:
+            engine_options["incremental"] = False
+    return SynthRequest(
+        request_id=frame.get("id"),
+        spec=spec,
+        engine=engine,
+        kinds=kinds,
+        max_gates=max_gates,
+        use_bounds=bool(frame.get("use_bounds", False)),
+        time_limit=numbers["time_limit"],
+        deadline=numbers["deadline"],
+        stream=bool(frame.get("stream", False)),
+        orbit=bool(frame.get("orbit", True)),
+        engine_options=engine_options,
+    )
+
+
+# -- reply builders -----------------------------------------------------------
+
+
+def hello_frame(**extra) -> Dict:
+    frame = {"type": "hello", "format": SERVE_FORMAT,
+             "v": SERVE_PROTOCOL_VERSION, "engines": sorted(ENGINES)}
+    frame.update(extra)
+    return frame
+
+
+def error_frame(request_id: object, code: str, message: str) -> Dict:
+    assert code in ERROR_CODES, f"unknown error code {code!r}"
+    return {"type": "error", "id": request_id, "code": code,
+            "message": message}
+
+
+def event_frame(request_id: object, payload: Dict) -> Dict:
+    return {"type": "event", "id": request_id, "payload": payload}
+
+
+def result_frame(request_id: object, record: Dict, circuits: List[str],
+                 served: str, coalesced: bool) -> Dict:
+    assert served in ("store", "synthesis", "follower"), served
+    return {
+        "type": "result",
+        "id": request_id,
+        "status": record.get("status"),
+        "depth": record.get("depth"),
+        "num_solutions": record.get("num_solutions"),
+        "quantum_cost_min": record.get("quantum_cost_min"),
+        "quantum_cost_max": record.get("quantum_cost_max"),
+        "record": record,
+        "circuits": circuits,
+        "served": served,
+        "coalesced": coalesced,
+    }
+
+
+def stats_frame(request_id: object, payload: Dict) -> Dict:
+    return {"type": "stats", "id": request_id, "payload": payload}
+
+
+def pong_frame(request_id: object) -> Dict:
+    return {"type": "pong", "id": request_id}
+
+
+def ok_frame(request_id: object) -> Dict:
+    return {"type": "ok", "id": request_id}

@@ -46,12 +46,14 @@ from repro.store.payload import (
     store_lookup,
 )
 from repro.store.store import (
+    CACHE_STATS_FORMAT,
     STORE_ENTRY_FORMAT,
     SynthesisStore,
     open_store,
 )
 
 __all__ = [
+    "CACHE_STATS_FORMAT",
     "KEY_FORMAT",
     "ORBIT_KEY_FORMAT",
     "OrbitKey",

@@ -193,7 +193,7 @@ def store_lookup(store: SynthesisStore, key: Union[str, OrbitKey],
                 obs.emit("store_hit", spec=spec_label, engine=engine,
                          key=key_info.key)
                 if via_orbit:
-                    store.counters["orbit_hits"] += 1
+                    store._bump("orbit_hits")
                     obs.publish({"store.orbit_hits": 1})
                     obs.emit("orbit_hit", spec=spec_label, engine=engine,
                              mode=key_info.mode,
@@ -203,15 +203,15 @@ def store_lookup(store: SynthesisStore, key: Union[str, OrbitKey],
             # collision, exhausted witness budget, failed replay
             # verification): degrade to a miss.  store.get() already
             # counted a hit — rebook it.
-            store.counters["hits"] -= 1
-            store.counters["misses"] += 1
-            store.counters["orbit_mismatches"] += 1
+            store._bump("hits", -1)
+            store._bump("misses")
+            store._bump("orbit_mismatches")
             obs.publish({"store.misses": 1, "store.orbit_mismatches": 1})
         else:
             obs.publish({"store.misses": 1})
         bound = store.proven_bound(key_info.bounds_key)
         if bound is not None and bound + 1 > start_depth:
-            store.counters["bound_resumes"] += 1
+            store._bump("bound_resumes")
             obs.publish({"store.bound_resumes": 1})
             obs.emit("bound_resumed", spec=spec_label,
                      engine=engine, bound=bound, resumed_from=bound + 1)

@@ -36,15 +36,21 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.obs.runrecord import append_jsonl_line, read_jsonl
 
-__all__ = ["STORE_ENTRY_FORMAT", "SynthesisStore", "open_store"]
+__all__ = ["CACHE_STATS_FORMAT", "STORE_ENTRY_FORMAT", "SynthesisStore",
+           "open_store"]
 
 STORE_ENTRY_FORMAT = "repro-store-entry-v1"
+
+#: Format tag of the machine-readable stats payload
+#: (``repro cache stats --json`` and the serve daemon's ``stats`` RPC).
+CACHE_STATS_FORMAT = "repro-cache-stats-v1"
 
 #: Default size of the in-memory LRU front (entries, not bytes).
 DEFAULT_LRU_ENTRIES = 128
@@ -66,9 +72,16 @@ class SynthesisStore:
     Per-instance counters (``hits``/``misses``/...) describe *this
     process's* traffic; :meth:`stats` combines them with the on-disk
     totals.
+
+    One instance may also be shared between *threads* (the serve daemon
+    runs one synthesis per worker thread against a single store): the
+    in-memory LRU front, the traffic counters and the cached ledger
+    view are lock-protected.  Disk I/O happens outside the lock — the
+    on-disk formats are already safe under concurrent writers.
     """
 
     def __init__(self, root: str, lru_entries: int = DEFAULT_LRU_ENTRIES):
+        self._lock = threading.Lock()
         self.root = os.path.abspath(root)
         self.objects_dir = os.path.join(self.root, "objects")
         self.quarantine_dir = os.path.join(self.root, "quarantine")
@@ -96,11 +109,12 @@ class SynthesisStore:
         mismatch from a mangled rename) are quarantined and reported as
         misses — a torn file must never take down a synthesis run.
         """
-        cached = self._lru.get(key)
-        if cached is not None:
-            self._lru.move_to_end(key)
-            self.counters["hits"] += 1
-            return cached
+        with self._lock:
+            cached = self._lru.get(key)
+            if cached is not None:
+                self._lru.move_to_end(key)
+                self.counters["hits"] += 1
+                return cached
         path = self._object_path(key)
         try:
             with open(path, "rb") as handle:
@@ -110,15 +124,20 @@ class SynthesisStore:
                     or payload.get("key") != key):
                 raise ValueError("malformed store entry")
         except FileNotFoundError:
-            self.counters["misses"] += 1
+            self._bump("misses")
             return None
         except (ValueError, OSError):
             self._quarantine(path)
-            self.counters["misses"] += 1
+            self._bump("misses")
             return None
-        self._remember(key, payload)
-        self.counters["hits"] += 1
+        with self._lock:
+            self._remember(key, payload)
+            self.counters["hits"] += 1
         return payload
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[counter] += amount
 
     def put(self, key: str, entry: Dict) -> bool:
         """Commit an entry under ``key``; returns False for a lost race.
@@ -145,12 +164,13 @@ class SynthesisStore:
         try:
             os.link(tmp_path, path)
         except FileExistsError:
-            self.counters["commit_races"] += 1
+            self._bump("commit_races")
             return False
         finally:
             os.unlink(tmp_path)
-        self._remember(key, entry)
-        self.counters["commits"] += 1
+        with self._lock:
+            self._remember(key, entry)
+            self.counters["commits"] += 1
         record = entry.get("record") or {}
         append_jsonl_line(self.index_path, {
             "key": key,
@@ -164,6 +184,7 @@ class SynthesisStore:
         return True
 
     def _remember(self, key: str, payload: Dict) -> None:
+        # Caller holds self._lock.
         if self._lru_entries == 0:
             return
         self._lru[key] = payload
@@ -180,31 +201,35 @@ class SynthesisStore:
             os.replace(path, target)
         except OSError:
             pass  # someone else quarantined it first — equally gone
-        self.counters["quarantined"] += 1
+        self._bump("quarantined")
 
     # -- proven-bound ledger --------------------------------------------------
 
     def _load_bounds(self) -> Dict[str, int]:
-        if self._bounds is None:
-            bounds: Dict[str, int] = {}
-            if os.path.exists(self.bounds_path):
-                lines, _torn = read_jsonl(self.bounds_path)
-                for line in lines:
-                    key = line.get("key")
-                    depth = line.get("unsat_through")
-                    if isinstance(key, str) and isinstance(depth, int):
-                        if depth > bounds.get(key, -1):
-                            bounds[key] = depth
-            self._bounds = bounds
-        return self._bounds
+        with self._lock:
+            if self._bounds is None:
+                bounds: Dict[str, int] = {}
+                if os.path.exists(self.bounds_path):
+                    lines, _torn = read_jsonl(self.bounds_path)
+                    for line in lines:
+                        key = line.get("key")
+                        depth = line.get("unsat_through")
+                        if isinstance(key, str) and isinstance(depth, int):
+                            if depth > bounds.get(key, -1):
+                                bounds[key] = depth
+                self._bounds = bounds
+            return self._bounds
 
     def reload_bounds(self) -> None:
         """Drop the cached ledger view (pick up other processes' banks)."""
-        self._bounds = None
+        with self._lock:
+            self._bounds = None
 
     def proven_bound(self, key: str) -> Optional[int]:
         """Highest depth proven UNSAT for ``key`` (inclusive), if any."""
-        return self._load_bounds().get(key)
+        bounds = self._load_bounds()
+        with self._lock:
+            return bounds.get(key)
 
     def bank_bound(self, key: str, unsat_through: int) -> bool:
         """Record that every depth ``<= unsat_through`` is UNSAT.
@@ -216,13 +241,18 @@ class SynthesisStore:
         if unsat_through < 0:
             return False
         bounds = self._load_bounds()
-        if unsat_through <= bounds.get(key, -1):
-            return False
-        append_jsonl_line(self.bounds_path,
-                          {"key": key, "unsat_through": unsat_through,
-                           "unix_time": time.time()})
-        bounds[key] = unsat_through
-        self.counters["bounds_banked"] += 1
+        with self._lock:
+            if unsat_through <= bounds.get(key, -1):
+                return False
+            # The append happens under the lock so two threads banking
+            # the same key stay monotone within this process; ledger
+            # appends are single-write lines, so cross-process
+            # interleavings remain whole-line as before.
+            append_jsonl_line(self.bounds_path,
+                              {"key": key, "unsat_through": unsat_through,
+                               "unix_time": time.time()})
+            bounds[key] = unsat_through
+            self.counters["bounds_banked"] += 1
         return True
 
     # -- maintenance ----------------------------------------------------------
@@ -267,15 +297,30 @@ class SynthesisStore:
         quarantined = 0
         if os.path.isdir(self.quarantine_dir):
             quarantined = len(os.listdir(self.quarantine_dir))
+        bound_keys = len(self._load_bounds())
+        with self._lock:
+            lru_entries = len(self._lru)
+            session = dict(self.counters)
         return {
             "root": self.root,
             "results": len(files),
             "result_bytes": sum(size for _, _, _, size in files),
-            "bound_keys": len(self._load_bounds()),
+            "bound_keys": bound_keys,
             "quarantined_files": quarantined,
-            "lru_entries": len(self._lru),
-            "session": dict(self.counters),
+            "lru_entries": lru_entries,
+            "session": session,
         }
+
+    def stats_payload(self) -> Dict[str, object]:
+        """:meth:`stats` wrapped in a versioned machine-readable envelope.
+
+        This exact payload is what ``repro cache stats --json`` prints
+        and what the serve daemon returns for the ``stats`` RPC's
+        ``store`` section, so operators and scripts parse one format.
+        """
+        payload: Dict[str, object] = {"format": CACHE_STATS_FORMAT}
+        payload.update(self.stats())
+        return payload
 
     def gc(self, max_bytes: int) -> Dict[str, int]:
         """Shrink the result store under ``max_bytes`` (oldest first).
@@ -297,7 +342,8 @@ class SynthesisStore:
                 os.unlink(path)
             except OSError:
                 continue
-            self._lru.pop(key, None)
+            with self._lock:
+                self._lru.pop(key, None)
             total -= size
             removed += 1
             removed_bytes += size
@@ -324,8 +370,9 @@ class SynthesisStore:
                     os.unlink(os.path.join(self.quarantine_dir, name))
                 except OSError:
                     pass
-        self._lru.clear()
-        self._bounds = {}
+        with self._lock:
+            self._lru.clear()
+            self._bounds = {}
 
     def _replace_jsonl(self, path: str, lines: List[Dict]) -> None:
         fd, tmp_path = tempfile.mkstemp(prefix=".rewrite-", dir=self.root)

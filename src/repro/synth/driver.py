@@ -59,7 +59,7 @@ MIN_DEPTH_BUDGET = 1e-3
 
 
 @contextmanager
-def engine_session(instance):
+def engine_session(instance, keep_open: bool = False):
     """Engine session protocol around one iterative-deepening run.
 
     Engines that reuse solver state across depths expose
@@ -76,18 +76,29 @@ def engine_session(instance):
     incremental; stateless engines like ``sword`` report False).  A bare
     ``engine.decide()`` call outside any session always evaluates from
     scratch, which keeps one-off depth queries side-effect free.
+
+    An engine whose ``session_active`` property reports an already-open
+    session is *resumed*, not restarted — ``begin_session()`` would
+    discard the warm solver state a pooled engine was kept alive for.
+    ``keep_open=True`` additionally skips ``end_session()`` on exit, so
+    the caller (the serve daemon's session pool) owns the session's
+    remaining lifetime and must eventually call ``end_session()``.
     """
     begin = getattr(instance, "begin_session", None)
     if begin is None:
         yield bool(getattr(instance, "incremental", False))
         return
-    active = bool(begin())
+    if getattr(instance, "session_active", False):
+        active = True
+    else:
+        active = bool(begin())
     try:
         yield active
     finally:
-        end = getattr(instance, "end_session", None)
-        if end is not None:
-            end()
+        if not keep_open:
+            end = getattr(instance, "end_session", None)
+            if end is not None:
+                end()
 
 
 def default_gate_limit(n_lines: int) -> int:
@@ -173,6 +184,8 @@ def synthesize(spec: Specification,
                workers: int = 1,
                store: Optional[Union[str, object]] = None,
                orbit: bool = True,
+               warm_instance: Optional[object] = None,
+               keep_session: bool = False,
                **engine_options) -> SynthesisResult:
     """Exact synthesis: minimal number of library gates realizing ``spec``.
 
@@ -231,6 +244,21 @@ def synthesize(spec: Specification,
     addressing.  Cold-run results and records are identical either way
     — only the cache address changes.
 
+    **Warm-session reuse** (the serve daemon's pool): ``warm_instance``
+    hands in an engine whose deepening session is still open from an
+    earlier interrupted run of the *same configuration* — the depth
+    loop resumes from its hot solver state instead of re-encoding.  The
+    instance must match ``engine`` (still passed as a name, so store
+    addressing keeps working) and ``spec``; the caller guarantees the
+    library and engine options match the instance's construction (the
+    pool keys on the literal store digest, which covers exactly that).
+    When a ``cancel_token`` engine option is supplied it is rebound on
+    the instance so a fresh request controls cancellation.
+    ``keep_session=True`` leaves the session open on the way out and
+    hands the engine back via ``result.engine_instance`` — the caller
+    then owns ``end_session()``.  Both knobs require serial execution
+    (``workers == 1``, not portfolio).
+
     **Parallel execution** (:mod:`repro.parallel`):
 
     * ``engine="portfolio"`` races every registered engine on the spec
@@ -245,6 +273,26 @@ def synthesize(spec: Specification,
       parallelism to exploit; the argument is accepted and recorded
       but does not change execution.
     """
+    if warm_instance is not None or keep_session:
+        if engine == "portfolio" or workers > 1:
+            raise ValueError(
+                "warm_instance/keep_session require serial execution — "
+                "engine sessions live in this process")
+    if warm_instance is not None:
+        if not isinstance(engine, str):
+            raise ValueError(
+                "warm_instance needs engine passed as a name; passing the "
+                "instance twice is ambiguous")
+        if getattr(warm_instance, "name", None) != engine:
+            raise ValueError(
+                f"warm_instance is a {getattr(warm_instance, 'name', '?')!r} "
+                f"engine but engine={engine!r} was requested")
+        bound_spec = getattr(warm_instance, "spec", None)
+        if bound_spec is not None and bound_spec != spec:
+            raise ValueError(
+                "warm_instance was built for a different specification; "
+                "warm sessions are spec-specific (their encodings bake the "
+                "truth-table rows in)")
     if engine == "portfolio":
         from repro.parallel.portfolio import portfolio_synthesize
         resolved = _resolve_library(spec, library, kinds, "bdd")
@@ -294,7 +342,12 @@ def synthesize(spec: Specification,
                      store_hit=True)
             return hit
 
-    if isinstance(engine, str):
+    if warm_instance is not None:
+        instance = warm_instance
+        if "cancel_token" in engine_options:
+            from repro.core.cancel import as_token
+            instance.cancel_token = as_token(engine_options["cancel_token"])
+    elif isinstance(engine, str):
         try:
             engine_cls = ENGINES[engine]
         except KeyError:
@@ -313,7 +366,7 @@ def synthesize(spec: Specification,
 
     with obs.span("synthesize", spec=result.spec_name,
                   engine=instance.name), \
-            engine_session(instance) as warm:
+            engine_session(instance, keep_open=keep_session) as warm:
         result.incremental = warm
         for depth in range(start_depth, limit + 1):
             remaining = None
@@ -363,6 +416,8 @@ def synthesize(spec: Specification,
                      engine=instance.name, depth=depth, proven_bound=depth)
 
     result.runtime = time.perf_counter() - start
+    if keep_session:
+        result.engine_instance = instance
     _aggregate_metrics(result)
     obs.publish(result.metrics)
     if store_obj is not None:

@@ -97,6 +97,16 @@ class QbfSolverEngine:
             self._session = _IncrementalExpansionSession(self)
         return self._session is not None
 
+    @property
+    def session_active(self) -> bool:
+        """Whether a warm deepening session is currently open.
+
+        Checked by the driver before ``begin_session()`` so a pooled
+        engine (``synthesize(warm_instance=...)``) resumes its hot
+        expansion solver instead of rebuilding it.
+        """
+        return self._session is not None
+
     def end_session(self) -> None:
         """Driver hook: drop the warm solver and its expansion maps."""
         self._session = None

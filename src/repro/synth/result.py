@@ -73,6 +73,11 @@ class SynthesisResult:
     Both describe cache luck, not the computation, so they are excluded
     from :meth:`to_dict` — the trace layer records them as volatile
     extras instead.
+
+    ``engine_instance`` is populated only for ``keep_session=True``
+    runs (the serve daemon's warm session pool): it hands the engine —
+    with its deepening session still open — back to the caller for
+    reuse.  It never appears in :meth:`to_dict`, records or the store.
     """
 
     engine: str
@@ -90,6 +95,8 @@ class SynthesisResult:
     incremental: bool = False
     store_hit: bool = False
     store_resumed_from: Optional[int] = None
+    engine_instance: Optional[object] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def realized(self) -> bool:

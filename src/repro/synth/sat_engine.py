@@ -95,6 +95,16 @@ class SatBaselineEngine:
             self._session = _IncrementalSatSession(self)
         return self._session is not None
 
+    @property
+    def session_active(self) -> bool:
+        """Whether a warm deepening session is currently open.
+
+        The driver checks this before ``begin_session()`` so a pooled
+        engine handed back via ``synthesize(warm_instance=...)`` resumes
+        its hot solver instead of rebuilding the encoding from scratch.
+        """
+        return self._session is not None
+
     def end_session(self) -> None:
         """Driver hook: drop the warm solver and its encoding."""
         self._session = None

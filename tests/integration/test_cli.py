@@ -278,3 +278,58 @@ def test_synth_profile_prints_self_time_ranking(capsys):
     assert main(["synth", "-b", "3_17", "--engine", "bdd",
                  "--profile"]) == 0
     assert "top spans by self time:" in capsys.readouterr().out
+
+
+def test_cache_stats_json_payload(tmp_path, capsys):
+    import json as json_module
+    store = str(tmp_path / "store")
+    assert main(["synth", "-b", "3_17", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--store", store, "--json"]) == 0
+    payload = json_module.loads(capsys.readouterr().out)
+    assert payload["format"] == "repro-cache-stats-v1"
+    assert payload["results"] == 1
+    # without --json the raw stats dict has no format marker
+    assert main(["cache", "stats", "--store", store]) == 0
+    raw = json_module.loads(capsys.readouterr().out)
+    assert "format" not in raw
+
+
+def test_request_cli_against_embedded_daemon(tmp_path, capsys):
+    import json as json_module
+
+    import repro.obs as obs
+    from repro.serve import ServeConfig, ServerThread
+
+    obs.reset_event_bus()
+    obs.default_registry().reset()
+    thread = ServerThread(ServeConfig(
+        port=0, store=str(tmp_path / "store"), drain_grace=0.2))
+    server = thread.start()
+    try:
+        address = server.addresses[0]
+        assert main(["request", "--connect", address, "-b", "3_17",
+                     "--engine", "bdd"]) == 0
+        out = capsys.readouterr().out
+        assert "3_17: realized (depth 6, served: synthesis)" in out
+        assert ".begin" in out
+
+        assert main(["request", "--connect", address, "-b", "3_17",
+                     "--engine", "bdd", "--json"]) == 0
+        record = json_module.loads(capsys.readouterr().out)
+        assert record["spec"] == "3_17" and record["store_hit"] is True
+
+        assert main(["request", "--connect", address, "--stats"]) == 0
+        stats = json_module.loads(capsys.readouterr().out)
+        assert stats["format"] == "repro-serve-stats-v1"
+        assert stats["serve"]["serve.store_hits"] == 1
+    finally:
+        thread.shutdown()
+        obs.reset_event_bus()
+        obs.default_registry().reset()
+
+
+def test_request_cli_connection_refused(tmp_path, capsys):
+    missing = str(tmp_path / "nowhere.sock")
+    assert main(["request", "--connect", missing, "-b", "3_17"]) == 2
+    assert "error" in capsys.readouterr().err

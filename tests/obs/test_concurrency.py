@@ -1,0 +1,160 @@
+"""Thread-safety of the observability layer (PR 8 satellite).
+
+The serve daemon runs several syntheses on worker threads against the
+*process-global* metrics registry and event bus.  These tests pin the
+two guarantees the daemon depends on:
+
+* two interleaved syntheses never corrupt or cross-talk counters — the
+  registry delta is exactly the sum of both runs' contributions;
+* events emitted under :func:`repro.obs.event_scope` carry their
+  thread's scope tag, so one bus subscriber can demultiplex concurrent
+  runs, and sequence numbers stay unique under contention.
+"""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.functions import get_spec
+from repro.obs.metrics import MetricsRegistry
+from repro.synth import synthesize
+
+
+@pytest.fixture(autouse=True)
+def _clean_bus_and_registry():
+    obs.reset_event_bus()
+    obs.default_registry().reset()
+    yield
+    obs.reset_event_bus()
+    obs.default_registry().reset()
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_incs_do_not_drop_updates(self):
+        registry = MetricsRegistry()
+        threads = 4
+        per_thread = 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                registry.inc("sat.conflicts")
+                registry.gauge_max("bdd.peak_nodes", 7)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert registry.get("sat.conflicts") == threads * per_thread
+        assert registry.get("bdd.peak_nodes") == 7
+
+    def test_interleaved_syntheses_sum_without_cross_talk(self):
+        """Two full runs on threads: the global registry ends up with
+        exactly the sum of what each run reports in its own result."""
+        registry = obs.default_registry()
+        specs = {"a": get_spec("3_17"), "b": get_spec("mod5d1_s")}
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def run(tag):
+            barrier.wait()
+            results[tag] = synthesize(specs[tag], kinds=("mct",),
+                                      engine="bdd", store=None)
+
+        workers = [threading.Thread(target=run, args=(tag,))
+                   for tag in specs]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=120)
+
+        assert results["a"].status == "realized"
+        assert results["b"].status == "realized"
+        expected = 0.0
+        for result in results.values():
+            for step in result.per_depth:
+                expected += step.metrics.get("bdd.ite_calls", 0.0)
+        assert registry.get("bdd.ite_calls") == pytest.approx(expected)
+
+
+class TestScopedEvents:
+    def test_scope_tags_demultiplex_concurrent_runs(self):
+        stream = obs.event_stream()
+        specs = {"scope-a": get_spec("3_17"), "scope-b": get_spec("mod5d1_s")}
+        barrier = threading.Barrier(2)
+
+        def run(tag):
+            barrier.wait()
+            with obs.event_scope(tag):
+                synthesize(specs[tag], kinds=("mct",), engine="bdd",
+                           store=None)
+
+        workers = [threading.Thread(target=run, args=(tag,))
+                   for tag in specs]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=120)
+        events = stream.drain()
+        stream.close()
+
+        assert events, "no events captured"
+        by_scope = {}
+        for event in events:
+            assert event.get("scope") in specs, event
+            by_scope.setdefault(event["scope"], []).append(event)
+        # Every event landed in the scope of the spec it describes.
+        for tag, spec in specs.items():
+            scoped = by_scope[tag]
+            assert scoped, f"no events for {tag}"
+            assert all(e.get("spec") == spec.name for e in scoped
+                       if "spec" in e)
+            finished = [e for e in scoped if e["event"] == "run_finished"]
+            assert len(finished) == 1
+        # Sequence numbers are globally unique under contention.
+        seqs = [event["seq"] for event in events]
+        assert len(seqs) == len(set(seqs))
+
+    def test_unscoped_emission_has_no_scope_field(self):
+        stream = obs.event_stream()
+        obs.emit("depth_started", depth=0)
+        events = stream.drain()
+        stream.close()
+        assert len(events) == 1
+        assert "scope" not in events[0]
+
+    def test_scopes_nest_and_restore(self):
+        stream = obs.event_stream()
+        with obs.event_scope("outer"):
+            obs.emit("depth_started", depth=0)
+            with obs.event_scope("inner"):
+                obs.emit("depth_started", depth=1)
+            obs.emit("depth_started", depth=2)
+        events = stream.drain()
+        stream.close()
+        assert [e.get("scope") for e in events] == ["outer", "inner", "outer"]
+        assert obs.current_scope() is None
+
+    def test_subscribe_unsubscribe_race_does_not_corrupt_dispatch(self):
+        seen = []
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                unsubscribe = obs.subscribe(lambda e: None)
+                unsubscribe()
+
+        churner = threading.Thread(target=churn)
+        keep = obs.subscribe(seen.append)
+        churner.start()
+        try:
+            for i in range(500):
+                obs.emit("depth_started", depth=i)
+        finally:
+            stop.set()
+            churner.join()
+            keep()
+        assert len(seen) == 500

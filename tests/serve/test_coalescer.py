@@ -1,0 +1,82 @@
+"""Job table bookkeeping: lease/attach/detach/finish."""
+
+from repro.serve.coalescer import JobTable, Waiter
+from repro.serve.protocol import parse_synth_request
+
+
+def _request(request_id=1, benchmark="3_17"):
+    return parse_synth_request({"op": "synth", "id": request_id,
+                                "benchmark": benchmark})
+
+
+class FakeHandle:
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class TestJobTable:
+    def test_lease_creates_then_coalesces(self):
+        table = JobTable()
+        request = _request(1)
+        job, created = table.lease("digest-a", object(), request)
+        assert created and job.leader is request
+        same, created_again = table.lease("digest-a", object(), _request(2))
+        assert same is job and not created_again
+        other, created_other = table.lease("digest-b", object(), _request(3))
+        assert created_other and other is not job
+        assert len(table) == 2
+
+    def test_scopes_are_unique_per_job(self):
+        table = JobTable()
+        first, _ = table.lease("d1", object(), _request(1))
+        table.finish(first)
+        second, _ = table.lease("d1", object(), _request(2))
+        assert first.scope != second.scope
+
+    def test_detach_reports_orphaned_job(self):
+        table = JobTable()
+        job, _ = table.lease("d", object(), _request(1))
+        first = Waiter(request=job.leader, connection=object())
+        second = Waiter(request=_request(2), connection=object())
+        table.attach(job, first)
+        table.attach(job, second)
+        assert table.detach(job, first) is False  # one waiter left
+        assert table.detach(job, second) is True  # nobody left, not done
+
+    def test_detach_cancels_waiter_deadline(self):
+        table = JobTable()
+        job, _ = table.lease("d", object(), _request(1))
+        waiter = Waiter(request=job.leader, connection=object(),
+                        deadline_handle=FakeHandle())
+        handle = waiter.deadline_handle
+        table.attach(job, waiter)
+        table.detach(job, waiter)
+        assert handle.cancelled
+        assert waiter.deadline_handle is None
+
+    def test_finish_takes_waiters_and_drops_job(self):
+        table = JobTable()
+        job, _ = table.lease("d", object(), _request(1))
+        waiters = [Waiter(request=_request(i), connection=object(),
+                          deadline_handle=FakeHandle())
+                   for i in range(3)]
+        handles = [w.deadline_handle for w in waiters]
+        for waiter in waiters:
+            table.attach(job, waiter)
+        taken = table.finish(job)
+        assert taken == waiters
+        assert job.done and job.waiters == []
+        assert all(handle.cancelled for handle in handles)
+        assert table.get("d") is None
+        # a finished job never reports orphaned (the answer is coming)
+        assert table.detach(job, waiters[0]) is False
+
+    def test_lease_after_finish_starts_fresh_job(self):
+        table = JobTable()
+        job, _ = table.lease("d", object(), _request(1))
+        table.finish(job)
+        fresh, created = table.lease("d", object(), _request(2))
+        assert created and fresh is not job

@@ -1,0 +1,166 @@
+"""Coalesced followers (PR 8 satellite): N orbit variants, one run.
+
+Several clients submit orbit-equivalent specs (relabeled, negated,
+inverted variants of one function) at the same time; the daemon must
+run exactly one synthesis, answer every client with circuits verified
+in *its own* frame, and commit a canonical record byte-identical to a
+serial CLI run of the leader's spec.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.core.library import GateLibrary
+from repro.core.realfmt import parse_real
+from repro.core.spec import Specification
+from repro.core.transform import LineTransform, OrbitTransform
+from repro.functions import get_spec
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.synth import synthesize
+from repro.verify import circuit_realizes
+
+BASE = get_spec("3_17")
+
+#: Distinct members of 3_17's orbit: relabelings, negations, inverses.
+VARIANTS = [
+    OrbitTransform(LineTransform(3, (2, 0, 1))),
+    OrbitTransform(LineTransform(3, (0, 1, 2), mask=0b101)),
+    OrbitTransform(LineTransform.identity(3), invert=True),
+    OrbitTransform(LineTransform(3, (2, 0, 1), mask=0b011), invert=True),
+]
+
+
+def _variant_spec(index: int) -> Specification:
+    transform = VARIANTS[index]
+    return Specification.from_permutation(
+        transform.apply_to_table(BASE.permutation()),
+        name=f"3_17~v{index}")
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset_event_bus()
+    obs.default_registry().reset()
+    yield
+    obs.reset_event_bus()
+    obs.default_registry().reset()
+
+
+def test_orbit_variants_coalesce_onto_one_run(tmp_path):
+    config = ServeConfig(port=0, store=str(tmp_path / "store"),
+                         max_concurrency=1, drain_grace=0.5)
+    thread = ServerThread(config)
+    server = thread.start()
+    try:
+        address = server.addresses[0]
+        # Occupy the single worker so the variants pile onto one queued
+        # job deterministically instead of racing each other's commits.
+        blocker = ServeClient(address, timeout=120.0)
+        blocker_frames = blocker.synth(benchmark="hwb4", engine="sat",
+                                       kinds="mpmct", time_limit=4.0)
+        import time
+        for _ in range(100):
+            if blocker.stats()["active_jobs"] >= 1:
+                break
+            time.sleep(0.05)
+
+        # Leader (the literal benchmark) first — once its job is queued
+        # behind the blocker, every orbit variant submitted while the
+        # worker is busy must attach to it as a follower.
+        replies = {}
+        barrier = threading.Barrier(len(VARIANTS))
+
+        def submit(tag, wait=True, **request):
+            with ServeClient(address, timeout=120.0) as client:
+                if wait:
+                    barrier.wait()
+                replies[tag] = client.synth_wait(**request)
+
+        leader_thread = threading.Thread(
+            target=submit, args=("leader", False),
+            kwargs=dict(benchmark="3_17", engine="bdd", kinds="mpmct"))
+        leader_thread.start()
+        for _ in range(100):
+            if blocker.stats()["queued_jobs"] >= 1:
+                break
+            time.sleep(0.05)
+
+        workers = []
+        for index in range(len(VARIANTS)):
+            workers.append(threading.Thread(
+                target=submit, args=(f"v{index}",),
+                kwargs=dict(perm=list(_variant_spec(index).permutation()),
+                            name=f"3_17~v{index}", engine="bdd",
+                            kinds="mpmct")))
+        for worker in workers:
+            worker.start()
+        for worker in workers + [leader_thread]:
+            worker.join(timeout=120)
+        for frame in blocker_frames:
+            pass  # drain the blocker's reply
+        stats = blocker.stats()
+        blocker.close()
+    finally:
+        thread.shutdown()
+
+    assert len(replies) == 1 + len(VARIANTS)
+    # Exactly one synthesis beyond the blocker, everything else coalesced.
+    assert stats["serve"]["serve.syntheses"] == 2
+    assert stats["serve"]["serve.coalesced_followers"] == len(VARIANTS)
+    assert stats["serve"]["serve.followers_answered"] == len(VARIANTS)
+
+    # Every reply realized and verifies against its *own* spec.
+    for index in range(len(VARIANTS)):
+        reply = replies[f"v{index}"]
+        assert reply["status"] == "realized", reply
+        assert reply["coalesced"] is True
+        assert reply["served"] in ("follower", "store")
+        spec = _variant_spec(index)
+        assert reply["record"]["spec"] == spec.name
+        assert reply["circuits"], "follower got no circuits"
+        for text in reply["circuits"]:
+            circuit, _ = parse_real(text)
+            assert circuit_realizes(circuit, spec)
+
+    leader = replies["leader"]
+    assert leader["status"] == "realized"
+    assert leader["coalesced"] is False
+
+    # The committed canonical record is byte-identical to a serial run.
+    serial = synthesize(get_spec("3_17"), kinds=("mpmct",), engine="bdd",
+                        store=None)
+    library = GateLibrary.from_kinds(3, ("mpmct",))
+    expected = obs.canonical_record(obs.build_run_record(serial, library))
+    got = obs.canonical_record(leader["record"])
+    assert json.dumps(got, sort_keys=True) \
+        == json.dumps(expected, sort_keys=True)
+
+
+def test_sequential_variants_share_the_store_entry(tmp_path):
+    """Without concurrency the same requests are store hits, not reruns."""
+    config = ServeConfig(port=0, store=str(tmp_path / "store"),
+                         drain_grace=0.2)
+    thread = ServerThread(config)
+    server = thread.start()
+    try:
+        with ServeClient(server.addresses[0], timeout=120.0) as client:
+            first = client.synth_wait(benchmark="3_17", engine="bdd",
+                                      kinds="mpmct")
+            assert first["served"] == "synthesis"
+            for index in range(len(VARIANTS)):
+                spec = _variant_spec(index)
+                reply = client.synth_wait(perm=list(spec.permutation()),
+                                          name=spec.name, engine="bdd",
+                                          kinds="mpmct")
+                assert reply["served"] == "store", reply
+                for text in reply["circuits"]:
+                    circuit, _ = parse_real(text)
+                    assert circuit_realizes(circuit, spec)
+            stats = client.stats()
+            assert stats["serve"]["serve.syntheses"] == 1
+            assert stats["serve"]["serve.store_hits"] == len(VARIANTS)
+    finally:
+        thread.shutdown()

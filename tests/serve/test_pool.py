@@ -1,0 +1,87 @@
+"""Warm session pool: checkout semantics, LRU eviction, release."""
+
+import threading
+
+from repro.serve.pool import SessionPool
+
+
+class FakeEngine:
+    def __init__(self):
+        self.ended = 0
+
+    def end_session(self):
+        self.ended += 1
+
+
+class TestSessionPool:
+    def test_take_removes_entry(self):
+        pool = SessionPool(capacity=4)
+        engine = FakeEngine()
+        pool.put("k", engine)
+        assert pool.take("k") is engine
+        assert pool.take("k") is None  # checked out, not shared
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction_closes_session(self):
+        pool = SessionPool(capacity=2)
+        engines = [FakeEngine() for _ in range(3)]
+        for i, engine in enumerate(engines):
+            pool.put(f"k{i}", engine)
+        assert len(pool) == 2
+        assert engines[0].ended == 1  # oldest evicted and closed
+        assert engines[1].ended == 0 and engines[2].ended == 0
+        assert pool.evictions == 1
+
+    def test_same_key_replacement_closes_previous(self):
+        pool = SessionPool(capacity=4)
+        old, new = FakeEngine(), FakeEngine()
+        pool.put("k", old)
+        pool.put("k", new)
+        assert old.ended == 1
+        assert pool.take("k") is new
+
+    def test_zero_capacity_releases_immediately(self):
+        pool = SessionPool(capacity=0)
+        engine = FakeEngine()
+        pool.put("k", engine)
+        assert engine.ended == 1
+        assert len(pool) == 0
+
+    def test_clear_closes_everything(self):
+        pool = SessionPool(capacity=4)
+        engines = [FakeEngine() for _ in range(3)]
+        for i, engine in enumerate(engines):
+            pool.put(f"k{i}", engine)
+        pool.clear()
+        assert len(pool) == 0
+        assert all(engine.ended == 1 for engine in engines)
+
+    def test_release_tolerates_sessionless_objects(self):
+        pool = SessionPool(capacity=0)
+        pool.put("k", object())  # no end_session attribute: no raise
+
+    def test_concurrent_take_yields_each_engine_once(self):
+        pool = SessionPool(capacity=8)
+        engine = FakeEngine()
+        pool.put("k", engine)
+        got = []
+        barrier = threading.Barrier(4)
+
+        def taker():
+            barrier.wait()
+            instance = pool.take("k")
+            if instance is not None:
+                got.append(instance)
+
+        workers = [threading.Thread(target=taker) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert got == [engine]
+
+    def test_stats_shape(self):
+        pool = SessionPool(capacity=3)
+        stats = pool.stats()
+        assert stats == {"sessions": 0, "capacity": 3, "hits": 0,
+                         "misses": 0, "evictions": 0}

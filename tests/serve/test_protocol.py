@@ -1,0 +1,118 @@
+"""repro-serve-v1 framing and request validation."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (ERROR_CODES, MAX_FRAME_BYTES, ProtocolError,
+                                  decode_frame, encode_frame, error_frame,
+                                  hello_frame, parse_synth_request,
+                                  result_frame)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = {"op": "synth", "id": 7, "benchmark": "3_17"}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoded_frame_is_one_line(self):
+        data = encode_frame({"op": "ping", "text": "a\nb"})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_non_object_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_garbage_rejected_with_bad_request(self):
+        try:
+            decode_frame(b"{not json}\n")
+        except ProtocolError as exc:
+            assert exc.code == "bad_request"
+        else:
+            pytest.fail("expected ProtocolError")
+
+
+class TestParseSynthRequest:
+    def test_benchmark_request(self):
+        request = parse_synth_request(
+            {"op": "synth", "id": 1, "benchmark": "3_17", "engine": "sat",
+             "kinds": "mct+mcf", "time_limit": 5, "stream": True})
+        assert request.spec.name == "3_17"
+        assert request.engine == "sat"
+        assert request.kinds == ("mct", "mcf")
+        assert request.time_limit == 5.0
+        assert request.stream is True
+        assert request.orbit is True
+
+    def test_permutation_request(self):
+        request = parse_synth_request(
+            {"op": "synth", "id": 2, "perm": [7, 1, 4, 3, 0, 2, 6, 5],
+             "name": "mine"})
+        assert request.spec.n_lines == 3
+        assert request.spec.name == "mine"
+
+    def test_rows_request_with_dont_cares(self):
+        rows = [[0, 0], [1, None], [None, 1], [1, 1]]
+        request = parse_synth_request({"op": "synth", "id": 3, "rows": rows})
+        assert request.spec.n_lines == 2
+        assert not request.spec.is_completely_specified()
+
+    def test_exactly_one_spec_source(self):
+        with pytest.raises(ProtocolError):
+            parse_synth_request({"op": "synth", "id": 1})
+        with pytest.raises(ProtocolError):
+            parse_synth_request({"op": "synth", "id": 1, "benchmark": "3_17",
+                                 "perm": [1, 0]})
+
+    def test_unknown_benchmark_and_engine(self):
+        with pytest.raises(ProtocolError):
+            parse_synth_request({"op": "synth", "benchmark": "nope"})
+        with pytest.raises(ProtocolError):
+            parse_synth_request({"op": "synth", "benchmark": "3_17",
+                                 "engine": "portfolio"})
+
+    def test_bad_numbers(self):
+        for field, value in (("time_limit", -1), ("deadline", 0),
+                             ("time_limit", "soon")):
+            with pytest.raises(ProtocolError):
+                parse_synth_request({"op": "synth", "benchmark": "3_17",
+                                     field: value})
+
+    def test_incremental_false_only_for_incremental_engines(self):
+        request = parse_synth_request({"op": "synth", "benchmark": "3_17",
+                                       "engine": "sat", "incremental": False})
+        assert request.engine_options == {"incremental": False}
+        request = parse_synth_request({"op": "synth", "benchmark": "3_17",
+                                       "engine": "sword",
+                                       "incremental": False})
+        assert request.engine_options == {}
+
+
+class TestReplyBuilders:
+    def test_error_codes_are_closed_set(self):
+        frame = error_frame(3, "queue_full", "busy")
+        assert frame["code"] in ERROR_CODES
+        with pytest.raises(AssertionError):
+            error_frame(3, "made_up_code", "x")
+
+    def test_hello_is_versioned(self):
+        frame = hello_frame()
+        assert frame["format"] == "repro-serve-v1"
+        assert frame["v"] == 1
+        assert "bdd" in frame["engines"]
+
+    def test_result_frame_echoes_record_summary(self):
+        record = {"status": "realized", "depth": 6, "num_solutions": 7,
+                  "quantum_cost_min": 12, "quantum_cost_max": 20}
+        frame = result_frame(1, record, ["..."], served="store",
+                             coalesced=True)
+        assert frame["status"] == "realized"
+        assert frame["depth"] == 6
+        assert frame["served"] == "store"
+        assert frame["coalesced"] is True
+        json.dumps(frame)  # wire-serializable

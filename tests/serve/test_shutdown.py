@@ -1,0 +1,130 @@
+"""Graceful shutdown (PR 8 satellite): SIGTERM drains, flushes, exits 0.
+
+Runs the daemon as a real subprocess on a unix socket, interrupts it
+mid-synthesis, and asserts the drain contract: the in-flight request
+still gets a (cancelled) reply, the partial deepening lands in the
+bounds ledger, new work is refused, and the process exits cleanly.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _spawn_daemon(tmp_path, *extra):
+    socket_path = str(tmp_path / "d.sock")
+    store = str(tmp_path / "store")
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(REPO_SRC))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--store", store, "--drain-grace", "0.3", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if os.path.exists(socket_path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(socket_path)
+                probe.close()
+                break
+            except OSError:
+                pass
+        if process.poll() is not None:
+            pytest.fail(f"daemon died on startup:\n{process.stdout.read()}")
+        time.sleep(0.05)
+    else:
+        process.kill()
+        pytest.fail("daemon did not come up")
+    return process, socket_path, store
+
+
+def test_sigterm_mid_synthesis_drains_and_banks_bounds(tmp_path):
+    process, socket_path, store = _spawn_daemon(tmp_path)
+    try:
+        client = ServeClient(socket_path, timeout=60.0)
+        frames = client.synth(benchmark="hwb4", engine="sat",
+                              time_limit=60.0, stream=True)
+        # Wait until the engine has refuted at least two depths, so the
+        # cancel interrupts a run with bankable progress.
+        refuted = 0
+        for frame in frames:
+            if (frame["type"] == "event"
+                    and frame["payload"]["event"] == "depth_refuted"):
+                refuted += 1
+                if refuted >= 2:
+                    break
+        assert refuted >= 2
+
+        process.send_signal(signal.SIGTERM)
+        # The drain must still answer the in-flight request...
+        final = None
+        for frame in frames:
+            if frame["type"] in ("result", "error"):
+                final = frame
+        assert final is not None, "no reply during drain"
+        assert final["type"] == "result"
+        assert final["status"] == "cancelled"
+        client.close()
+    finally:
+        if process.poll() is None:
+            try:
+                process.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    assert process.wait(timeout=30.0) == 0, process.stdout.read()
+
+    # ...and the partial deepening was flushed to the bounds ledger.
+    bounds_path = os.path.join(store, "bounds.jsonl")
+    assert os.path.exists(bounds_path)
+    entries = [json.loads(line)
+               for line in open(bounds_path) if line.strip()]
+    assert entries and max(e["unsat_through"] for e in entries) >= 1
+
+
+def test_drain_rejects_new_requests(tmp_path):
+    process, socket_path, _store = _spawn_daemon(tmp_path)
+    try:
+        with ServeClient(socket_path, timeout=60.0) as client:
+            frames = client.synth(benchmark="hwb4", engine="sat",
+                                  time_limit=60.0, stream=True)
+            next(iter(frames))  # the run is underway
+            with ServeClient(socket_path, timeout=60.0) as second:
+                assert second.shutdown() is True
+                # New synth on a still-open connection is refused.
+                reply = second.synth_wait(benchmark="3_17", engine="bdd")
+                assert reply["type"] == "error"
+                assert reply["code"] == "shutting_down"
+            for frame in frames:
+                if frame["type"] in ("result", "error"):
+                    assert frame["type"] == "result"
+                    assert frame["status"] == "cancelled"
+    finally:
+        if process.poll() is None:
+            try:
+                process.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    assert process.wait(timeout=30.0) == 0
+
+
+def test_idle_daemon_exits_promptly_on_sigint(tmp_path):
+    process, socket_path, _store = _spawn_daemon(tmp_path)
+    try:
+        with ServeClient(socket_path, timeout=30.0) as client:
+            assert client.ping()
+        process.send_signal(signal.SIGINT)
+        assert process.wait(timeout=15.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
