@@ -1,0 +1,1011 @@
+"""A reduced ordered binary decision diagram (ROBDD) package, v2 — FROZEN.
+
+Vendored byte-copy of ``src/repro/bdd/manager.py`` as it stood before
+the packed-table v3 core, kept as the benchmark opponent for
+``bench_bdd_core.py``.  Do not improve it: its whole value is being a
+stable yardstick.  The only additions are this banner and the
+``node_store_bytes`` estimator at the end of the file.
+
+Implements the Bryant-style shared-BDD manager the paper relies on (it
+used CUDD), with the two structural optimizations that make CUDD fast
+and that the v1 pure-Python core lacked:
+
+**Complement edges** (Brace/Rudell/Bryant).  An *edge* is an integer
+``(node_index << 1) | complement``: the low bit says "interpret the
+pointed-to function negated".  Negation is ``edge ^ 1`` — O(1), no
+traversal, no new nodes — and a function and its complement share one
+node structure, roughly halving the unique table.  There is a single
+terminal node (index 0): ``FALSE`` is its regular edge (``0``) and
+``TRUE`` its complemented edge (``1``), so the old terminal constants
+keep their values and ``edge <= 1`` still tests for a terminal.
+Canonicity requires one normalization rule: a stored node's *high* edge
+is never complemented (:meth:`BddManager._mk` flips all three parts
+when it would be), which keeps "equal functions <=> equal edge ints".
+
+**Op-tagged, argument-normalized computed caches.**  Binary AND and XOR
+get their own apply recursions instead of being expressed as generic
+ITE triples; cache keys are ``(op, f, g)`` with commutative arguments
+sorted and (for XOR, whose complements factor out) complement bits
+stripped, and ITE triples are reduced toward standard form (first
+argument regular, then-branch regular, constant branches routed into
+the binary ops).  Distinct call shapes that denote the same computation
+therefore hit the same cache line.  Keys are packed into single
+integers — ``((f << 32 | g) << 3) | op`` and ``(var << 64) | (lo << 32)
+| hi`` for the unique table — because hashing one int is measurably
+cheaper than allocating and hashing a tuple in these innermost loops
+(edges stay below ``2**32``; a pure-Python store exhausts memory long
+before that).
+
+Quantified variable sets are **bitmasks**, so dropping the variables
+above a node's top level inside :meth:`forall`/:meth:`exists` is two
+shifts instead of a tuple rebuild per recursion step.
+
+Nodes are addressed by edges everywhere in the public API: ``0`` is
+FALSE, ``1`` is TRUE, internal edges are ``>= 2``.  Variables are
+identified by their *order position* (``0`` topmost) and appended with
+:meth:`BddManager.add_var`, so the variable order equals creation
+order.  This matches the paper's usage: the circuit inputs ``X`` are
+created first, the gate-select inputs ``Y`` are appended per depth
+iteration, yielding the fixed order "X before Y" that Section 5.2
+identifies as essential.  :meth:`low`/:meth:`high` propagate the
+complement bit of the edge they are given, so generic traversals never
+need to know about the encoding.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+__all__ = ["BddManager", "FALSE", "TRUE"]
+
+FALSE = 0
+TRUE = 1
+
+# Cache-key operator tags.  The apply cache and the quantify cache are
+# separate dicts (they are cleared together but sized independently);
+# within each, the leading tag keeps differently-shaped keys disjoint.
+_OP_AND = 0
+_OP_XOR = 1
+_OP_ITE = 2
+_OP_EXISTS = 3
+_OP_FORALL = 4
+_OP_RESTRICT0 = 5
+_OP_RESTRICT1 = 6
+_OP_MATCH = 7
+
+
+class BddManager:
+    """Shared ROBDD store with a unique table and computed caches."""
+
+    def __init__(self, num_vars: int = 0, var_names: Optional[Sequence[str]] = None):
+        # Parallel arrays indexed by *node index* (edge >> 1); index 0 is
+        # the terminal (pseudo-level +inf, placeholder children).
+        self._var: List[int] = [-1]
+        self._lo: List[int] = [FALSE]
+        self._hi: List[int] = [FALSE]
+        # Keys are packed ints (see the module docstring); the quantify
+        # cache also holds tuple keys for the n-ary fused match operation.
+        self._unique: Dict[int, int] = {}
+        self._apply_cache: Dict[int, int] = {}
+        self._quant_cache: Dict[object, int] = {}
+        self._names: List[str] = []
+        self.num_vars = 0
+        # Optional node-allocation tick: callers (the synthesis engines'
+        # deadline guard) register a callback fired every
+        # ``interval`` fresh node allocations, so a time limit is
+        # honored *inside* one long apply run, not only between them.
+        self._alloc_tick: Optional[Callable[[], None]] = None
+        self._tick_interval = 4096
+        self._tick_countdown = 4096
+        # Plain-integer instrumentation counters (see stats()); kept as
+        # attributes rather than a registry so the hot apply paths pay
+        # at most one increment.  Cache misses are not counted where
+        # they happen: every miss inserts exactly one computed-cache
+        # entry, so cumulative misses = live entries + entries dropped
+        # by cache clears, tracked in _ite_dropped.
+        self.ite_cache_hits = 0
+        self._ite_dropped = 0
+        self.quant_calls = 0
+        self.quant_cache_hits = 0
+        self.cache_clears = 0
+        self.peak_nodes = 1
+        for i in range(num_vars):
+            name = var_names[i] if var_names else None
+            self.add_var(name)
+
+    # -- variables ---------------------------------------------------------------
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Append a new variable at the bottom of the order; returns its index."""
+        index = self.num_vars
+        self.num_vars += 1
+        self._names.append(name if name is not None else f"v{index}")
+        # Apply recursions descend one level per frame, so the needed
+        # recursion depth is bounded by the variable count.  Keeping the
+        # check here (variables are added rarely) scopes the limit bump
+        # to managers that actually grow deep, instead of mutating
+        # interpreter-global state at import time as v1 did.
+        if sys.getrecursionlimit() < 4 * self.num_vars + 500:
+            sys.setrecursionlimit(4 * self.num_vars + 500)
+        return index
+
+    def var_name(self, index: int) -> str:
+        return self._names[index]
+
+    def var(self, index: int) -> int:
+        """The BDD of the single variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"unknown variable {index}")
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD of the negated variable."""
+        return self._mk(index, TRUE, FALSE)
+
+    def literal(self, index: int, positive: bool) -> int:
+        return self.var(index) if positive else self.nvar(index)
+
+    # -- node structure ------------------------------------------------------------
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= 1
+
+    def is_complement(self, node: int) -> bool:
+        """Does this edge carry the complement bit?  (TRUE does: ¬FALSE.)"""
+        return bool(node & 1)
+
+    def regular(self, node: int) -> int:
+        """The edge with the complement bit cleared."""
+        return node & -2
+
+    def top_var(self, node: int) -> int:
+        """Order position of the node's variable (terminals raise)."""
+        if node <= 1:
+            raise ValueError("terminals have no variable")
+        return self._var[node >> 1]
+
+    def low(self, node: int) -> int:
+        """Low cofactor edge, with the incoming complement bit applied."""
+        return self._lo[node >> 1] ^ (node & 1)
+
+    def high(self, node: int) -> int:
+        """High cofactor edge, with the incoming complement bit applied."""
+        return self._hi[node >> 1] ^ (node & 1)
+
+    def _level(self, node: int) -> int:
+        """Level used for ordering; terminals sink below every variable."""
+        return self._var[node >> 1] if node > 1 else self.num_vars
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Hash-consed edge constructor enforcing all three canonicity rules.
+
+        Both reduction rules of plain ROBDDs, plus the complement-edge
+        normalization: the stored high edge is always regular — when it
+        is not, the node is built from the complemented cofactors and
+        the complement moves to the returned edge.
+        """
+        if lo == hi:
+            return lo
+        comp = hi & 1
+        if comp:
+            lo ^= 1
+            hi ^= 1
+        key = (var << 64) | (lo << 32) | hi
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = node
+            if self._alloc_tick is not None:
+                self._tick_countdown -= 1
+                if self._tick_countdown <= 0:
+                    self._tick_countdown = self._tick_interval
+                    self._alloc_tick()
+        return (node << 1) | comp
+
+    def set_alloc_tick(self, callback: Optional[Callable[[], None]],
+                       interval: int = 4096) -> None:
+        """Invoke ``callback`` every ``interval`` fresh node allocations.
+
+        The synthesis engines install their deadline check here so a
+        ``time_limit`` can interrupt a single large apply run (the
+        callback may raise).  ``None`` uninstalls.
+        """
+        if interval <= 0:
+            raise ValueError("tick interval must be positive")
+        self._alloc_tick = callback
+        self._tick_interval = interval
+        self._tick_countdown = interval
+
+    def node_count(self) -> int:
+        """Number of live entries in the node store (including the terminal)."""
+        return len(self._var)
+
+    def size(self, node: int) -> int:
+        """Number of nodes reachable from ``node`` (including the terminal).
+
+        A function and its complement share structure, so ``size(f) ==
+        size(not_(f))`` by construction.
+        """
+        seen: Set[int] = set()
+        stack = [node >> 1]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            if index:
+                stack.append(self._lo[index] >> 1)
+                stack.append(self._hi[index] >> 1)
+        return len(seen)
+
+    # -- the apply layer ------------------------------------------------------------
+    #
+    # Three recursions share the unique table and one computed cache:
+    # and_ (commutative, sorted keys), xor (commutative, sorted keys,
+    # complements factored out), and the general ite.  or/implies/xnor/
+    # not_ are O(1) rewrites into those three.
+
+    def and_(self, f: int, g: int) -> int:
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        # After sorting: terminal f, or f/g a complement pair (same node
+        # index, opposite bits => ids differing in the low bit only).
+        if f == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if f ^ g == 1:
+            return FALSE
+        key = (((f << 32) | g) << 3) | _OP_AND
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.ite_cache_hits += 1
+            return cached
+        # Inlined level/cofactor computation: this is the hottest loop
+        # in the package, method calls per miss dominate its cost.
+        var, lo, hi = self._var, self._lo, self._hi
+        fi = f >> 1
+        gi = g >> 1
+        level = level_f = var[fi]
+        level_g = var[gi]
+        if level_g < level:
+            level = level_g
+        if level_f == level:
+            fc = f & 1
+            f0 = lo[fi] ^ fc
+            f1 = hi[fi] ^ fc
+        else:
+            f0 = f1 = f
+        if level_g == level:
+            gc = g & 1
+            g0 = lo[gi] ^ gc
+            g1 = hi[gi] ^ gc
+        else:
+            g0 = g1 = g
+        # _mk inlined: one Python call per miss saved matters here.
+        rlo = self.and_(f0, g0)
+        rhi = self.and_(f1, g1)
+        if rlo == rhi:
+            result = rlo
+        else:
+            comp = rhi & 1
+            if comp:
+                rlo ^= 1
+                rhi ^= 1
+            mk_key = (level << 64) | (rlo << 32) | rhi
+            node = self._unique.get(mk_key)
+            if node is None:
+                node = len(var)
+                var.append(level)
+                lo.append(rlo)
+                hi.append(rhi)
+                self._unique[mk_key] = node
+                if self._alloc_tick is not None:
+                    self._tick_countdown -= 1
+                    if self._tick_countdown <= 0:
+                        self._tick_countdown = self._tick_interval
+                        self._alloc_tick()
+            result = (node << 1) | comp
+        self._apply_cache[key] = result
+        return result
+
+    def xor(self, f: int, g: int) -> int:
+        # Complements factor out of XOR entirely: strip them from both
+        # arguments, fold them into the result.  All four complement
+        # variants of a call then share one cache entry.
+        comp = (f ^ g) & 1
+        f &= -2
+        g &= -2
+        if f == g:
+            return comp  # FALSE ^ comp
+        if f > g:
+            f, g = g, f
+        if f == FALSE:  # the regular terminal edge
+            return g ^ comp
+        key = (((f << 32) | g) << 3) | _OP_XOR
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.ite_cache_hits += 1
+            return cached ^ comp
+        var, lo, hi = self._var, self._lo, self._hi
+        fi = f >> 1
+        gi = g >> 1
+        level = level_f = var[fi]
+        level_g = var[gi]
+        if level_g < level:
+            level = level_g
+        # f and g are regular here, so their stored children are their
+        # cofactors directly.
+        if level_f == level:
+            f0 = lo[fi]
+            f1 = hi[fi]
+        else:
+            f0 = f1 = f
+        if level_g == level:
+            g0 = lo[gi]
+            g1 = hi[gi]
+        else:
+            g0 = g1 = g
+        # _mk inlined, as in and_.
+        rlo = self.xor(f0, g0)
+        rhi = self.xor(f1, g1)
+        if rlo == rhi:
+            result = rlo
+        else:
+            rcomp = rhi & 1
+            if rcomp:
+                rlo ^= 1
+                rhi ^= 1
+            mk_key = (level << 64) | (rlo << 32) | rhi
+            node = self._unique.get(mk_key)
+            if node is None:
+                node = len(var)
+                var.append(level)
+                lo.append(rlo)
+                hi.append(rhi)
+                self._unique[mk_key] = node
+                if self._alloc_tick is not None:
+                    self._tick_countdown -= 1
+                    if self._tick_countdown <= 0:
+                        self._tick_countdown = self._tick_interval
+                        self._alloc_tick()
+            result = (node << 1) | rcomp
+        self._apply_cache[key] = result
+        return result ^ comp
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
+        # Terminal short cuts.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        # Standard-triple reduction: make the first argument regular ...
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        # ... collapse branches that repeat the selector ...
+        if g == f:
+            g = TRUE
+        elif g == f ^ 1:
+            g = FALSE
+        if h == f:
+            h = FALSE
+        elif h == f ^ 1:
+            h = TRUE
+        if g == h:
+            return g
+        # ... and route constant-branch shapes into the tagged binary
+        # ops, where argument normalization buys more cache sharing.
+        if g == TRUE:
+            if h == FALSE:
+                return f
+            return self.and_(f ^ 1, h ^ 1) ^ 1  # f OR h
+        if g == FALSE:
+            if h == TRUE:
+                return f ^ 1
+            return self.and_(f ^ 1, h)  # NOT f AND h
+        if h == FALSE:
+            return self.and_(f, g)
+        if h == TRUE:
+            return self.and_(f, g ^ 1) ^ 1  # f IMPLIES g
+        if g == h ^ 1:
+            return self.xor(f, h)  # ite(f, ¬h, h)
+        # General case; normalize the then-branch regular so a triple
+        # and its complement share one cache entry.
+        comp = g & 1
+        if comp:
+            g ^= 1
+            h ^= 1
+        key = (((((f << 32) | g) << 32) | h) << 3) | _OP_ITE
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.ite_cache_hits += 1
+            return cached ^ comp
+        var, lo, hi = self._var, self._lo, self._hi
+        fi = f >> 1
+        gi = g >> 1
+        hi_i = h >> 1
+        level = var[fi]  # all three are non-terminal past the routing
+        level_g = var[gi]
+        if level_g < level:
+            level = level_g
+        level_h = var[hi_i]
+        if level_h < level:
+            level = level_h
+        if var[fi] == level:
+            f0 = lo[fi]
+            f1 = hi[fi]  # f is regular
+        else:
+            f0 = f1 = f
+        if level_g == level:
+            g0 = lo[gi]
+            g1 = hi[gi]  # g is regular
+        else:
+            g0 = g1 = g
+        if level_h == level:
+            hc = h & 1
+            h0 = lo[hi_i] ^ hc
+            h1 = hi[hi_i] ^ hc
+        else:
+            h0 = h1 = h
+        # _mk inlined, as in and_.
+        rlo = self.ite(f0, g0, h0)
+        rhi = self.ite(f1, g1, h1)
+        if rlo == rhi:
+            result = rlo
+        else:
+            rcomp = rhi & 1
+            if rcomp:
+                rlo ^= 1
+                rhi ^= 1
+            mk_key = (level << 64) | (rlo << 32) | rhi
+            node = self._unique.get(mk_key)
+            if node is None:
+                node = len(var)
+                var.append(level)
+                lo.append(rlo)
+                hi.append(rhi)
+                self._unique[mk_key] = node
+                if self._alloc_tick is not None:
+                    self._tick_countdown -= 1
+                    if self._tick_countdown <= 0:
+                        self._tick_countdown = self._tick_interval
+                        self._alloc_tick()
+            result = (node << 1) | rcomp
+        self._apply_cache[key] = result
+        return result ^ comp
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if node > 1 and self._var[node >> 1] == level:
+            comp = node & 1
+            return self._lo[node >> 1] ^ comp, self._hi[node >> 1] ^ comp
+        return node, node
+
+    # -- connectives ------------------------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        """Negation is a complement-bit flip: O(1), no traversal."""
+        return f ^ 1
+
+    def or_(self, f: int, g: int) -> int:
+        return self.and_(f ^ 1, g ^ 1) ^ 1
+
+    def xnor(self, f: int, g: int) -> int:
+        """Boolean equality — the paper's ``F_d = f`` comparator."""
+        return self.xor(f, g) ^ 1
+
+    def implies(self, f: int, g: int) -> int:
+        return self.and_(f, g ^ 1) ^ 1
+
+    def conj(self, nodes: Iterable[int]) -> int:
+        result = TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def disj(self, nodes: Iterable[int]) -> int:
+        result = FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    # -- restriction / composition -------------------------------------------------------
+
+    def restrict(self, f: int, var: int, value: bool) -> int:
+        """Cofactor of ``f`` with variable ``var`` fixed to ``value``."""
+        if f <= 1:
+            return f
+        comp = f & 1
+        f ^= comp
+        index = f >> 1
+        top = self._var[index]
+        if top > var:
+            return f ^ comp
+        if top == var:
+            return (self._hi[index] if value else self._lo[index]) ^ comp
+        key = (((f << 32) | var) << 3) | (_OP_RESTRICT1 if value
+                                          else _OP_RESTRICT0)
+        cached = self._quant_cache.get(key)
+        if cached is None:
+            cached = self._mk(top,
+                              self.restrict(self._lo[index], var, value),
+                              self.restrict(self._hi[index], var, value))
+            self._quant_cache[key] = cached
+        return cached ^ comp
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute BDD ``g`` for variable ``var`` in ``f``."""
+        f0 = self.restrict(f, var, False)
+        f1 = self.restrict(f, var, True)
+        return self.ite(g, f1, f0)
+
+    # -- quantification --------------------------------------------------------------------
+
+    @staticmethod
+    def _var_mask(variables: Iterable[int]) -> int:
+        mask = 0
+        for v in variables:
+            mask |= 1 << v
+        return mask
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        return self._quantify(f, self._var_mask(variables), forall=False)
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universal quantification — ``forall x . f = f|x=0 AND f|x=1``.
+
+        This is the operation Section 5.2 applies to the equality BDD
+        over all circuit-input variables.
+        """
+        return self._quantify(f, self._var_mask(variables), forall=True)
+
+    def _quantify(self, f: int, mask: int, forall: bool) -> int:
+        """Quantify the variable set encoded as ``mask`` out of ``f``.
+
+        Complements route through De Morgan duality (``forall x ¬f =
+        ¬exists x f``), so the cache holds regular edges only.
+        """
+        if not mask or f <= 1:
+            return f
+        if f & 1:
+            return self._quantify(f ^ 1, mask, not forall) ^ 1
+        index = f >> 1
+        level = self._var[index]
+        # Drop quantified variables above the node's top variable (two
+        # shifts on the mask): they do not occur in f.
+        mask = (mask >> level) << level
+        if not mask:
+            return f
+        self.quant_calls += 1
+        # The mask is arbitrary precision, so it takes the high bits.
+        key = (((mask << 32) | f) << 3) | (_OP_FORALL if forall
+                                           else _OP_EXISTS)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            self.quant_cache_hits += 1
+            return cached
+        lo = self._quantify(self._lo[index], mask, forall)
+        if (mask >> level) & 1:
+            # The top variable itself is quantified: combine cofactors,
+            # short-circuiting the dominant absorbing case.
+            if lo == (FALSE if forall else TRUE):
+                result = lo
+            else:
+                hi = self._quantify(self._hi[index], mask, forall)
+                result = self.and_(lo, hi) if forall else self.or_(lo, hi)
+        else:
+            hi = self._quantify(self._hi[index], mask, forall)
+            result = self._mk(level, lo, hi)
+        self._quant_cache[key] = result
+        return result
+
+    def match_forall(self, outputs: Sequence[int], on_bdds: Sequence[int],
+                     dc_bdds: Sequence[int], num_inputs: int) -> int:
+        """Fused comparator + universal quantifier for Section 5.2.
+
+        Computes ``forall x0..x_{b-1} . AND_l (dc_l OR (outputs_l XNOR
+        on_l))`` with ``b = num_inputs`` in a single recursion that
+        cofactors all ``3n`` argument BDDs simultaneously, instead of
+        first materializing the equality BDD over X and Y and then
+        quantifying X back out of it.  Once the recursion has descended
+        past the input block (every argument's top variable is ``>=
+        num_inputs``), the spec BDDs are terminals — their support is a
+        subset of the inputs — so each line's term collapses to the
+        output edge with at most a complement flip, and the conjunction
+        short-circuits on FALSE exactly like the absorbing case of
+        :meth:`_quantify`.
+
+        Requires every ``on``/``dc`` BDD to depend only on variables
+        ``< num_inputs`` (true by construction for spec BDDs built over
+        the X block) and the inputs to occupy the top of the variable
+        order; the caller keeps the legacy two-step route for the
+        ``var_order="yx"`` ablation where they do not.
+        """
+        var, lo, hi = self._var, self._lo, self._hi
+        cache = self._quant_cache
+        # A line whose don't-care cover is the constant TRUE constrains
+        # nothing — drop it before the recursion ever sees it.  When all
+        # remaining covers are the constant FALSE (every permutation
+        # spec: no don't-cares at all) the dc column would ride through
+        # every cofactor step unchanged, so a stride-2 signature skips
+        # it; the stride is part of the memo key because a 2k-tuple and
+        # a 3m-tuple can coincide element-wise.
+        sig = []
+        stride = 2
+        for l in range(len(outputs)):
+            if dc_bdds[l] != TRUE and dc_bdds[l] != FALSE:
+                stride = 3
+                break
+        for l in range(len(outputs)):
+            dc = dc_bdds[l]
+            if dc == TRUE:
+                continue
+            sig.append(outputs[l])
+            sig.append(on_bdds[l])
+            if stride == 3:
+                sig.append(dc)
+
+        def rec(sig: Tuple[int, ...]) -> int:
+            # The result depends on the argument edges alone (all inputs
+            # below ``num_inputs`` are quantified), so the signature is
+            # the whole memo key — no level component needed.
+            self.quant_calls += 1
+            key = (_OP_MATCH, stride, num_inputs, sig)
+            cached = cache.get(key)
+            if cached is not None:
+                self.quant_cache_hits += 1
+                return cached
+            level = num_inputs
+            for s in sig:
+                if s > 1:
+                    v = var[s >> 1]
+                    if v < level:
+                        level = v
+            if level >= num_inputs:
+                result = TRUE
+                if stride == 2:
+                    for i in range(0, len(sig), 2):
+                        result = self.and_(result, sig[i] ^ sig[i + 1] ^ 1)
+                        if result == FALSE:
+                            break
+                else:
+                    for i in range(0, len(sig), 3):
+                        dc = sig[i + 2]
+                        if dc == TRUE:
+                            continue
+                        result = self.and_(result, sig[i] ^ sig[i + 1] ^ 1)
+                        if result == FALSE:
+                            break
+            else:
+                los = []
+                his = []
+                for s in sig:
+                    if s > 1 and var[s >> 1] == level:
+                        c = s & 1
+                        los.append(lo[s >> 1] ^ c)
+                        his.append(hi[s >> 1] ^ c)
+                    else:
+                        los.append(s)
+                        his.append(s)
+                result = rec(tuple(los))
+                if result != FALSE:
+                    result = self.and_(result, rec(tuple(his)))
+            cache[key] = result
+            return result
+
+        return rec(tuple(sig))
+
+    # -- evaluation / models -----------------------------------------------------------------
+
+    def evaluate(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a total assignment of the support variables."""
+        node = f
+        while node > 1:
+            index = node >> 1
+            var = self._var[index]
+            if var not in assignment:
+                raise ValueError(f"assignment misses variable {var}")
+            child = self._hi[index] if assignment[var] else self._lo[index]
+            node = child ^ (node & 1)
+        return node == TRUE
+
+    def support(self, f: int) -> Set[int]:
+        """The set of variables ``f`` depends on."""
+        seen: Set[int] = set()
+        result: Set[int] = set()
+        stack = [f >> 1]
+        while stack:
+            index = stack.pop()
+            if not index or index in seen:
+                continue
+            seen.add(index)
+            result.add(self._var[index])
+            stack.append(self._lo[index] >> 1)
+            stack.append(self._hi[index] >> 1)
+        return result
+
+    def count_models(self, f: int, variables: Sequence[int]) -> int:
+        """Number of satisfying assignments over exactly ``variables``.
+
+        ``variables`` must be a superset of ``support(f)``; variables
+        outside the support double the count.  This computes the paper's
+        ``#SOL`` column (models over all gate-select inputs).
+        """
+        var_list = sorted(set(variables))
+        missing = self.support(f) - set(var_list)
+        if missing:
+            raise ValueError(f"variables {sorted(missing)} in support but not counted")
+        position = {v: i for i, v in enumerate(var_list)}
+        total = len(var_list)
+
+        # Memoized per *edge*: a node and its complement count
+        # differently, and both can be reachable in one diagram.
+        memo: Dict[int, int] = {}
+
+        def level_of(node: int) -> int:
+            return position[self._var[node >> 1]] if node > 1 else total
+
+        def rec(node: int) -> int:
+            # models over variables at positions level_of(node)..total-1
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            here = level_of(node)
+            index = node >> 1
+            comp = node & 1
+            result = 0
+            for child in (self._lo[index] ^ comp, self._hi[index] ^ comp):
+                result += rec(child) << (level_of(child) - here - 1)
+            memo[node] = result
+            return result
+
+        return rec(f) << level_of(f)
+
+    def iter_models(self, f: int, variables: Sequence[int]) -> Iterator[Dict[int, bool]]:
+        """Yield every satisfying assignment over exactly ``variables``.
+
+        Path don't-cares are expanded, so the number of yielded models
+        equals :meth:`count_models`.  Models come out in lexicographic
+        order of the variable list.
+        """
+        var_list = sorted(set(variables))
+        missing = self.support(f) - set(var_list)
+        if missing:
+            raise ValueError(f"variables {sorted(missing)} in support but not enumerated")
+
+        def rec(node: int, depth: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if node == FALSE:
+                return
+            if depth == len(var_list):
+                yield dict(partial)
+                return
+            var = var_list[depth]
+            if node > 1 and self._var[node >> 1] == var:
+                comp = node & 1
+                branches = ((False, self._lo[node >> 1] ^ comp),
+                            (True, self._hi[node >> 1] ^ comp))
+            else:
+                branches = ((False, node), (True, node))
+            for value, child in branches:
+                partial[var] = value
+                yield from rec(child, depth + 1, partial)
+            del partial[var]
+
+        yield from rec(f, 0, {})
+
+    def sat_one(self, f: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment over ``support(f)``; None if UNSAT."""
+        if f == FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = f
+        while node > 1:
+            index = node >> 1
+            comp = node & 1
+            lo = self._lo[index] ^ comp
+            if lo != FALSE:
+                assignment[self._var[index]] = False
+                node = lo
+            else:
+                assignment[self._var[index]] = True
+                node = self._hi[index] ^ comp
+        return assignment
+
+    # -- building from sets ---------------------------------------------------------------------
+
+    def from_minterms(self, variables: Sequence[int], minterms: Iterable[int]) -> int:
+        """The function that is 1 exactly on the given packed minterms.
+
+        Bit ``j`` of a minterm corresponds to ``variables[j]``.  Built
+        bottom-up over the sorted variable order for linear-time
+        construction per minterm set.
+        """
+        var_list = list(variables)
+        minterm_set = set(minterms)
+        if not minterm_set:
+            return FALSE
+        if any(not 0 <= m < (1 << len(var_list)) for m in minterm_set):
+            raise ValueError("minterm out of range")
+        # Order positions of variables, topmost first.
+        order = sorted(range(len(var_list)), key=lambda j: var_list[j])
+
+        def rec(depth: int, terms: frozenset) -> int:
+            if not terms:
+                return FALSE
+            if depth == len(order):
+                return TRUE
+            j = order[depth]
+            lo_terms = frozenset(t for t in terms if not (t >> j) & 1)
+            hi_terms = frozenset(t for t in terms if (t >> j) & 1)
+            return self._mk(var_list[j],
+                            rec(depth + 1, lo_terms),
+                            rec(depth + 1, hi_terms))
+
+        return rec(0, frozenset(minterm_set))
+
+    def minterm(self, assignment: Dict[int, bool]) -> int:
+        """Conjunction of literals given by a variable assignment."""
+        result = TRUE
+        for var in sorted(assignment, reverse=True):
+            result = self._mk(var,
+                              FALSE if assignment[var] else result,
+                              result if assignment[var] else FALSE)
+        return result
+
+    # -- maintenance -------------------------------------------------------------------------------
+
+    def cache_size(self) -> int:
+        """Total entries across the operation caches."""
+        return len(self._apply_cache) + len(self._quant_cache)
+
+    def clear_caches(self) -> None:
+        """Drop the operation caches (unique table is kept)."""
+        self.cache_clears += 1
+        self._ite_dropped += len(self._apply_cache)
+        self._apply_cache.clear()
+        self._quant_cache.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Instrumentation snapshot, in the ``docs/observability.md`` names.
+
+        Counter values are cumulative over the manager's lifetime and
+        survive :meth:`clear_caches`/:meth:`compact`; callers wanting
+        per-phase figures diff two snapshots.  The ``ite_*`` names
+        cover the whole apply layer (AND, XOR and ITE share one tagged
+        cache) — the names predate the v2 split and stay for metric
+        stability.
+        """
+        misses = self._ite_dropped + len(self._apply_cache)
+        return {
+            "nodes": len(self._var),
+            "peak_nodes": max(self.peak_nodes, len(self._var)),
+            "num_vars": self.num_vars,
+            "ite_calls": self.ite_cache_hits + misses,
+            "ite_cache_hits": self.ite_cache_hits,
+            "ite_cache_entries": len(self._apply_cache),
+            "quant_calls": self.quant_calls,
+            "quant_cache_hits": self.quant_cache_hits,
+            "quant_cache_entries": len(self._quant_cache),
+            "cache_clears": self.cache_clears,
+        }
+
+    def compact(self, roots: Sequence[int]) -> List[int]:
+        """Mark-and-sweep compaction keeping only nodes reachable from roots.
+
+        Returns the remapped root edges.  All previously handed-out
+        edges other than the returned ones become invalid; callers (the
+        BDD synthesis engine between depth iterations) must re-root.
+        """
+        self.peak_nodes = max(self.peak_nodes, len(self._var))
+        reachable: Set[int] = {0}
+        stack = [root >> 1 for root in roots]
+        while stack:
+            index = stack.pop()
+            if index in reachable:
+                continue
+            reachable.add(index)
+            stack.append(self._lo[index] >> 1)
+            stack.append(self._hi[index] >> 1)
+        # Preserve index order so children keep lower indices than parents.
+        old_ids = sorted(reachable)
+        remap: Dict[int, int] = {}
+        new_var: List[int] = []
+        new_lo: List[int] = []
+        new_hi: List[int] = []
+        for new_id, old_id in enumerate(old_ids):
+            remap[old_id] = new_id
+            new_var.append(self._var[old_id])
+            if old_id == 0:
+                new_lo.append(FALSE)
+                new_hi.append(FALSE)
+            else:
+                old_lo = self._lo[old_id]
+                old_hi = self._hi[old_id]
+                new_lo.append((remap[old_lo >> 1] << 1) | (old_lo & 1))
+                new_hi.append((remap[old_hi >> 1] << 1) | (old_hi & 1))
+        self._var, self._lo, self._hi = new_var, new_lo, new_hi
+        self._unique = {
+            (self._var[i] << 64) | (self._lo[i] << 32) | self._hi[i]: i
+            for i in range(1, len(self._var))
+        }
+        self._ite_dropped += len(self._apply_cache)
+        self._apply_cache.clear()
+        self._quant_cache.clear()
+        return [(remap[root >> 1] << 1) | (root & 1) for root in roots]
+
+    # -- export --------------------------------------------------------------------------------------
+
+    def to_dot(self, f: int, name: str = "bdd") -> str:
+        """Graphviz DOT rendering.
+
+        Solid = high edge, dashed = low edge; a dot arrowhead marks a
+        complemented edge.  The terminal box is the constant 0; the root
+        polarity is shown on the entry edge.
+        """
+        root_comp = ",arrowhead=dot" if f & 1 else ""
+        lines = [f"digraph {name} {{", '  node [shape=circle];',
+                 '  n0 [shape=box,label="0"];',
+                 '  root [shape=none,label=""];',
+                 f"  root -> n{f >> 1} [style=dashed{root_comp}];"]
+        seen: Set[int] = set()
+        stack = [f >> 1]
+        while stack:
+            index = stack.pop()
+            if not index or index in seen:
+                continue
+            seen.add(index)
+            lo = self._lo[index]
+            hi = self._hi[index]
+            lo_comp = ",arrowhead=dot" if lo & 1 else ""
+            lines.append(f'  n{index} [label="{self._names[self._var[index]]}"];')
+            lines.append(f"  n{index} -> n{lo >> 1} [style=dashed{lo_comp}];")
+            lines.append(f"  n{index} -> n{hi >> 1};")
+            stack.append(lo >> 1)
+            stack.append(hi >> 1)
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def node_store_bytes(manager: "BddManager") -> int:
+    """Measured bytes of the v2 node store, honestly counted.
+
+    The v2 representation pays per node: three list slots (pointers),
+    the int objects those slots reference, and one unique-table dict
+    entry whose key is a packed big-int.  Each distinct Python object
+    is counted once (CPython interns small ints, and equal node indices
+    appearing as both list element and dict value share one object),
+    so the figure matches what the process actually holds — the number
+    ``bench_bdd_core.py``'s memory column divides by ``node_count()``.
+    """
+    seen = set()
+    total = (manager._var.__sizeof__() + manager._lo.__sizeof__()
+             + manager._hi.__sizeof__() + manager._unique.__sizeof__())
+    for container in (manager._var, manager._lo, manager._hi):
+        for obj in container:
+            if id(obj) not in seen:
+                seen.add(id(obj))
+                total += sys.getsizeof(obj)
+    for key, value in manager._unique.items():
+        for obj in (key, value):
+            if id(obj) not in seen:
+                seen.add(id(obj))
+                total += sys.getsizeof(obj)
+    return total

@@ -528,6 +528,16 @@ def _cmd_cache(args) -> int:
     store = open_store(root)
     if args.action == "stats":
         payload = store.stats_payload() if args.json else store.stats()
+        if args.json:
+            # Same "bdd" section as the serve stats RPC: node-store
+            # pressure figures published by synthesis runs in *this*
+            # process (an embedding that opened the store in-process;
+            # a fresh CLI shows zeros).
+            import repro.obs as obs
+            payload["bdd"] = {
+                name: value
+                for name, value in obs.default_registry().snapshot().items()
+                if name.startswith("bdd.")}
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     if args.action == "ls":

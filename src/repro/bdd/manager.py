@@ -1,65 +1,90 @@
-"""A reduced ordered binary decision diagram (ROBDD) package, v2.
+"""A reduced ordered binary decision diagram (ROBDD) package, v3.
 
-Implements the Bryant-style shared-BDD manager the paper relies on (it
-used CUDD), with the two structural optimizations that make CUDD fast
-and that the v1 pure-Python core lacked:
+Packed-table core.  v2 (complement edges, op-tagged normalized caches,
+the fused match+forall recursion) stored nodes in Python lists-of-ints
+and keyed the unique/computed tables with big packed integers in dicts;
+every node cost ~200-300 bytes across the list slots, the int objects
+and the dict entries, and every apply step paid a Python function call.
+v3 keeps v2's semantics and edge encoding but re-architects the store
+the way CUDD lays it out:
 
-**Complement edges** (Brace/Rudell/Bryant).  An *edge* is an integer
-``(node_index << 1) | complement``: the low bit says "interpret the
-pointed-to function negated".  Negation is ``edge ^ 1`` — O(1), no
-traversal, no new nodes — and a function and its complement share one
-node structure, roughly halving the unique table.  There is a single
-terminal node (index 0): ``FALSE`` is its regular edge (``0``) and
-``TRUE`` its complemented edge (``1``), so the old terminal constants
-keep their values and ``edge <= 1`` still tests for a terminal.
-Canonicity requires one normalization rule: a stored node's *high* edge
-is never complemented (:meth:`BddManager._mk` flips all three parts
-when it would be), which keeps "equal functions <=> equal edge ints".
+**Packed node columns.**  Node fields live in three ``array.array``
+columns — ``_var`` (``'i'``: the node's *level*; ``-1`` terminal,
+``-2`` free) and ``_lo``/``_hi`` (``'q'``: child edges) — 20 bytes per
+node, no per-node Python objects.  An *edge* is still
+``(node_index << 1) | complement``; FALSE is ``0``, TRUE ``1``; a
+stored node's high edge is never complemented.
 
-**Op-tagged, argument-normalized computed caches.**  Binary AND and XOR
-get their own apply recursions instead of being expressed as generic
-ITE triples; cache keys are ``(op, f, g)`` with commutative arguments
-sorted and (for XOR, whose complements factor out) complement bits
-stripped, and ITE triples are reduced toward standard form (first
-argument regular, then-branch regular, constant branches routed into
-the binary ops).  Distinct call shapes that denote the same computation
-therefore hit the same cache line.  Keys are packed into single
-integers — ``((f << 32 | g) << 3) | op`` and ``(var << 64) | (lo << 32)
-| hi`` for the unique table — because hashing one int is measurably
-cheaper than allocating and hashing a tuple in these innermost loops
-(edges stay below ``2**32``; a pure-Python store exhausts memory long
-before that).
+**Open-addressed flat tables.**  The unique table is an ``array('q')``
+of node indices (0 = empty slot), power-of-two sized with linear
+probing; keys are recomputed from the columns on probe, so equality is
+a field-by-field compare — structurally collision-free at any edge
+width, unlike v2's ``(var << 64) | (lo << 32) | hi`` packing whose
+fields silently wrap past 2**32 edges.  The AND/XOR/ITE computed cache
+is four parallel ``array('q')`` columns (key1/key2/key3/result),
+direct-mapped and lossy, invalidated in O(1) by bumping a generation
+tag folded into key2 — no dict, no per-entry key objects.  Quantify,
+restrict and the n-ary fused match keep a dict cache (their keys are
+arbitrary-precision masks and n-ary signatures that do not fit a fixed
+64-bit word); it is cleared in place on invalidation.
 
-Quantified variable sets are **bitmasks**, so dropping the variables
-above a node's top level inside :meth:`forall`/:meth:`exists` is two
-shifts instead of a tuple rebuild per recursion step.
+**Iterative apply loops.**  ``and_``/``xor``/``ite``/``_quantify``/
+``match_forall`` run on explicit stacks instead of Python recursion:
+no per-node call overhead, no manager-scoped ``setrecursionlimit``
+bumping.  Pending frames keep the raw operand edges of every
+outstanding cache store on the stack so the garbage collector (below)
+can treat in-flight operations as roots.
 
-Nodes are addressed by edges everywhere in the public API: ``0`` is
-FALSE, ``1`` is TRUE, internal edges are ``>= 2``.  Variables are
-identified by their *order position* (``0`` topmost) and appended with
-:meth:`BddManager.add_var`, so the variable order equals creation
-order.  This matches the paper's usage: the circuit inputs ``X`` are
-created first, the gate-select inputs ``Y`` are appended per depth
-iteration, yielding the fixed order "X before Y" that Section 5.2
-identifies as essential.  :meth:`low`/:meth:`high` propagate the
-complement bit of the edge they are given, so generic traversals never
-need to know about the encoding.
+**Mark-and-sweep GC and an external-reference protocol.**  Callers
+``protect``/``unprotect`` (or use the :meth:`protected` scope) the
+edges they hold across operations; :meth:`gc` marks from those
+references, explicit extra roots and the conservative scan of active
+operation stacks, then threads dead nodes onto a free list, rebuilds
+the unique table and invalidates the computed caches.  Unlike v2's
+:meth:`compact`, edges survive a :meth:`gc` unchanged — no re-rooting
+— so the synthesis engine reclaims dead depth-frontier nodes mid-run.
+Auto-GC (``enable_auto_gc``) triggers from the allocator under a node
+threshold; it is off by default because callers must hold only
+protected (or argument/stack-reachable) edges across allocating calls
+while it is on.
+
+**Native kernel.**  The flat tables are plain C-layout buffers, and
+``repro.bdd.tables`` compiles (via cffi + the system C compiler, when
+present) a small kernel that runs the AND/XOR/ITE recursions directly
+over them — same tables, same hash functions, same normalization, so
+Python and C interoperate entry-for-entry.  The kernel allocates only
+from a pre-extended free list and pauses cooperatively (budget
+exhausted, free list empty, table at load limit) so growth, GC and the
+allocation tick stay under Python control.  Without a compiler the
+pure-Python loops below carry identical semantics.
+
+**Levels vs variable ids.**  v2 equated a variable's id with its order
+position.  Sifting-based reordering (``repro.bdd.reorder``) permutes
+levels at runtime, so v3 separates them: ``_var`` stores levels, and
+``_level_of_var``/``_var_at_level`` translate at the public API
+boundary (``top_var``, ``support``, ``evaluate``, model iteration,
+...).  Public semantics are unchanged — variables are still identified
+by their creation index.
 """
 
 from __future__ import annotations
 
 import sys
+from array import array
+from contextlib import contextmanager
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Set, Tuple)
+
+from .tables import load_kernel
 
 __all__ = ["BddManager", "FALSE", "TRUE"]
 
 FALSE = 0
 TRUE = 1
 
-# Cache-key operator tags.  The apply cache and the quantify cache are
-# separate dicts (they are cleared together but sized independently);
-# within each, the leading tag keeps differently-shaped keys disjoint.
+# Dict-cache operator tags (quantify/restrict/match share one dict; the
+# tag keeps differently-shaped keys disjoint).  The flat computed cache
+# uses the 2-bit in-key opcodes _C_AND/_C_XOR/_C_ITE instead.
 _OP_AND = 0
 _OP_XOR = 1
 _OP_ITE = 2
@@ -69,42 +94,110 @@ _OP_RESTRICT0 = 5
 _OP_RESTRICT1 = 6
 _OP_MATCH = 7
 
+# Flat-cache opcodes, folded into key1 as (f << 2) | op.  Nonzero, so a
+# zeroed slot can never match a probe.
+_C_AND = 1
+_C_XOR = 2
+_C_ITE = 3
+
+# Multiplicative hash constants (odd primes; tables are power-of-two).
+_UH1 = 10000019
+_UH2 = 8388617
+_CH1 = 40503
+_CH2 = 10000019
+_CH3 = 97
+
+_GEN_MASK = 0xFFFF
+_MIN_UTAB = 1 << 12
+_MAX_CACHE = 1 << 20
+
 
 class BddManager:
-    """Shared ROBDD store with a unique table and computed caches."""
+    """Shared ROBDD store with flat unique/computed tables and GC."""
 
-    def __init__(self, num_vars: int = 0, var_names: Optional[Sequence[str]] = None):
-        # Parallel arrays indexed by *node index* (edge >> 1); index 0 is
-        # the terminal (pseudo-level +inf, placeholder children).
-        self._var: List[int] = [-1]
-        self._lo: List[int] = [FALSE]
-        self._hi: List[int] = [FALSE]
-        # Keys are packed ints (see the module docstring); the quantify
-        # cache also holds tuple keys for the n-ary fused match operation.
-        self._unique: Dict[int, int] = {}
-        self._apply_cache: Dict[int, int] = {}
+    def __init__(self, num_vars: int = 0, var_names: Optional[Sequence[str]] = None,
+                 use_kernel: Optional[bool] = None):
+        # Node columns indexed by node index (edge >> 1); index 0 is the
+        # terminal.  _var holds the LEVEL (-1 terminal, -2 free node).
+        self._var = array("i", (-1,))
+        self._lo = array("q", (FALSE,))
+        self._hi = array("q", (FALSE,))
+        self._free = 0          # free-list head (node index; 0 = empty),
+                                # threaded through _lo of free nodes
+        self._live = 1          # live node count, including the terminal
+        # Unique table: open-addressed node indices, 0 = empty.
+        self._usize = _MIN_UTAB
+        self._umask = self._usize - 1
+        self._utab = array("i", bytes(4 * self._usize))
+        self._ucount = 0
+        # Flat computed cache (AND/XOR/ITE), direct-mapped and lossy.
+        self._csize = _MIN_UTAB
+        self._cmask = self._csize - 1
+        self._ck1 = array("q", bytes(8 * self._csize))
+        self._ck2 = array("q", bytes(8 * self._csize))
+        self._ck3 = array("q", bytes(8 * self._csize))
+        self._cres = array("q", bytes(8 * self._csize))
+        self._cgen = 1          # generation tag, 1.._GEN_MASK
+        self._centries = 0
+        self._cmisses = 0       # cumulative, counted at store time
+        # Dict cache for quantify/restrict/match (variable-width keys).
         self._quant_cache: Dict[object, int] = {}
+        # Table version: bumped whenever _utab or the cache arrays are
+        # replaced or the generation changes; in-flight loops compare it
+        # to refresh their local bindings.
+        self._tver = 0
+        # Variable order.  Levels are order positions (0 topmost); ids
+        # are creation indices.  Identity permutation until reordering.
         self._names: List[str] = []
+        self._level_of_var = array("i")
+        self._var_at_level = array("i")
         self.num_vars = 0
+        # External references (edge -> refcount) and GC state.
+        self._refs: Dict[int, int] = {}
+        self._gc_enabled = False
+        self._gc_threshold = 1 << 18
+        self._active_stacks: List[list] = []
         # Optional node-allocation tick: callers (the synthesis engines'
-        # deadline guard) register a callback fired every
-        # ``interval`` fresh node allocations, so a time limit is
-        # honored *inside* one long apply run, not only between them.
+        # deadline guard) register a callback fired every ``interval``
+        # fresh node allocations.
         self._alloc_tick: Optional[Callable[[], None]] = None
         self._tick_interval = 4096
         self._tick_countdown = 4096
-        # Plain-integer instrumentation counters (see stats()); kept as
-        # attributes rather than a registry so the hot apply paths pay
-        # at most one increment.  Cache misses are not counted where
-        # they happen: every miss inserts exactly one computed-cache
-        # entry, so cumulative misses = live entries + entries dropped
-        # by cache clears, tracked in _ite_dropped.
+        # Instrumentation counters (see stats()).  Cumulative over the
+        # manager's lifetime; cache misses are counted where the entry
+        # is stored.
         self.ite_cache_hits = 0
-        self._ite_dropped = 0
         self.quant_calls = 0
         self.quant_cache_hits = 0
         self.cache_clears = 0
         self.peak_nodes = 1
+        self.gc_runs = 0
+        self.gc_reclaimed = 0
+        self.reorder_runs = 0
+        self.reorder_swaps = 0
+        # Auto-reorder trigger state (see enable_auto_reorder).
+        self._reorder_enabled = False
+        self._reorder_bounds: Tuple[int, Optional[int]] = (0, None)
+        self._reorder_ratio = 4
+        self._reorder_min = 1 << 13
+        self._reorder_next = 1 << 13
+        # Native kernel (see tables.py).  ``use_kernel=None`` attaches
+        # it when available; False forces the pure-Python loops (the
+        # reference semantics either way).  Buffer views into the flat
+        # tables are cached between kernel calls and must be dropped
+        # before any column resize (arrays cannot grow while exported).
+        self._kffi = self._klib = self._kctx = None
+        self._kbufs: Optional[tuple] = None
+        self._kbufs_tver = -1
+        if use_kernel or use_kernel is None:
+            ffi, lib = load_kernel()
+            if ffi is not None:
+                self._kffi = ffi
+                self._klib = lib
+                self._kctx = ffi.new("BddCtx *")
+            elif use_kernel:
+                raise RuntimeError("native BDD kernel unavailable "
+                                   "(no cffi/C compiler, or REPRO_BDD_KERNEL=0)")
         for i in range(num_vars):
             name = var_names[i] if var_names else None
             self.add_var(name)
@@ -116,13 +209,8 @@ class BddManager:
         index = self.num_vars
         self.num_vars += 1
         self._names.append(name if name is not None else f"v{index}")
-        # Apply recursions descend one level per frame, so the needed
-        # recursion depth is bounded by the variable count.  Keeping the
-        # check here (variables are added rarely) scopes the limit bump
-        # to managers that actually grow deep, instead of mutating
-        # interpreter-global state at import time as v1 did.
-        if sys.getrecursionlimit() < 4 * self.num_vars + 500:
-            sys.setrecursionlimit(4 * self.num_vars + 500)
+        self._level_of_var.append(index)
+        self._var_at_level.append(index)
         return index
 
     def var_name(self, index: int) -> str:
@@ -132,11 +220,13 @@ class BddManager:
         """The BDD of the single variable ``index``."""
         if not 0 <= index < self.num_vars:
             raise ValueError(f"unknown variable {index}")
-        return self._mk(index, FALSE, TRUE)
+        return self._mk_level(self._level_of_var[index], FALSE, TRUE)
 
     def nvar(self, index: int) -> int:
         """The BDD of the negated variable."""
-        return self._mk(index, TRUE, FALSE)
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"unknown variable {index}")
+        return self._mk_level(self._level_of_var[index], TRUE, FALSE)
 
     def literal(self, index: int, positive: bool) -> int:
         return self.var(index) if positive else self.nvar(index)
@@ -155,10 +245,10 @@ class BddManager:
         return node & -2
 
     def top_var(self, node: int) -> int:
-        """Order position of the node's variable (terminals raise)."""
+        """Variable id of the node's top variable (terminals raise)."""
         if node <= 1:
             raise ValueError("terminals have no variable")
-        return self._var[node >> 1]
+        return self._var_at_level[self._var[node >> 1]]
 
     def low(self, node: int) -> int:
         """Low cofactor edge, with the incoming complement bit applied."""
@@ -172,10 +262,16 @@ class BddManager:
         """Level used for ordering; terminals sink below every variable."""
         return self._var[node >> 1] if node > 1 else self.num_vars
 
-    def _mk(self, var: int, lo: int, hi: int) -> int:
-        """Hash-consed edge constructor enforcing all three canonicity rules.
+    # -- allocator / tables ----------------------------------------------------------
 
-        Both reduction rules of plain ROBDDs, plus the complement-edge
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Hash-consed edge constructor taking a *variable id*."""
+        return self._mk_level(self._level_of_var[var], lo, hi)
+
+    def _mk_level(self, level: int, lo: int, hi: int) -> int:
+        """Hash-consed edge constructor taking a *level*.
+
+        Enforces both ROBDD reduction rules plus the complement-edge
         normalization: the stored high edge is always regular — when it
         is not, the node is built from the complemented cofactors and
         the complement moves to the returned edge.
@@ -186,20 +282,183 @@ class BddManager:
         if comp:
             lo ^= 1
             hi ^= 1
-        key = (var << 64) | (lo << 32) | hi
-        node = self._unique.get(key)
-        if node is None:
+        utab = self._utab
+        umask = self._umask
+        _var = self._var
+        _lo = self._lo
+        _hi = self._hi
+        slot = (lo * _UH1 + hi * _UH2 + level) & umask
+        while True:
+            n = utab[slot]
+            if n == 0:
+                n = self._fresh(level, lo, hi, slot)
+                return (n << 1) | comp
+            if _lo[n] == lo and _hi[n] == hi and _var[n] == level:
+                return (n << 1) | comp
+            slot = (slot + 1) & umask
+
+    def _fresh(self, level: int, lo: int, hi: int, slot: int) -> int:
+        """Allocate a node at ``slot`` of the unique table (a miss).
+
+        May run auto-GC first (which rebuilds the table — the slot is
+        re-probed); may grow the table after; fires the allocation tick
+        last, once the node is fully consistent (the tick may raise).
+        """
+        if self._gc_enabled and self._live >= self._gc_threshold:
+            self.gc((lo, hi))
+            utab = self._utab
+            umask = self._umask
+            slot = (lo * _UH1 + hi * _UH2 + level) & umask
+            while utab[slot]:
+                slot = (slot + 1) & umask
+        node = self._free
+        if not node and self._klib is not None:
+            # The kernel path keeps cached (resize-locking) buffer
+            # views into the columns, so allocation always goes through
+            # the free list; extending releases the views first.
+            self._extend_free()
+            node = self._free
+        if node:
+            self._free = self._lo[node]
+            self._var[node] = level
+            self._lo[node] = lo
+            self._hi[node] = hi
+        else:
             node = len(self._var)
-            self._var.append(var)
+            self._var.append(level)
             self._lo.append(lo)
             self._hi.append(hi)
-            self._unique[key] = node
-            if self._alloc_tick is not None:
-                self._tick_countdown -= 1
-                if self._tick_countdown <= 0:
-                    self._tick_countdown = self._tick_interval
-                    self._alloc_tick()
-        return (node << 1) | comp
+        self._utab[slot] = node
+        self._ucount += 1
+        self._live += 1
+        if (self._ucount << 1) > self._umask:
+            self._grow_utab()
+        if self._alloc_tick is not None:
+            self._tick_countdown -= 1
+            if self._tick_countdown <= 0:
+                self._tick_countdown = self._tick_interval
+                self._alloc_tick()
+        return node
+
+    def _grow_utab(self) -> None:
+        size = self._usize << 1
+        mask = size - 1
+        new = array("i", bytes(4 * size))
+        _var = self._var
+        _lo = self._lo
+        _hi = self._hi
+        for n in self._utab:
+            if n:
+                slot = (_lo[n] * _UH1 + _hi[n] * _UH2 + _var[n]) & mask
+                while new[slot]:
+                    slot = (slot + 1) & mask
+                new[slot] = n
+        self._utab = new
+        self._usize = size
+        self._umask = mask
+        self._tver += 1
+        self._maybe_grow_cache()
+
+    def _rebuild_utab(self) -> None:
+        """Rebuild the unique table from the live columns (after GC/reorder)."""
+        size = _MIN_UTAB
+        need = self._live << 1
+        while size < need:
+            size <<= 1
+        mask = size - 1
+        new = array("i", bytes(4 * size))
+        _var = self._var
+        _lo = self._lo
+        _hi = self._hi
+        for n in range(1, len(_var)):
+            if _var[n] >= 0:
+                slot = (_lo[n] * _UH1 + _hi[n] * _UH2 + _var[n]) & mask
+                while new[slot]:
+                    slot = (slot + 1) & mask
+                new[slot] = n
+        self._utab = new
+        self._usize = size
+        self._umask = mask
+        self._ucount = self._live - 1
+        self._tver += 1
+        self._maybe_grow_cache()
+
+    def _utab_delete(self, n: int) -> None:
+        """Remove node ``n`` from the unique table.
+
+        Linear probing needs backward-shift deletion: after emptying the
+        slot, every entry in the rest of the probe cluster that cannot
+        reach its home slot past the hole is shifted back into it, so no
+        probe sequence is ever broken.  Only the reordering layer
+        deletes — nodes are mutated exclusively while out of the table,
+        which keeps the home-slot computation below valid for every
+        entry still in it.
+        """
+        utab = self._utab
+        umask = self._umask
+        _var = self._var
+        _lo = self._lo
+        _hi = self._hi
+        slot = (_lo[n] * _UH1 + _hi[n] * _UH2 + _var[n]) & umask
+        while utab[slot] != n:
+            slot = (slot + 1) & umask
+        utab[slot] = 0
+        self._ucount -= 1
+        hole = slot
+        j = slot
+        while True:
+            j = (j + 1) & umask
+            m = utab[j]
+            if not m:
+                break
+            home = (_lo[m] * _UH1 + _hi[m] * _UH2 + _var[m]) & umask
+            if ((j - home) & umask) >= ((j - hole) & umask):
+                utab[hole] = m
+                utab[j] = 0
+                hole = j
+
+    def _utab_insert(self, n: int) -> None:
+        """Re-insert an existing node after reordering mutated it."""
+        utab = self._utab
+        umask = self._umask
+        slot = (self._lo[n] * _UH1 + self._hi[n] * _UH2 +
+                self._var[n]) & umask
+        while utab[slot]:
+            slot = (slot + 1) & umask
+        utab[slot] = n
+        self._ucount += 1
+
+    def _maybe_grow_cache(self) -> None:
+        """Size the computed cache at half the unique table, capped."""
+        target = self._usize >> 1
+        if target > _MAX_CACHE:
+            target = _MAX_CACHE
+        if target <= self._csize:
+            return
+        self._csize = target
+        self._cmask = target - 1
+        self._ck1 = array("q", bytes(8 * target))
+        self._ck2 = array("q", bytes(8 * target))
+        self._ck3 = array("q", bytes(8 * target))
+        self._cres = array("q", bytes(8 * target))
+        self._centries = 0
+        self._tver += 1
+
+    def _bump_gen(self) -> None:
+        """Invalidate the flat computed cache in O(1)."""
+        gen = self._cgen + 1
+        if gen > _GEN_MASK:
+            # Generation space exhausted: physically zero the tables so
+            # wrapped tags cannot alias old entries.
+            size = self._csize
+            self._ck1 = array("q", bytes(8 * size))
+            self._ck2 = array("q", bytes(8 * size))
+            self._ck3 = array("q", bytes(8 * size))
+            self._cres = array("q", bytes(8 * size))
+            gen = 1
+        self._cgen = gen
+        self._centries = 0
+        self._tver += 1
 
     def set_alloc_tick(self, callback: Optional[Callable[[], None]],
                        interval: int = 4096) -> None:
@@ -216,8 +475,8 @@ class BddManager:
         self._tick_countdown = interval
 
     def node_count(self) -> int:
-        """Number of live entries in the node store (including the terminal)."""
-        return len(self._var)
+        """Number of live nodes in the store (including the terminal)."""
+        return self._live
 
     def size(self, node: int) -> int:
         """Number of nodes reachable from ``node`` (including the terminal).
@@ -239,245 +498,576 @@ class BddManager:
 
     # -- the apply layer ------------------------------------------------------------
     #
-    # Three recursions share the unique table and one computed cache:
-    # and_ (commutative, sorted keys), xor (commutative, sorted keys,
-    # complements factored out), and the general ite.  or/implies/xnor/
-    # not_ are O(1) rewrites into those three.
+    # Three explicit-stack loops share the unique table and the flat
+    # computed cache: and_ (commutative, sorted keys), xor (commutative,
+    # sorted keys, complements factored out) and the general ite.
+    # or/implies/xnor/not_ are O(1) rewrites into those three.
+    #
+    # Frame protocol (one list ``st`` of ints, one value list ``out``,
+    # both registered in _active_stacks so GC can mark in-flight
+    # operands): a popped value >= 0 is a task operand; negative values
+    # are reduce tags whose frames carry the raw operand edges of the
+    # pending cache store — both lists double as GC root sets, which is
+    # what makes mid-operation collection safe.  Locals binding the
+    # flat tables are refreshed whenever _tver changes (GC, growth or a
+    # generation bump replaced them).
 
     def and_(self, f: int, g: int) -> int:
-        if f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        # After sorting: terminal f, or f/g a complement pair (same node
-        # index, opposite bits => ids differing in the low bit only).
-        if f == FALSE:
-            return FALSE
-        if f == TRUE:
-            return g
-        if f ^ g == 1:
-            return FALSE
-        key = (((f << 32) | g) << 3) | _OP_AND
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            self.ite_cache_hits += 1
-            return cached
-        # Inlined level/cofactor computation: this is the hottest loop
-        # in the package, method calls per miss dominate its cost.
-        var, lo, hi = self._var, self._lo, self._hi
-        fi = f >> 1
-        gi = g >> 1
-        level = level_f = var[fi]
-        level_g = var[gi]
-        if level_g < level:
-            level = level_g
-        if level_f == level:
-            fc = f & 1
-            f0 = lo[fi] ^ fc
-            f1 = hi[fi] ^ fc
-        else:
-            f0 = f1 = f
-        if level_g == level:
-            gc = g & 1
-            g0 = lo[gi] ^ gc
-            g1 = hi[gi] ^ gc
-        else:
-            g0 = g1 = g
-        # _mk inlined: one Python call per miss saved matters here.
-        rlo = self.and_(f0, g0)
-        rhi = self.and_(f1, g1)
-        if rlo == rhi:
-            result = rlo
-        else:
-            comp = rhi & 1
-            if comp:
-                rlo ^= 1
-                rhi ^= 1
-            mk_key = (level << 64) | (rlo << 32) | rhi
-            node = self._unique.get(mk_key)
-            if node is None:
-                node = len(var)
-                var.append(level)
-                lo.append(rlo)
-                hi.append(rhi)
-                self._unique[mk_key] = node
-                if self._alloc_tick is not None:
-                    self._tick_countdown -= 1
-                    if self._tick_countdown <= 0:
-                        self._tick_countdown = self._tick_interval
-                        self._alloc_tick()
-            result = (node << 1) | comp
-        self._apply_cache[key] = result
-        return result
+        if self._klib is not None:
+            return self._kernel_op(self._klib.bdd_and, f, g)
+        return self._and_py(f, g)
 
     def xor(self, f: int, g: int) -> int:
-        # Complements factor out of XOR entirely: strip them from both
-        # arguments, fold them into the result.  All four complement
-        # variants of a call then share one cache entry.
-        comp = (f ^ g) & 1
-        f &= -2
-        g &= -2
-        if f == g:
-            return comp  # FALSE ^ comp
-        if f > g:
-            f, g = g, f
-        if f == FALSE:  # the regular terminal edge
-            return g ^ comp
-        key = (((f << 32) | g) << 3) | _OP_XOR
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            self.ite_cache_hits += 1
-            return cached ^ comp
-        var, lo, hi = self._var, self._lo, self._hi
-        fi = f >> 1
-        gi = g >> 1
-        level = level_f = var[fi]
-        level_g = var[gi]
-        if level_g < level:
-            level = level_g
-        # f and g are regular here, so their stored children are their
-        # cofactors directly.
-        if level_f == level:
-            f0 = lo[fi]
-            f1 = hi[fi]
-        else:
-            f0 = f1 = f
-        if level_g == level:
-            g0 = lo[gi]
-            g1 = hi[gi]
-        else:
-            g0 = g1 = g
-        # _mk inlined, as in and_.
-        rlo = self.xor(f0, g0)
-        rhi = self.xor(f1, g1)
-        if rlo == rhi:
-            result = rlo
-        else:
-            rcomp = rhi & 1
-            if rcomp:
-                rlo ^= 1
-                rhi ^= 1
-            mk_key = (level << 64) | (rlo << 32) | rhi
-            node = self._unique.get(mk_key)
-            if node is None:
-                node = len(var)
-                var.append(level)
-                lo.append(rlo)
-                hi.append(rhi)
-                self._unique[mk_key] = node
-                if self._alloc_tick is not None:
-                    self._tick_countdown -= 1
-                    if self._tick_countdown <= 0:
-                        self._tick_countdown = self._tick_interval
-                        self._alloc_tick()
-            result = (node << 1) | rcomp
-        self._apply_cache[key] = result
-        return result ^ comp
+        if self._klib is not None:
+            return self._kernel_op(self._klib.bdd_xor, f, g)
+        return self._xor_py(f, g)
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
-        # Terminal short cuts.
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == h:
-            return g
-        # Standard-triple reduction: make the first argument regular ...
-        if f & 1:
-            f ^= 1
-            g, h = h, g
-        # ... collapse branches that repeat the selector ...
-        if g == f:
-            g = TRUE
-        elif g == f ^ 1:
-            g = FALSE
-        if h == f:
-            h = FALSE
-        elif h == f ^ 1:
-            h = TRUE
-        if g == h:
-            return g
-        # ... and route constant-branch shapes into the tagged binary
-        # ops, where argument normalization buys more cache sharing.
-        if g == TRUE:
-            if h == FALSE:
-                return f
-            return self.and_(f ^ 1, h ^ 1) ^ 1  # f OR h
-        if g == FALSE:
-            if h == TRUE:
-                return f ^ 1
-            return self.and_(f ^ 1, h)  # NOT f AND h
-        if h == FALSE:
-            return self.and_(f, g)
-        if h == TRUE:
-            return self.and_(f, g ^ 1) ^ 1  # f IMPLIES g
-        if g == h ^ 1:
-            return self.xor(f, h)  # ite(f, ¬h, h)
-        # General case; normalize the then-branch regular so a triple
-        # and its complement share one cache entry.
-        comp = g & 1
-        if comp:
-            g ^= 1
-            h ^= 1
-        key = (((((f << 32) | g) << 32) | h) << 3) | _OP_ITE
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            self.ite_cache_hits += 1
-            return cached ^ comp
-        var, lo, hi = self._var, self._lo, self._hi
-        fi = f >> 1
-        gi = g >> 1
-        hi_i = h >> 1
-        level = var[fi]  # all three are non-terminal past the routing
-        level_g = var[gi]
-        if level_g < level:
-            level = level_g
-        level_h = var[hi_i]
-        if level_h < level:
-            level = level_h
-        if var[fi] == level:
-            f0 = lo[fi]
-            f1 = hi[fi]  # f is regular
-        else:
-            f0 = f1 = f
-        if level_g == level:
-            g0 = lo[gi]
-            g1 = hi[gi]  # g is regular
-        else:
-            g0 = g1 = g
-        if level_h == level:
-            hc = h & 1
-            h0 = lo[hi_i] ^ hc
-            h1 = hi[hi_i] ^ hc
-        else:
-            h0 = h1 = h
-        # _mk inlined, as in and_.
-        rlo = self.ite(f0, g0, h0)
-        rhi = self.ite(f1, g1, h1)
-        if rlo == rhi:
-            result = rlo
-        else:
-            rcomp = rhi & 1
-            if rcomp:
-                rlo ^= 1
-                rhi ^= 1
-            mk_key = (level << 64) | (rlo << 32) | rhi
-            node = self._unique.get(mk_key)
-            if node is None:
-                node = len(var)
-                var.append(level)
-                lo.append(rlo)
-                hi.append(rhi)
-                self._unique[mk_key] = node
-                if self._alloc_tick is not None:
-                    self._tick_countdown -= 1
-                    if self._tick_countdown <= 0:
-                        self._tick_countdown = self._tick_interval
-                        self._alloc_tick()
-            result = (node << 1) | rcomp
-        self._apply_cache[key] = result
-        return result ^ comp
+        if self._klib is not None:
+            return self._kernel_op(self._klib.bdd_ite, f, g, h)
+        return self._ite_py(f, g, h)
+
+    def _extend_free(self, count: Optional[int] = None) -> None:
+        """Thread ``count`` fresh slots onto the free list.
+
+        The native kernel allocates exclusively from the free list (it
+        never appends), so its glue pre-extends capacity here; the
+        Python allocator only lands here when the kernel is attached.
+        Cached kernel buffer views are dropped first — an exported
+        array cannot resize.
+        """
+        if count is None:
+            count = self._live >> 2
+            if count < 4096:
+                count = 4096
+        self._kbufs = None
+        base = len(self._var)
+        if base + count > 0x7FFFFFFF:
+            # The int32 unique table addresses at most 2**31 nodes
+            # (~43 GB of columns) — fail loudly, never wrap.
+            raise MemoryError("BDD node store exceeds 2**31 nodes")
+        self._var.extend(array("i", (-2,)) * count)
+        chain = array("q", range(base + 1, base + count + 1))
+        chain[count - 1] = self._free
+        self._lo.extend(chain)
+        self._hi.extend(array("q", bytes(8 * count)))
+        self._free = base
+
+    def _kernel_bind(self) -> None:
+        """(Re)bind the kernel context to the current flat tables."""
+        ffi = self._kffi
+        ctx = self._kctx
+        bufs = (ffi.from_buffer("int32_t[]", self._var),
+                ffi.from_buffer("int64_t[]", self._lo),
+                ffi.from_buffer("int64_t[]", self._hi),
+                ffi.from_buffer("int32_t[]", self._utab),
+                ffi.from_buffer("int64_t[]", self._ck1),
+                ffi.from_buffer("int64_t[]", self._ck2),
+                ffi.from_buffer("int64_t[]", self._ck3),
+                ffi.from_buffer("int64_t[]", self._cres))
+        (ctx.var, ctx.lo, ctx.hi, ctx.utab,
+         ctx.ck1, ctx.ck2, ctx.ck3, ctx.cres) = bufs
+        ctx.umask = self._umask
+        ctx.cmask = self._cmask
+        ctx.gen = self._cgen
+        self._kbufs = bufs
+        self._kbufs_tver = self._tver
+
+    def _kernel_op(self, fn, *args: int) -> int:
+        """Run one kernel apply call, servicing cooperative pauses.
+
+        The kernel returns -1 when it needs Python: the allocation
+        budget ran out (deadline tick due, or the auto-GC threshold
+        crossed), the free list emptied, or the unique table hit its
+        load limit.  Each pause is serviced with the tables in a
+        consistent state and the call re-issued; everything the
+        interrupted run computed is already in the computed cache, so
+        the replay skips straight back to where it paused.
+        """
+        ctx = self._kctx
+        while True:
+            if (self._ucount << 1) > self._umask:
+                self._grow_utab()
+            if self._gc_enabled and self._live >= self._gc_threshold:
+                self.gc(args)
+            if self._free == 0:
+                self._extend_free()
+            if self._kbufs is None or self._kbufs_tver != self._tver:
+                self._kernel_bind()
+            budget = 1 << 60
+            if self._alloc_tick is not None:
+                budget = self._tick_countdown
+            if self._gc_enabled:
+                head = self._gc_threshold - self._live
+                if head < budget:
+                    budget = head
+            ctx.freehead = self._free
+            ctx.live = self._live
+            ctx.ucount = self._ucount
+            ctx.centries = self._centries
+            ctx.budget = budget
+            ctx.hits = 0
+            ctx.misses = 0
+            ctx.allocs = 0
+            r = fn(ctx, *args)
+            self._free = ctx.freehead
+            self._live = ctx.live
+            self._ucount = ctx.ucount
+            self._centries = ctx.centries
+            self.ite_cache_hits += ctx.hits
+            self._cmisses += ctx.misses
+            if self._alloc_tick is not None and ctx.allocs:
+                self._tick_countdown -= ctx.allocs
+                if self._tick_countdown <= 0:
+                    self._tick_countdown = self._tick_interval
+                    self._alloc_tick()  # may raise; state is consistent
+            if r >= 0:
+                return r
+
+    def _and_py(self, f: int, g: int) -> int:
+        st = [g, f]
+        out: List[int] = []
+        stacks = self._active_stacks
+        stacks.append(st)
+        stacks.append(out)
+        hits = 0
+        misses = 0
+        try:
+            var = self._var
+            lo = self._lo
+            hi = self._hi
+            utab = self._utab
+            umask = self._umask
+            ck1 = self._ck1
+            ck2 = self._ck2
+            cres = self._cres
+            cmask = self._cmask
+            gen = self._cgen
+            tver = self._tver
+            while st:
+                t = st.pop()
+                if t >= 0:
+                    f = t
+                    g = st.pop()
+                    if f == g:
+                        out.append(f)
+                        continue
+                    if f > g:
+                        f, g = g, f
+                    # After sorting: terminal f, or f/g a complement
+                    # pair (ids differing in the low bit only).
+                    if f == FALSE:
+                        out.append(FALSE)
+                        continue
+                    if f == TRUE:
+                        out.append(g)
+                        continue
+                    if f ^ g == 1:
+                        out.append(FALSE)
+                        continue
+                    slot = ((f * _CH1) ^ (g * _CH2)) & cmask
+                    if ck1[slot] == (f << 2) | _C_AND and \
+                            ck2[slot] == (g << 16) | gen:
+                        hits += 1
+                        out.append(cres[slot])
+                        continue
+                    fi = f >> 1
+                    gi = g >> 1
+                    level = level_f = var[fi]
+                    level_g = var[gi]
+                    if level_g < level:
+                        level = level_g
+                    if level_f == level:
+                        fc = f & 1
+                        f0 = lo[fi] ^ fc
+                        f1 = hi[fi] ^ fc
+                    else:
+                        f0 = f1 = f
+                    if level_g == level:
+                        gc = g & 1
+                        g0 = lo[gi] ^ gc
+                        g1 = hi[gi] ^ gc
+                    else:
+                        g0 = g1 = g
+                    st.append(g)
+                    st.append(f)
+                    st.append(level)
+                    st.append(-1)
+                    st.append(g1)
+                    st.append(f1)
+                    st.append(g0)
+                    st.append(f0)
+                else:
+                    level = st.pop()
+                    f = st.pop()
+                    g = st.pop()
+                    rhi = out.pop()
+                    rlo = out.pop()
+                    if rlo == rhi:
+                        res = rlo
+                    else:
+                        comp = rhi & 1
+                        if comp:
+                            rlo ^= 1
+                            rhi ^= 1
+                        uslot = (rlo * _UH1 + rhi * _UH2 + level) & umask
+                        while True:
+                            n = utab[uslot]
+                            if n == 0:
+                                # Pin the cache-store operands across a
+                                # possible GC inside _fresh.
+                                st.append(g)
+                                st.append(f)
+                                n = self._fresh(level, rlo, rhi, uslot)
+                                del st[-2:]
+                                if tver != self._tver:
+                                    utab = self._utab
+                                    umask = self._umask
+                                    ck1 = self._ck1
+                                    ck2 = self._ck2
+                                    cres = self._cres
+                                    cmask = self._cmask
+                                    gen = self._cgen
+                                    tver = self._tver
+                                break
+                            if lo[n] == rlo and hi[n] == rhi and \
+                                    var[n] == level:
+                                break
+                            uslot = (uslot + 1) & umask
+                        res = (n << 1) | comp
+                    out.append(res)
+                    slot = ((f * _CH1) ^ (g * _CH2)) & cmask
+                    if (ck2[slot] & _GEN_MASK) != gen:
+                        self._centries += 1
+                    ck1[slot] = (f << 2) | _C_AND
+                    ck2[slot] = (g << 16) | gen
+                    cres[slot] = res
+                    misses += 1
+            return out[0]
+        finally:
+            stacks.pop()
+            stacks.pop()
+            self.ite_cache_hits += hits
+            self._cmisses += misses
+
+    def _xor_py(self, f: int, g: int) -> int:
+        st = [g, f]
+        out: List[int] = []
+        stacks = self._active_stacks
+        stacks.append(st)
+        stacks.append(out)
+        hits = 0
+        misses = 0
+        try:
+            var = self._var
+            lo = self._lo
+            hi = self._hi
+            utab = self._utab
+            umask = self._umask
+            ck1 = self._ck1
+            ck2 = self._ck2
+            cres = self._cres
+            cmask = self._cmask
+            gen = self._cgen
+            tver = self._tver
+            while st:
+                t = st.pop()
+                if t >= 0:
+                    f = t
+                    g = st.pop()
+                    # Complements factor out of XOR entirely: strip
+                    # them from both arguments, fold into the result.
+                    comp = (f ^ g) & 1
+                    f &= -2
+                    g &= -2
+                    if f == g:
+                        out.append(comp)
+                        continue
+                    if f > g:
+                        f, g = g, f
+                    if f == FALSE:
+                        out.append(g ^ comp)
+                        continue
+                    slot = ((f * _CH1) ^ (g * _CH2)) & cmask
+                    if ck1[slot] == (f << 2) | _C_XOR and \
+                            ck2[slot] == (g << 16) | gen:
+                        hits += 1
+                        out.append(cres[slot] ^ comp)
+                        continue
+                    fi = f >> 1
+                    gi = g >> 1
+                    level = level_f = var[fi]
+                    level_g = var[gi]
+                    if level_g < level:
+                        level = level_g
+                    # f and g are regular here, so their stored
+                    # children are their cofactors directly.
+                    if level_f == level:
+                        f0 = lo[fi]
+                        f1 = hi[fi]
+                    else:
+                        f0 = f1 = f
+                    if level_g == level:
+                        g0 = lo[gi]
+                        g1 = hi[gi]
+                    else:
+                        g0 = g1 = g
+                    st.append(g)
+                    st.append(f)
+                    st.append((level << 1) | comp)
+                    st.append(-1)
+                    st.append(g1)
+                    st.append(f1)
+                    st.append(g0)
+                    st.append(f0)
+                else:
+                    packed = st.pop()
+                    f = st.pop()
+                    g = st.pop()
+                    level = packed >> 1
+                    comp = packed & 1
+                    rhi = out.pop()
+                    rlo = out.pop()
+                    if rlo == rhi:
+                        res = rlo
+                    else:
+                        rcomp = rhi & 1
+                        if rcomp:
+                            rlo ^= 1
+                            rhi ^= 1
+                        uslot = (rlo * _UH1 + rhi * _UH2 + level) & umask
+                        while True:
+                            n = utab[uslot]
+                            if n == 0:
+                                st.append(g)
+                                st.append(f)
+                                n = self._fresh(level, rlo, rhi, uslot)
+                                del st[-2:]
+                                if tver != self._tver:
+                                    utab = self._utab
+                                    umask = self._umask
+                                    ck1 = self._ck1
+                                    ck2 = self._ck2
+                                    cres = self._cres
+                                    cmask = self._cmask
+                                    gen = self._cgen
+                                    tver = self._tver
+                                break
+                            if lo[n] == rlo and hi[n] == rhi and \
+                                    var[n] == level:
+                                break
+                            uslot = (uslot + 1) & umask
+                        res = (n << 1) | rcomp
+                    slot = ((f * _CH1) ^ (g * _CH2)) & cmask
+                    if (ck2[slot] & _GEN_MASK) != gen:
+                        self._centries += 1
+                    ck1[slot] = (f << 2) | _C_XOR
+                    ck2[slot] = (g << 16) | gen
+                    cres[slot] = res
+                    misses += 1
+                    out.append(res ^ comp)
+            return out[0]
+        finally:
+            stacks.pop()
+            stacks.pop()
+            self.ite_cache_hits += hits
+            self._cmisses += misses
+
+    def _ite_py(self, f: int, g: int, h: int) -> int:
+        st: List[int] = [h, g, f]
+        out: List[int] = []
+        stacks = self._active_stacks
+        stacks.append(st)
+        stacks.append(out)
+        hits = 0
+        misses = 0
+        try:
+            var = self._var
+            lo = self._lo
+            hi = self._hi
+            utab = self._utab
+            umask = self._umask
+            ck1 = self._ck1
+            ck2 = self._ck2
+            ck3 = self._ck3
+            cres = self._cres
+            cmask = self._cmask
+            gen = self._cgen
+            tver = self._tver
+            while st:
+                t = st.pop()
+                if t >= 0:
+                    f = t
+                    g = st.pop()
+                    h = st.pop()
+                    # Terminal short cuts.
+                    if f == TRUE:
+                        out.append(g)
+                        continue
+                    if f == FALSE:
+                        out.append(h)
+                        continue
+                    if g == h:
+                        out.append(g)
+                        continue
+                    # Standard-triple reduction: first argument regular,
+                    # selector-repeating branches collapsed.
+                    if f & 1:
+                        f ^= 1
+                        g, h = h, g
+                    if g == f:
+                        g = TRUE
+                    elif g == f ^ 1:
+                        g = FALSE
+                    if h == f:
+                        h = FALSE
+                    elif h == f ^ 1:
+                        h = TRUE
+                    if g == h:
+                        out.append(g)
+                        continue
+                    # Route constant-branch shapes into the tagged
+                    # binary ops, where argument normalization buys
+                    # more cache sharing.  The nested calls run their
+                    # own stacks (ours stays registered for GC) and may
+                    # replace the flat tables — refresh afterwards.
+                    r = -1
+                    if g == TRUE:
+                        if h == FALSE:
+                            r = f
+                        else:
+                            r = self.and_(f ^ 1, h ^ 1) ^ 1  # f OR h
+                    elif g == FALSE:
+                        if h == TRUE:
+                            r = f ^ 1
+                        else:
+                            r = self.and_(f ^ 1, h)  # NOT f AND h
+                    elif h == FALSE:
+                        r = self.and_(f, g)
+                    elif h == TRUE:
+                        r = self.and_(f, g ^ 1) ^ 1  # f IMPLIES g
+                    elif g == h ^ 1:
+                        r = self.xor(f, h)  # ite(f, ¬h, h)
+                    if r >= 0:
+                        out.append(r)
+                        if tver != self._tver:
+                            utab = self._utab
+                            umask = self._umask
+                            ck1 = self._ck1
+                            ck2 = self._ck2
+                            ck3 = self._ck3
+                            cres = self._cres
+                            cmask = self._cmask
+                            gen = self._cgen
+                            tver = self._tver
+                        continue
+                    # General case; normalize the then-branch regular
+                    # so a triple and its complement share one entry.
+                    comp = g & 1
+                    if comp:
+                        g ^= 1
+                        h ^= 1
+                    slot = ((f * _CH1) ^ (g * _CH2) ^ (h * _CH3)) & cmask
+                    if ck1[slot] == (f << 2) | _C_ITE and \
+                            ck2[slot] == (g << 16) | gen and \
+                            ck3[slot] == h:
+                        hits += 1
+                        out.append(cres[slot] ^ comp)
+                        continue
+                    fi = f >> 1
+                    gi = g >> 1
+                    hi_i = h >> 1
+                    level = var[fi]  # all three non-terminal past routing
+                    level_g = var[gi]
+                    if level_g < level:
+                        level = level_g
+                    level_h = var[hi_i]
+                    if level_h < level:
+                        level = level_h
+                    if var[fi] == level:
+                        f0 = lo[fi]
+                        f1 = hi[fi]  # f is regular
+                    else:
+                        f0 = f1 = f
+                    if level_g == level:
+                        g0 = lo[gi]
+                        g1 = hi[gi]  # g is regular
+                    else:
+                        g0 = g1 = g
+                    if level_h == level:
+                        hc = h & 1
+                        h0 = lo[hi_i] ^ hc
+                        h1 = hi[hi_i] ^ hc
+                    else:
+                        h0 = h1 = h
+                    st.append(h)
+                    st.append(g)
+                    st.append(f)
+                    st.append((level << 1) | comp)
+                    st.append(-1)
+                    st.append(h1)
+                    st.append(g1)
+                    st.append(f1)
+                    st.append(h0)
+                    st.append(g0)
+                    st.append(f0)
+                else:
+                    packed = st.pop()
+                    f = st.pop()
+                    g = st.pop()
+                    h = st.pop()
+                    level = packed >> 1
+                    comp = packed & 1
+                    rhi = out.pop()
+                    rlo = out.pop()
+                    if rlo == rhi:
+                        res = rlo
+                    else:
+                        rcomp = rhi & 1
+                        if rcomp:
+                            rlo ^= 1
+                            rhi ^= 1
+                        uslot = (rlo * _UH1 + rhi * _UH2 + level) & umask
+                        while True:
+                            n = utab[uslot]
+                            if n == 0:
+                                st.append(h)
+                                st.append(g)
+                                st.append(f)
+                                n = self._fresh(level, rlo, rhi, uslot)
+                                del st[-3:]
+                                if tver != self._tver:
+                                    utab = self._utab
+                                    umask = self._umask
+                                    ck1 = self._ck1
+                                    ck2 = self._ck2
+                                    ck3 = self._ck3
+                                    cres = self._cres
+                                    cmask = self._cmask
+                                    gen = self._cgen
+                                    tver = self._tver
+                                break
+                            if lo[n] == rlo and hi[n] == rhi and \
+                                    var[n] == level:
+                                break
+                            uslot = (uslot + 1) & umask
+                        res = (n << 1) | rcomp
+                    slot = ((f * _CH1) ^ (g * _CH2) ^ (h * _CH3)) & cmask
+                    if (ck2[slot] & _GEN_MASK) != gen:
+                        self._centries += 1
+                    ck1[slot] = (f << 2) | _C_ITE
+                    ck2[slot] = (g << 16) | gen
+                    ck3[slot] = h
+                    cres[slot] = res
+                    misses += 1
+                    out.append(res ^ comp)
+            return out[0]
+        finally:
+            stacks.pop()
+            stacks.pop()
+            self.ite_cache_hits += hits
+            self._cmisses += misses
 
     def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
         if node > 1 and self._var[node >> 1] == level:
@@ -520,24 +1110,38 @@ class BddManager:
     # -- restriction / composition -------------------------------------------------------
 
     def restrict(self, f: int, var: int, value: bool) -> int:
-        """Cofactor of ``f`` with variable ``var`` fixed to ``value``."""
+        """Cofactor of ``f`` with variable ``var`` fixed to ``value``.
+
+        Recursion depth is bounded by the variable count, so this stays
+        a plain recursion; auto-GC is paused for its duration because
+        the recursion frames hold unprotected intermediate edges.
+        """
+        prev = self._gc_enabled
+        self._gc_enabled = False
+        try:
+            return self._restrict_rec(f, self._level_of_var[var], value)
+        finally:
+            self._gc_enabled = prev
+
+    def _restrict_rec(self, f: int, rlevel: int, value: bool) -> int:
         if f <= 1:
             return f
         comp = f & 1
         f ^= comp
         index = f >> 1
         top = self._var[index]
-        if top > var:
+        if top > rlevel:
             return f ^ comp
-        if top == var:
+        if top == rlevel:
             return (self._hi[index] if value else self._lo[index]) ^ comp
-        key = (((f << 32) | var) << 3) | (_OP_RESTRICT1 if value
-                                          else _OP_RESTRICT0)
+        key = (((f << 20) | rlevel) << 3) | (_OP_RESTRICT1 if value
+                                             else _OP_RESTRICT0)
         cached = self._quant_cache.get(key)
         if cached is None:
-            cached = self._mk(top,
-                              self.restrict(self._lo[index], var, value),
-                              self.restrict(self._hi[index], var, value))
+            cached = self._mk_level(
+                top,
+                self._restrict_rec(self._lo[index], rlevel, value),
+                self._restrict_rec(self._hi[index], rlevel, value))
             self._quant_cache[key] = cached
         return cached ^ comp
 
@@ -549,11 +1153,12 @@ class BddManager:
 
     # -- quantification --------------------------------------------------------------------
 
-    @staticmethod
-    def _var_mask(variables: Iterable[int]) -> int:
+    def _var_mask(self, variables: Iterable[int]) -> int:
+        """Level bitmask of a variable-id set."""
+        level_of = self._level_of_var
         mask = 0
         for v in variables:
-            mask |= 1 << v
+            mask |= 1 << level_of[v]
         return mask
 
     def exists(self, f: int, variables: Iterable[int]) -> int:
@@ -568,77 +1173,173 @@ class BddManager:
         return self._quantify(f, self._var_mask(variables), forall=True)
 
     def _quantify(self, f: int, mask: int, forall: bool) -> int:
-        """Quantify the variable set encoded as ``mask`` out of ``f``.
+        """Quantify the level set encoded as ``mask`` out of ``f``.
 
-        Complements route through De Morgan duality (``forall x ¬f =
-        ¬exists x f``), so the cache holds regular edges only.
+        Iterative, tag-led frames.  ``ac`` packs the pending result
+        complement (bit 0) and the forall flag (bit 1); a complemented
+        operand routes through De Morgan duality (``forall x ¬f =
+        ¬exists x f``) by flipping both bits, so the dict cache holds
+        regular edges only.  Frames carry the raw operand edge so GC
+        marking keeps pending cache-store keys alive.
         """
-        if not mask or f <= 1:
-            return f
-        if f & 1:
-            return self._quantify(f ^ 1, mask, not forall) ^ 1
-        index = f >> 1
-        level = self._var[index]
-        # Drop quantified variables above the node's top variable (two
-        # shifts on the mask): they do not occur in f.
-        mask = (mask >> level) << level
-        if not mask:
-            return f
-        self.quant_calls += 1
-        # The mask is arbitrary precision, so it takes the high bits.
-        key = (((mask << 32) | f) << 3) | (_OP_FORALL if forall
-                                           else _OP_EXISTS)
-        cached = self._quant_cache.get(key)
-        if cached is not None:
-            self.quant_cache_hits += 1
-            return cached
-        lo = self._quantify(self._lo[index], mask, forall)
-        if (mask >> level) & 1:
-            # The top variable itself is quantified: combine cofactors,
-            # short-circuiting the dominant absorbing case.
-            if lo == (FALSE if forall else TRUE):
-                result = lo
-            else:
-                hi = self._quantify(self._hi[index], mask, forall)
-                result = self.and_(lo, hi) if forall else self.or_(lo, hi)
-        else:
-            hi = self._quantify(self._hi[index], mask, forall)
-            result = self._mk(level, lo, hi)
-        self._quant_cache[key] = result
-        return result
+        st: list = [mask, 2 if forall else 0, f]
+        out: List[int] = []
+        stacks = self._active_stacks
+        stacks.append(st)
+        stacks.append(out)
+        qcalls = 0
+        qhits = 0
+        try:
+            var = self._var
+            lo = self._lo
+            hi = self._hi
+            qcache = self._quant_cache
+            while st:
+                t = st.pop()
+                if t >= 0:
+                    f = t
+                    ac = st.pop()
+                    mask = st.pop()
+                    if f <= 1 or not mask:
+                        out.append(f ^ (ac & 1))
+                        continue
+                    if f & 1:
+                        f ^= 1
+                        ac ^= 3
+                    index = f >> 1
+                    level = var[index]
+                    # Drop quantified levels above the node's top level
+                    # (two shifts): they do not occur in f.
+                    mask = (mask >> level) << level
+                    if not mask:
+                        out.append(f ^ (ac & 1))
+                        continue
+                    qcalls += 1
+                    # The mask is arbitrary precision, so it takes the
+                    # high bits of the dict key.
+                    key = (((mask << 40) | f) << 3) | \
+                        (_OP_FORALL if ac & 2 else _OP_EXISTS)
+                    cached = qcache.get(key)
+                    if cached is not None:
+                        qhits += 1
+                        out.append(cached ^ (ac & 1))
+                        continue
+                    st.append(mask)
+                    st.append(f)
+                    st.append(ac)
+                    st.append(key)
+                    st.append(-1)
+                    st.append(mask)
+                    st.append(ac & 2)
+                    st.append(lo[index])
+                elif t == -1:
+                    # After the low recursion: decide how to combine.
+                    key = st.pop()
+                    ac = st.pop()
+                    f = st.pop()
+                    mask = st.pop()
+                    index = f >> 1
+                    level = var[index]
+                    rlo = out.pop()
+                    if (mask >> level) & 1:
+                        # Top level itself quantified: combine the
+                        # cofactors, short-circuiting the absorbing
+                        # case (FALSE under forall, TRUE under exists).
+                        if rlo == (FALSE if ac & 2 else TRUE):
+                            qcache[key] = rlo
+                            out.append(rlo ^ (ac & 1))
+                        else:
+                            st.append(f)
+                            st.append(rlo)
+                            st.append(ac)
+                            st.append(key)
+                            st.append(-2)
+                            st.append(mask)
+                            st.append(ac & 2)
+                            st.append(hi[index])
+                    else:
+                        st.append(f)
+                        st.append(rlo)
+                        st.append(ac)
+                        st.append(key)
+                        st.append(-3)
+                        st.append(mask)
+                        st.append(ac & 2)
+                        st.append(hi[index])
+                elif t == -2:
+                    # Combine quantified cofactors with AND/OR.
+                    key = st.pop()
+                    ac = st.pop()
+                    rlo = st.pop()
+                    f = st.pop()
+                    rhi = out.pop()
+                    # Pin f across the nested apply (the cache key
+                    # references it; rlo/rhi are protected as nested
+                    # arguments).
+                    st.append(f)
+                    if ac & 2:
+                        res = self.and_(rlo, rhi)
+                    else:
+                        res = self.and_(rlo ^ 1, rhi ^ 1) ^ 1
+                    st.pop()
+                    qcache[key] = res
+                    out.append(res ^ (ac & 1))
+                else:
+                    # Rebuild an unquantified top node.
+                    key = st.pop()
+                    ac = st.pop()
+                    rlo = st.pop()
+                    f = st.pop()
+                    rhi = out.pop()
+                    st.append(f)
+                    st.append(rlo)
+                    st.append(rhi)
+                    res = self._mk_level(var[f >> 1], rlo, rhi)
+                    del st[-3:]
+                    qcache[key] = res
+                    out.append(res ^ (ac & 1))
+            return out[0]
+        finally:
+            stacks.pop()
+            stacks.pop()
+            self.quant_calls += qcalls
+            self.quant_cache_hits += qhits
 
     def match_forall(self, outputs: Sequence[int], on_bdds: Sequence[int],
                      dc_bdds: Sequence[int], num_inputs: int) -> int:
         """Fused comparator + universal quantifier for Section 5.2.
 
         Computes ``forall x0..x_{b-1} . AND_l (dc_l OR (outputs_l XNOR
-        on_l))`` with ``b = num_inputs`` in a single recursion that
+        on_l))`` with ``b = num_inputs`` in a single traversal that
         cofactors all ``3n`` argument BDDs simultaneously, instead of
         first materializing the equality BDD over X and Y and then
-        quantifying X back out of it.  Once the recursion has descended
-        past the input block (every argument's top variable is ``>=
+        quantifying X back out of it.  Once the traversal has descended
+        past the input block (every argument's top *level* is ``>=
         num_inputs``), the spec BDDs are terminals — their support is a
         subset of the inputs — so each line's term collapses to the
         output edge with at most a complement flip, and the conjunction
         short-circuits on FALSE exactly like the absorbing case of
         :meth:`_quantify`.
 
-        Requires every ``on``/``dc`` BDD to depend only on variables
-        ``< num_inputs`` (true by construction for spec BDDs built over
-        the X block) and the inputs to occupy the top of the variable
-        order; the caller keeps the legacy two-step route for the
+        Requires every ``on``/``dc`` BDD to depend only on levels ``<
+        num_inputs`` and the inputs to occupy the top ``num_inputs``
+        levels of the order (true by construction for spec BDDs built
+        over the X block, and preserved by block-constrained sifting);
+        the caller keeps the legacy two-step route for the
         ``var_order="yx"`` ablation where they do not.
         """
-        var, lo, hi = self._var, self._lo, self._hi
-        cache = self._quant_cache
+        var = self._var
+        lo = self._lo
+        hi = self._hi
+        qcache = self._quant_cache
         # A line whose don't-care cover is the constant TRUE constrains
-        # nothing — drop it before the recursion ever sees it.  When all
-        # remaining covers are the constant FALSE (every permutation
-        # spec: no don't-cares at all) the dc column would ride through
-        # every cofactor step unchanged, so a stride-2 signature skips
-        # it; the stride is part of the memo key because a 2k-tuple and
-        # a 3m-tuple can coincide element-wise.
-        sig = []
+        # nothing — drop it before the traversal ever sees it.  When
+        # all remaining covers are the constant FALSE (every
+        # permutation spec: no don't-cares at all) the dc column would
+        # ride through every cofactor step unchanged, so a stride-2
+        # signature skips it; the stride is part of the memo key
+        # because a 2k-tuple and a 3m-tuple can coincide element-wise.
+        sig: List[int] = []
         stride = 2
         for l in range(len(outputs)):
             if dc_bdds[l] != TRUE and dc_bdds[l] != FALSE:
@@ -653,55 +1354,104 @@ class BddManager:
             if stride == 3:
                 sig.append(dc)
 
-        def rec(sig: Tuple[int, ...]) -> int:
-            # The result depends on the argument edges alone (all inputs
-            # below ``num_inputs`` are quantified), so the signature is
-            # the whole memo key — no level component needed.
-            self.quant_calls += 1
-            key = (_OP_MATCH, stride, num_inputs, sig)
-            cached = cache.get(key)
-            if cached is not None:
-                self.quant_cache_hits += 1
-                return cached
-            level = num_inputs
-            for s in sig:
-                if s > 1:
-                    v = var[s >> 1]
-                    if v < level:
-                        level = v
-            if level >= num_inputs:
-                result = TRUE
-                if stride == 2:
-                    for i in range(0, len(sig), 2):
-                        result = self.and_(result, sig[i] ^ sig[i + 1] ^ 1)
-                        if result == FALSE:
-                            break
-                else:
-                    for i in range(0, len(sig), 3):
-                        dc = sig[i + 2]
-                        if dc == TRUE:
-                            continue
-                        result = self.and_(result, sig[i] ^ sig[i + 1] ^ 1)
-                        if result == FALSE:
-                            break
-            else:
-                los = []
-                his = []
-                for s in sig:
-                    if s > 1 and var[s >> 1] == level:
-                        c = s & 1
-                        los.append(lo[s >> 1] ^ c)
-                        his.append(hi[s >> 1] ^ c)
+        # Tag-led frames over heterogeneous stack items: 0 = task (the
+        # signature tuple below it), -1 = after-low (his tuple + key),
+        # -2 = combine (key + rlo).  Tuples on the stack are scanned by
+        # the GC marker, so signatures pending a cache store stay live.
+        st: list = [tuple(sig), 0]
+        out: List[int] = []
+        stacks = self._active_stacks
+        stacks.append(st)
+        stacks.append(out)
+        qcalls = 0
+        qhits = 0
+        try:
+            while st:
+                t = st.pop()
+                if t == 0:
+                    sig_t = st.pop()
+                    # The result depends on the argument edges alone
+                    # (all levels below num_inputs are quantified), so
+                    # the signature is the whole memo key.
+                    qcalls += 1
+                    key = (_OP_MATCH, stride, num_inputs, sig_t)
+                    cached = qcache.get(key)
+                    if cached is not None:
+                        qhits += 1
+                        out.append(cached)
+                        continue
+                    level = num_inputs
+                    for s in sig_t:
+                        if s > 1:
+                            v = var[s >> 1]
+                            if v < level:
+                                level = v
+                    if level >= num_inputs:
+                        # Past the input block: every term is an output
+                        # edge with at most a complement flip.
+                        result = TRUE
+                        st.append(key)  # pin across the nested applies
+                        if stride == 2:
+                            for i in range(0, len(sig_t), 2):
+                                result = self.and_(
+                                    result, sig_t[i] ^ sig_t[i + 1] ^ 1)
+                                if result == FALSE:
+                                    break
+                        else:
+                            for i in range(0, len(sig_t), 3):
+                                if sig_t[i + 2] == TRUE:
+                                    continue
+                                result = self.and_(
+                                    result, sig_t[i] ^ sig_t[i + 1] ^ 1)
+                                if result == FALSE:
+                                    break
+                        st.pop()
+                        qcache[key] = result
+                        out.append(result)
                     else:
-                        los.append(s)
-                        his.append(s)
-                result = rec(tuple(los))
-                if result != FALSE:
-                    result = self.and_(result, rec(tuple(his)))
-            cache[key] = result
-            return result
-
-        return rec(tuple(sig))
+                        los: List[int] = []
+                        his: List[int] = []
+                        for s in sig_t:
+                            if s > 1 and var[s >> 1] == level:
+                                c = s & 1
+                                los.append(lo[s >> 1] ^ c)
+                                his.append(hi[s >> 1] ^ c)
+                            else:
+                                los.append(s)
+                                his.append(s)
+                        st.append(tuple(his))
+                        st.append(key)
+                        st.append(-1)
+                        st.append(tuple(los))
+                        st.append(0)
+                elif t == -1:
+                    key = st.pop()
+                    his_t = st.pop()
+                    rlo = out.pop()
+                    if rlo == FALSE:
+                        qcache[key] = FALSE
+                        out.append(FALSE)
+                    else:
+                        st.append(rlo)
+                        st.append(key)
+                        st.append(-2)
+                        st.append(his_t)
+                        st.append(0)
+                else:
+                    key = st.pop()
+                    rlo = st.pop()
+                    rhi = out.pop()
+                    st.append(key)  # pin: the key tuple holds the sig
+                    result = self.and_(rlo, rhi)
+                    st.pop()
+                    qcache[key] = result
+                    out.append(result)
+            return out[0]
+        finally:
+            stacks.pop()
+            stacks.pop()
+            self.quant_calls += qcalls
+            self.quant_cache_hits += qhits
 
     # -- evaluation / models -----------------------------------------------------------------
 
@@ -710,7 +1460,7 @@ class BddManager:
         node = f
         while node > 1:
             index = node >> 1
-            var = self._var[index]
+            var = self._var_at_level[self._var[index]]
             if var not in assignment:
                 raise ValueError(f"assignment misses variable {var}")
             child = self._hi[index] if assignment[var] else self._lo[index]
@@ -718,7 +1468,7 @@ class BddManager:
         return node == TRUE
 
     def support(self, f: int) -> Set[int]:
-        """The set of variables ``f`` depends on."""
+        """The set of variables ``f`` depends on (as variable ids)."""
         seen: Set[int] = set()
         result: Set[int] = set()
         stack = [f >> 1]
@@ -727,7 +1477,7 @@ class BddManager:
             if not index or index in seen:
                 continue
             seen.add(index)
-            result.add(self._var[index])
+            result.add(self._var_at_level[self._var[index]])
             stack.append(self._lo[index] >> 1)
             stack.append(self._hi[index] >> 1)
         return result
@@ -737,13 +1487,17 @@ class BddManager:
 
         ``variables`` must be a superset of ``support(f)``; variables
         outside the support double the count.  This computes the paper's
-        ``#SOL`` column (models over all gate-select inputs).
+        ``#SOL`` column (models over all gate-select inputs).  Counting
+        walks the diagram in *level* order (the count is independent of
+        enumeration order), so it stays correct under any reordering.
         """
         var_list = sorted(set(variables))
         missing = self.support(f) - set(var_list)
         if missing:
             raise ValueError(f"variables {sorted(missing)} in support but not counted")
-        position = {v: i for i, v in enumerate(var_list)}
+        level_of_var = self._level_of_var
+        by_level = sorted(var_list, key=lambda v: level_of_var[v])
+        position = {level_of_var[v]: i for i, v in enumerate(by_level)}
         total = len(var_list)
 
         # Memoized per *edge*: a node and its complement count
@@ -778,12 +1532,21 @@ class BddManager:
 
         Path don't-cares are expanded, so the number of yielded models
         equals :meth:`count_models`.  Models come out in lexicographic
-        order of the variable list.
+        order of the variable list — which requires the diagram's level
+        order to agree with the sorted-id order on these variables
+        (callers that reorder restore the block first; see
+        ``reorder.restore_block_order``).
         """
         var_list = sorted(set(variables))
         missing = self.support(f) - set(var_list)
         if missing:
             raise ValueError(f"variables {sorted(missing)} in support but not enumerated")
+        level_of_var = self._level_of_var
+        levels = [level_of_var[v] for v in var_list]
+        if any(levels[i] >= levels[i + 1] for i in range(len(levels) - 1)):
+            raise ValueError(
+                "diagram level order disagrees with the enumeration order; "
+                "restore the block order before iterating models")
 
         def rec(node: int, depth: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
             if node == FALSE:
@@ -792,7 +1555,7 @@ class BddManager:
                 yield dict(partial)
                 return
             var = var_list[depth]
-            if node > 1 and self._var[node >> 1] == var:
+            if node > 1 and self._var[node >> 1] == level_of_var[var]:
                 comp = node & 1
                 branches = ((False, self._lo[node >> 1] ^ comp),
                             (True, self._hi[node >> 1] ^ comp))
@@ -814,12 +1577,13 @@ class BddManager:
         while node > 1:
             index = node >> 1
             comp = node & 1
+            var = self._var_at_level[self._var[index]]
             lo = self._lo[index] ^ comp
             if lo != FALSE:
-                assignment[self._var[index]] = False
+                assignment[var] = False
                 node = lo
             else:
-                assignment[self._var[index]] = True
+                assignment[var] = True
                 node = self._hi[index] ^ comp
         return assignment
 
@@ -829,7 +1593,7 @@ class BddManager:
         """The function that is 1 exactly on the given packed minterms.
 
         Bit ``j`` of a minterm corresponds to ``variables[j]``.  Built
-        bottom-up over the sorted variable order for linear-time
+        bottom-up over the current level order for linear-time
         construction per minterm set.
         """
         var_list = list(variables)
@@ -838,8 +1602,12 @@ class BddManager:
             return FALSE
         if any(not 0 <= m < (1 << len(var_list)) for m in minterm_set):
             raise ValueError("minterm out of range")
-        # Order positions of variables, topmost first.
-        order = sorted(range(len(var_list)), key=lambda j: var_list[j])
+        # Positions of the variables in the current order, topmost first.
+        level_of_var = self._level_of_var
+        order = sorted(range(len(var_list)),
+                       key=lambda j: level_of_var[var_list[j]])
+        prev = self._gc_enabled
+        self._gc_enabled = False
 
         def rec(depth: int, terms: frozenset) -> int:
             if not terms:
@@ -849,68 +1617,257 @@ class BddManager:
             j = order[depth]
             lo_terms = frozenset(t for t in terms if not (t >> j) & 1)
             hi_terms = frozenset(t for t in terms if (t >> j) & 1)
-            return self._mk(var_list[j],
-                            rec(depth + 1, lo_terms),
-                            rec(depth + 1, hi_terms))
+            return self._mk_level(level_of_var[var_list[j]],
+                                  rec(depth + 1, lo_terms),
+                                  rec(depth + 1, hi_terms))
 
-        return rec(0, frozenset(minterm_set))
+        try:
+            return rec(0, frozenset(minterm_set))
+        finally:
+            self._gc_enabled = prev
 
     def minterm(self, assignment: Dict[int, bool]) -> int:
         """Conjunction of literals given by a variable assignment."""
+        level_of_var = self._level_of_var
         result = TRUE
-        for var in sorted(assignment, reverse=True):
-            result = self._mk(var,
-                              FALSE if assignment[var] else result,
-                              result if assignment[var] else FALSE)
+        for var in sorted(assignment, key=lambda v: level_of_var[v],
+                          reverse=True):
+            result = self._mk_level(level_of_var[var],
+                                    FALSE if assignment[var] else result,
+                                    result if assignment[var] else FALSE)
         return result
+
+    # -- external references / garbage collection ------------------------------------------------
+
+    def protect(self, edge: int) -> int:
+        """Register ``edge`` as an external GC root; returns the edge.
+
+        Calls nest: each ``protect`` needs a matching ``unprotect``.
+        """
+        self._refs[edge] = self._refs.get(edge, 0) + 1
+        return edge
+
+    def unprotect(self, edge: int) -> None:
+        count = self._refs.get(edge, 0) - 1
+        if count < 0:
+            raise ValueError(f"unprotect of unprotected edge {edge}")
+        if count:
+            self._refs[edge] = count
+        else:
+            del self._refs[edge]
+
+    @contextmanager
+    def protected(self, *edges: int) -> Iterator[Tuple[int, ...]]:
+        """Scope that protects ``edges`` for its duration."""
+        for edge in edges:
+            self.protect(edge)
+        try:
+            yield edges
+        finally:
+            for edge in edges:
+                self.unprotect(edge)
+
+    def enable_auto_gc(self, threshold: Optional[int] = None,
+                       enabled: bool = True) -> None:
+        """Let the allocator trigger :meth:`gc` at ``threshold`` live nodes.
+
+        While enabled, callers must hold only protected edges (or
+        arguments of the running operation) across allocating calls.
+        """
+        if threshold is not None:
+            if threshold < 2:
+                raise ValueError("gc threshold must be at least 2")
+            self._gc_threshold = threshold
+        self._gc_enabled = enabled
+
+    def enable_auto_reorder(self, lower: int = 0, upper: Optional[int] = None,
+                            ratio: int = 4, min_nodes: int = 1 << 13,
+                            enabled: bool = True) -> None:
+        """Arm sifting-based reordering at :meth:`maybe_reorder` checkpoints.
+
+        ``lower``/``upper`` bound the level range sifted (the synthesis
+        engine constrains sifting to the select-variable block so the
+        input block stays on top — the :meth:`match_forall`
+        precondition).  Reordering runs when the live-node count has
+        grown ``ratio``-fold past the last reorder (or ``min_nodes``),
+        and only when the caller asks: in-flight apply loops hold level
+        numbers in their frames, so the trigger is a checkpoint call
+        between operations, never the allocator itself.
+        """
+        self._reorder_bounds = (lower, upper)
+        self._reorder_ratio = ratio
+        self._reorder_min = min_nodes
+        self._reorder_next = min_nodes
+        self._reorder_enabled = enabled
+
+    def maybe_reorder(self) -> bool:
+        """Sift now if armed and the store grew past the trigger point."""
+        if not self._reorder_enabled or self._live < self._reorder_next:
+            return False
+        from .reorder import sift
+        lower, upper = self._reorder_bounds
+        sift(self, lower=lower, upper=upper)
+        next_at = self._live * self._reorder_ratio
+        if next_at < self._reorder_min:
+            next_at = self._reorder_min
+        self._reorder_next = next_at
+        return True
+
+    def maybe_gc(self, extra_roots: Sequence[int] = ()) -> int:
+        """Run :meth:`gc` if the store crossed the auto-GC threshold."""
+        if self._live >= self._gc_threshold:
+            return self.gc(extra_roots)
+        return 0
+
+    def gc(self, extra_roots: Sequence[int] = ()) -> int:
+        """Mark-and-sweep collection; returns the number of nodes freed.
+
+        Roots are the protected references, ``extra_roots`` and a
+        conservative scan of in-flight operation stacks (every int is
+        treated as a potential edge, tuples are scanned for the n-ary
+        match signatures — over-approximation only ever retains more).
+        Dead nodes go on the free list, keeping all surviving edge
+        values unchanged (no re-rooting, unlike :meth:`compact`); the
+        unique table is rebuilt and the computed caches invalidated.
+        """
+        nvals = len(self._var)
+        if self._live > self.peak_nodes:
+            self.peak_nodes = self._live
+        _var = self._var
+        _lo = self._lo
+        _hi = self._hi
+        mark = bytearray(nvals)
+        mark[0] = 1
+        stack: List[int] = [e >> 1 for e in self._refs]
+        stack.extend(e >> 1 for e in extra_roots)
+        for lst in self._active_stacks:
+            for x in lst:
+                if type(x) is int:
+                    i = x >> 1
+                    if 0 < i < nvals and _var[i] >= 0:
+                        stack.append(i)
+                elif type(x) is tuple:
+                    for y in x:
+                        if type(y) is int:
+                            i = y >> 1
+                            if 0 < i < nvals and _var[i] >= 0:
+                                stack.append(i)
+                        elif type(y) is tuple:
+                            for z in y:
+                                if type(z) is int:
+                                    i = z >> 1
+                                    if 0 < i < nvals and _var[i] >= 0:
+                                        stack.append(i)
+        while stack:
+            i = stack.pop()
+            if i <= 0 or i >= nvals or mark[i] or _var[i] < 0:
+                continue
+            mark[i] = 1
+            stack.append(_lo[i] >> 1)
+            stack.append(_hi[i] >> 1)
+        freed = 0
+        free = self._free
+        for i in range(1, nvals):
+            if not mark[i] and _var[i] >= 0:
+                _var[i] = -2
+                _lo[i] = free
+                _hi[i] = 0  # keep stored high edges regular everywhere
+                free = i
+                freed += 1
+        self._free = free
+        self._live -= freed
+        self.gc_runs += 1
+        self.gc_reclaimed += freed
+        self._rebuild_utab()
+        self._bump_gen()
+        self._quant_cache.clear()
+        # Back off the auto-GC threshold when live data stays high, so
+        # the allocator does not thrash collections.
+        if self._gc_enabled and (self._live << 1) > self._gc_threshold:
+            self._gc_threshold = self._live << 1
+        return freed
 
     # -- maintenance -------------------------------------------------------------------------------
 
     def cache_size(self) -> int:
         """Total entries across the operation caches."""
-        return len(self._apply_cache) + len(self._quant_cache)
+        return self._centries + len(self._quant_cache)
 
     def clear_caches(self) -> None:
         """Drop the operation caches (unique table is kept)."""
         self.cache_clears += 1
-        self._ite_dropped += len(self._apply_cache)
-        self._apply_cache.clear()
+        self._bump_gen()
         self._quant_cache.clear()
+
+    def node_store_bytes(self) -> int:
+        """Bytes held by the node columns and the unique table.
+
+        The per-node figure this implies (``/ node_count()``) is the
+        packing metric tracked in docs/performance.md; operation caches
+        are excluded because they are bounded workspace, not the store.
+        """
+        return (self._var.__sizeof__() + self._lo.__sizeof__() +
+                self._hi.__sizeof__() + self._utab.__sizeof__())
+
+    def bytes_used(self) -> int:
+        """Total bytes across store, tables and caches (estimate).
+
+        Flat structures are measured exactly; the dict-backed quantify
+        cache and reference table are estimated at ``getsizeof(dict) +
+        48`` bytes per entry (pointer pair plus a small key object).
+        """
+        return (self.node_store_bytes() +
+                self._ck1.__sizeof__() + self._ck2.__sizeof__() +
+                self._ck3.__sizeof__() + self._cres.__sizeof__() +
+                sys.getsizeof(self._quant_cache) +
+                48 * len(self._quant_cache) +
+                sys.getsizeof(self._refs) +
+                self._level_of_var.__sizeof__() +
+                self._var_at_level.__sizeof__())
 
     def stats(self) -> Dict[str, int]:
         """Instrumentation snapshot, in the ``docs/observability.md`` names.
 
         Counter values are cumulative over the manager's lifetime and
-        survive :meth:`clear_caches`/:meth:`compact`; callers wanting
-        per-phase figures diff two snapshots.  The ``ite_*`` names
-        cover the whole apply layer (AND, XOR and ITE share one tagged
-        cache) — the names predate the v2 split and stay for metric
-        stability.
+        survive :meth:`clear_caches`/:meth:`compact`/:meth:`gc`;
+        callers wanting per-phase figures diff two snapshots.  The
+        ``ite_*`` names cover the whole apply layer (AND, XOR and ITE
+        share one tagged cache) — the names predate the v2 split and
+        stay for metric stability.  ``bytes`` is a point-in-time gauge.
         """
-        misses = self._ite_dropped + len(self._apply_cache)
         return {
-            "nodes": len(self._var),
-            "peak_nodes": max(self.peak_nodes, len(self._var)),
+            "nodes": self._live,
+            "peak_nodes": max(self.peak_nodes, self._live),
             "num_vars": self.num_vars,
-            "ite_calls": self.ite_cache_hits + misses,
+            "ite_calls": self.ite_cache_hits + self._cmisses,
             "ite_cache_hits": self.ite_cache_hits,
-            "ite_cache_entries": len(self._apply_cache),
+            "ite_cache_entries": self._centries,
             "quant_calls": self.quant_calls,
             "quant_cache_hits": self.quant_cache_hits,
             "quant_cache_entries": len(self._quant_cache),
             "cache_clears": self.cache_clears,
+            "gc_runs": self.gc_runs,
+            "gc_reclaimed": self.gc_reclaimed,
+            "reorder_runs": self.reorder_runs,
+            "reorder_swaps": self.reorder_swaps,
+            "bytes": self.bytes_used(),
         }
 
     def compact(self, roots: Sequence[int]) -> List[int]:
         """Mark-and-sweep compaction keeping only nodes reachable from roots.
 
         Returns the remapped root edges.  All previously handed-out
-        edges other than the returned ones become invalid; callers (the
-        BDD synthesis engine between depth iterations) must re-root.
+        edges other than the returned ones become invalid (protected
+        references are remapped in place); callers that only need dead
+        nodes reclaimed should prefer :meth:`gc`, which keeps edges
+        stable.  Kept for the v2 engine contract and for callers that
+        want the columns themselves shrunk.
         """
-        self.peak_nodes = max(self.peak_nodes, len(self._var))
+        if self._live > self.peak_nodes:
+            self.peak_nodes = self._live
         reachable: Set[int] = {0}
         stack = [root >> 1 for root in roots]
+        stack.extend(edge >> 1 for edge in self._refs)
         while stack:
             index = stack.pop()
             if index in reachable:
@@ -918,14 +1875,16 @@ class BddManager:
             reachable.add(index)
             stack.append(self._lo[index] >> 1)
             stack.append(self._hi[index] >> 1)
-        # Preserve index order so children keep lower indices than parents.
+        # Keep relative index order; the id map is built up front
+        # because after sifting a parent's in-place rewrite can leave
+        # its freshly allocated children at *higher* indices.
         old_ids = sorted(reachable)
-        remap: Dict[int, int] = {}
-        new_var: List[int] = []
-        new_lo: List[int] = []
-        new_hi: List[int] = []
-        for new_id, old_id in enumerate(old_ids):
-            remap[old_id] = new_id
+        remap: Dict[int, int] = {old_id: new_id
+                                 for new_id, old_id in enumerate(old_ids)}
+        new_var = array("i")
+        new_lo = array("q")
+        new_hi = array("q")
+        for old_id in old_ids:
             new_var.append(self._var[old_id])
             if old_id == 0:
                 new_lo.append(FALSE)
@@ -936,12 +1895,12 @@ class BddManager:
                 new_lo.append((remap[old_lo >> 1] << 1) | (old_lo & 1))
                 new_hi.append((remap[old_hi >> 1] << 1) | (old_hi & 1))
         self._var, self._lo, self._hi = new_var, new_lo, new_hi
-        self._unique = {
-            (self._var[i] << 64) | (self._lo[i] << 32) | self._hi[i]: i
-            for i in range(1, len(self._var))
-        }
-        self._ite_dropped += len(self._apply_cache)
-        self._apply_cache.clear()
+        self._free = 0
+        self._live = len(new_var)
+        self._refs = {(remap[edge >> 1] << 1) | (edge & 1): count
+                      for edge, count in self._refs.items()}
+        self._rebuild_utab()
+        self._bump_gen()
         self._quant_cache.clear()
         return [(remap[root >> 1] << 1) | (root & 1) for root in roots]
 
@@ -969,7 +1928,8 @@ class BddManager:
             lo = self._lo[index]
             hi = self._hi[index]
             lo_comp = ",arrowhead=dot" if lo & 1 else ""
-            lines.append(f'  n{index} [label="{self._names[self._var[index]]}"];')
+            label = self._names[self._var_at_level[self._var[index]]]
+            lines.append(f'  n{index} [label="{label}"];')
             lines.append(f"  n{index} -> n{lo >> 1} [style=dashed{lo_comp}];")
             lines.append(f"  n{index} -> n{hi >> 1};")
             stack.append(lo >> 1)

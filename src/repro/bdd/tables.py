@@ -1,0 +1,435 @@
+"""Native kernel over the v3 packed BDD tables.
+
+The v3 manager stores nodes and tables in flat ``array`` buffers
+precisely so that the innermost apply loops stop being interpreter
+work.  This module compiles a small C kernel (via :mod:`cffi` in ABI
+mode with the system C compiler — both ship with the container; there
+is nothing to install) that runs the ``AND``/``XOR``/``ITE``
+recursions directly over those buffers: the same unique table, the
+same computed cache, the same complement-edge normalization, byte for
+byte the same table layout as the pure-Python loops in
+``repro.bdd.manager``.  Python and C interoperate on one set of
+tables — a cache entry written by either side hits in the other.
+
+**Cooperative pauses.**  The kernel never grows tables, never runs GC
+and never calls back into Python.  It allocates nodes only from the
+free list and decrements a caller-set allocation budget; when the
+budget hits zero, the free list empties, or the unique table reaches
+its load limit, the recursion unwinds returning ``-1`` and the manager
+services the pause (fire the allocation tick, extend the columns, grow
+the table, collect) before re-invoking the same call.  Replays are
+cheap: everything computed before the pause is already in the computed
+cache.  This keeps every policy decision — deadlines, GC thresholds,
+reordering — in Python, where the rest of the repo can observe it.
+
+**Gating.**  ``load_kernel()`` memoizes a build attempt; if ``cffi``
+or a C compiler is missing, or ``REPRO_BDD_KERNEL=0`` is set, it
+returns ``None`` and the manager falls back to the pure-Python
+iterative loops with identical semantics.  The compiled library is
+cached under ``_kcache/`` next to this file (gitignored) keyed by a
+hash of the C source, so the one-time compile cost is paid per source
+revision, not per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Any, Optional, Tuple
+
+__all__ = ["load_kernel", "kernel_available"]
+
+# Layout must match the manager's tables exactly: var is an ``array('i')``
+# of levels (-1 terminal, -2 free), utab an ``array('i')`` of node
+# indices (int32 — the store is capped at 2**31 nodes, ~43 GB of
+# columns, long past any feasible run), lo/hi/ck*/cres ``array('q')``.
+# Hash constants mirror repro.bdd.manager; all products stay far below
+# 2**64, so Python's arbitrary-precision arithmetic and C's uint64
+# compute identical slots.
+_CDEF = """
+typedef struct {
+    int32_t *var;
+    int64_t *lo;
+    int64_t *hi;
+    int32_t *utab;
+    int64_t umask;
+    int64_t *ck1;
+    int64_t *ck2;
+    int64_t *ck3;
+    int64_t *cres;
+    int64_t cmask;
+    int64_t gen;
+    int64_t freehead;
+    int64_t live;
+    int64_t ucount;
+    int64_t centries;
+    int64_t budget;
+    int64_t hits;
+    int64_t misses;
+    int64_t allocs;
+} BddCtx;
+
+int64_t bdd_and(BddCtx *c, int64_t f, int64_t g);
+int64_t bdd_xor(BddCtx *c, int64_t f, int64_t g);
+int64_t bdd_ite(BddCtx *c, int64_t f, int64_t g, int64_t h);
+"""
+
+_SOURCE = r"""
+#include <stdint.h>
+
+typedef struct {
+    int32_t *var;
+    int64_t *lo;
+    int64_t *hi;
+    int32_t *utab;
+    int64_t umask;
+    int64_t *ck1;
+    int64_t *ck2;
+    int64_t *ck3;
+    int64_t *cres;
+    int64_t cmask;
+    int64_t gen;
+    int64_t freehead;
+    int64_t live;
+    int64_t ucount;
+    int64_t centries;
+    int64_t budget;
+    int64_t hits;
+    int64_t misses;
+    int64_t allocs;
+} BddCtx;
+
+/* Hash-consed node constructor; mirrors BddManager._mk_level.  Returns
+ * the edge, or -1 to request a pause (budget exhausted, free list
+ * empty, or unique table at its load limit). */
+static int64_t mk(BddCtx *c, int64_t level, int64_t lo, int64_t hi)
+{
+    int64_t comp, n;
+    uint64_t slot;
+    if (lo == hi)
+        return lo;
+    comp = hi & 1;
+    if (comp) {
+        lo ^= 1;
+        hi ^= 1;
+    }
+    slot = ((uint64_t)lo * 10000019u + (uint64_t)hi * 8388617u
+            + (uint64_t)level) & (uint64_t)c->umask;
+    for (;;) {
+        n = c->utab[slot];
+        if (n == 0) {
+            if (c->budget <= 0 || c->freehead == 0
+                    || (c->ucount << 1) > c->umask)
+                return -1;
+            n = c->freehead;
+            c->freehead = c->lo[n];
+            c->var[n] = (int32_t)level;
+            c->lo[n] = lo;
+            c->hi[n] = hi;
+            c->utab[slot] = (int32_t)n;
+            c->ucount++;
+            c->live++;
+            c->allocs++;
+            c->budget--;
+            return (n << 1) | comp;
+        }
+        if (c->lo[n] == lo && c->hi[n] == hi && c->var[n] == (int32_t)level)
+            return (n << 1) | comp;
+        slot = (slot + 1) & (uint64_t)c->umask;
+    }
+}
+
+int64_t bdd_and(BddCtx *c, int64_t f, int64_t g)
+{
+    int64_t t, fi, gi, f0, f1, g0, g1, rlo, rhi, res;
+    int32_t lf, lg, level;
+    uint64_t slot;
+    if (f == g)
+        return f;
+    if (f > g) {
+        t = f;
+        f = g;
+        g = t;
+    }
+    if (f == 0)
+        return 0;
+    if (f == 1)
+        return g;
+    if ((f ^ g) == 1)
+        return 0;
+    slot = (((uint64_t)f * 40503u) ^ ((uint64_t)g * 10000019u))
+        & (uint64_t)c->cmask;
+    if (c->ck1[slot] == ((f << 2) | 1) && c->ck2[slot] == ((g << 16) | c->gen)) {
+        c->hits++;
+        return c->cres[slot];
+    }
+    fi = f >> 1;
+    gi = g >> 1;
+    lf = c->var[fi];
+    lg = c->var[gi];
+    level = lf < lg ? lf : lg;
+    if (lf == level) {
+        t = f & 1;
+        f0 = c->lo[fi] ^ t;
+        f1 = c->hi[fi] ^ t;
+    } else {
+        f0 = f1 = f;
+    }
+    if (lg == level) {
+        t = g & 1;
+        g0 = c->lo[gi] ^ t;
+        g1 = c->hi[gi] ^ t;
+    } else {
+        g0 = g1 = g;
+    }
+    rlo = bdd_and(c, f0, g0);
+    if (rlo < 0)
+        return -1;
+    rhi = bdd_and(c, f1, g1);
+    if (rhi < 0)
+        return -1;
+    res = mk(c, level, rlo, rhi);
+    if (res < 0)
+        return -1;
+    if ((c->ck2[slot] & 0xFFFF) != c->gen)
+        c->centries++;
+    c->ck1[slot] = (f << 2) | 1;
+    c->ck2[slot] = (g << 16) | c->gen;
+    c->cres[slot] = res;
+    c->misses++;
+    return res;
+}
+
+int64_t bdd_xor(BddCtx *c, int64_t f, int64_t g)
+{
+    int64_t t, comp, fi, gi, f0, f1, g0, g1, rlo, rhi, res;
+    int32_t lf, lg, level;
+    uint64_t slot;
+    comp = (f ^ g) & 1;
+    f &= ~(int64_t)1;
+    g &= ~(int64_t)1;
+    if (f == g)
+        return comp;
+    if (f > g) {
+        t = f;
+        f = g;
+        g = t;
+    }
+    if (f == 0)
+        return g ^ comp;
+    slot = (((uint64_t)f * 40503u) ^ ((uint64_t)g * 10000019u))
+        & (uint64_t)c->cmask;
+    if (c->ck1[slot] == ((f << 2) | 2) && c->ck2[slot] == ((g << 16) | c->gen)) {
+        c->hits++;
+        return c->cres[slot] ^ comp;
+    }
+    fi = f >> 1;
+    gi = g >> 1;
+    lf = c->var[fi];
+    lg = c->var[gi];
+    level = lf < lg ? lf : lg;
+    if (lf == level) {
+        f0 = c->lo[fi];
+        f1 = c->hi[fi];
+    } else {
+        f0 = f1 = f;
+    }
+    if (lg == level) {
+        g0 = c->lo[gi];
+        g1 = c->hi[gi];
+    } else {
+        g0 = g1 = g;
+    }
+    rlo = bdd_xor(c, f0, g0);
+    if (rlo < 0)
+        return -1;
+    rhi = bdd_xor(c, f1, g1);
+    if (rhi < 0)
+        return -1;
+    res = mk(c, level, rlo, rhi);
+    if (res < 0)
+        return -1;
+    if ((c->ck2[slot] & 0xFFFF) != c->gen)
+        c->centries++;
+    c->ck1[slot] = (f << 2) | 2;
+    c->ck2[slot] = (g << 16) | c->gen;
+    c->cres[slot] = res;
+    c->misses++;
+    return res ^ comp;
+}
+
+int64_t bdd_ite(BddCtx *c, int64_t f, int64_t g, int64_t h)
+{
+    int64_t t, fi, gi, hi_i, comp, f0, f1, g0, g1, h0, h1, rlo, rhi, res;
+    int32_t level, lv;
+    uint64_t slot;
+    if (f == 1)
+        return g;
+    if (f == 0)
+        return h;
+    if (g == h)
+        return g;
+    if (f & 1) {
+        f ^= 1;
+        t = g;
+        g = h;
+        h = t;
+    }
+    if (g == f)
+        g = 1;
+    else if (g == (f ^ 1))
+        g = 0;
+    if (h == f)
+        h = 0;
+    else if (h == (f ^ 1))
+        h = 1;
+    if (g == h)
+        return g;
+    if (g == 1) {
+        if (h == 0)
+            return f;
+        res = bdd_and(c, f ^ 1, h ^ 1);
+        return res < 0 ? -1 : res ^ 1;
+    }
+    if (g == 0) {
+        if (h == 1)
+            return f ^ 1;
+        return bdd_and(c, f ^ 1, h);
+    }
+    if (h == 0)
+        return bdd_and(c, f, g);
+    if (h == 1) {
+        res = bdd_and(c, f, g ^ 1);
+        return res < 0 ? -1 : res ^ 1;
+    }
+    if (g == (h ^ 1)) {
+        return bdd_xor(c, f, h);
+    }
+    comp = g & 1;
+    if (comp) {
+        g ^= 1;
+        h ^= 1;
+    }
+    slot = (((uint64_t)f * 40503u) ^ ((uint64_t)g * 10000019u)
+            ^ ((uint64_t)h * 97u)) & (uint64_t)c->cmask;
+    if (c->ck1[slot] == ((f << 2) | 3) && c->ck2[slot] == ((g << 16) | c->gen)
+            && c->ck3[slot] == h) {
+        c->hits++;
+        return c->cres[slot] ^ comp;
+    }
+    fi = f >> 1;
+    gi = g >> 1;
+    hi_i = h >> 1;
+    level = c->var[fi];
+    lv = c->var[gi];
+    if (lv < level)
+        level = lv;
+    lv = c->var[hi_i];
+    if (lv < level)
+        level = lv;
+    if (c->var[fi] == level) {
+        f0 = c->lo[fi];
+        f1 = c->hi[fi];
+    } else {
+        f0 = f1 = f;
+    }
+    if (c->var[gi] == level) {
+        g0 = c->lo[gi];
+        g1 = c->hi[gi];
+    } else {
+        g0 = g1 = g;
+    }
+    if (c->var[hi_i] == level) {
+        t = h & 1;
+        h0 = c->lo[hi_i] ^ t;
+        h1 = c->hi[hi_i] ^ t;
+    } else {
+        h0 = h1 = h;
+    }
+    rlo = bdd_ite(c, f0, g0, h0);
+    if (rlo < 0)
+        return -1;
+    rhi = bdd_ite(c, f1, g1, h1);
+    if (rhi < 0)
+        return -1;
+    res = mk(c, level, rlo, rhi);
+    if (res < 0)
+        return -1;
+    if ((c->ck2[slot] & 0xFFFF) != c->gen)
+        c->centries++;
+    c->ck1[slot] = (f << 2) | 3;
+    c->ck2[slot] = (g << 16) | c->gen;
+    c->ck3[slot] = h;
+    c->cres[slot] = res;
+    c->misses++;
+    return res ^ comp;
+}
+"""
+
+_kernel: Tuple[Optional[Any], Optional[Any]] = (None, None)
+_attempted = False
+
+
+def _cache_dir() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "_kcache")
+
+
+def _build() -> Optional[Tuple[Any, Any]]:
+    if os.environ.get("REPRO_BDD_KERNEL", "1") == "0":
+        return None
+    from array import array
+    if array("i").itemsize != 4 or array("q").itemsize != 8:
+        return None  # exotic ABI; the table layout assumption fails
+    try:
+        import cffi
+    except ImportError:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    directory = _cache_dir()
+    so_path = os.path.join(directory, f"bddkernel_{digest}.so")
+    if not os.path.exists(so_path):
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with tempfile.TemporaryDirectory(dir=directory) as tmp:
+                c_path = os.path.join(tmp, "kernel.c")
+                with open(c_path, "w") as handle:
+                    handle.write(_SOURCE)
+                tmp_so = os.path.join(tmp, "kernel.so")
+                cc = os.environ.get("CC", "cc")
+                subprocess.run(
+                    [cc, "-O2", "-shared", "-fPIC", "-o", tmp_so, c_path],
+                    check=True, capture_output=True, timeout=120)
+                # Atomic publish so concurrent processes race safely.
+                os.replace(tmp_so, so_path)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(so_path)
+    except (OSError, cffi.FFIError, cffi.CDefError):
+        return None
+    return ffi, lib
+
+
+def load_kernel() -> Tuple[Optional[Any], Optional[Any]]:
+    """Return ``(ffi, lib)`` for the compiled kernel, or ``(None, None)``.
+
+    The build attempt is memoized per process; failures (no compiler,
+    no cffi, opt-out via ``REPRO_BDD_KERNEL=0``) degrade silently to
+    the pure-Python loops.
+    """
+    global _kernel, _attempted
+    if not _attempted:
+        _attempted = True
+        built = _build()
+        if built is not None:
+            _kernel = built
+    return _kernel
+
+
+def kernel_available() -> bool:
+    return load_kernel()[0] is not None

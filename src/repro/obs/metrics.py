@@ -33,6 +33,7 @@ GAUGE_METRICS = frozenset({
     "bdd.peak_nodes",
     "bdd.eq_size",
     "bdd.num_vars",
+    "bdd.bytes",
     "bdd.ite_cache_entries",
     "bdd.quant_cache_entries",
     "sat.vars",

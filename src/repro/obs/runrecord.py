@@ -243,26 +243,54 @@ VOLATILE_METRIC_KEYS = frozenset({
 
 #: Metric prefixes with the same scheduling-volatility: a cancelled
 #: portfolio loser's partial counters depend on when the cancel landed.
-_VOLATILE_METRIC_PREFIXES = ("portfolio.",)
+#: ``bdd.*`` counters and gauges describe *resource* trajectories
+#: (node counts, cache traffic, bytes) that legitimately shift with
+#: memory-management configuration — GC thresholds, dynamic
+#: reordering, the native kernel's pause cadence — while the computed
+#: answer stays fixed, so canonical comparison strips them too.
+_VOLATILE_METRIC_PREFIXES = ("portfolio.", "bdd.")
+
+#: Exceptions to the prefix rule: metrics that *are* the computed
+#: answer (the paper's #SOL column), kept canonical so a run that
+#: counts differently still fails the comparison.
+_CANONICAL_METRIC_KEYS = frozenset({"bdd.solutions"})
+
+#: Per-depth ``detail`` keys carrying the same resource volatility
+#: (live node and equality-BDD sizes vary under reordering).
+_VOLATILE_DETAIL_KEYS = frozenset({"nodes", "eq_size"})
+
+
+def _canonical_metrics(metrics: Dict) -> Dict:
+    return {k: v for k, v in metrics.items()
+            if k in _CANONICAL_METRIC_KEYS
+            or (k not in VOLATILE_METRIC_KEYS
+                and not k.startswith(_VOLATILE_METRIC_PREFIXES))}
 
 
 def canonical_record(record: Dict) -> Dict:
     """A record minus volatile fields, for byte-level run comparison.
 
     Per-depth runtimes are zeroed (the entries themselves must match)
-    and scheduling-volatile metrics are dropped; the result serializes
+    and scheduling/resource-volatile metrics are dropped — from the
+    run totals and from every per-depth entry; the result serializes
     identically for identical computations — the parallel test-suite
-    and the CI ``parallel-smoke`` job rely on this.
+    and the CI ``parallel-smoke`` job rely on this, and the BDD
+    engine's reorder/GC modes rely on it to prove answer identity.
     """
     out = {k: v for k, v in record.items() if k not in VOLATILE_RECORD_FIELDS}
     metrics = record.get("metrics")
     if isinstance(metrics, dict):
-        out["metrics"] = {
-            k: v for k, v in metrics.items()
-            if k not in VOLATILE_METRIC_KEYS
-            and not k.startswith(_VOLATILE_METRIC_PREFIXES)}
-    out["per_depth"] = [dict(step, runtime=0.0)
-                       for step in record.get("per_depth", ())]
+        out["metrics"] = _canonical_metrics(metrics)
+    steps = []
+    for step in record.get("per_depth", ()):
+        step = dict(step, runtime=0.0)
+        if isinstance(step.get("metrics"), dict):
+            step["metrics"] = _canonical_metrics(step["metrics"])
+        if isinstance(step.get("detail"), dict):
+            step["detail"] = {k: v for k, v in step["detail"].items()
+                              if k not in _VOLATILE_DETAIL_KEYS}
+        steps.append(step)
+    out["per_depth"] = steps
     return out
 
 

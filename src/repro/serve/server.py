@@ -703,6 +703,12 @@ class SynthesisServer:
         snapshot = obs.default_registry().snapshot()
         serve_metrics = {name: value for name, value in snapshot.items()
                          if name.startswith("serve.")}
+        # Node-store pressure across every synthesis this daemon ran:
+        # bdd.bytes / bdd.peak_nodes are gauges (process max), the
+        # gc/reorder figures accumulate — operators watch these to see
+        # whether jobs are running against the memory ceiling.
+        bdd_metrics = {name: value for name, value in snapshot.items()
+                       if name.startswith("bdd.")}
         return {
             "format": SERVE_STATS_FORMAT,
             "v": 1,
@@ -711,6 +717,7 @@ class SynthesisServer:
             "active_jobs": len(self._running),
             "queued_jobs": len(self._queue),
             "serve": serve_metrics,
+            "bdd": bdd_metrics,
             "pool": self._pool.stats(),
             "store": self._store.stats_payload(),
         }

@@ -99,6 +99,8 @@ class BddSynthesisEngine:
                  compact_between_depths: bool = True,
                  max_enumerate: int = 200_000,
                  cache_limit: int = 1_500_000,
+                 reorder: bool = False,
+                 gc_threshold: int = 0,
                  cancel_token: Optional[CancelToken] = None):
         """``cache_limit`` bounds the manager's *operation-cache* entry
         count: once ``ite``/quantification caches together exceed it they
@@ -108,6 +110,19 @@ class BddSynthesisEngine:
         portfolio, or a wide :mod:`repro.parallel.scheduler` pool —
         should shrink it via ``engine_options={"cache_limit": ...}`` so
         the per-process peak stays within its share of RAM.
+
+        ``gc_threshold`` > 0 arms mark-and-sweep collection of dead
+        depth-frontier nodes at that live-node count, checked between
+        cascade stages; ``reorder`` truthy arms sifting-based dynamic
+        reordering of the select-variable block at the same checkpoints
+        (the input block stays on top — the fused-quantification
+        precondition).  Passing an ``int`` sets the live-node count
+        that first triggers a sift (``True`` keeps the manager
+        default).  Both default off, leaving the default allocation
+        trajectory byte-identical to the v2 core; both change only
+        memory/runtime, never answers — reordering trades sift time
+        for node-store headroom, so it pays on memory-bound instances,
+        not fast small ones.
 
         ``cancel_token`` is polled from the deadline/allocation tick; see
         :mod:`repro.core.cancel`.
@@ -119,6 +134,9 @@ class BddSynthesisEngine:
         if var_order == "yx" and incremental:
             raise ValueError("the Y-before-X order requires incremental=False "
                              "(select variables must precede the inputs)")
+        if reorder and not incremental:
+            raise ValueError("dynamic reordering requires incremental=True "
+                             "(the monolithic ablation rebuilds per depth)")
         self.spec = spec
         self.library = library
         self.incremental = incremental
@@ -126,6 +144,8 @@ class BddSynthesisEngine:
         self.compact_between_depths = compact_between_depths
         self.max_enumerate = max_enumerate
         self.cache_limit = cache_limit
+        self.reorder = reorder
+        self.gc_threshold = gc_threshold
         self.cancel_token = as_token(cancel_token)
         self.n = spec.n_lines
         self.width = library.select_bits()
@@ -141,6 +161,58 @@ class BddSynthesisEngine:
         self.lines: List[int] = [self.manager.var(v) for v in self.x_vars]
         self.built_depth = 0
         self._build_spec_bdds(self.manager, self.x_vars)
+        self._protect_roots()
+        if self.gc_threshold:
+            self.manager.enable_auto_gc(threshold=self.gc_threshold,
+                                        enabled=False)
+        if self.reorder:
+            # Sift only the select block: match_forall requires every
+            # input variable above every select variable, so the X block
+            # is pinned at the top of the order.
+            if self.reorder is True:
+                self.manager.enable_auto_reorder(lower=self.n)
+            else:
+                self.manager.enable_auto_reorder(lower=self.n,
+                                                 min_nodes=int(self.reorder))
+
+    def _protect_roots(self) -> None:
+        """Register the engine's long-lived edges as external GC roots.
+
+        Protection is what lets :meth:`BddManager.gc` (and the sifting
+        session's reference counts) see the cascade frontier and the
+        spec BDDs as live; everything else allocated while building a
+        stage is reclaimable.  Managers without the protocol (the
+        vendored v2 core the benchmark harness injects) degrade to no
+        protection — they have no GC to protect against.
+        """
+        self._protect = getattr(self.manager, "protect", None)
+        self._unprotect = getattr(self.manager, "unprotect", None)
+        if self._protect is None:
+            return
+        for edge in (*self.lines, *self.on_bdds, *self.dc_bdds):
+            self._protect(edge)
+
+    def _replace_lines(self, new_lines: List[int]) -> None:
+        """Swap the protected cascade frontier to a new stage's outputs."""
+        if self._protect is not None:
+            for edge in new_lines:
+                self._protect(edge)
+            for edge in self.lines:
+                self._unprotect(edge)
+        self.lines = new_lines
+
+    def _checkpoint(self) -> None:
+        """Between-stage service point: reclaim and/or reorder.
+
+        Only here — never from inside an apply — because the stage
+        builder holds intermediate edges in plain Python frames the
+        manager cannot see, and in-flight loops cache level numbers
+        that sifting would invalidate.
+        """
+        if self.gc_threshold:
+            self.manager.maybe_gc()
+        if self.reorder:
+            self.manager.maybe_reorder()
 
     def _build_spec_bdds(self, manager: BddManager, x_vars: Sequence[int]) -> None:
         """ON-set and don't-care-set BDDs per output line (Definition 4)."""
@@ -172,11 +244,12 @@ class BddSynthesisEngine:
             select_vars = self._select_block(self.manager, position)
             self.y_vars.append(select_vars)
             select_nodes = [self.manager.var(v) for v in select_vars]
-            self.lines = universal_gate_stage(
+            self._replace_lines(universal_gate_stage(
                 self.lines, select_nodes, self.library, algebra,
                 tick=deadline.check,
-            )
+            ))
             self.built_depth += 1
+            self._checkpoint()
 
     def _compact(self) -> None:
         roots = list(self.lines) + list(self.on_bdds) + list(self.dc_bdds)
@@ -282,6 +355,14 @@ class BddSynthesisEngine:
                 self._compact()
             return DepthOutcome(status="unsat", detail=detail, metrics=metrics)
 
+        if self.reorder:
+            # Model enumeration walks variables in sorted-id order, so
+            # sifting's select-block permutation must be undone first;
+            # the solutions edge survives the swaps unchanged (edge
+            # stability), it just needs to be a root while they run.
+            from repro.bdd.reorder import restore_block_order
+            with manager.protected(solutions):
+                restore_block_order(manager, lower=self.n)
         with obs.span("bdd.extract", depth=depth):
             outcome = self._extract(manager, y_vars, solutions, depth, detail,
                                     metrics)
@@ -304,10 +385,14 @@ class BddSynthesisEngine:
         now = manager.stats()
         calls = now["ite_calls"] - before.get("ite_calls", 0)
         hits = now["ite_cache_hits"] - before.get("ite_cache_hits", 0)
+        # The gc/reorder/bytes figures use .get defaults so the engine
+        # still runs against managers predating the v3 core (the
+        # benchmark harness injects the vendored v2 manager).
         return {
             "bdd.nodes": now["nodes"],
             "bdd.peak_nodes": now["peak_nodes"],
             "bdd.num_vars": now["num_vars"],
+            "bdd.bytes": now.get("bytes", 0),
             "bdd.ite_calls": calls,
             "bdd.ite_cache_hits": hits,
             "bdd.ite_cache_misses": calls - hits,
@@ -317,6 +402,14 @@ class BddSynthesisEngine:
                                      - before.get("quant_cache_hits", 0)),
             "bdd.quant_cache_entries": now["quant_cache_entries"],
             "bdd.cache_clears": now["cache_clears"],
+            "bdd.gc_runs": (now.get("gc_runs", 0)
+                            - before.get("gc_runs", 0)),
+            "bdd.gc_reclaimed": (now.get("gc_reclaimed", 0)
+                                 - before.get("gc_reclaimed", 0)),
+            "bdd.reorder_runs": (now.get("reorder_runs", 0)
+                                 - before.get("reorder_runs", 0)),
+            "bdd.reorder_swaps": (now.get("reorder_swaps", 0)
+                                  - before.get("reorder_swaps", 0)),
         }
 
     # -- solution extraction -------------------------------------------------------------

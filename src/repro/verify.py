@@ -27,7 +27,14 @@ __all__ = [
 
 def circuit_output_bdds(circuit: Circuit, manager: BddManager,
                         x_vars: List[int]) -> List[int]:
-    """Symbolically simulate a circuit: one output BDD per line."""
+    """Symbolically simulate a circuit: one output BDD per line.
+
+    The evolving line frontier is registered as external GC roots and
+    dead per-gate intermediates are offered back between gates
+    (:meth:`BddManager.maybe_gc`), so deep circuits simulate within a
+    bounded node store.  Callers holding edges from *earlier* calls on
+    the same manager should :meth:`~BddManager.protect` them first.
+    """
     if len(x_vars) != circuit.n_lines:
         raise ValueError("one input variable per line required")
 
@@ -42,13 +49,20 @@ def circuit_output_bdds(circuit: Circuit, manager: BddManager,
         def xor(a, b):
             return manager.xor(a, b)
 
-    lines = [manager.var(v) for v in x_vars]
+    lines = [manager.protect(manager.var(v)) for v in x_vars]
     for gate in circuit:
         deltas = gate.symbolic_deltas(lines, _Algebra)
         new_lines = list(lines)
         for line, delta in deltas.items():
             new_lines[line] = manager.xor(lines[line], delta)
+        for edge in new_lines:
+            manager.protect(edge)
+        for edge in lines:
+            manager.unprotect(edge)
         lines = new_lines
+        manager.maybe_gc()
+    for edge in lines:
+        manager.unprotect(edge)
     return lines
 
 
@@ -69,7 +83,8 @@ def circuits_equivalent(first: Circuit, second: Circuit,
     manager = BddManager(first.n_lines)
     x_vars = list(range(first.n_lines))
     outputs_a = circuit_output_bdds(first, manager, x_vars)
-    outputs_b = circuit_output_bdds(second, manager, x_vars)
+    with manager.protected(*outputs_a):  # survive the second walk's GC
+        outputs_b = circuit_output_bdds(second, manager, x_vars)
     return outputs_a == outputs_b  # canonicity: equality is id equality
 
 
@@ -86,7 +101,8 @@ def counterexample(first: Circuit,
     manager = BddManager(n)
     x_vars = list(range(n))
     outputs_a = circuit_output_bdds(first, manager, x_vars)
-    outputs_b = circuit_output_bdds(second, manager, x_vars)
+    with manager.protected(*outputs_a):  # survive the second walk's GC
+        outputs_b = circuit_output_bdds(second, manager, x_vars)
     difference = manager.disj(manager.xor(a, b)
                               for a, b in zip(outputs_a, outputs_b))
     if difference == FALSE:
