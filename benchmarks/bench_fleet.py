@@ -1,0 +1,208 @@
+"""Fleet sharding: two worker hosts vs a serial suite — identity-pinned.
+
+The distributed claim is not "faster on this container" (the dev box
+has one CPU and both hosts share it) but **equivalence**: sharding a
+suite across hosts through the filesystem work queue, then collecting
+results and merging the per-host stores, must reproduce a serial
+``run_suite`` byte for byte (``docs/fleet.md``).  Before any wall-clock
+number is reported, the benchmark asserts:
+
+* every submitted task completed — nothing missing, nothing failed;
+* the collected fleet trace is **canonically byte-identical** to the
+  serial suite trace, task for task;
+* the merged store holds exactly the serial store's key set with
+  **canonically identical entries** per key, with zero merge
+  conflicts;
+* a second merge is a no-op (idempotence — the re-runnable sync-back).
+
+Exports ``BENCH_fleet.json`` (honoring ``REPRO_TRACE_DIR`` /
+``REPRO_TRACE=0``).
+
+Run:  cd benchmarks && PYTHONPATH=../src python -m pytest bench_fleet.py -q -s
+ or:  PYTHONPATH=src python benchmarks/bench_fleet.py
+"""
+
+import json
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _tables import append_history, machine_calibration, print_table
+from repro.fleet import FleetQueue, collect_results
+from repro.functions import get_spec
+from repro.obs.runrecord import canonical_record, read_records
+from repro.parallel import run_suite
+from repro.parallel.tasks import SynthesisTask
+from repro.store import SynthesisStore, canonical_entry_bytes, merge_stores
+
+#: Table 1 smoke set plus the named-gate specs: enough tasks that two
+#: hosts genuinely interleave claims, fast enough for CI.
+SMOKE_SET = ("3_17", "fredkin", "peres", "toffoli",
+             "mod5d1_s", "decod24-v0")
+
+HOSTS = ("alpha", "beta")
+
+LEASE_TIMEOUT = 30.0
+
+_payload = {}
+
+
+def _json_path():
+    if os.environ.get("REPRO_TRACE") == "0":
+        return None
+    directory = os.environ.get("REPRO_TRACE_DIR", ".")
+    return os.path.join(directory, "BENCH_fleet.json")
+
+
+def _tasks():
+    return [SynthesisTask(spec=get_spec(name), engine="bdd", kinds=("mct",))
+            for name in SMOKE_SET]
+
+
+def _canonical(record):
+    return json.dumps(canonical_record(record), sort_keys=True)
+
+
+def _spawn_worker(queue_root, host):
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = dict(os.environ,
+               PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "fleet", "work",
+         "--queue", queue_root, "--host", host, "--workers", "1",
+         "--lease-timeout", str(int(LEASE_TIMEOUT)), "--quiet"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+
+
+def _store_snapshot(root):
+    store = SynthesisStore(root)
+    return {key: canonical_entry_bytes(store.get(key))
+            for key, _path, _mtime, _size in store._object_files()}
+
+
+def test_two_host_fleet_matches_serial_suite_byte_for_byte():
+    scratch = tempfile.mkdtemp(prefix="bench-fleet-")
+    try:
+        queue_root = os.path.join(scratch, "queue")
+        serial_store = os.path.join(scratch, "serial-store")
+        merged_store = os.path.join(scratch, "merged-store")
+        serial_trace = os.path.join(scratch, "serial.jsonl")
+        fleet_trace = os.path.join(scratch, "fleet.jsonl")
+
+        start = time.perf_counter()
+        serial = run_suite(_tasks(), workers=1, trace=serial_trace,
+                           store=serial_store)
+        serial_s = time.perf_counter() - start
+        assert all(report.ok for report in serial.reports)
+
+        queue = FleetQueue(queue_root, lease_timeout=LEASE_TIMEOUT)
+        for task in _tasks():
+            queue.submit(task)
+        start = time.perf_counter()
+        workers = [_spawn_worker(queue_root, host) for host in HOSTS]
+        for proc in workers:
+            _out, err = proc.communicate(timeout=600)
+            assert proc.returncode == 0, \
+                f"fleet worker failed: {err.decode(errors='replace')}"
+        fleet_s = time.perf_counter() - start
+
+        outcome = collect_results(queue_root, trace=fleet_trace)
+        assert outcome["missing"] == [], f"unfinished: {outcome['missing']}"
+        assert outcome["failed"] == [], f"failed: {outcome['failed']}"
+        assert len(outcome["results"]) == len(SMOKE_SET)
+        hosts = sorted({result["host"] for result in outcome["results"]})
+        assert set(hosts) <= set(HOSTS)
+
+        # Claim 1: the collected trace is canonically serial-identical.
+        fleet_records = read_records(fleet_trace)
+        serial_records = read_records(serial_trace)
+        assert len(fleet_records) == len(serial_records) == len(SMOKE_SET)
+        for name, fleet_rec, serial_rec in zip(SMOKE_SET, fleet_records,
+                                               serial_records):
+            assert _canonical(fleet_rec) == _canonical(serial_rec), \
+                f"{name}: fleet record diverges from serial"
+
+        # Claim 2: the merged store is the serial store, canonically.
+        counters = merge_stores(merged_store, queue.host_store_roots())
+        assert counters["conflicts"] == 0
+        merged = _store_snapshot(merged_store)
+        baseline = _store_snapshot(serial_store)
+        assert set(merged) == set(baseline), \
+            "merged store key set diverges from the serial store"
+        for key in baseline:
+            assert merged[key] == baseline[key], \
+                f"store entry {key} diverges after merge"
+
+        # Claim 3: the sync-back is idempotent.
+        again = merge_stores(merged_store, queue.host_store_roots())
+        assert again["objects"] == 0
+        assert _store_snapshot(merged_store) == merged
+
+        per_host = {host: sum(1 for result in outcome["results"]
+                              if result["host"] == host) for host in hosts}
+        _payload["fleet"] = {
+            "benchmarks": list(SMOKE_SET), "hosts": list(HOSTS),
+            "tasks": len(SMOKE_SET), "per_host_completions": per_host,
+            "serial_s": serial_s, "fleet_s": fleet_s,
+            "merged_objects": counters["objects"],
+            "merge_duplicates": counters["duplicates"],
+            "merge_bounds": counters["bounds"],
+            "trace_identical": True, "store_identical": True,
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _export():
+    if not _payload:
+        return
+    _payload.update({
+        "bench": "fleet",
+        "lease_timeout_s": LEASE_TIMEOUT,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "calibration_s": machine_calibration(),
+    })
+    path = _json_path()
+    if path:
+        with open(path, "w") as handle:
+            json.dump(_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    append_history("fleet", _payload)
+    fleet = _payload.get("fleet")
+    if fleet:
+        shares = ", ".join(f"{host}={count}" for host, count
+                           in sorted(fleet["per_host_completions"].items()))
+        rows = [
+            f"{'serial suite':22s} {fleet['serial_s']:8.3f}s "
+            f"{len(SMOKE_SET):3d} tasks",
+            f"{'2-host fleet':22s} {fleet['fleet_s']:8.3f}s "
+            f"{len(SMOKE_SET):3d} tasks  ({shares})",
+            f"{'merged store':22s} {fleet['merged_objects']:3d} objects, "
+            f"{fleet['merge_duplicates']} duplicates, "
+            f"{fleet['merge_bounds']} bounds",
+        ]
+        header = f"{'RUN':22s} {'WALL':>9s}"
+        print_table("FLEET SHARDING — serial identity asserted, then timing",
+                    header, rows,
+                    "Fleet trace and merged store are canonically "
+                    "byte-identical to the serial suite; wall clocks share "
+                    f"{os.cpu_count()} CPU(s), so speed is not the claim "
+                    "here — equivalence is.")
+
+
+def teardown_module(module):
+    _export()
+
+
+if __name__ == "__main__":
+    test_two_host_fleet_matches_serial_suite_byte_for_byte()
+    _export()

@@ -79,7 +79,8 @@ _PROFILE_COLUMNS = {
             "sat.propagations", "sat.restarts"),
     "qbf": ("qbf.clauses", "qbf.expanded_clauses", "qbf.decisions",
             "qbf.propagations", "qbf.conflicts"),
-    "sword": ("sword.nodes_visited", "sword.lb_prunes", "sword.tt_prunes",
+    "sword": ("sword.nodes_visited", "sword.lb_prunes",
+              "sword.budget_exhausted", "sword.tt_prunes",
               "sword.transpositions"),
 }
 
@@ -330,6 +331,129 @@ def _cmd_suite(args) -> int:
         print(f"  FAILED {report.label}: {report.error or report.status}",
               file=sys.stderr)
     return 1 if failed or run.interrupted else 0
+
+
+def _fleet_tasks(args):
+    """Build the task list a ``fleet submit`` shares with ``suite``."""
+    from repro.parallel import SynthesisTask
+
+    if args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        unknown = [n for n in names if n not in SUITE]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
+    else:
+        names = [n for n in sorted(SUITE) if SUITE[n].tier == args.tier
+                 or args.tier == "full"]
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    kinds = tuple(args.kinds.split("+"))
+    return [SynthesisTask(spec=get_spec(name), engine=engine, kinds=kinds,
+                          time_limit=args.time_limit,
+                          orbit=not args.no_orbit,
+                          engine_options=_incremental_options(
+                              engine, args.no_incremental))
+            for name in names for engine in engines]
+
+
+def _cmd_fleet_submit(args) -> int:
+    from repro.fleet import FleetQueue
+
+    try:
+        tasks = _fleet_tasks(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    queue = FleetQueue(args.queue)
+    for task in tasks:
+        task_id = queue.submit(task, max_attempts=args.max_attempts)
+        if not args.quiet:
+            print(f"queued {task_id}")
+    print(f"{len(tasks)} tasks queued under {queue.root}")
+    return 0
+
+
+def _cmd_fleet_work(args) -> int:
+    from repro.fleet import work_queue
+
+    try:
+        outputs = _EventOutputs(args)
+    except OSError as exc:
+        print(f"error: cannot write events file {args.events}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    def progress(report):
+        retried = " [retried]" if report.retried else ""
+        print(f"  {report.label}: {report.status} "
+              f"({report.runtime:.2f}s){retried}")
+
+    try:
+        summary = work_queue(
+            args.queue, host=args.host, workers=args.workers or None,
+            lease_timeout=args.lease_timeout, poll=args.poll,
+            max_tasks=args.max_tasks, store_root=args.store or None,
+            on_report=None if (args.quiet or args.progress) else progress)
+    finally:
+        outputs.close()
+    print(f"fleet worker {summary['host']}: {summary['completed']} ok, "
+          f"{summary['errors']} errors, {summary['claims']} claims, "
+          f"{summary['commit_races']} commit races, "
+          f"{summary['runtime']:.2f}s")
+    return 0 if not summary["errors"] else 1
+
+
+def _cmd_fleet_collect(args) -> int:
+    from repro.fleet import collect_results
+
+    outcome = collect_results(args.queue, trace=args.trace)
+    print(f"collected {len(outcome['results'])} results"
+          + (f" -> {args.trace}" if args.trace else ""))
+    for task_id in outcome["failed"]:
+        print(f"  FAILED {task_id} (attempts exhausted)", file=sys.stderr)
+    for task_id in outcome["missing"]:
+        print(f"  MISSING {task_id} (still open)", file=sys.stderr)
+    return 1 if outcome["failed"] or outcome["missing"] else 0
+
+
+def _cmd_fleet_merge(args) -> int:
+    from repro.fleet import FleetQueue
+    from repro.store import MergeConflict, merge_stores
+
+    queue = FleetQueue(args.queue)
+    sources = queue.host_store_roots()
+    if not sources:
+        print("error: no per-host stores under the queue", file=sys.stderr)
+        return 1
+    try:
+        counters = merge_stores(args.into, sources,
+                                check_identity=not args.no_check)
+    except MergeConflict as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"merged {counters['sources']} host stores into {args.into}: "
+          f"{counters['objects']} objects, {counters['duplicates']} "
+          f"duplicates verified, {counters['bounds']} bounds folded")
+    return 0
+
+
+def _cmd_fleet_status(args) -> int:
+    from repro.fleet import FleetQueue
+
+    status = FleetQueue(args.queue,
+                        lease_timeout=args.lease_timeout).status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"queue {status['root']}: {status['done']}/{status['tasks']} done, "
+          f"{status['open']} open ({status['claimed']} claimed, "
+          f"{status['expired_leases']} expired), "
+          f"{status['reclaims']} reclaims, "
+          f"{len(status['failed'])} failed")
+    for task_id in status["failed"]:
+        print(f"  FAILED {task_id}")
+    if status["hosts"]:
+        print(f"  host stores: {', '.join(status['hosts'])}")
+    return 0
 
 
 def _cmd_bench_list(args) -> int:
@@ -760,6 +884,92 @@ def build_parser() -> argparse.ArgumentParser:
     _add_progress_arguments(suite)
     _add_store_arguments(suite)
     suite.set_defaults(func=_cmd_suite)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-host suite sharding over a shared queue "
+                      "directory (submit/work/collect/merge/status)")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_submit = fleet_sub.add_parser(
+        "submit", help="queue benchmark tasks for fleet workers")
+    fleet_submit.add_argument("--queue", required=True, metavar="DIR",
+                              help="shared queue directory (created)")
+    fleet_submit.add_argument("--benchmarks", "-b",
+                              help="comma-separated benchmark names "
+                                   "(default: the selected tier)")
+    fleet_submit.add_argument("--tier", choices=("default", "full"),
+                              default="default",
+                              help="benchmark tier when --benchmarks is "
+                                   "not given")
+    fleet_submit.add_argument("--engines", default="bdd",
+                              help="comma-separated engines, e.g. "
+                                   "bdd,sat,sword")
+    fleet_submit.add_argument("--kinds", default="mct",
+                              help="gate library, e.g. mct, mct+mcf")
+    fleet_submit.add_argument("--time-limit", type=float, default=None,
+                              help="per-task engine time budget in seconds")
+    fleet_submit.add_argument("--no-incremental", action="store_true",
+                              help="decide every depth from scratch in "
+                                   "every task")
+    fleet_submit.add_argument("--no-orbit", action="store_true",
+                              help="literal store addressing in workers")
+    fleet_submit.add_argument("--max-attempts", type=int, default=2,
+                              help="claim attempts per task before it is "
+                                   "marked failed (default 2)")
+    fleet_submit.add_argument("--quiet", action="store_true",
+                              help="suppress per-task queued lines")
+    fleet_submit.set_defaults(func=_cmd_fleet_submit)
+
+    fleet_work = fleet_sub.add_parser(
+        "work", help="drain a queue from this host until it is empty")
+    fleet_work.add_argument("--queue", required=True, metavar="DIR")
+    fleet_work.add_argument("--host", default=None,
+                            help="worker identity (default: hostname-pid)")
+    fleet_work.add_argument("--workers", type=int, default=0,
+                            help="local pool size (default: REPRO_WORKERS "
+                                 "or min(4, CPUs))")
+    fleet_work.add_argument("--lease-timeout", type=float, default=60.0,
+                            help="seconds without a heartbeat before "
+                                 "another host may reclaim a lease")
+    fleet_work.add_argument("--poll", type=float, default=0.5,
+                            help="nap between queue scans while other "
+                                 "hosts hold the remaining leases")
+    fleet_work.add_argument("--max-tasks", type=int, default=None,
+                            help="stop after this many committed results")
+    fleet_work.add_argument("--store", metavar="DIR",
+                            help="host store directory (default: "
+                                 "QUEUE/hosts/HOST/store)")
+    fleet_work.add_argument("--quiet", action="store_true",
+                            help="suppress per-task progress lines")
+    _add_progress_arguments(fleet_work)
+    fleet_work.set_defaults(func=_cmd_fleet_work)
+
+    fleet_collect = fleet_sub.add_parser(
+        "collect", help="gather results in submission order")
+    fleet_collect.add_argument("--queue", required=True, metavar="DIR")
+    fleet_collect.add_argument("--trace", metavar="FILE",
+                               help="append one run record per result to "
+                                    "FILE (task order)")
+    fleet_collect.set_defaults(func=_cmd_fleet_collect)
+
+    fleet_merge = fleet_sub.add_parser(
+        "merge", help="fold every per-host store into one")
+    fleet_merge.add_argument("--queue", required=True, metavar="DIR")
+    fleet_merge.add_argument("--into", required=True, metavar="DIR",
+                             help="destination store directory")
+    fleet_merge.add_argument("--no-check", action="store_true",
+                             help="skip canonical-record identity "
+                                  "verification on duplicate keys")
+    fleet_merge.set_defaults(func=_cmd_fleet_merge)
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="one-line queue snapshot")
+    fleet_status.add_argument("--queue", required=True, metavar="DIR")
+    fleet_status.add_argument("--lease-timeout", type=float, default=60.0,
+                              help="staleness horizon for the expired-"
+                                   "lease count")
+    fleet_status.add_argument("--json", action="store_true")
+    fleet_status.set_defaults(func=_cmd_fleet_status)
 
     bench = sub.add_parser(
         "bench", help="benchmark suite tools (list, diff)")

@@ -1,0 +1,45 @@
+"""repro.fleet — multi-host suite sharding over a shared directory.
+
+The paper's sweep tables are embarrassingly parallel across
+specifications, and the per-spec search space grows super-exponentially
+in ``n`` — so past one machine's cores, the next scaling lever is more
+machines.  This package turns the single-host suite scheduler
+(:mod:`repro.parallel`) into a fleet with no new dependencies and no
+coordinator: the only shared infrastructure is a directory.
+
+* :class:`~repro.fleet.queue.FleetQueue` — the protocol: task files,
+  attempt-scoped ``os.link`` leases with heartbeat mtimes, tombstone
+  reclaims, first-writer-wins results.  Every race is adjudicated by
+  the filesystem.
+* :func:`~repro.fleet.worker.work_queue` — one worker host's drain
+  loop: claim a batch, run it through the crash-isolated scheduler
+  pool against a per-host store, heartbeat, commit.
+* :func:`~repro.fleet.worker.collect_results` — fold result files back
+  into one trace, in submission order.
+* :func:`repro.store.merge_stores` — fold the per-host stores into one,
+  asserting canonical-record identity on every duplicate key.
+
+``python -m repro fleet submit|work|collect|merge|status`` is the CLI;
+``docs/fleet.md`` documents the protocol and its guarantees.
+"""
+
+from repro.fleet.queue import (
+    FLEET_RESULT_FORMAT,
+    FLEET_TASK_FORMAT,
+    FleetQueue,
+    Lease,
+    LeaseLost,
+    default_host,
+)
+from repro.fleet.worker import collect_results, work_queue
+
+__all__ = [
+    "FLEET_RESULT_FORMAT",
+    "FLEET_TASK_FORMAT",
+    "FleetQueue",
+    "Lease",
+    "LeaseLost",
+    "collect_results",
+    "default_host",
+    "work_queue",
+]

@@ -1,0 +1,425 @@
+"""The fleet work queue: a directory, links, and nothing else.
+
+A queue is one shared directory (NFS, a bind mount, anything with
+POSIX ``link`` semantics) that many hosts operate on concurrently with
+no coordinator process.  Every mutation is either an atomic
+first-writer-wins file creation (``os.link`` from a fsynced temp file
+— the exact commit idiom of :meth:`repro.store.SynthesisStore.put`) or
+an append-only JSONL line, so there is no state a crash at any instant
+can corrupt::
+
+    <root>/
+      tasks/<id>.json          submitted task (repro-fleet-task-v1);
+                               immutable after submit
+      leases/<id>.a<N>.json    claim of attempt N — created via link,
+                               so exactly one host holds attempt N;
+                               heartbeats bump the file's mtime
+      retired/<id>.a<N>.json   tombstone: attempt N's holder was
+                               declared dead and the lease reclaimed —
+                               created via link, so exactly one host
+                               performs each reclaim
+      results/<id>.json        terminal outcome (repro-fleet-result-v1),
+                               first-writer-wins
+      failed/<id>.json         attempts exhausted, first-writer-wins
+      partial/<id>.a<N>.<host>/  in-progress scratch, quarantined (not
+                               merged) when the attempt is reclaimed
+      quarantine/              where reclaimed partials go
+      retries.jsonl            advisory append-only reclaim log
+      hosts/<host>/store/      per-host synthesis stores, folded by
+                               ``repro fleet merge``
+
+The **attempt number is derived, never stored mutably**: attempt ``N``
+is open iff tombstones ``.a1 .. .a<N-1>`` all exist and ``.a<N>`` does
+not.  Claiming is therefore a single ``os.link`` race on the attempt-
+scoped lease name; reclaiming is a single ``os.link`` race on the
+tombstone name.  Two hosts can never both think they own an attempt,
+and two hosts can never both reclaim one — the filesystem adjudicates.
+
+A lease holder can *lose* its lease: if it stalls past the queue's
+``lease_timeout`` another host tombstones the attempt and re-runs the
+task.  :meth:`FleetQueue.heartbeat` detects this (the tombstone exists)
+and raises :class:`LeaseLost` so the stalled worker stops wasting
+cycles; if it raced to completion anyway, its result commit simply
+participates in the first-writer-wins race with the retry's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import repro.obs as obs
+from repro.obs.runrecord import append_jsonl_line, read_jsonl
+from repro.parallel.tasks import SynthesisTask
+
+__all__ = ["FLEET_RESULT_FORMAT", "FLEET_TASK_FORMAT", "FleetQueue",
+           "Lease", "LeaseLost", "default_host"]
+
+FLEET_TASK_FORMAT = "repro-fleet-task-v1"
+FLEET_RESULT_FORMAT = "repro-fleet-result-v1"
+
+#: Default bound on attempts per task: one run plus one retry after a
+#: reclaim — mirroring the suite scheduler's retry-once policy.
+DEFAULT_MAX_ATTEMPTS = 2
+
+
+def default_host() -> str:
+    """A queue-unique worker identity: hostname plus pid."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _commit_json(path: str, payload: Dict) -> bool:
+    """First-writer-wins JSON file commit (temp + fsync + link)."""
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    fd, tmp_path = tempfile.mkstemp(prefix=".commit-", dir=directory)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    try:
+        os.link(tmp_path, path)
+    except FileExistsError:
+        return False
+    finally:
+        os.unlink(tmp_path)
+    return True
+
+
+def _read_json(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "rb") as handle:
+            payload = json.loads(handle.read())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class LeaseLost(RuntimeError):
+    """This worker's lease was reclaimed by another host."""
+
+
+@dataclass
+class Lease:
+    """One host's hold on one attempt of one task."""
+
+    task_id: str
+    attempt: int
+    host: str
+    token: str
+    path: str
+    retired_path: str
+    partial_dir: str
+    retried_hosts: List[str] = field(default_factory=list)
+    lost: bool = False
+
+
+class FleetQueue:
+    """One handle onto a shared queue directory (many per queue)."""
+
+    def __init__(self, root: str,
+                 lease_timeout: float = 60.0):
+        self.root = os.path.abspath(root)
+        self.tasks_dir = os.path.join(self.root, "tasks")
+        self.leases_dir = os.path.join(self.root, "leases")
+        self.retired_dir = os.path.join(self.root, "retired")
+        self.results_dir = os.path.join(self.root, "results")
+        self.failed_dir = os.path.join(self.root, "failed")
+        self.partial_dir = os.path.join(self.root, "partial")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+        self.retries_path = os.path.join(self.root, "retries.jsonl")
+        self.lease_timeout = lease_timeout
+        for directory in (self.tasks_dir, self.leases_dir, self.retired_dir,
+                          self.results_dir, self.failed_dir, self.partial_dir,
+                          self.quarantine_dir):
+            os.makedirs(directory, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------------
+
+    def host_store_root(self, host: str) -> str:
+        return os.path.join(self.root, "hosts", host, "store")
+
+    def host_store_roots(self) -> List[str]:
+        """Every per-host store directory currently in the queue."""
+        hosts_dir = os.path.join(self.root, "hosts")
+        if not os.path.isdir(hosts_dir):
+            return []
+        return [os.path.join(hosts_dir, name, "store")
+                for name in sorted(os.listdir(hosts_dir))
+                if os.path.isdir(os.path.join(hosts_dir, name, "store"))]
+
+    def _task_path(self, task_id: str) -> str:
+        return os.path.join(self.tasks_dir, f"{task_id}.json")
+
+    def _lease_path(self, task_id: str, attempt: int) -> str:
+        return os.path.join(self.leases_dir, f"{task_id}.a{attempt}.json")
+
+    def _retired_path(self, task_id: str, attempt: int) -> str:
+        return os.path.join(self.retired_dir, f"{task_id}.a{attempt}.json")
+
+    def _result_path(self, task_id: str) -> str:
+        return os.path.join(self.results_dir, f"{task_id}.json")
+
+    def _failed_path(self, task_id: str) -> str:
+        return os.path.join(self.failed_dir, f"{task_id}.json")
+
+    # -- submit ---------------------------------------------------------------
+
+    def submit(self, task: SynthesisTask, task_id: Optional[str] = None,
+               max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+               kill_once_file: Optional[str] = None) -> str:
+        """Add one task to the queue; returns its id.
+
+        Ids default to ``<seq>-<label>`` with a zero-padded sequence
+        number, so task order (and every collected trace) follows
+        submission order.  ``kill_once_file`` is the fleet-level fault
+        injection hook (tests/CI only): the claiming *worker process*
+        SIGKILLs itself once, exercising the reclaim path end to end.
+        """
+        if task_id is None:
+            seq = len(self.task_ids())
+            slug = task.resolved_label().replace("/", "-")
+            task_id = f"{seq:04d}-{slug}"
+        payload: Dict[str, object] = {
+            "format": FLEET_TASK_FORMAT,
+            "id": task_id,
+            "task": task.to_wire(),
+            "max_attempts": max(1, int(max_attempts)),
+            "unix_time": time.time(),
+        }
+        if kill_once_file is not None:
+            payload["kill_once_file"] = kill_once_file
+        if not _commit_json(self._task_path(task_id), payload):
+            raise FileExistsError(f"task id already queued: {task_id}")
+        return task_id
+
+    # -- inspection -----------------------------------------------------------
+
+    def task_ids(self) -> List[str]:
+        return sorted(name[:-5] for name in os.listdir(self.tasks_dir)
+                      if name.endswith(".json") and not name.startswith("."))
+
+    def load_task(self, task_id: str) -> Dict:
+        payload = _read_json(self._task_path(task_id))
+        if payload is None or payload.get("format") != FLEET_TASK_FORMAT:
+            raise FileNotFoundError(f"no such fleet task: {task_id}")
+        return payload
+
+    def result(self, task_id: str) -> Optional[Dict]:
+        return _read_json(self._result_path(task_id))
+
+    def failure(self, task_id: str) -> Optional[Dict]:
+        return _read_json(self._failed_path(task_id))
+
+    def open_tasks(self) -> List[str]:
+        """Ids with neither a result nor a failure marker, in order."""
+        done = {name[:-5] for name in os.listdir(self.results_dir)
+                if name.endswith(".json")}
+        done |= {name[:-5] for name in os.listdir(self.failed_dir)
+                 if name.endswith(".json")}
+        return [task_id for task_id in self.task_ids() if task_id not in done]
+
+    def attempt_number(self, task_id: str) -> int:
+        """The currently open attempt (1 + count of tombstones)."""
+        attempt = 1
+        while os.path.exists(self._retired_path(task_id, attempt)):
+            attempt += 1
+        return attempt
+
+    def retried_hosts(self, task_id: str) -> List[str]:
+        """Dead hosts whose attempts at this task were reclaimed."""
+        hosts = []
+        attempt = 1
+        while True:
+            tombstone = _read_json(self._retired_path(task_id, attempt))
+            if tombstone is None:
+                return hosts
+            hosts.append(tombstone.get("dead_host", "?"))
+            attempt += 1
+
+    # -- claim / heartbeat / reclaim ------------------------------------------
+
+    def try_claim(self, task_id: str, host: str) -> Optional[Lease]:
+        """Try to own the task's open attempt; None if unavailable.
+
+        Walks the claim state machine at most a few steps: an expired
+        lease on the open attempt is reclaimed first (tombstone race),
+        then the next attempt is claimed — or the task is marked failed
+        once its attempt budget is exhausted.
+        """
+        meta = self.load_task(task_id)
+        max_attempts = int(meta.get("max_attempts", DEFAULT_MAX_ATTEMPTS))
+        while True:
+            if os.path.exists(self._result_path(task_id)):
+                return None
+            attempt = self.attempt_number(task_id)
+            if attempt > max_attempts:
+                self._mark_failed(task_id, host, attempt - 1)
+                return None
+            lease_path = self._lease_path(task_id, attempt)
+            token = secrets.token_hex(8)
+            claimed = _commit_json(lease_path, {
+                "task": task_id, "attempt": attempt, "host": host,
+                "pid": os.getpid(), "token": token,
+                "claimed_at": time.time(),
+                "retried_hosts": self.retried_hosts(task_id),
+            })
+            if claimed:
+                lease = Lease(
+                    task_id=task_id, attempt=attempt, host=host, token=token,
+                    path=lease_path,
+                    retired_path=self._retired_path(task_id, attempt),
+                    partial_dir=os.path.join(
+                        self.partial_dir, f"{task_id}.a{attempt}.{host}"),
+                    retried_hosts=self.retried_hosts(task_id))
+                obs.emit("fleet_task_claimed", task=task_id, host=host,
+                         attempt=attempt)
+                obs.publish({"fleet.claims": 1})
+                return lease
+            # Attempt already leased: live holder -> unavailable; dead
+            # holder -> race to reclaim, then loop to claim attempt+1.
+            if not self._reclaim_if_expired(task_id, attempt, host):
+                return None
+
+    def _reclaim_if_expired(self, task_id: str, attempt: int,
+                            host: str) -> bool:
+        """Tombstone a stale lease; True if the next attempt is open."""
+        lease_path = self._lease_path(task_id, attempt)
+        try:
+            age = time.time() - os.stat(lease_path).st_mtime
+        except OSError:
+            # Lease vanished mid-claim commit or was already handled;
+            # let the caller loop and re-observe.
+            return os.path.exists(self._retired_path(task_id, attempt))
+        if age <= self.lease_timeout:
+            return False
+        holder = _read_json(lease_path) or {}
+        tombstone = {
+            "task": task_id, "attempt": attempt,
+            "dead_host": holder.get("host", "?"),
+            "dead_pid": holder.get("pid"),
+            "reclaimed_by": host,
+            "lease_age": age,
+            "unix_time": time.time(),
+        }
+        if not _commit_json(self._retired_path(task_id, attempt), tombstone):
+            return True  # another host won the reclaim — attempt is open
+        self._quarantine_partials(task_id, attempt)
+        append_jsonl_line(self.retries_path, tombstone)
+        obs.emit("fleet_lease_reclaimed", task=task_id,
+                 dead_host=tombstone["dead_host"], host=host)
+        obs.publish({"fleet.reclaims": 1})
+        return True
+
+    def _quarantine_partials(self, task_id: str, attempt: int) -> None:
+        """Move a dead attempt's scratch out of merge's way."""
+        prefix = f"{task_id}.a{attempt}."
+        quarantined = 0
+        for name in os.listdir(self.partial_dir):
+            if not name.startswith(prefix):
+                continue
+            target = os.path.join(self.quarantine_dir,
+                                  f"{int(time.time())}-{name}")
+            try:
+                os.replace(os.path.join(self.partial_dir, name), target)
+                quarantined += 1
+            except OSError:
+                pass  # already moved by a concurrent reclaimer
+        if quarantined:
+            obs.publish({"fleet.quarantined": quarantined})
+
+    def _mark_failed(self, task_id: str, host: str, attempts: int) -> None:
+        if _commit_json(self._failed_path(task_id), {
+                "format": FLEET_RESULT_FORMAT, "id": task_id,
+                "status": "failed", "attempts": attempts,
+                "retried_hosts": self.retried_hosts(task_id),
+                "marked_by": host, "unix_time": time.time()}):
+            obs.emit("fleet_task_failed", task=task_id, host=host)
+            obs.publish({"fleet.failures": 1})
+
+    def heartbeat(self, lease: Lease) -> None:
+        """Refresh the lease's liveness; raises :class:`LeaseLost`."""
+        if os.path.exists(lease.retired_path):
+            lease.lost = True
+            raise LeaseLost(
+                f"lease on {lease.task_id} attempt {lease.attempt} was "
+                f"reclaimed from {lease.host}")
+        try:
+            os.utime(lease.path)
+        except OSError as exc:
+            lease.lost = True
+            raise LeaseLost(
+                f"lease file for {lease.task_id} attempt {lease.attempt} "
+                f"disappeared") from exc
+        obs.publish({"fleet.heartbeats": 1})
+
+    # -- results --------------------------------------------------------------
+
+    def commit_result(self, lease: Lease, status: str,
+                      record: Optional[Dict] = None,
+                      error: Optional[str] = None,
+                      runtime: float = 0.0) -> bool:
+        """Publish the attempt's outcome; False for a lost FWW race."""
+        committed = _commit_json(self._result_path(lease.task_id), {
+            "format": FLEET_RESULT_FORMAT,
+            "id": lease.task_id,
+            "status": status,
+            "host": lease.host,
+            "attempt": lease.attempt,
+            "retried_hosts": lease.retried_hosts,
+            "record": record,
+            "error": error,
+            "runtime": runtime,
+            "unix_time": time.time(),
+        })
+        if committed:
+            obs.emit("fleet_task_done", task=lease.task_id, host=lease.host,
+                     status=status)
+            obs.publish({"fleet.completions": 1})
+        return committed
+
+    # -- status ---------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """One queue-wide snapshot (``repro fleet status``)."""
+        task_ids = self.task_ids()
+        open_ids = set(self.open_tasks())
+        now = time.time()
+        leased = 0
+        expired = 0
+        for task_id in open_ids:
+            lease_path = self._lease_path(task_id,
+                                          self.attempt_number(task_id))
+            try:
+                age = now - os.stat(lease_path).st_mtime
+            except OSError:
+                continue
+            leased += 1
+            if age > self.lease_timeout:
+                expired += 1
+        retries, _torn = (read_jsonl(self.retries_path)
+                          if os.path.exists(self.retries_path) else ([], 0))
+        failed = [name[:-5] for name in sorted(os.listdir(self.failed_dir))
+                  if name.endswith(".json")]
+        done = len([name for name in os.listdir(self.results_dir)
+                    if name.endswith(".json")])
+        return {
+            "root": self.root,
+            "tasks": len(task_ids),
+            "done": done,
+            "open": len(open_ids),
+            "claimed": leased,
+            "expired_leases": expired,
+            "failed": failed,
+            "reclaims": len(retries),
+            "hosts": [os.path.basename(os.path.dirname(path))
+                      for path in self.host_store_roots()],
+        }

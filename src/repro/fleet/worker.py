@@ -1,0 +1,199 @@
+"""Fleet worker and collector: the host-side halves of the protocol.
+
+A worker host is a loop around two existing layers: claim a batch of
+open tasks from the :class:`~repro.fleet.queue.FleetQueue`, run them
+through the crash-isolated suite scheduler
+(:func:`repro.parallel.run_suite`) against the host's own store under
+the queue, heartbeat the held leases from a background thread while
+the batch runs, and commit one first-writer-wins result file per task.
+Everything distributed-systems-shaped (claim races, reclaim tombstones,
+duplicate completions) lives in the queue; everything
+synthesis-shaped (engine selection, crash retry *within* the host,
+store lookups) lives in the scheduler.  The worker only wires them
+together.
+
+The collector is the inverse: read every result file back in task-id
+order — the submission order — and append the banked run records to a
+trace file, stamped with ``fleet_host``/``fleet_attempt`` provenance
+(volatile fields, so the trace stays canonically comparable with a
+serial ``repro suite`` run of the same tasks).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import threading
+import time
+from typing import Dict, List, Optional
+
+import repro.obs as obs
+from repro.fleet.queue import FleetQueue, Lease, LeaseLost, default_host
+from repro.obs.runrecord import append_record
+from repro.parallel.scheduler import run_suite
+from repro.parallel.tasks import SynthesisTask, default_workers
+
+__all__ = ["collect_results", "work_queue"]
+
+
+def _maybe_kill_self(queue: FleetQueue, lease: Lease) -> None:
+    """Fault injection (tests/CI): SIGKILL this worker once per queue.
+
+    The tombstone file is created *before* the kill so the retry —
+    necessarily on another worker, this one is gone — runs the task
+    normally, mirroring ``SynthesisTask.crash_once_file`` one level up.
+    """
+    meta = queue.load_task(lease.task_id)
+    kill_file = meta.get("kill_once_file")
+    if not kill_file or os.path.exists(kill_file):
+        return
+    with open(kill_file, "w"):
+        pass
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _heartbeat_loop(queue: FleetQueue, leases: List[Lease],
+                    stop: threading.Event, interval: float) -> None:
+    while not stop.wait(interval):
+        for lease in leases:
+            if lease.lost:
+                continue
+            try:
+                queue.heartbeat(lease)
+            except LeaseLost:
+                pass  # flagged on the lease; the commit race decides
+
+
+def work_queue(queue_root: str,
+               host: Optional[str] = None,
+               workers: Optional[int] = None,
+               lease_timeout: float = 60.0,
+               poll: float = 0.5,
+               max_tasks: Optional[int] = None,
+               store_root: Optional[str] = None,
+               on_report=None) -> Dict[str, object]:
+    """Drain a fleet queue from this host; returns a work summary.
+
+    Runs until the queue has no open tasks (or ``max_tasks`` results
+    were committed by this worker).  Open tasks held by other live
+    workers are waited out with ``poll``-second naps — their leases
+    either complete or expire and get reclaimed here.
+    """
+    host = host or default_host()
+    queue = FleetQueue(queue_root, lease_timeout=lease_timeout)
+    store_root = store_root or queue.host_store_root(host)
+    os.makedirs(store_root, exist_ok=True)
+    pool_size = workers if workers is not None else default_workers()
+    started = time.perf_counter()
+    summary: Dict[str, object] = {
+        "host": host, "store": store_root, "completed": 0, "errors": 0,
+        "claims": 0, "commit_races": 0, "lease_lost": 0,
+    }
+
+    while True:
+        open_ids = queue.open_tasks()
+        if not open_ids:
+            break
+        leases: List[Lease] = []
+        for task_id in open_ids:
+            if len(leases) >= pool_size:
+                break
+            lease = queue.try_claim(task_id, host)
+            if lease is not None:
+                leases.append(lease)
+        if not leases:
+            # Everything open is leased to live workers (or just
+            # closed); nap and re-scan rather than spin.
+            time.sleep(poll)
+            continue
+        summary["claims"] += len(leases)
+
+        for lease in leases:
+            _maybe_kill_self(queue, lease)
+            os.makedirs(lease.partial_dir, exist_ok=True)
+
+        tasks = [
+            SynthesisTask.from_wire(queue.load_task(lease.task_id)["task"])
+            for lease in leases
+        ]
+        tasks = [task if task.label is not None
+                 else _with_label(task, lease.task_id)
+                 for task, lease in zip(tasks, leases)]
+
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(queue, leases, stop, max(0.5, lease_timeout / 4)),
+            daemon=True)
+        beat.start()
+        try:
+            suite = run_suite(tasks, workers=len(leases), store=store_root,
+                              on_report=on_report)
+        finally:
+            stop.set()
+            beat.join()
+
+        for lease, report in zip(leases, suite.reports):
+            # The full (schema-valid) record goes in the result file;
+            # identity checks canonicalize at comparison time.
+            committed = queue.commit_result(
+                lease, status=report.status, record=report.record,
+                error=report.error, runtime=report.runtime)
+            if not committed:
+                summary["commit_races"] += 1
+            elif report.ok:
+                summary["completed"] += 1
+            else:
+                summary["errors"] += 1
+            if lease.lost:
+                summary["lease_lost"] += 1
+            shutil.rmtree(lease.partial_dir, ignore_errors=True)
+
+        if max_tasks is not None and (summary["completed"]
+                                      + summary["errors"]) >= max_tasks:
+            break
+
+    summary["runtime"] = time.perf_counter() - started
+    return summary
+
+
+def _with_label(task: SynthesisTask, label: str) -> SynthesisTask:
+    from dataclasses import replace
+    return replace(task, label=label)
+
+
+def collect_results(queue_root: str,
+                    trace: Optional[str] = None) -> Dict[str, object]:
+    """Gather every task's outcome in submission order.
+
+    Returns ``{"results": [...], "missing": [...], "failed": [...]}``.
+    With ``trace``, appends each result's run record (plus
+    ``fleet_host``/``fleet_attempt`` provenance) as one JSONL line —
+    task order, so the file is canonically comparable with a serial
+    suite trace of the same submissions.
+    """
+    queue = FleetQueue(queue_root)
+    results: List[Dict] = []
+    missing: List[str] = []
+    failed: List[str] = []
+    for task_id in queue.task_ids():
+        result = queue.result(task_id)
+        if result is not None:
+            results.append(result)
+            continue
+        if queue.failure(task_id) is not None:
+            failed.append(task_id)
+        else:
+            missing.append(task_id)
+    if trace is not None:
+        for result in results:
+            record = result.get("record")
+            if record is None:
+                continue
+            stamped = dict(record)
+            stamped["fleet_host"] = result.get("host", "?")
+            stamped["fleet_attempt"] = result.get("attempt", 1)
+            append_record(trace, stamped)
+    obs.publish({"fleet.collected": len(results)})
+    return {"results": results, "missing": missing, "failed": failed}

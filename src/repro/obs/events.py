@@ -84,6 +84,11 @@ EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
     "worker_crashed": ("worker", "role"),
     "worker_retried": ("worker", "label"),
     "task_finished": ("label", "status"),
+    # Distributed fleet lifecycle (repro.fleet).
+    "fleet_task_claimed": ("task", "host", "attempt"),
+    "fleet_task_done": ("task", "host", "status"),
+    "fleet_lease_reclaimed": ("task", "dead_host", "host"),
+    "fleet_task_failed": ("task", "host"),
 }
 
 #: Envelope fields every event carries.

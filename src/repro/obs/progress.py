@@ -90,6 +90,21 @@ def render_event(event: Dict) -> str:
         return (f"{_origin(event)}{event.get('label')}: "
                 f"{event.get('status')} "
                 f"({event.get('runtime', 0.0):.2f}s){retried}")
+    if kind == "fleet_task_claimed":
+        attempt = event.get("attempt", 1)
+        retry = f" (attempt {attempt})" if attempt and attempt > 1 else ""
+        return (f"fleet {event.get('host')}: claimed "
+                f"{event.get('task')}{retry}")
+    if kind == "fleet_task_done":
+        return (f"fleet {event.get('host')}: {event.get('task')} — "
+                f"{event.get('status')}")
+    if kind == "fleet_lease_reclaimed":
+        return (f"fleet {event.get('host')}: reclaimed "
+                f"{event.get('task')} from dead host "
+                f"{event.get('dead_host')}")
+    if kind == "fleet_task_failed":
+        return (f"fleet {event.get('host')}: {event.get('task')} FAILED "
+                f"(attempts exhausted)")
     # Unknown (newer) event type: stay useful, show the raw payload.
     return f"{head}: {kind} {json.dumps(event, sort_keys=True)}"
 

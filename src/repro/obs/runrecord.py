@@ -103,6 +103,11 @@ RUN_RECORD_SCHEMA = {
         # computation, so canonical records exclude them.
         "store_hit": {"type": "boolean"},
         "store_resumed_from": {"type": "integer", "minimum": 0},
+        # Fleet provenance (repro.fleet), optional and volatile: which
+        # worker host produced the record, and on which claim attempt
+        # (> 1 means the task was reclaimed from a dead host).
+        "fleet_host": {"type": "string"},
+        "fleet_attempt": {"type": "integer", "minimum": 1},
         "versions": {
             "type": "object",
             "required": ["repro", "python"],
@@ -225,6 +230,7 @@ VOLATILE_RECORD_FIELDS = frozenset({
     "workers", "cpu_count", "worker_id", "retried", "winner_engine",
     "speculation_wasted_depths",
     "store_hit", "store_resumed_from",
+    "fleet_host", "fleet_attempt",
 })
 
 #: Metric keys describing how a run was *scheduled* rather than what it

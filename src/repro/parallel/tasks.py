@@ -70,6 +70,62 @@ class SynthesisTask:
         return GateLibrary.from_kinds(self.spec.n_lines,
                                       self.kinds or ("mct",))
 
+    # -- wire form (fleet queue files) ----------------------------------------
+
+    def to_wire(self) -> Dict[str, object]:
+        """A JSON-safe dict round-tripping through :meth:`from_wire`.
+
+        The fleet queue stores tasks as JSON files, not pickles, so any
+        host (or a human with an editor) can inspect and author them.
+        Custom ``library`` instances have no stable wire form — submit
+        kinds-based tasks to a fleet queue instead.
+        """
+        if self.library is not None:
+            raise ValueError(
+                "tasks with an explicit GateLibrary instance cannot be "
+                "serialized for the fleet queue; use kinds= instead")
+        return {
+            "spec": {
+                "name": self.spec.name,
+                "n_lines": self.spec.n_lines,
+                "rows": [list(row) for row in self.spec.rows],
+            },
+            "engine": self.engine,
+            "kinds": list(self.kinds) if self.kinds is not None else None,
+            "engine_options": dict(self.engine_options),
+            "max_gates": self.max_gates,
+            "time_limit": self.time_limit,
+            "use_bounds": self.use_bounds,
+            "label": self.label,
+            "orbit": self.orbit,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, object],
+                  store_path: Optional[str] = None) -> "SynthesisTask":
+        """Rebuild a task from :meth:`to_wire` output.
+
+        ``store_path`` is deliberately host-local (each fleet worker
+        passes its own store directory), so it never travels on the
+        wire.
+        """
+        spec_wire = wire["spec"]
+        spec = Specification(
+            spec_wire["n_lines"],
+            [tuple(row) for row in spec_wire["rows"]],
+            name=spec_wire.get("name") or "")
+        kinds = wire.get("kinds")
+        return cls(spec=spec,
+                   engine=wire.get("engine", "bdd"),
+                   kinds=tuple(kinds) if kinds is not None else None,
+                   engine_options=dict(wire.get("engine_options") or {}),
+                   max_gates=wire.get("max_gates"),
+                   time_limit=wire.get("time_limit"),
+                   use_bounds=bool(wire.get("use_bounds", False)),
+                   label=wire.get("label"),
+                   store_path=store_path,
+                   orbit=bool(wire.get("orbit", True)))
+
     def run(self, cancel_token: Optional[CancelToken] = None):
         """Execute the task in the current process; returns the result.
 

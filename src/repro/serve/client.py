@@ -58,8 +58,12 @@ class ServeClient:
             try:
                 if family == "unix":
                     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                    sock.settimeout(self.timeout)
-                    sock.connect(target)
+                    try:
+                        sock.settimeout(self.timeout)
+                        sock.connect(target)
+                    except OSError:
+                        sock.close()
+                        raise
                 else:
                     sock = socket.create_connection(target,
                                                     timeout=self.timeout)
@@ -77,6 +81,14 @@ class ServeClient:
         line = self._file.readline(MAX_FRAME_BYTES + 2)
         if not line:
             raise ConnectionError(f"connection to {self.address} closed")
+        if not line.endswith(b"\n"):
+            # ``readline`` hit its size cap mid-frame: the next read
+            # would resume inside this frame and desync every reply
+            # after it.  Fail the connection instead of the stream.
+            self.close()
+            raise ProtocolError(
+                f"frame from {self.address} exceeds "
+                f"{MAX_FRAME_BYTES} bytes")
         return json.loads(line.decode("utf-8"))
 
     def _send(self, frame: Dict) -> object:

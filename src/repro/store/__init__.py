@@ -30,6 +30,11 @@ from repro.store.digest import (
     payload_digest,
     store_key,
 )
+from repro.store.merge import (
+    MergeConflict,
+    canonical_entry_bytes,
+    merge_stores,
+)
 from repro.store.orbit import (
     OrbitKey,
     canonicalize,
@@ -55,13 +60,16 @@ from repro.store.store import (
 __all__ = [
     "CACHE_STATS_FORMAT",
     "KEY_FORMAT",
+    "MergeConflict",
     "ORBIT_KEY_FORMAT",
     "OrbitKey",
     "STORE_ENTRY_FORMAT",
     "SynthesisStore",
     "VOLATILE_OPTIONS",
+    "canonical_entry_bytes",
     "canonicalize",
     "derive_store_key",
+    "merge_stores",
     "entry_from_result",
     "fingerprint",
     "find_witness",

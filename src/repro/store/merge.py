@@ -1,0 +1,98 @@
+"""Fold several synthesis stores into one (the fleet's sync-back step).
+
+Merging is possible *because* the store's commit discipline already
+assumes concurrent writers: result objects are content-addressed and
+first-writer-wins, and the bounds ledger is monotone per key.  A merge
+therefore reduces to replaying each source store's state against the
+destination:
+
+* **objects** — committed via :meth:`SynthesisStore.put`, so the first
+  store to contribute a key wins and later copies are dropped;
+* **duplicate keys** — are *verified*, not skipped blindly: store
+  entries carry canonical run records (volatile fields already
+  stripped), so two hosts that solved the same configuration must have
+  byte-identical records.  A mismatch means a host computed a
+  different answer for the same key — that is corruption or a bug, and
+  the merge raises :class:`MergeConflict` instead of silently keeping
+  one of them;
+* **bounds** — folded through :meth:`SynthesisStore.bank_bound`, which
+  keeps the max per key and ignores non-improving lines.
+
+The replay is idempotent: merging the same source twice (or merging a
+store into itself) changes nothing, which is what lets ``repro fleet
+merge`` re-run after a partial failure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Union
+
+import repro.obs as obs
+from repro.store.store import SynthesisStore, open_store
+
+__all__ = ["MergeConflict", "canonical_entry_bytes", "merge_stores"]
+
+
+class MergeConflict(RuntimeError):
+    """Two stores committed *different* canonical records for one key."""
+
+    def __init__(self, key: str, source_root: str):
+        super().__init__(
+            f"store merge conflict: key {key} in {source_root} carries a "
+            f"canonical record different from the destination's — same "
+            f"configuration, different answer")
+        self.key = key
+        self.source_root = source_root
+
+
+def canonical_entry_bytes(entry: Dict) -> bytes:
+    """The identity-comparable bytes of a store entry.
+
+    Only the canonical run record participates: circuits may legally
+    differ across hosts for engines that return one of several minimal
+    realizations, but the canonical record (status, depth, gate count,
+    canonical metrics) must not.
+    """
+    return json.dumps(entry.get("record"), sort_keys=True).encode("utf-8")
+
+
+def merge_stores(dest: Union[str, SynthesisStore],
+                 sources: Iterable[Union[str, SynthesisStore]],
+                 check_identity: bool = True) -> Dict[str, int]:
+    """Merge every source store into ``dest``; returns fold counters.
+
+    ``check_identity=False`` skips the duplicate-key record comparison
+    (for merging stores known to hold disjoint key sets, where reading
+    back every duplicate would be wasted I/O — duplicates then only
+    count as races).
+    """
+    destination = open_store(dest)
+    counters = {"objects": 0, "duplicates": 0, "conflicts": 0, "bounds": 0,
+                "sources": 0}
+    for source in sources:
+        source_store = open_store(source)
+        if source_store.root == destination.root:
+            continue  # self-merge is a no-op, not an error
+        counters["sources"] += 1
+        for key, _path, _mtime, _size in source_store._object_files():
+            entry = source_store.get(key)
+            if entry is None:
+                continue  # quarantined under our feet — nothing to merge
+            if destination.put(key, entry):
+                counters["objects"] += 1
+                continue
+            counters["duplicates"] += 1
+            if check_identity:
+                existing = destination.get(key)
+                if existing is not None and (canonical_entry_bytes(existing)
+                                             != canonical_entry_bytes(entry)):
+                    counters["conflicts"] += 1
+                    raise MergeConflict(key, source_store.root)
+        for key, depth in source_store._load_bounds().items():
+            if destination.bank_bound(key, depth):
+                counters["bounds"] += 1
+    obs.publish({"fleet.merge_objects": counters["objects"],
+                 "fleet.merge_duplicates": counters["duplicates"],
+                 "fleet.merge_bounds": counters["bounds"]})
+    return counters

@@ -19,6 +19,16 @@ kind of problem-specific knowledge directly:
 * **a transposition table** recording, per visited state, the largest
   remaining budget that already failed.
 
+The transposition table is keyed on ``(previous gate, state columns)``,
+not on the columns alone: the legal successor set at a node depends on
+the ``previous`` gate through the symmetry-breaking rules above, so a
+failure proven under one predecessor does not in general transfer to a
+node reached through another (whose pruned-away gate might have been
+exactly the one that works).  When a node's expansion skipped *no*
+gate, its failure is predecessor-independent and is banked under a
+universal key instead, which recovers most of the sharing a
+columns-only table had — soundly.
+
 It finds a single minimal realization per run — like the paper's SAT
 baselines and unlike the all-solutions BDD engine.
 """
@@ -84,12 +94,16 @@ class SwordEngine:
         self.max_targets = max(len(g.targets) for g in library)
         self._self_inverse = [isinstance(g, (Toffoli, Fredkin)) for g in library]
         self._gate_lines = [g.lines() for g in library]
-        # Transposition table: state -> largest remaining budget proven hopeless.
-        self._failed: Dict[Columns, int] = {}
+        # Transposition table: (previous gate index, state) -> largest
+        # remaining budget proven hopeless.  Previous index -1 marks a
+        # universal entry: its node skipped no successor, so the
+        # failure holds regardless of how the state was reached.
+        self._failed: Dict[Tuple[int, Columns], int] = {}
         self._transposition_limit = transposition_limit
         self._deadline: Optional[float] = None
         self._node_counter = 0
         self._lb_prunes = 0
+        self._budget_exhausted = 0
         self._tt_prunes = 0
 
     # -- word-level gate application ------------------------------------------------
@@ -152,7 +166,8 @@ class SwordEngine:
         self._deadline = (None if time_limit is None
                           else time.perf_counter() + time_limit)
         path: List[Gate] = []
-        before = (self._node_counter, self._lb_prunes, self._tt_prunes)
+        before = (self._node_counter, self._lb_prunes,
+                  self._budget_exhausted, self._tt_prunes)
         try:
             with obs.span("sword.search", depth=depth):
                 found = self._dfs(self.initial, depth, -1, path)
@@ -174,17 +189,19 @@ class SwordEngine:
                             quantum_cost_min=cost, quantum_cost_max=cost,
                             detail=detail, metrics=metrics)
 
-    def _search_stats(self, before: Tuple[int, int, int]) -> Dict[str, object]:
+    def _search_stats(self, before: Tuple[int, int, int, int]
+                      ) -> Dict[str, object]:
         """This query's search statistics (the counters span all depths)."""
-        nodes, lb, tt = before
+        nodes, lb, exhausted, tt = before
         return {
             "nodes_visited": self._node_counter - nodes,
             "lb_prunes": self._lb_prunes - lb,
+            "budget_exhausted": self._budget_exhausted - exhausted,
             "tt_prunes": self._tt_prunes - tt,
             "transpositions": len(self._failed),
         }
 
-    def _metrics(self, before: Tuple[int, int, int]) -> Dict[str, float]:
+    def _metrics(self, before: Tuple[int, int, int, int]) -> Dict[str, float]:
         return {"sword." + key: value
                 for key, value in self._search_stats(before).items()}
 
@@ -198,29 +215,49 @@ class SwordEngine:
                 raise _Timeout
         if self._is_goal(cols):
             return True
-        if budget <= 0 or self._lower_bound(cols) > budget:
+        if budget <= 0:
+            self._budget_exhausted += 1
+            return False
+        if self._lower_bound(cols) > budget:
             self._lb_prunes += 1
             return False
-        if self._failed.get(cols, -1) >= budget:
+        # A universal entry (-1) refutes the state for any predecessor;
+        # an entry recorded under this exact predecessor refutes it for
+        # this one — either suffices.
+        failed = self._failed
+        refuted = failed.get((-1, cols), -1)
+        if previous >= 0:
+            other = failed.get((previous, cols), -1)
+            if other > refuted:
+                refuted = other
+        if refuted >= budget:
             self._tt_prunes += 1
             return False
         previous_lines = self._gate_lines[previous] if previous >= 0 else None
+        skipped = False
         for index, gate in enumerate(self.library.gates):
             if previous >= 0:
                 # A self-inverse gate immediately undone is never minimal.
                 if index == previous and self._self_inverse[index]:
+                    skipped = True
                     continue
                 # Canonical order for trivially commuting neighbours.
                 if (index < previous
                         and not (self._gate_lines[index] & previous_lines)):
+                    skipped = True
                     continue
             successor = self._apply(gate, cols)
             path.append(gate)
             if self._dfs(successor, budget - 1, index, path):
                 return True
             path.pop()
-        if len(self._failed) < self._transposition_limit:
-            existing = self._failed.get(cols, -1)
-            if budget > existing:
-                self._failed[cols] = budget
+        if len(failed) < self._transposition_limit:
+            # With no skipped successor the full gate set was refuted:
+            # any cascade from here has a canonical reordering whose
+            # first gate was explored, so the failure is valid for
+            # every predecessor.  Otherwise it only refutes canonical
+            # continuations of this exact predecessor.
+            key = (previous if skipped else -1, cols)
+            if budget > failed.get(key, -1):
+                failed[key] = budget
         return False

@@ -1,0 +1,103 @@
+"""Store-merge semantics: first-writer-wins, identity, idempotence."""
+
+import json
+
+import pytest
+
+from repro.store import MergeConflict, SynthesisStore, merge_stores
+
+
+def _entry(answer):
+    return {"record": {"spec": "x", "status": "realized", "depth": answer},
+            "circuits": []}
+
+
+def _snapshot(store):
+    return {key: json.dumps(store.get(key), sort_keys=True)
+            for key, _, _, _ in store._object_files()}
+
+
+class TestMergeStores:
+    def test_disjoint_union(self, tmp_path):
+        a = SynthesisStore(str(tmp_path / "a"))
+        b = SynthesisStore(str(tmp_path / "b"))
+        a.put("k1", _entry(3))
+        b.put("k2", _entry(4))
+        a.bank_bound("k1", 2)
+        b.bank_bound("k3", 5)
+        dest = SynthesisStore(str(tmp_path / "dest"))
+        counters = merge_stores(dest, [a, b])
+        assert counters["objects"] == 2
+        assert counters["duplicates"] == 0
+        assert counters["bounds"] == 2
+        assert dest.get("k1")["record"]["depth"] == 3
+        assert dest.get("k2")["record"]["depth"] == 4
+        assert dest.proven_bound("k1") == 2
+        assert dest.proven_bound("k3") == 5
+
+    def test_duplicate_keys_verified_and_kept_once(self, tmp_path):
+        a = SynthesisStore(str(tmp_path / "a"))
+        b = SynthesisStore(str(tmp_path / "b"))
+        a.put("k1", _entry(3))
+        b.put("k1", _entry(3))  # same configuration, same answer
+        dest = SynthesisStore(str(tmp_path / "dest"))
+        counters = merge_stores(dest, [a, b])
+        assert counters["objects"] == 1
+        assert counters["duplicates"] == 1
+        assert counters["conflicts"] == 0
+
+    def test_bounds_fold_by_max_per_key(self, tmp_path):
+        a = SynthesisStore(str(tmp_path / "a"))
+        b = SynthesisStore(str(tmp_path / "b"))
+        a.bank_bound("k", 3)
+        b.bank_bound("k", 7)
+        dest = SynthesisStore(str(tmp_path / "dest"))
+        merge_stores(dest, [a, b])
+        assert dest.proven_bound("k") == 7
+        # A weaker bound arriving later never regresses the ledger.
+        merge_stores(dest, [a])
+        dest.reload_bounds()
+        assert dest.proven_bound("k") == 7
+
+    def test_merge_twice_equals_merge_once(self, tmp_path):
+        a = SynthesisStore(str(tmp_path / "a"))
+        b = SynthesisStore(str(tmp_path / "b"))
+        a.put("k1", _entry(3))
+        b.put("k2", _entry(4))
+        a.bank_bound("k1", 2)
+        dest = SynthesisStore(str(tmp_path / "dest"))
+        merge_stores(dest, [a, b])
+        once = _snapshot(dest)
+        bounds_once = dict(dest._load_bounds())
+        counters = merge_stores(dest, [a, b])
+        assert counters["objects"] == 0
+        assert _snapshot(dest) == once
+        dest.reload_bounds()
+        assert dict(dest._load_bounds()) == bounds_once
+
+    def test_conflicting_records_raise(self, tmp_path):
+        a = SynthesisStore(str(tmp_path / "a"))
+        b = SynthesisStore(str(tmp_path / "b"))
+        a.put("k1", _entry(3))
+        b.put("k1", _entry(4))  # same key, different answer: corruption
+        dest = SynthesisStore(str(tmp_path / "dest"))
+        with pytest.raises(MergeConflict) as info:
+            merge_stores(dest, [a, b])
+        assert info.value.key == "k1"
+
+    def test_no_check_skips_conflict_detection(self, tmp_path):
+        a = SynthesisStore(str(tmp_path / "a"))
+        b = SynthesisStore(str(tmp_path / "b"))
+        a.put("k1", _entry(3))
+        b.put("k1", _entry(4))
+        dest = SynthesisStore(str(tmp_path / "dest"))
+        counters = merge_stores(dest, [a, b], check_identity=False)
+        assert counters["duplicates"] == 1
+        assert dest.get("k1")["record"]["depth"] == 3  # first writer won
+
+    def test_self_merge_is_noop(self, tmp_path):
+        store = SynthesisStore(str(tmp_path / "a"))
+        store.put("k1", _entry(3))
+        counters = merge_stores(store, [store])
+        assert counters["sources"] == 0
+        assert counters["objects"] == 0

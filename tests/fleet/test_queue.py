@@ -1,0 +1,181 @@
+"""Fleet queue protocol: claims, leases, reclaims, attempts."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.functions import get_spec
+from repro.fleet import FleetQueue, LeaseLost
+from repro.obs.runrecord import read_jsonl
+from repro.parallel.tasks import SynthesisTask
+
+
+def _task(name="3_17"):
+    return SynthesisTask(spec=get_spec(name), engine="bdd", kinds=("mct",))
+
+
+def _backdate(path, seconds):
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+class TestWireFormat:
+    def test_task_round_trips(self):
+        task = SynthesisTask(spec=get_spec("fredkin"), engine="sword",
+                             kinds=("mct", "mcf"), time_limit=2.5,
+                             use_bounds=True, label="x", orbit=False,
+                             engine_options={"incremental": False})
+        wire = json.loads(json.dumps(task.to_wire()))
+        back = SynthesisTask.from_wire(wire, store_path="/tmp/s")
+        assert back.spec.rows == task.spec.rows
+        assert back.spec.name == "fredkin"
+        assert back.engine == "sword"
+        assert back.kinds == ("mct", "mcf")
+        assert back.time_limit == 2.5
+        assert back.use_bounds is True
+        assert back.label == "x"
+        assert back.orbit is False
+        assert back.engine_options == {"incremental": False}
+        assert back.store_path == "/tmp/s"
+
+    def test_library_instances_are_rejected(self):
+        from repro.core.library import GateLibrary
+        task = SynthesisTask(spec=get_spec("3_17"),
+                             library=GateLibrary.mct(3))
+        with pytest.raises(ValueError, match="kinds"):
+            task.to_wire()
+
+
+class TestSubmitClaim:
+    def test_submit_assigns_ordered_ids(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"))
+        first = queue.submit(_task("3_17"))
+        second = queue.submit(_task("fredkin"))
+        assert queue.task_ids() == [first, second]
+        assert first < second
+        assert queue.open_tasks() == [first, second]
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"))
+        queue.submit(_task(), task_id="t1")
+        with pytest.raises(FileExistsError):
+            queue.submit(_task(), task_id="t1")
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"), lease_timeout=60)
+        task_id = queue.submit(_task())
+        lease = queue.try_claim(task_id, "alpha")
+        assert lease is not None and lease.attempt == 1
+        assert queue.try_claim(task_id, "beta") is None
+
+    def test_claimed_task_stays_open_until_result(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"))
+        task_id = queue.submit(_task())
+        lease = queue.try_claim(task_id, "alpha")
+        assert queue.open_tasks() == [task_id]
+        assert queue.commit_result(lease, status="realized",
+                                   record={"spec": "3_17"})
+        assert queue.open_tasks() == []
+        assert queue.result(task_id)["host"] == "alpha"
+
+    def test_result_commit_is_first_writer_wins(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"))
+        task_id = queue.submit(_task())
+        lease = queue.try_claim(task_id, "alpha")
+        assert queue.commit_result(lease, status="realized")
+        assert not queue.commit_result(lease, status="realized")
+
+
+class TestHeartbeatReclaim:
+    def test_heartbeat_refreshes_lease(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"), lease_timeout=5)
+        task_id = queue.submit(_task())
+        lease = queue.try_claim(task_id, "alpha")
+        _backdate(lease.path, 60)
+        queue.heartbeat(lease)
+        age = time.time() - os.stat(lease.path).st_mtime
+        assert age < 5
+
+    def test_fresh_lease_is_not_reclaimed(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"), lease_timeout=60)
+        task_id = queue.submit(_task())
+        assert queue.try_claim(task_id, "alpha") is not None
+        assert queue.try_claim(task_id, "beta") is None
+        assert queue.attempt_number(task_id) == 1
+
+    def test_expired_lease_is_reclaimed_with_provenance(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"), lease_timeout=1)
+        task_id = queue.submit(_task())
+        dead = queue.try_claim(task_id, "doomed")
+        os.makedirs(dead.partial_dir)
+        _backdate(dead.path, 30)
+        lease = queue.try_claim(task_id, "survivor")
+        assert lease is not None
+        assert lease.attempt == 2
+        assert lease.retried_hosts == ["doomed"]
+        # The dead attempt's scratch was quarantined, not merged.
+        assert not os.path.exists(dead.partial_dir)
+        assert any(os.path.basename(dead.partial_dir) in name
+                   for name in os.listdir(queue.quarantine_dir))
+        retries, _ = read_jsonl(queue.retries_path)
+        assert len(retries) == 1
+        assert retries[0]["dead_host"] == "doomed"
+        assert retries[0]["task"] == task_id
+
+    def test_reclaimed_holder_sees_lease_lost(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"), lease_timeout=1)
+        task_id = queue.submit(_task())
+        dead = queue.try_claim(task_id, "doomed")
+        _backdate(dead.path, 30)
+        assert queue.try_claim(task_id, "survivor") is not None
+        with pytest.raises(LeaseLost):
+            queue.heartbeat(dead)
+        assert dead.lost
+
+    def test_attempts_exhaust_into_failed_marker(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"), lease_timeout=1)
+        task_id = queue.submit(_task(), max_attempts=2)
+        for host in ("h1", "h2"):
+            lease = queue.try_claim(task_id, host)
+            assert lease is not None
+            _backdate(lease.path, 30)
+        # Both attempts are tombstoned: the next claim marks failure.
+        assert queue.try_claim(task_id, "h3") is None
+        failure = queue.failure(task_id)
+        assert failure["status"] == "failed"
+        assert failure["retried_hosts"] == ["h1", "h2"]
+        assert queue.open_tasks() == []
+
+    def test_reclaim_race_single_tombstone(self, tmp_path):
+        # Two hosts observing the same stale lease: exactly one creates
+        # the tombstone; both end up able to claim the next attempt.
+        queue_a = FleetQueue(str(tmp_path / "q"), lease_timeout=1)
+        queue_b = FleetQueue(str(tmp_path / "q"), lease_timeout=1)
+        task_id = queue_a.submit(_task())
+        dead = queue_a.try_claim(task_id, "doomed")
+        _backdate(dead.path, 30)
+        assert queue_a._reclaim_if_expired(task_id, 1, "a") is True
+        assert queue_b._reclaim_if_expired(task_id, 1, "b") is True
+        retries, _ = read_jsonl(queue_a.retries_path)
+        assert len(retries) == 1  # the loser raced, logged nothing
+        leases = [queue_a.try_claim(task_id, "a"),
+                  queue_b.try_claim(task_id, "b")]
+        assert sum(lease is not None for lease in leases) == 1
+
+
+class TestStatus:
+    def test_status_counts(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"), lease_timeout=60)
+        ids = [queue.submit(_task()), queue.submit(_task("fredkin"))]
+        lease = queue.try_claim(ids[0], "alpha")
+        queue.commit_result(lease, status="realized")
+        queue.try_claim(ids[1], "alpha")
+        status = queue.status()
+        assert status["tasks"] == 2
+        assert status["done"] == 1
+        assert status["open"] == 1
+        assert status["claimed"] == 1
+        assert status["expired_leases"] == 0
+        assert status["failed"] == []

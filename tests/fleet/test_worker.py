@@ -1,0 +1,118 @@
+"""Fleet worker end to end: drain, identity, SIGKILL reclaim."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.fleet import FleetQueue, collect_results, work_queue
+from repro.functions import get_spec
+from repro.obs.runrecord import (canonical_record, read_records,
+                                 validate_run_record)
+from repro.parallel import run_suite
+from repro.parallel.tasks import SynthesisTask
+from repro.store import SynthesisStore, merge_stores
+
+
+def _task(name):
+    return SynthesisTask(spec=get_spec(name), engine="bdd", kinds=("mct",))
+
+
+def _canonical(record):
+    return json.dumps(canonical_record(record), sort_keys=True)
+
+
+class TestWorkQueue:
+    def test_drain_produces_serial_identical_records(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"))
+        names = ["3_17", "fredkin"]
+        for name in names:
+            queue.submit(_task(name))
+        summary = work_queue(str(tmp_path / "q"), host="alpha", workers=2,
+                             lease_timeout=30)
+        assert summary["completed"] == 2
+        assert summary["errors"] == 0
+
+        trace = str(tmp_path / "fleet.jsonl")
+        outcome = collect_results(str(tmp_path / "q"), trace=trace)
+        assert outcome["missing"] == [] and outcome["failed"] == []
+
+        serial_trace = str(tmp_path / "serial.jsonl")
+        run_suite([_task(name) for name in names], workers=1,
+                  trace=serial_trace)
+        fleet_records = read_records(trace)
+        serial_records = read_records(serial_trace)
+        assert len(fleet_records) == len(serial_records) == 2
+        for fleet_rec, serial_rec in zip(fleet_records, serial_records):
+            assert validate_run_record(fleet_rec) == []
+            assert fleet_rec["fleet_host"] == "alpha"
+            assert fleet_rec["fleet_attempt"] == 1
+            assert _canonical(fleet_rec) == _canonical(serial_rec)
+
+    def test_two_hosts_share_one_queue(self, tmp_path):
+        queue = FleetQueue(str(tmp_path / "q"))
+        for name in ("3_17", "fredkin", "peres", "toffoli"):
+            queue.submit(_task(name))
+        first = work_queue(str(tmp_path / "q"), host="alpha", workers=1,
+                           max_tasks=2, lease_timeout=30)
+        second = work_queue(str(tmp_path / "q"), host="beta", workers=2,
+                            lease_timeout=30)
+        assert first["completed"] + second["completed"] == 4
+        outcome = collect_results(str(tmp_path / "q"))
+        hosts = {result["host"] for result in outcome["results"]}
+        assert hosts == {"alpha", "beta"}
+        # Each host banked into its own store; the merge folds them.
+        merged = SynthesisStore(str(tmp_path / "merged"))
+        counters = merge_stores(merged, queue.host_store_roots())
+        assert counters["sources"] == 2
+        assert counters["objects"] == 4
+        assert counters["conflicts"] == 0
+
+    def test_sigkilled_worker_is_reclaimed_and_task_retried_once(
+            self, tmp_path):
+        queue_root = str(tmp_path / "q")
+        queue = FleetQueue(queue_root, lease_timeout=1.0)
+        kill_file = str(tmp_path / "kill-once")
+        doomed_id = queue.submit(_task("3_17"), kill_once_file=kill_file)
+        other_id = queue.submit(_task("fredkin"))
+
+        # The doomed worker claims the first task in id order, creates
+        # the tombstone file, and SIGKILLs itself before doing any work.
+        env = dict(os.environ,
+                   PYTHONPATH="src" + os.pathsep
+                              + os.environ.get("PYTHONPATH", ""))
+        doomed = subprocess.run(
+            [sys.executable, "-m", "repro", "fleet", "work",
+             "--queue", queue_root, "--host", "doomed", "--workers", "1",
+             "--lease-timeout", "1", "--quiet"],
+            env=env, capture_output=True, timeout=120)
+        assert doomed.returncode == -signal.SIGKILL
+        assert os.path.exists(kill_file)
+        assert queue.result(doomed_id) is None
+
+        summary = work_queue(queue_root, host="survivor", workers=2,
+                             lease_timeout=1.0, poll=0.2)
+        assert summary["completed"] == 2
+
+        result = queue.result(doomed_id)
+        assert result["status"] == "realized"
+        assert result["host"] == "survivor"
+        assert result["attempt"] == 2
+        assert result["retried_hosts"] == ["doomed"]
+        other = queue.result(other_id)
+        assert other["attempt"] == 1
+
+        from repro.obs.runrecord import read_jsonl
+        retries, _ = read_jsonl(queue.retries_path)
+        assert len(retries) == 1  # retried exactly once
+        assert retries[0]["dead_host"] == "doomed"
+
+        # The reclaimed run's record is still canonically identical to
+        # a serial run — a mid-task SIGKILL never changes the answer.
+        serial_trace = str(tmp_path / "serial.jsonl")
+        run_suite([_task("3_17")], workers=1, trace=serial_trace)
+        serial = read_records(serial_trace)[0]
+        assert _canonical(result["record"]) == _canonical(serial)

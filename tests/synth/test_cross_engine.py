@@ -7,10 +7,12 @@ expansion-based QBF, per-row SAT, word-level search) plus a brute-force
 BFS oracle all have to agree.
 """
 
+import os
 import random
 
 import pytest
 
+from repro.core.circuit import Circuit
 from repro.core.library import GateLibrary
 from repro.core.spec import Specification
 from repro.synth import synthesize
@@ -20,6 +22,8 @@ from tests.conftest import (
     random_incomplete_spec,
     random_small_spec,
 )
+
+_BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
 
 ENGINES = ("bdd", "sat", "sword", "qbf")
 
@@ -124,3 +128,29 @@ class TestExtendedLibraries:
         with_fredkin = synthesize(swap, kinds=("mct", "mcf"), engine="bdd")
         assert mct_only.depth == 3
         assert with_fredkin.depth == 1
+
+
+class TestSeededSwordVsBdd:
+    """Randomized guard for the SWORD transposition-table key fix.
+
+    A columns-only table can silently bank context-restricted failures
+    as universal refutations (see ``TestTranspositionSoundness`` in
+    ``test_sword_engine.py``); any such regression shows up here as a
+    SWORD depth exceeding the BDD engine's exact minimum.  Seeded from
+    ``REPRO_TEST_SEED`` so CI can sweep fresh regions of the space.
+    """
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_minimal_depth_agrees_on_random_permutations(self, trial):
+        rng = random.Random(_BASE_SEED * 5000 + trial)
+        library = GateLibrary.mct(3)
+        gates = [library[rng.randrange(library.size())]
+                 for _ in range(rng.randint(4, 5))]
+        perm = Circuit(3, gates).permutation()
+        spec = Specification.from_permutation(perm, name=f"xchk-{trial}")
+        sword = synthesize(spec, engine="sword")
+        bdd = synthesize(spec, engine="bdd")
+        assert sword.realized and bdd.realized
+        assert sword.depth == bdd.depth, (trial, sword.depth, bdd.depth)
+        for circuit in sword.circuits:
+            assert spec.matches_circuit(circuit)

@@ -131,3 +131,141 @@ class TestDecisions:
         outcome = engine.decide(1)
         assert outcome.status == "sat"
         assert spec3.matches_circuit(outcome.circuits[0])
+
+
+class _LegacyKeySword(SwordEngine):
+    """The pre-fix search: transposition table keyed on columns only.
+
+    A faithful copy of ``_dfs`` before the soundness fix — failures are
+    banked under the state alone, erasing which predecessor gate
+    restricted the successor set via the commuting/self-inverse prunes.
+    """
+
+    def _dfs(self, cols, budget, previous, path):
+        self._node_counter += 1
+        if self._is_goal(cols):
+            return True
+        if budget <= 0:
+            self._budget_exhausted += 1
+            return False
+        if self._lower_bound(cols) > budget:
+            self._lb_prunes += 1
+            return False
+        if self._failed.get(cols, -1) >= budget:
+            self._tt_prunes += 1
+            return False
+        previous_lines = self._gate_lines[previous] if previous >= 0 else None
+        for index, gate in enumerate(self.library.gates):
+            if previous >= 0:
+                if index == previous and self._self_inverse[index]:
+                    continue
+                if (index < previous
+                        and not (self._gate_lines[index] & previous_lines)):
+                    continue
+            successor = self._apply(gate, cols)
+            path.append(gate)
+            if self._dfs(successor, budget - 1, index, path):
+                return True
+            path.pop()
+        if len(self._failed) < self._transposition_limit:
+            if budget > self._failed.get(cols, -1):
+                self._failed[cols] = budget
+        return False
+
+
+class TestTranspositionSoundness:
+    """The TT key must record the predecessor context of a failure.
+
+    The gadget library is ``[NOT(x0), CNOT(x0->x1), NOT(x1)]`` in that
+    index order.  ``CNOT(x0->x1)`` and ``NOT(x1)`` commute as
+    permutations but *share* line 1, so the canonical-order prune keeps
+    both orders: ``[CNOT, NOT1]`` and ``[NOT1, CNOT]`` are distinct
+    explored prefixes reaching the same state S with different
+    ``previous`` gates.  Under ``previous=NOT1`` the commuting prune
+    skips ``NOT(x0)`` (smaller index, disjoint from line 1); under
+    ``previous=CNOT`` it is legal.
+    """
+
+    NOT0 = Toffoli((), 0)
+    CNOT = Toffoli((0,), 1)
+    NOT1 = Toffoli((), 1)
+
+    def _spec_and_library(self):
+        library = GateLibrary("gadget", 2, [self.NOT0, self.CNOT, self.NOT1])
+        goal = Circuit(2, [self.CNOT, self.NOT1, self.NOT0]).permutation()
+        return Specification.from_permutation(goal, name="tt-gadget"), library
+
+    def _conflated_state(self, engine):
+        cols = engine._apply(self.CNOT, engine.initial)
+        return engine._apply(self.NOT1, cols)
+
+    def test_legacy_key_misses_minimal_depth_solution(self):
+        """Pre-fix key: a restricted failure poisons an unrelated context.
+
+        From S with one gate of budget the unique completion is
+        ``[NOT(x0)]``.  Searched under ``previous=NOT1`` (the ``[CNOT,
+        NOT1]`` subtree) that gate is commuting-skipped, the subtree
+        fails, and the legacy table banks the failure under S alone.
+        The sibling subtree ``[NOT1, CNOT]`` then reaches S under
+        ``previous=CNOT``, where ``NOT(x0)`` *is* legal — but the
+        poisoned entry prunes the node and the minimal-depth solution
+        is missed.
+        """
+        spec, library = self._spec_and_library()
+        engine = _LegacyKeySword(spec, library)
+        state = self._conflated_state(engine)
+        assert engine._is_goal(engine._apply(self.NOT0, state))
+        assert engine._dfs(state, 1, 2, []) is False    # banks S -> 1
+        pruned = engine._dfs(state, 1, 1, [])           # poisoned context
+        assert pruned is False
+        assert engine._tt_prunes == 1
+
+    def test_fixed_key_finds_the_solution(self):
+        """The (previous, cols) key scopes the failure to its context."""
+        spec, library = self._spec_and_library()
+        engine = SwordEngine(spec, library)
+        state = self._conflated_state(engine)
+        assert engine._dfs(state, 1, 2, []) is False
+        # The failure skipped a successor, so it is banked under the
+        # exact predecessor — never as a universal refutation.
+        assert (2, state) in engine._failed
+        assert (-1, state) not in engine._failed
+        path = []
+        assert engine._dfs(state, 1, 1, path) is True
+        assert [g.apply(0) for g in path] == [self.NOT0.apply(0)]
+        assert len(path) == 1
+
+    def test_universal_entries_only_after_unrestricted_failure(self):
+        """With no skipped successor the failure generalizes to key -1."""
+        spec, library = self._spec_and_library()
+        engine = SwordEngine(spec, library)
+        # previous=-1 applies no prune at all: a failure here refutes
+        # the state for every predecessor.
+        assert engine._dfs(engine.initial, 0, -1, []) is False
+        engine._failed.clear()
+        assert engine._dfs(engine.initial, 1, -1, []) is False
+        assert all(key[0] == -1 for key in engine._failed)
+
+    def test_decide_agrees_with_brute_force_on_gadget(self):
+        spec, library = self._spec_and_library()
+        oracle = brute_force_minimal_depth(spec, library, max_depth=4)
+        engine = SwordEngine(spec, library)
+        for depth in range(oracle):
+            assert engine.decide(depth).status == "unsat"
+        assert engine.decide(oracle).status == "sat"
+
+    def test_budget_exhausted_counted_apart_from_lb_prunes(self):
+        spec, library = self._spec_and_library()
+        # Depth 0: the root simply runs out of budget — no heuristic
+        # was consulted, so nothing may be credited to lb_prunes.
+        exhausted = SwordEngine(spec, library).decide(0).detail
+        assert exhausted["budget_exhausted"] == 1
+        assert exhausted["lb_prunes"] == 0
+        # Depth 1: two output lines mismatch but only one gate remains,
+        # so the mismatch bound refutes the root before any successor
+        # is expanded — the converse split.
+        bounded = SwordEngine(spec, library).decide(1)
+        assert bounded.detail["lb_prunes"] == 1
+        assert bounded.detail["budget_exhausted"] == 0
+        assert bounded.metrics["sword.budget_exhausted"] == 0
+        assert bounded.metrics["sword.lb_prunes"] == 1
